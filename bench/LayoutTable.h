@@ -1,0 +1,83 @@
+//===- LayoutTable.h - Shared driver for Tables 5 and 6 --------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the per-layout latency tables (Table 5: CHET-SEAL,
+/// Table 6: CHET-HEAAN): each network is evaluated under all four pruned
+/// layout policies with the compiler's layout search disabled, printing
+/// the measured latency and the compiler's estimated cost per policy and
+/// marking which layout the cost model would pick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_BENCH_LAYOUTTABLE_H
+#define CHET_BENCH_LAYOUTTABLE_H
+
+#include "BenchUtil.h"
+
+namespace chet {
+namespace bench {
+
+struct LayoutTablePaperRow {
+  const char *Name;
+  double Latency[4]; ///< HW, CHW, HW-conv/CHW-rest, CHW-fc/HW-before.
+};
+
+struct LayoutMeasurement {
+  std::string Network;
+  LayoutPolicy Policy;
+  double LatencySec;
+  double EstimatedCost;
+  int LogN;
+};
+
+/// Runs the four-policy sweep and prints the table. Returns all
+/// measurements (bench_fig6 reuses them for the cost-vs-latency plot).
+inline std::vector<LayoutMeasurement>
+runLayoutTable(SchemeKind Scheme, const std::vector<NetChoice> &Nets,
+               const LayoutTablePaperRow *Paper, size_t PaperRows) {
+  std::vector<LayoutMeasurement> All;
+  std::printf("%-24s %10s %10s %14s %14s   (chosen)\n", "network", "HW",
+              "CHW", "HWconv/CHWrest", "CHWfc/HWbefore");
+
+  for (const NetChoice &Net : Nets) {
+    TensorCircuit Circ = Net.build();
+    double Latency[4];
+    double Cost[4];
+    int BestByCost = 0;
+    for (int P = 0; P < 4; ++P) {
+      CompilerOptions O;
+      O.Scheme = Scheme;
+      O.Security = SecurityLevel::None; // fast mode; see bench_fig5 notes
+      O.Scales = benchScales();
+      O.SearchLayouts = false;
+      O.FixedPolicy = kAllLayoutPolicies[P];
+      RunResult R = runOnce(Circ, O);
+      Latency[P] = R.InferSec;
+      Cost[P] = R.Compiled.EstimatedCost;
+      if (Cost[P] < Cost[BestByCost])
+        BestByCost = P;
+      All.push_back({Net.Name, kAllLayoutPolicies[P], R.InferSec, Cost[P],
+                     R.Compiled.LogN});
+    }
+    std::printf("%-24s %10.2f %10.2f %14.2f %14.2f   -> %s\n",
+                Net.label().c_str(), Latency[0], Latency[1], Latency[2],
+                Latency[3], layoutPolicyName(kAllLayoutPolicies[BestByCost]));
+    for (size_t I = 0; I < PaperRows; ++I)
+      if (Net.Name == Paper[I].Name)
+        std::printf("%-24s %10.1f %10.1f %14.1f %14.1f   (paper, full "
+                    "size, 16 cores)\n",
+                    "", Paper[I].Latency[0], Paper[I].Latency[1],
+                    Paper[I].Latency[2], Paper[I].Latency[3]);
+    std::fflush(stdout);
+  }
+  return All;
+}
+
+} // namespace bench
+} // namespace chet
+
+#endif // CHET_BENCH_LAYOUTTABLE_H

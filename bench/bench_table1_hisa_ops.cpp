@@ -1,0 +1,217 @@
+//===- bench_table1_hisa_ops.cpp - Table 1: HISA primitive costs ---------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1 of the paper as measurements: the cost of each
+/// HISA primitive under the CKKS (HEAAN-style) and RNS-CKKS (SEAL-style)
+/// backends, swept over the ring dimension N and the modulus size
+/// (r for RNS, log Q for CKKS). The asymptotic *shapes* to observe:
+///
+///   - RNS-CKKS: add/mulScalar/mulPlain scale like N*r, while
+///     ciphertext multiplication and rotation scale like N log N r^2;
+///   - CKKS: mulScalar is much cheaper than mulPlain (the gap that makes
+///     HW layouts attractive under HEAAN, Section 4.2), and everything
+///     grows with log Q.
+///
+/// These measurements also calibrate the constants in core/CostModel.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace chet;
+
+namespace {
+
+std::unique_ptr<RnsCkksBackend> makeRns(int LogN, int Levels) {
+  RnsCkksParams P = RnsCkksParams::create(LogN, Levels, 60, 40);
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false; // only the keys this bench needs
+  auto B = std::make_unique<RnsCkksBackend>(P);
+  B->generateRotationKeys({1});
+  return B;
+}
+
+std::unique_ptr<BigCkksBackend> makeBig(int LogN, int LogQ) {
+  BigCkksParams P;
+  P.LogN = LogN;
+  P.LogQ = LogQ;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  auto B = std::make_unique<BigCkksBackend>(P);
+  B->generateRotationKeys({1});
+  return B;
+}
+
+template <typename B> typename B::Ct freshCt(B &Backend) {
+  std::vector<double> V(Backend.slotCount(), 0.5);
+  return Backend.encrypt(Backend.encode(V, 1 << 25));
+}
+
+//===--------------------------------------------------------------------===//
+// RNS-CKKS (args: LogN, Levels)
+//===--------------------------------------------------------------------===//
+
+void RNS_Add(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B), D = freshCt(*B);
+  for (auto _ : State)
+    B->addAssign(C, D);
+}
+
+void RNS_MulScalar(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulScalarAssign(T, 1.0, 1); // scale-preserving
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void RNS_MulPlain(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  std::vector<double> Ones(B->slotCount(), 1.0);
+  auto P = B->encode(Ones, 2.0);
+  // Warm the plaintext NTT cache: the server encodes weights once.
+  auto Warm = B->copy(C);
+  B->mulPlainAssign(Warm, P);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulPlainAssign(T, P);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void RNS_MulCipher(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B), D = freshCt(*B);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulAssign(T, D);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void RNS_Rotate(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State)
+    B->rotLeftAssign(C, 1);
+}
+
+void RNS_Rescale(benchmark::State &State) {
+  auto B = makeRns(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto T = B->copy(C);
+    B->mulScalarAssign(T, 1.0, uint64_t(1) << 40);
+    uint64_t D = B->maxRescale(T, uint64_t(1) << 41);
+    State.ResumeTiming();
+    B->rescaleAssign(T, D);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// CKKS / HEAAN-style (args: LogN, LogQ)
+//===--------------------------------------------------------------------===//
+
+void CKKS_Add(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B), D = freshCt(*B);
+  for (auto _ : State)
+    B->addAssign(C, D);
+}
+
+void CKKS_MulScalar(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulScalarAssign(T, 1.0, 1);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void CKKS_MulPlain(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  std::vector<double> Ones(B->slotCount(), 1.0);
+  auto P = B->encode(Ones, 2.0);
+  auto Warm = B->copy(C);
+  B->mulPlainAssign(Warm, P);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulPlainAssign(T, P);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void CKKS_MulCipher(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B), D = freshCt(*B);
+  for (auto _ : State) {
+    auto T = B->copy(C);
+    B->mulAssign(T, D);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+void CKKS_Rotate(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State)
+    B->rotLeftAssign(C, 1);
+}
+
+void CKKS_Rescale(benchmark::State &State) {
+  auto B = makeBig(State.range(0), State.range(1));
+  auto C = freshCt(*B);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto T = B->copy(C);
+    B->mulScalarAssign(T, 1.0, uint64_t(1) << 20);
+    State.ResumeTiming();
+    B->rescaleAssign(T, uint64_t(1) << 20);
+    benchmark::DoNotOptimize(T);
+  }
+}
+
+// Sweep: N in {2^12, 2^13, 2^14}; RNS levels in {4, 8, 12};
+// CKKS logQ in {120, 240, 480}.
+// A handful of iterations suffices: Table 1 is about asymptotic shape,
+// and single-digit-percent noise does not move the cost-model constants.
+#define RNS_ARGS                                                            \
+  ->Args({12, 8})->Args({13, 8})->Args({14, 8})->Args({13, 4})->Args(       \
+      {13, 12})->Iterations(5)->Unit(benchmark::kMicrosecond)
+#define CKKS_ARGS                                                           \
+  ->Args({12, 240})->Args({13, 240})->Args({14, 240})->Args({13, 120})     \
+      ->Args({13, 480})->Iterations(5)->Unit(benchmark::kMicrosecond)
+
+BENCHMARK(RNS_Add) RNS_ARGS;
+BENCHMARK(RNS_MulScalar) RNS_ARGS;
+BENCHMARK(RNS_MulPlain) RNS_ARGS;
+BENCHMARK(RNS_MulCipher) RNS_ARGS;
+BENCHMARK(RNS_Rotate) RNS_ARGS;
+BENCHMARK(RNS_Rescale) RNS_ARGS;
+BENCHMARK(CKKS_Add) CKKS_ARGS;
+BENCHMARK(CKKS_MulScalar) CKKS_ARGS;
+BENCHMARK(CKKS_MulPlain) CKKS_ARGS;
+BENCHMARK(CKKS_MulCipher) CKKS_ARGS;
+BENCHMARK(CKKS_Rotate) CKKS_ARGS;
+BENCHMARK(CKKS_Rescale) CKKS_ARGS;
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+//===- bench_table5_layouts_seal.cpp - Table 5: layouts under RNS-CKKS ---===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 5: average latency per data-layout policy with the
+/// RNS-CKKS (SEAL-style) target. Expected shape: CHW-family layouts win
+/// on the wider networks (mulPlain is as cheap as mulScalar in RNS-CKKS,
+/// so packing channels pays off), while tiny networks can prefer HW.
+///
+/// Usage: bench_table5_layouts_seal [--full] [network names...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "LayoutTable.h"
+
+using namespace chet;
+using namespace chet::bench;
+
+namespace {
+constexpr LayoutTablePaperRow kPaper[] = {
+    {"LeNet-5-small", {2.5, 3.8, 3.8, 2.5}},
+    {"LeNet-5-medium", {22.1, 10.8, 25.8, 18.1}},
+    {"LeNet-5-large", {64.8, 35.2, 64.6, 61.2}},
+    {"Industrial", {108.4, 56.4, 181.1, 136.3}},
+    {"SqueezeNet-CIFAR", {429.3, 164.7, 517.0, 441.0}},
+};
+}
+
+int main(int Argc, char **Argv) {
+  std::vector<NetChoice> Nets = chooseNetworks(
+      Argc, Argv, {"LeNet-5-small", "LeNet-5-medium"});
+  printHeader("Table 5: average latency (s) per data layout, CHET-SEAL "
+              "(RNS-CKKS)");
+  runLayoutTable(SchemeKind::RnsCkks, Nets, kPaper, std::size(kPaper));
+  return 0;
+}

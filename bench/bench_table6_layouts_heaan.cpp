@@ -1,0 +1,41 @@
+//===- bench_table6_layouts_heaan.cpp - Table 6: layouts under CKKS ------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 6: average latency per data-layout policy with the
+/// CKKS (HEAAN-style) target. Expected shape: the HW-family layouts are
+/// relatively stronger than under RNS-CKKS, because in CKKS mulPlain
+/// costs ~log N times a mulScalar (Table 1), penalizing the
+/// mulPlain-heavy CHW convolutions -- the paper's example of the best
+/// layout depending on the scheme.
+///
+/// Usage: bench_table6_layouts_heaan [--full] [network names...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "LayoutTable.h"
+
+using namespace chet;
+using namespace chet::bench;
+
+namespace {
+constexpr LayoutTablePaperRow kPaper[] = {
+    {"LeNet-5-small", {8, 12, 8, 8}},
+    {"LeNet-5-medium", {82, 91, 52, 51}},
+    {"LeNet-5-large", {325, 423, 270, 265}},
+    {"Industrial", {330, 312, 379, 381}},
+    {"SqueezeNet-CIFAR", {1342, 1620, 1550, 1342}},
+};
+}
+
+int main(int Argc, char **Argv) {
+  std::vector<NetChoice> Nets =
+      chooseNetworks(Argc, Argv, {"LeNet-5-small", "LeNet-5-medium"});
+  printHeader("Table 6: average latency (s) per data layout, CHET-HEAAN "
+              "(CKKS)");
+  runLayoutTable(SchemeKind::BigCkks, Nets, kPaper, std::size(kPaper));
+  return 0;
+}

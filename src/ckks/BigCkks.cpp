@@ -1,0 +1,609 @@
+//===- BigCkks.cpp - CKKS with a power-of-two big-integer modulus --------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/BigCkks.h"
+
+#include "math/PrimeGen.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace chet;
+
+//===----------------------------------------------------------------------===//
+// BigPolyRing
+//===----------------------------------------------------------------------===//
+
+BigPolyRing::BigPolyRing(int LogNIn)
+    : LogN(LogNIn), N(size_t(1) << LogNIn) {}
+
+void BigPolyRing::ensurePrimes(int Count) {
+  if (static_cast<int>(PrimeValues.size()) >= Count)
+    return;
+  PrimeValues = generateNttPrimes(59, LogN, Count);
+  for (size_t I = Mods.size(); I < PrimeValues.size(); ++I) {
+    Mods.emplace_back(PrimeValues[I]);
+    Tables.push_back(std::make_unique<NttTables>(LogN, Mods.back()));
+  }
+}
+
+const CrtBasis &BigPolyRing::basisFor(int Count) {
+  auto It = BasisByCount.find(Count);
+  if (It != BasisByCount.end())
+    return *It->second;
+  ensurePrimes(Count);
+  std::vector<uint64_t> Primes(PrimeValues.begin(),
+                               PrimeValues.begin() + Count);
+  auto Inserted =
+      BasisByCount.emplace(Count, std::make_unique<CrtBasis>(Primes));
+  return *Inserted.first->second;
+}
+
+void BigPolyRing::decomposeNtt(const BigInt *Poly, int Count,
+                               std::vector<std::vector<uint64_t>> &Out) {
+  ensurePrimes(Count);
+  Out.resize(Count);
+  for (int I = 0; I < Count; ++I) {
+    Out[I].resize(N);
+    const Modulus &Q = Mods[I];
+    for (size_t K = 0; K < N; ++K)
+      Out[I][K] = Poly[K].modPrime(Q);
+    Tables[I]->forward(Out[I].data());
+  }
+}
+
+void BigPolyRing::reconstruct(std::vector<std::vector<uint64_t>> &Rns,
+                              int Count, BigInt *Out) {
+  const CrtBasis &Basis = basisFor(Count);
+  for (int I = 0; I < Count; ++I)
+    Tables[I]->inverse(Rns[I].data());
+  std::vector<uint64_t> PerCoeff(Count);
+  for (size_t K = 0; K < N; ++K) {
+    for (int I = 0; I < Count; ++I)
+      PerCoeff[I] = Rns[I][K];
+    Out[K] = Basis.reconstructCentered(PerCoeff.data());
+  }
+}
+
+void BigPolyRing::multiply(const BigInt *A, const BigInt *B, BigInt *Out,
+                           int ProductBits) {
+  int Count = primesForBits(ProductBits);
+  std::vector<std::vector<uint64_t>> ARns, BRns;
+  decomposeNtt(A, Count, ARns);
+  decomposeNtt(B, Count, BRns);
+  for (int I = 0; I < Count; ++I) {
+    const Modulus &Q = Mods[I];
+    for (size_t K = 0; K < N; ++K)
+      ARns[I][K] = Q.mulMod(ARns[I][K], BRns[I][K]);
+  }
+  reconstruct(ARns, Count, Out);
+}
+
+void BigPolyRing::mulAcc(const std::vector<std::vector<uint64_t>> &X,
+                         const std::vector<std::vector<uint64_t>> &Y,
+                         int Count,
+                         std::vector<std::vector<uint64_t>> &Acc) {
+  if (Acc.empty())
+    Acc.assign(Count, std::vector<uint64_t>(N, 0));
+  for (int I = 0; I < Count; ++I) {
+    const Modulus &Q = Mods[I];
+    for (size_t K = 0; K < N; ++K)
+      Acc[I][K] = Q.addMod(Acc[I][K], Q.mulMod(X[I][K], Y[I][K]));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and key generation
+//===----------------------------------------------------------------------===//
+
+void chet::applyAutomorphismBig(const BigInt *In, BigInt *Out, size_t N,
+                                uint64_t Elt) {
+  assert((Elt & 1) != 0 && "Galois element must be odd");
+  uint64_t TwoN = 2 * N;
+  uint64_t Mask = TwoN - 1;
+  for (size_t J = 0; J < N; ++J) {
+    uint64_t Index = (J * Elt) & Mask;
+    BigInt V = In[J];
+    if (Index >= N) {
+      Index -= N;
+      V.negate();
+    }
+    Out[Index] = V;
+  }
+}
+
+BigCkksBackend::BigCkksBackend(const BigCkksParams &ParamsIn)
+    : Params(ParamsIn), LogN(ParamsIn.LogN),
+      Degree(size_t(1) << ParamsIn.LogN), Encoder(ParamsIn.LogN),
+      Ring(ParamsIn.LogN), Rng(ParamsIn.Seed) {
+  assert(Params.LogQ >= 30 && "modulus too small");
+  assert(Params.logQP() + LogN + 4 < 64 * BigInt::MaxLimbs &&
+         "modulus exceeds BigInt capacity");
+  assert(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security) &&
+         "parameters violate the requested security level");
+
+  int LogPQ = Params.logQP();
+  Secret = sampleTernary();
+
+  // Public key modulo 2^LogQ.
+  PkA = sampleUniform(Params.LogQ);
+  {
+    std::vector<BigInt> E = sampleError();
+    PkB.resize(Degree);
+    Ring.multiply(PkA.data(), Secret.data(), PkB.data(),
+                  Params.LogQ + LogN + 3);
+    for (size_t K = 0; K < Degree; ++K) {
+      PkB[K].negate();
+      PkB[K] += E[K];
+      PkB[K].centerMod2k(Params.LogQ);
+    }
+  }
+
+  // Relinearization key for target s^2 modulo 2^LogPQ.
+  {
+    std::vector<BigInt> S2(Degree);
+    Ring.multiply(Secret.data(), Secret.data(), S2.data(), LogN + 4);
+    RelinKey = makeEvalKey(S2);
+  }
+
+  // Stock power-of-two rotation keys (Section 2.4).
+  if (Params.StockPow2Keys) {
+    std::vector<int> Pow2Steps;
+    for (size_t Step = 1; Step < slotCount(); Step <<= 1) {
+      Pow2Steps.push_back(static_cast<int>(Step));
+      Pow2Steps.push_back(-static_cast<int>(Step));
+    }
+    generateRotationKeys(Pow2Steps);
+  }
+}
+
+std::vector<BigInt> BigCkksBackend::sampleUniform(int Bits) {
+  std::vector<BigInt> Out(Degree);
+  int Words = (Bits + 31) / 32;
+  for (auto &V : Out) {
+    V = BigInt(0);
+    for (int W = 0; W < Words; ++W) {
+      V.shiftLeft(32);
+      V += BigInt(static_cast<int64_t>(Rng.next() & 0xffffffffULL));
+    }
+    V.centerMod2k(Bits);
+  }
+  return Out;
+}
+
+std::vector<BigInt> BigCkksBackend::sampleTernary() {
+  std::vector<BigInt> Out(Degree);
+  for (auto &V : Out)
+    V = BigInt(Rng.nextTernary());
+  return Out;
+}
+
+std::vector<BigInt> BigCkksBackend::sampleError() {
+  std::vector<BigInt> Out(Degree);
+  for (auto &V : Out)
+    V = BigInt(Rng.nextCenteredGaussian());
+  return Out;
+}
+
+BigCkksBackend::EvalKey
+BigCkksBackend::makeEvalKey(const std::vector<BigInt> &Target) {
+  int LogPQ = Params.logQP();
+  int LogP = Params.effectiveLogSpecial();
+  std::vector<BigInt> A = sampleUniform(LogPQ);
+  std::vector<BigInt> B(Degree);
+  Ring.multiply(A.data(), Secret.data(), B.data(), LogPQ + LogN + 3);
+  std::vector<BigInt> E = sampleError();
+  for (size_t K = 0; K < Degree; ++K) {
+    B[K].negate();
+    B[K] += E[K];
+    // + P * target
+    BigInt T = Target[K];
+    T.shiftLeft(LogP);
+    B[K] += T;
+    B[K].centerMod2k(LogPQ);
+  }
+  EvalKey Key;
+  // Worst-case key-switch product: |d| < 2^LogQ/2, |key| < 2^LogPQ/2,
+  // times N terms.
+  Key.PrimeCount = Ring.primesForBits(Params.LogQ + LogPQ + LogN + 2);
+  Ring.decomposeNtt(B.data(), Key.PrimeCount, Key.B);
+  Ring.decomposeNtt(A.data(), Key.PrimeCount, Key.A);
+  return Key;
+}
+
+void BigCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
+  for (int Step : Steps) {
+    if (Step == 0)
+      continue;
+    uint64_t Elt = Encoder.galoisElement(Step);
+    if (GaloisKeys.count(Elt))
+      continue;
+    std::vector<BigInt> Rotated(Degree);
+    applyAutomorphismBig(Secret.data(), Rotated.data(), Degree, Elt);
+    GaloisKeys.emplace(Elt, makeEvalKey(Rotated));
+  }
+}
+
+void BigCkksBackend::clearRotationKeys() { GaloisKeys.clear(); }
+
+bool BigCkksBackend::hasRotationKey(int Steps) const {
+  return GaloisKeys.count(Encoder.galoisElement(Steps)) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding, encryption, decryption
+//===----------------------------------------------------------------------===//
+
+BigCkksBackend::Pt BigCkksBackend::encode(const std::vector<double> &Values,
+                                          double Scale) const {
+  Pt P;
+  P.Coeffs = Encoder.encodeCoeffs(Values, Scale);
+  P.Scale = Scale;
+  P.C = std::make_shared<Pt::Cache>();
+  return P;
+}
+
+std::vector<double> BigCkksBackend::decode(const Pt &P) const {
+  return Encoder.decodeValues(P.Coeffs, P.Scale);
+}
+
+const std::vector<BigInt> &BigCkksBackend::plainBig(const Pt &P) const {
+  assert(P.C && "plaintext was not produced by encode()");
+  if (P.C->Big.empty()) {
+    P.C->Big.resize(Degree);
+    int MaxBits = 1;
+    for (size_t K = 0; K < Degree; ++K) {
+      P.C->Big[K] = BigInt::fromDouble(P.Coeffs[K]);
+      MaxBits = std::max(MaxBits, P.C->Big[K].bitLength());
+    }
+    P.C->MaxCoeffBits = MaxBits;
+  }
+  return P.C->Big;
+}
+
+const std::vector<std::vector<uint64_t>> &
+BigCkksBackend::plainRns(const Pt &P, int Count) {
+  plainBig(P); // ensure Big is filled
+  auto It = P.C->RnsByCount.find(Count);
+  if (It != P.C->RnsByCount.end())
+    return It->second;
+  std::vector<std::vector<uint64_t>> Rns;
+  Ring.decomposeNtt(P.C->Big.data(), Count, Rns);
+  auto Inserted = P.C->RnsByCount.emplace(Count, std::move(Rns));
+  return Inserted.first->second;
+}
+
+BigCkksBackend::Ct BigCkksBackend::encrypt(const Pt &P) {
+  Ct C;
+  C.LogQ = Params.LogQ;
+  C.Scale = P.Scale;
+  std::vector<BigInt> V = sampleTernary();
+  std::vector<BigInt> E0 = sampleError();
+  std::vector<BigInt> E1 = sampleError();
+  const std::vector<BigInt> &M = plainBig(P);
+
+  C.C0.resize(Degree);
+  C.C1.resize(Degree);
+  int Bits = Params.LogQ + LogN + 3;
+  Ring.multiply(PkB.data(), V.data(), C.C0.data(), Bits);
+  Ring.multiply(PkA.data(), V.data(), C.C1.data(), Bits);
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] += E0[K];
+    C.C0[K] += M[K];
+    C.C0[K].centerMod2k(C.LogQ);
+    C.C1[K] += E1[K];
+    C.C1[K].centerMod2k(C.LogQ);
+  }
+  return C;
+}
+
+BigCkksBackend::Pt BigCkksBackend::decrypt(const Ct &C) {
+  std::vector<BigInt> T(Degree);
+  Ring.multiply(C.C1.data(), Secret.data(), T.data(), C.LogQ + LogN + 3);
+  Pt P;
+  P.Scale = C.Scale;
+  P.Coeffs.resize(Degree);
+  for (size_t K = 0; K < Degree; ++K) {
+    T[K] += C.C0[K];
+    T[K].centerMod2k(C.LogQ);
+    P.Coeffs[K] = T[K].toDouble();
+  }
+  return P;
+}
+
+void BigCkksBackend::freeCt(Ct &C) const {
+  C.C0.clear();
+  C.C0.shrink_to_fit();
+  C.C1.clear();
+  C.C1.shrink_to_fit();
+}
+
+//===----------------------------------------------------------------------===//
+// Linear HISA instructions
+//===----------------------------------------------------------------------===//
+
+void BigCkksBackend::reduceTo(Ct &C, int LogQ) const {
+  assert(LogQ <= C.LogQ && "cannot raise a ciphertext's modulus");
+  if (LogQ == C.LogQ)
+    return;
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K].centerMod2k(LogQ);
+    C.C1[K].centerMod2k(LogQ);
+  }
+  C.LogQ = LogQ;
+}
+
+static bool scalesMatchBig(double A, double B) {
+  double Ratio = A / B;
+  return Ratio > 1.0 - 1e-6 && Ratio < 1.0 + 1e-6;
+}
+
+void BigCkksBackend::addAssign(Ct &C, const Ct &Other) const {
+  assert(scalesMatchBig(C.Scale, Other.Scale) && "addition scale mismatch");
+  int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] += Other.C0[K];
+    C.C0[K].centerMod2k(LogQ);
+    C.C1[K] += Other.C1[K];
+    C.C1[K].centerMod2k(LogQ);
+  }
+  C.LogQ = LogQ;
+}
+
+void BigCkksBackend::subAssign(Ct &C, const Ct &Other) const {
+  assert(scalesMatchBig(C.Scale, Other.Scale) &&
+         "subtraction scale mismatch");
+  int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] -= Other.C0[K];
+    C.C0[K].centerMod2k(LogQ);
+    C.C1[K] -= Other.C1[K];
+    C.C1[K].centerMod2k(LogQ);
+  }
+  C.LogQ = LogQ;
+}
+
+void BigCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
+  assert(scalesMatchBig(C.Scale, P.Scale) && "addPlain scale mismatch");
+  const std::vector<BigInt> &M = plainBig(P);
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] += M[K];
+    C.C0[K].centerMod2k(C.LogQ);
+  }
+}
+
+void BigCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
+  assert(scalesMatchBig(C.Scale, P.Scale) && "subPlain scale mismatch");
+  const std::vector<BigInt> &M = plainBig(P);
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] -= M[K];
+    C.C0[K].centerMod2k(C.LogQ);
+  }
+}
+
+void BigCkksBackend::addScalarAssign(Ct &C, double X) const {
+  // The constant vector (x, ..., x) encodes as the constant polynomial.
+  C.C0[0] += BigInt::fromDouble(X * C.Scale);
+  C.C0[0].centerMod2k(C.LogQ);
+}
+
+void BigCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
+  double Rounded = std::nearbyint(X * static_cast<double>(Scale));
+  assert(std::fabs(Rounded) < 9.2e18 && "scalar exceeds word range");
+  bool Negative = Rounded < 0;
+  uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
+  for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
+    for (size_t K = 0; K < Degree; ++K) {
+      BigInt &V = (*Poly)[K];
+      V.mulU64(Mag);
+      if (Negative)
+        V.negate();
+      V.centerMod2k(C.LogQ);
+    }
+  }
+  C.Scale *= static_cast<double>(Scale);
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplication, relinearization, rotation
+//===----------------------------------------------------------------------===//
+
+void BigCkksBackend::keySwitch(const std::vector<BigInt> &D, int CtLogQ,
+                               const EvalKey &Key, std::vector<BigInt> &OutB,
+                               std::vector<BigInt> &OutA) {
+  int LogP = Params.effectiveLogSpecial();
+  int Bits = CtLogQ + Params.logQP() + LogN + 2;
+  int Count = Ring.primesForBits(Bits);
+  assert(Count <= Key.PrimeCount && "evaluation key has too few primes");
+
+  std::vector<std::vector<uint64_t>> DRns;
+  Ring.decomposeNtt(D.data(), Count, DRns);
+  std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
+  for (int I = 0; I < Count; ++I) {
+    const Modulus &Q = Ring.prime(I);
+    AccB[I].resize(Degree);
+    AccA[I].resize(Degree);
+    for (size_t K = 0; K < Degree; ++K) {
+      AccB[I][K] = Q.mulMod(DRns[I][K], Key.B[I][K]);
+      AccA[I][K] = Q.mulMod(DRns[I][K], Key.A[I][K]);
+    }
+  }
+  OutB.resize(Degree);
+  OutA.resize(Degree);
+  Ring.reconstruct(AccB, Count, OutB.data());
+  Ring.reconstruct(AccA, Count, OutA.data());
+  for (size_t K = 0; K < Degree; ++K) {
+    OutB[K].shiftRightRound(LogP);
+    OutB[K].centerMod2k(CtLogQ);
+    OutA[K].shiftRightRound(LogP);
+    OutA[K].centerMod2k(CtLogQ);
+  }
+}
+
+void BigCkksBackend::mulAssign(Ct &C, const Ct &Other) {
+  int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
+  reduceTo(C, LogQ);
+
+  int Bits = 2 * LogQ + LogN + 2;
+  int Count = Ring.primesForBits(Bits);
+  std::vector<std::vector<uint64_t>> A0, A1, B0, B1;
+  Ring.decomposeNtt(C.C0.data(), Count, A0);
+  Ring.decomposeNtt(C.C1.data(), Count, A1);
+  if (&C == &Other) {
+    B0 = A0;
+    B1 = A1;
+  } else {
+    // Other may sit at a higher modulus; its residues are still correct
+    // modulo the product basis only if we reduce first, so copy-reduce.
+    if (Other.LogQ != LogQ) {
+      Ct Tmp = Other;
+      reduceTo(Tmp, LogQ);
+      Ring.decomposeNtt(Tmp.C0.data(), Count, B0);
+      Ring.decomposeNtt(Tmp.C1.data(), Count, B1);
+    } else {
+      Ring.decomposeNtt(Other.C0.data(), Count, B0);
+      Ring.decomposeNtt(Other.C1.data(), Count, B1);
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> D0Rns(Count), D1Rns(Count),
+      D2Rns(Count);
+  for (int I = 0; I < Count; ++I) {
+    const Modulus &Q = Ring.prime(I);
+    D0Rns[I].resize(Degree);
+    D1Rns[I].resize(Degree);
+    D2Rns[I].resize(Degree);
+    for (size_t K = 0; K < Degree; ++K) {
+      D0Rns[I][K] = Q.mulMod(A0[I][K], B0[I][K]);
+      D1Rns[I][K] = Q.addMod(Q.mulMod(A0[I][K], B1[I][K]),
+                             Q.mulMod(A1[I][K], B0[I][K]));
+      D2Rns[I][K] = Q.mulMod(A1[I][K], B1[I][K]);
+    }
+  }
+  std::vector<BigInt> D0(Degree), D1(Degree), D2(Degree);
+  Ring.reconstruct(D0Rns, Count, D0.data());
+  Ring.reconstruct(D1Rns, Count, D1.data());
+  Ring.reconstruct(D2Rns, Count, D2.data());
+  for (size_t K = 0; K < Degree; ++K) {
+    D0[K].centerMod2k(LogQ);
+    D1[K].centerMod2k(LogQ);
+    D2[K].centerMod2k(LogQ);
+  }
+
+  std::vector<BigInt> KB, KA;
+  keySwitch(D2, LogQ, RelinKey, KB, KA);
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] = D0[K];
+    C.C0[K] += KB[K];
+    C.C0[K].centerMod2k(LogQ);
+    C.C1[K] = D1[K];
+    C.C1[K] += KA[K];
+    C.C1[K].centerMod2k(LogQ);
+  }
+  C.Scale *= Other.Scale;
+}
+
+void BigCkksBackend::mulPlainAssign(Ct &C, const Pt &P) {
+  const std::vector<BigInt> &M = plainBig(P);
+  int PtBits = P.C->MaxCoeffBits;
+  int Bits = C.LogQ + PtBits + LogN + 2;
+  int Count = Ring.primesForBits(Bits);
+  const std::vector<std::vector<uint64_t>> &MRns = plainRns(P, Count);
+
+  for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
+    std::vector<std::vector<uint64_t>> CRns;
+    Ring.decomposeNtt(Poly->data(), Count, CRns);
+    for (int I = 0; I < Count; ++I) {
+      const Modulus &Q = Ring.prime(I);
+      for (size_t K = 0; K < Degree; ++K)
+        CRns[I][K] = Q.mulMod(CRns[I][K], MRns[I][K]);
+    }
+    Ring.reconstruct(CRns, Count, Poly->data());
+    for (size_t K = 0; K < Degree; ++K)
+      (*Poly)[K].centerMod2k(C.LogQ);
+  }
+  C.Scale *= P.Scale;
+}
+
+void BigCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
+                                     const EvalKey &Key) {
+  std::vector<BigInt> Sigma0(Degree), Sigma1(Degree);
+  applyAutomorphismBig(C.C0.data(), Sigma0.data(), Degree, Elt);
+  applyAutomorphismBig(C.C1.data(), Sigma1.data(), Degree, Elt);
+  std::vector<BigInt> KB, KA;
+  keySwitch(Sigma1, C.LogQ, Key, KB, KA);
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K] = Sigma0[K];
+    C.C0[K] += KB[K];
+    C.C0[K].centerMod2k(C.LogQ);
+    C.C1[K] = KA[K];
+  }
+}
+
+void BigCkksBackend::rotLeftAssign(Ct &C, int Steps) {
+  size_t Slots = slotCount();
+  int64_t S = Steps % static_cast<int64_t>(Slots);
+  if (S < 0)
+    S += Slots;
+  if (S == 0)
+    return;
+
+  uint64_t Elt = Encoder.galoisElement(static_cast<int>(S));
+  auto It = GaloisKeys.find(Elt);
+  if (It != GaloisKeys.end()) {
+    rotateByElement(C, Elt, It->second);
+    return;
+  }
+  int64_t Remaining = S <= static_cast<int64_t>(Slots / 2)
+                          ? S
+                          : S - static_cast<int64_t>(Slots);
+  int Direction = Remaining >= 0 ? 1 : -1;
+  uint64_t Mag =
+      static_cast<uint64_t>(Remaining >= 0 ? Remaining : -Remaining);
+  for (int Bit = 0; Mag != 0; ++Bit, Mag >>= 1) {
+    if (!(Mag & 1))
+      continue;
+    int Step = Direction * (1 << Bit);
+    uint64_t E = Encoder.galoisElement(Step);
+    auto KeyIt = GaloisKeys.find(E);
+    assert(KeyIt != GaloisKeys.end() &&
+           "power-of-two rotation key missing; cannot rotate");
+    rotateByElement(C, E, KeyIt->second);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rescaling
+//===----------------------------------------------------------------------===//
+
+uint64_t BigCkksBackend::maxRescale(const Ct &C, uint64_t UpperBound) const {
+  // Any power of two is a valid divisor (Section 5.2, CKKS semantics), as
+  // long as the modulus stays meaningful.
+  if (UpperBound < 2)
+    return 1;
+  int Bits = 63 - __builtin_clzll(UpperBound);
+  int Budget = C.LogQ - 2;
+  if (Bits > Budget)
+    Bits = Budget;
+  if (Bits <= 0)
+    return 1;
+  return uint64_t(1) << Bits;
+}
+
+void BigCkksBackend::rescaleAssign(Ct &C, uint64_t Divisor) const {
+  assert(Divisor != 0 && (Divisor & (Divisor - 1)) == 0 &&
+         "CKKS rescale divisor must be a power of two");
+  if (Divisor == 1)
+    return;
+  int Bits = __builtin_ctzll(Divisor);
+  assert(Bits < C.LogQ && "rescale would eliminate the modulus");
+  for (size_t K = 0; K < Degree; ++K) {
+    C.C0[K].shiftRightRound(Bits);
+    C.C1[K].shiftRightRound(Bits);
+  }
+  C.LogQ -= Bits;
+  C.Scale /= static_cast<double>(Divisor);
+}

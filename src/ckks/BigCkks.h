@@ -1,0 +1,223 @@
+//===- BigCkks.h - CKKS with a power-of-two big-integer modulus -*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the original CKKS scheme
+/// (Cheon-Kim-Kim-Song, ASIACRYPT 2017) in the style of HEAAN v1.0:
+/// ciphertext polynomials carry big-integer coefficients modulo Q = 2^k,
+/// and rescaling divides by arbitrary powers of two (maxRescale returns
+/// the largest power of two under the bound -- the CKKS column of the
+/// paper's Table 1 and Section 5.2).
+///
+/// Polynomial products are computed exactly by bridging the big-integer
+/// coefficients through an RNS basis of NTT-friendly word-size primes and
+/// reconstructing by CRT, precisely HEAAN's Ring::mult technique. Key
+/// switching follows HEAAN: a single evaluation key modulo P * Q with
+/// P = 2^logP, multiply-by-evk then divide by P with rounding; the
+/// evaluation keys are cached in their RNS/NTT decomposition so a key
+/// switch costs one decomposition of the input plus pointwise work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CKKS_BIGCKKS_H
+#define CHET_CKKS_BIGCKKS_H
+
+#include "ckks/Encoder.h"
+#include "ckks/SecurityTable.h"
+#include "math/BigInt.h"
+#include "math/Crt.h"
+#include "math/Ntt.h"
+#include "support/Prng.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace chet {
+
+/// Parameters of a HEAAN-style CKKS instantiation.
+struct BigCkksParams {
+  int LogN = 13;
+  /// Fresh-ciphertext modulus width: Q = 2^LogQ.
+  int LogQ = 240;
+  /// Key-switching modulus width: P = 2^LogSpecial. Zero means LogQ.
+  int LogSpecial = 0;
+  SecurityLevel Security = SecurityLevel::Classical128;
+  uint64_t Seed = 0x4ea2;
+  /// Generate the default power-of-two rotation keys at construction.
+  bool StockPow2Keys = true;
+
+  int effectiveLogSpecial() const {
+    return LogSpecial == 0 ? LogQ : LogSpecial;
+  }
+  int logQP() const { return LogQ + effectiveLogSpecial(); }
+};
+
+/// Shared machinery for exact big-integer polynomial products over
+/// Z[X]/(X^N+1) via RNS bridging. Grows its prime pool on demand.
+class BigPolyRing {
+public:
+  explicit BigPolyRing(int LogN);
+
+  size_t degree() const { return N; }
+
+  /// Number of basis primes needed to hold products of \p Bits magnitude.
+  int primesForBits(int Bits) const { return (Bits + 61) / 59 + 1; }
+
+  /// Ensures at least \p Count primes and tables exist.
+  void ensurePrimes(int Count);
+
+  /// Decomposes a BigInt polynomial into NTT-form residues over the first
+  /// \p Count primes. Out[i] has N words.
+  void decomposeNtt(const BigInt *Poly, int Count,
+                    std::vector<std::vector<uint64_t>> &Out);
+
+  /// Inverse of decomposeNtt followed by centered CRT reconstruction.
+  void reconstruct(std::vector<std::vector<uint64_t>> &Rns, int Count,
+                   BigInt *Out);
+
+  /// Out = A * B exactly, where the product coefficients fit in
+  /// \p ProductBits bits. A and B are length-N BigInt polynomials.
+  void multiply(const BigInt *A, const BigInt *B, BigInt *Out,
+                int ProductBits);
+
+  /// Pointwise multiply-accumulate in RNS form: Acc[i] += X[i] * Y[i].
+  void mulAcc(const std::vector<std::vector<uint64_t>> &X,
+              const std::vector<std::vector<uint64_t>> &Y, int Count,
+              std::vector<std::vector<uint64_t>> &Acc);
+
+  const Modulus &prime(int I) const { return Mods[I]; }
+
+private:
+  const CrtBasis &basisFor(int Count);
+
+  int LogN;
+  size_t N;
+  std::vector<uint64_t> PrimeValues;
+  std::vector<Modulus> Mods;
+  std::vector<std::unique_ptr<NttTables>> Tables;
+  std::map<int, std::unique_ptr<CrtBasis>> BasisByCount;
+};
+
+/// The CKKS scheme with power-of-two modulus, exposed through the HISA.
+class BigCkksBackend {
+public:
+  /// Ciphertext: coefficient-form big-integer polynomials, centered
+  /// modulo 2^LogQ.
+  struct Ct {
+    std::vector<BigInt> C0, C1;
+    int LogQ = 0;
+    double Scale = 1.0;
+  };
+
+  /// Plaintext: rounded integer coefficients plus a lazily built cache of
+  /// the BigInt form and the RNS/NTT decomposition used by mulPlain.
+  struct Pt {
+    std::vector<double> Coeffs;
+    double Scale = 1.0;
+    struct Cache {
+      std::vector<BigInt> Big;
+      int MaxCoeffBits = 0;
+      std::map<int, std::vector<std::vector<uint64_t>>> RnsByCount;
+    };
+    std::shared_ptr<Cache> C;
+  };
+
+  explicit BigCkksBackend(const BigCkksParams &Params);
+
+  //===--------------------------------------------------------------===//
+  // HISA instructions (Table 2).
+  //===--------------------------------------------------------------===//
+
+  size_t slotCount() const { return Degree / 2; }
+  Pt encode(const std::vector<double> &Values, double Scale) const;
+  std::vector<double> decode(const Pt &P) const;
+  Ct encrypt(const Pt &P);
+  Pt decrypt(const Ct &C);
+  Ct copy(const Ct &C) const { return C; }
+  void freeCt(Ct &C) const;
+
+  void rotLeftAssign(Ct &C, int Steps);
+  void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
+
+  void addAssign(Ct &C, const Ct &Other) const;
+  void subAssign(Ct &C, const Ct &Other) const;
+  void addPlainAssign(Ct &C, const Pt &P) const;
+  void subPlainAssign(Ct &C, const Pt &P) const;
+  void addScalarAssign(Ct &C, double X) const;
+  void subScalarAssign(Ct &C, double X) const { addScalarAssign(C, -X); }
+
+  void mulAssign(Ct &C, const Ct &Other);
+  void mulPlainAssign(Ct &C, const Pt &P);
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) const;
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const;
+  void rescaleAssign(Ct &C, uint64_t Divisor) const;
+  double scaleOf(const Ct &C) const { return C.Scale; }
+
+  //===--------------------------------------------------------------===//
+  // Key management and introspection.
+  //===--------------------------------------------------------------===//
+
+  void generateRotationKeys(const std::vector<int> &Steps);
+  void clearRotationKeys();
+  bool hasRotationKey(int Steps) const;
+  size_t rotationKeyCount() const { return GaloisKeys.size(); }
+
+  const BigCkksParams &params() const { return Params; }
+  const CkksEncoder &encoder() const { return Encoder; }
+  int logQOf(const Ct &C) const { return C.LogQ; }
+
+private:
+  /// An evaluation key modulo P*Q, cached as its RNS/NTT decomposition
+  /// over enough primes for the worst-case key-switch product.
+  struct EvalKey {
+    std::vector<std::vector<uint64_t>> B, A;
+    int PrimeCount = 0;
+  };
+
+  std::vector<BigInt> sampleUniform(int Bits);
+  std::vector<BigInt> sampleTernary();
+  std::vector<BigInt> sampleError();
+
+  /// Builds an evaluation key for small target polynomial \p Target
+  /// (coefficients of a few bits).
+  EvalKey makeEvalKey(const std::vector<BigInt> &Target);
+
+  /// Key-switches the polynomial \p D (centered mod 2^LogQ of the
+  /// ciphertext): returns (B, A) contributions already divided by P and
+  /// reduced mod 2^CtLogQ.
+  void keySwitch(const std::vector<BigInt> &D, int CtLogQ,
+                 const EvalKey &Key, std::vector<BigInt> &OutB,
+                 std::vector<BigInt> &OutA);
+
+  void reduceTo(Ct &C, int LogQ) const;
+
+  const std::vector<BigInt> &plainBig(const Pt &P) const;
+  const std::vector<std::vector<uint64_t>> &plainRns(const Pt &P, int Count);
+
+  void rotateByElement(Ct &C, uint64_t Elt, const EvalKey &Key);
+
+  BigCkksParams Params;
+  int LogN;
+  size_t Degree;
+  CkksEncoder Encoder;
+  BigPolyRing Ring;
+  Prng Rng;
+
+  std::vector<BigInt> Secret; ///< ternary, coefficient form.
+  std::vector<BigInt> PkB, PkA;
+  EvalKey RelinKey;
+  std::map<uint64_t, EvalKey> GaloisKeys;
+};
+
+/// Applies the automorphism X -> X^{Elt} to a BigInt coefficient vector.
+void applyAutomorphismBig(const BigInt *In, BigInt *Out, size_t N,
+                          uint64_t Elt);
+
+} // namespace chet
+
+#endif // CHET_CKKS_BIGCKKS_H

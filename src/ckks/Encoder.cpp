@@ -1,0 +1,101 @@
+//===- Encoder.cpp - CKKS canonical-embedding encoder --------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/Encoder.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace chet;
+
+CkksEncoder::CkksEncoder(int LogNIn)
+    : LogN(LogNIn), N(size_t(1) << LogNIn), Transform(LogNIn) {
+  assert(LogN >= 2 && LogN <= 17 && "ring dimension out of range");
+  size_t Slots = N / 2;
+  SlotToFreq.resize(Slots);
+  uint64_t TwoN = 2 * N;
+  uint64_t Power = 1;
+  for (size_t J = 0; J < Slots; ++J) {
+    SlotToFreq[J] = static_cast<uint32_t>((Power - 1) / 2);
+    Power = Power * 3 % TwoN;
+  }
+  Zeta.resize(N);
+  const double Pi = 3.14159265358979323846264338328;
+  for (size_t J = 0; J < N; ++J) {
+    double Angle = Pi * static_cast<double>(J) / static_cast<double>(N);
+    Zeta[J] = std::complex<double>(std::cos(Angle), std::sin(Angle));
+  }
+}
+
+std::vector<double>
+CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
+                          double Scale) const {
+  assert(Values.size() <= N / 2 && "too many values for slot count");
+  assert(Scale > 0 && "scale must be positive");
+  std::vector<std::complex<double>> Spectrum(N, 0.0);
+  for (size_t J = 0; J < Values.size(); ++J) {
+    uint32_t T = SlotToFreq[J];
+    Spectrum[T] = Values[J];
+    Spectrum[N - 1 - T] = Values[J]; // conjugate of a real value
+  }
+  // a = (1/N) * DFT(spectrum); m_j = Re(a_j * conj(zeta^j)).
+  Transform.forward(Spectrum.data());
+  std::vector<double> Coeffs(N);
+  double InvN = 1.0 / static_cast<double>(N);
+  for (size_t J = 0; J < N; ++J) {
+    double Real = (Spectrum[J] * std::conj(Zeta[J])).real() * InvN;
+    double Rounded = std::nearbyint(Real * Scale);
+    assert(std::fabs(Rounded) < 4.6e18 &&
+           "encoded coefficient exceeds 62-bit embedding limit");
+    Coeffs[J] = Rounded;
+  }
+  return Coeffs;
+}
+
+std::vector<double>
+CkksEncoder::decodeValues(const std::vector<double> &Coeffs,
+                          double Scale) const {
+  assert(Coeffs.size() == N && "coefficient count must equal ring degree");
+  std::vector<std::complex<double>> A(N);
+  double Inv = 1.0 / Scale;
+  for (size_t J = 0; J < N; ++J)
+    A[J] = Coeffs[J] * Inv * Zeta[J];
+  // v_t = sum_j a_j e^{2 pi i j t / N} = N * inverseDFT(a)_t.
+  Transform.inverse(A.data());
+  std::vector<double> Values(N / 2);
+  for (size_t J = 0; J < N / 2; ++J)
+    Values[J] = A[SlotToFreq[J]].real() * static_cast<double>(N);
+  return Values;
+}
+
+uint64_t CkksEncoder::galoisElement(int Steps) const {
+  size_t Slots = N / 2;
+  // Normalize into [0, slots); rotation is cyclic with period N/2.
+  int64_t S = Steps % static_cast<int64_t>(Slots);
+  if (S < 0)
+    S += Slots;
+  uint64_t TwoN = 2 * N;
+  uint64_t Elt = 1;
+  for (int64_t I = 0; I < S; ++I)
+    Elt = Elt * 3 % TwoN;
+  return Elt;
+}
+
+void chet::applyAutomorphismRns(const uint64_t *In, uint64_t *Out, size_t N,
+                                uint64_t Elt, uint64_t QValue) {
+  assert((Elt & 1) != 0 && "Galois element must be odd");
+  uint64_t TwoN = 2 * N;
+  uint64_t Mask = TwoN - 1;
+  for (size_t J = 0; J < N; ++J) {
+    uint64_t Index = (J * Elt) & Mask; // j * elt mod 2N
+    uint64_t V = In[J];
+    if (Index >= N) {
+      Index -= N;
+      V = V == 0 ? 0 : QValue - V; // X^N = -1
+    }
+    Out[Index] = V;
+  }
+}

@@ -1,0 +1,76 @@
+//===- Encoder.h - CKKS canonical-embedding encoder ------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CKKS encoder: maps a vector of N/2 real slot values to the integer
+/// coefficients of a polynomial in Z[X]/(X^N + 1) (scaled by a fixed-point
+/// factor) via the canonical embedding, and back. Shared by both CKKS
+/// backends.
+///
+/// Slot order and rotations. A polynomial m is decoded by evaluating it at
+/// zeta^{3^j} for j = 0..N/2-1, where zeta = exp(i pi / N) is a primitive
+/// 2N-th root of unity; the Galois automorphism X -> X^{3^k} then realizes
+/// a cyclic left-rotation of the slot vector by k (Section 2.4 of the
+/// paper). Evaluation at all odd powers of zeta reduces to one size-N
+/// complex FFT via the twist a_j = m_j * zeta^j, because
+/// m(zeta^{2t+1}) = sum_j (m_j zeta^j) e^{2 pi i j t / N}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CKKS_ENCODER_H
+#define CHET_CKKS_ENCODER_H
+
+#include "math/Fft.h"
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace chet {
+
+/// Canonical-embedding encoder for ring dimension 2^LogN. Immutable and
+/// shareable after construction.
+class CkksEncoder {
+public:
+  explicit CkksEncoder(int LogN);
+
+  size_t ringDegree() const { return N; }
+  size_t slotCount() const { return N / 2; }
+
+  /// Encodes up to slotCount() real values (missing values are zero) into
+  /// N real polynomial coefficients, each multiplied by \p Scale and
+  /// rounded to the nearest integer (returned as exact-in-double values).
+  /// Aborts if any coefficient magnitude reaches 2^62, the limit of the
+  /// backends' coefficient embedding.
+  std::vector<double> encodeCoeffs(const std::vector<double> &Values,
+                                   double Scale) const;
+
+  /// Inverse of encodeCoeffs: recovers the slot values from integer
+  /// coefficients at fixed-point scale \p Scale.
+  std::vector<double> decodeValues(const std::vector<double> &Coeffs,
+                                   double Scale) const;
+
+  /// Returns the Galois element g = 3^Steps mod 2N realizing a cyclic
+  /// left-rotation by \p Steps slots (negative steps rotate right).
+  uint64_t galoisElement(int Steps) const;
+
+private:
+  int LogN;
+  size_t N;
+  Fft Transform;
+  std::vector<uint32_t> SlotToFreq;            ///< t_j = (3^j - 1) / 2.
+  std::vector<std::complex<double>> Zeta;      ///< zeta^j for j < N.
+};
+
+/// Applies the automorphism X -> X^{Elt} to a length-N coefficient vector
+/// over Z_q: coefficient j lands at index (j * Elt mod 2N), negated when
+/// the index wraps past N (since X^N = -1). \p Elt must be odd.
+void applyAutomorphismRns(const uint64_t *In, uint64_t *Out, size_t N,
+                          uint64_t Elt, uint64_t QValue);
+
+} // namespace chet
+
+#endif // CHET_CKKS_ENCODER_H

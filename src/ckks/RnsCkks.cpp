@@ -1,0 +1,731 @@
+//===- RnsCkks.cpp - RNS-CKKS (SEAL-style) HISA backend ------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/RnsCkks.h"
+
+#include "math/PrimeGen.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace chet;
+
+//===----------------------------------------------------------------------===//
+// Parameters
+//===----------------------------------------------------------------------===//
+
+std::vector<uint64_t> RnsCkksParams::candidateChain(int Count, int FirstBits,
+                                                    int ScaleBits) {
+  // Generated with the LogN = 16 congruence so the same chain is valid at
+  // every smaller ring dimension; mirrors the "global list of pre-generated
+  // candidate moduli" of Section 5.2.
+  std::vector<uint64_t> Exclude = {candidateSpecial(FirstBits)};
+  std::vector<uint64_t> Chain =
+      generateNttPrimes(FirstBits, /*LogN=*/16, 1, Exclude);
+  if (Count > 1) {
+    if (ScaleBits == FirstBits) {
+      Exclude.push_back(Chain[0]);
+      auto Rest = generateNttPrimes(ScaleBits, 16, Count - 1, Exclude);
+      Chain.insert(Chain.end(), Rest.begin(), Rest.end());
+    } else {
+      auto Rest = generateNttPrimes(ScaleBits, 16, Count - 1);
+      Chain.insert(Chain.end(), Rest.begin(), Rest.end());
+    }
+  }
+  return Chain;
+}
+
+uint64_t RnsCkksParams::candidateSpecial(int Bits) {
+  return generateNttPrimes(Bits, /*LogN=*/16, 1)[0];
+}
+
+RnsCkksParams RnsCkksParams::create(int LogN, int Levels, int FirstBits,
+                                    int ScaleBits, SecurityLevel Security) {
+  RnsCkksParams P;
+  P.LogN = LogN;
+  P.ChainPrimes = candidateChain(Levels + 1, FirstBits, ScaleBits);
+  P.SpecialPrime = candidateSpecial(FirstBits);
+  P.Security = Security;
+  return P;
+}
+
+double RnsCkksParams::logQ() const {
+  double Bits = 0;
+  for (uint64_t Q : ChainPrimes)
+    Bits += std::log2(static_cast<double>(Q));
+  return Bits;
+}
+
+double RnsCkksParams::logQP() const {
+  return logQ() + std::log2(static_cast<double>(SpecialPrime));
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and key generation
+//===----------------------------------------------------------------------===//
+
+RnsCkksBackend::RnsCkksBackend(const RnsCkksParams &ParamsIn)
+    : Params(ParamsIn), LogN(ParamsIn.LogN), Degree(size_t(1) << ParamsIn.LogN),
+      ChainLen(ParamsIn.ChainPrimes.size()), Encoder(ParamsIn.LogN),
+      Rng(ParamsIn.Seed) {
+  assert(ChainLen >= 1 && "need at least one chain prime");
+  assert(Params.SpecialPrime != 0 && "missing special prime");
+  assert(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security) &&
+         "parameters violate the requested security level");
+
+  for (uint64_t Q : Params.ChainPrimes) {
+    ChainMods.emplace_back(Q);
+    ChainNtt.push_back(std::make_unique<NttTables>(LogN, ChainMods.back()));
+  }
+  SpecialMod = Modulus(Params.SpecialPrime);
+  SpecialNtt = std::make_unique<NttTables>(LogN, SpecialMod);
+
+  SpecialModChain.resize(ChainLen);
+  SpecialInvModChain.resize(ChainLen);
+  for (size_t J = 0; J < ChainLen; ++J) {
+    SpecialModChain[J] = ChainMods[J].reduce(Params.SpecialPrime);
+    SpecialInvModChain[J] = invMod(SpecialModChain[J], ChainMods[J]);
+  }
+  CrtByLevel.resize(ChainLen);
+
+  // Secret key.
+  SecretTernary = sampleTernaryCoeffs();
+  SecretNtt.resize(ChainLen + 1);
+  {
+    std::vector<int64_t> Wide(SecretTernary.begin(), SecretTernary.end());
+    for (size_t J = 0; J <= ChainLen; ++J)
+      SecretNtt[J] = smallToNtt(Wide, J);
+  }
+
+  // Public key (b, a) = (-(a s) + e, a) over the chain primes only;
+  // fresh ciphertexts never touch the special prime.
+  PkB.resize(ChainLen);
+  PkA.resize(ChainLen);
+  std::vector<int64_t> E = sampleErrorCoeffs();
+  for (size_t J = 0; J < ChainLen; ++J) {
+    PkA[J] = uniformNtt(J);
+    std::vector<uint64_t> ENtt = smallToNtt(E, J);
+    const Modulus &Q = ChainMods[J];
+    PkB[J].resize(Degree);
+    for (size_t K = 0; K < Degree; ++K)
+      PkB[J][K] =
+          Q.addMod(Q.negMod(Q.mulMod(PkA[J][K], SecretNtt[J][K])), ENtt[K]);
+  }
+
+  // Relinearization key: target s^2 over every modulus.
+  std::vector<std::vector<uint64_t>> SquareTarget(ChainLen + 1);
+  for (size_t J = 0; J <= ChainLen; ++J) {
+    const Modulus &Q = modAt(J);
+    SquareTarget[J].resize(Degree);
+    for (size_t K = 0; K < Degree; ++K)
+      SquareTarget[J][K] = Q.mulMod(SecretNtt[J][K], SecretNtt[J][K]);
+  }
+  RelinKey = makeKSwitchKey(SquareTarget);
+
+  // Stock rotation keys for the power-of-two steps, left and right
+  // (2 log N - 2 keys; Section 2.4): the default CHET's rotation-key
+  // selection improves on.
+  if (Params.StockPow2Keys) {
+    std::vector<int> Pow2Steps;
+    for (size_t Step = 1; Step < slotCount(); Step <<= 1) {
+      Pow2Steps.push_back(static_cast<int>(Step));
+      Pow2Steps.push_back(-static_cast<int>(Step));
+    }
+    generateRotationKeys(Pow2Steps);
+  }
+}
+
+std::vector<int8_t> RnsCkksBackend::sampleTernaryCoeffs() {
+  std::vector<int8_t> Coeffs(Degree);
+  for (auto &C : Coeffs)
+    C = static_cast<int8_t>(Rng.nextTernary());
+  return Coeffs;
+}
+
+std::vector<int64_t> RnsCkksBackend::sampleErrorCoeffs() {
+  std::vector<int64_t> Coeffs(Degree);
+  for (auto &C : Coeffs)
+    C = Rng.nextCenteredGaussian();
+  return Coeffs;
+}
+
+std::vector<uint64_t>
+RnsCkksBackend::smallToNtt(const std::vector<int64_t> &Coeffs,
+                           size_t J) const {
+  const Modulus &Q = modAt(J);
+  std::vector<uint64_t> Out(Degree);
+  for (size_t K = 0; K < Degree; ++K) {
+    int64_t V = Coeffs[K];
+    Out[K] = V >= 0 ? Q.reduce(static_cast<uint64_t>(V))
+                    : Q.negMod(Q.reduce(static_cast<uint64_t>(-V)));
+  }
+  nttAt(J).forward(Out.data());
+  return Out;
+}
+
+std::vector<uint64_t> RnsCkksBackend::uniformNtt(size_t J) {
+  // Independent uniform residues per CRT component are exactly uniform
+  // modulo the full product; sampling directly in NTT form is equivalent
+  // because the NTT is a bijection.
+  const Modulus &Q = modAt(J);
+  std::vector<uint64_t> Out(Degree);
+  for (auto &V : Out)
+    V = Rng.nextBounded(Q.value());
+  return Out;
+}
+
+RnsCkksBackend::KSwitchKey RnsCkksBackend::makeKSwitchKey(
+    const std::vector<std::vector<uint64_t>> &Target) {
+  assert(Target.size() == ChainLen + 1 && "target must cover all moduli");
+  KSwitchKey Key;
+  Key.B.resize(ChainLen);
+  Key.A.resize(ChainLen);
+  for (size_t I = 0; I < ChainLen; ++I) {
+    Key.B[I].resize((ChainLen + 1) * Degree);
+    Key.A[I].resize((ChainLen + 1) * Degree);
+    std::vector<int64_t> E = sampleErrorCoeffs();
+    for (size_t J = 0; J <= ChainLen; ++J) {
+      const Modulus &Q = modAt(J);
+      std::vector<uint64_t> A = uniformNtt(J);
+      std::vector<uint64_t> ENtt = smallToNtt(E, J);
+      uint64_t *BOut = Key.B[I].data() + J * Degree;
+      uint64_t *AOut = Key.A[I].data() + J * Degree;
+      for (size_t K = 0; K < Degree; ++K) {
+        uint64_t V = Q.addMod(
+            Q.negMod(Q.mulMod(A[K], SecretNtt[J][K])), ENtt[K]);
+        if (J == I) {
+          // Add p * T_i * target; T_i is 1 mod q_i and 0 elsewhere, and
+          // p * T_i vanishes modulo the special prime itself.
+          V = Q.addMod(V, Q.mulMod(SpecialModChain[J], Target[J][K]));
+        }
+        BOut[K] = V;
+        AOut[K] = A[K];
+      }
+    }
+  }
+  return Key;
+}
+
+void RnsCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
+  for (int Step : Steps) {
+    if (Step == 0)
+      continue;
+    uint64_t Elt = Encoder.galoisElement(Step);
+    if (GaloisKeys.count(Elt))
+      continue;
+    // Target sigma_elt(s) over every modulus.
+    size_t TwoN = 2 * Degree;
+    std::vector<int64_t> Rotated(Degree);
+    for (size_t K = 0; K < Degree; ++K) {
+      size_t Index = (K * Elt) & (TwoN - 1);
+      int64_t V = SecretTernary[K];
+      if (Index >= Degree) {
+        Index -= Degree;
+        V = -V;
+      }
+      Rotated[Index] = V;
+    }
+    std::vector<std::vector<uint64_t>> Target(ChainLen + 1);
+    for (size_t J = 0; J <= ChainLen; ++J)
+      Target[J] = smallToNtt(Rotated, J);
+    GaloisKeys.emplace(Elt, makeKSwitchKey(Target));
+  }
+}
+
+void RnsCkksBackend::clearRotationKeys() { GaloisKeys.clear(); }
+
+bool RnsCkksBackend::hasRotationKey(int Steps) const {
+  return GaloisKeys.count(Encoder.galoisElement(Steps)) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding, encryption, decryption
+//===----------------------------------------------------------------------===//
+
+RnsCkksBackend::Pt RnsCkksBackend::encode(const std::vector<double> &Values,
+                                          double Scale) const {
+  Pt P;
+  P.Coeffs = Encoder.encodeCoeffs(Values, Scale);
+  P.Scale = Scale;
+  P.NttCache = std::make_shared<Pt::Cache>();
+  P.NttCache->PerPrime.resize(ChainLen);
+  return P;
+}
+
+std::vector<double> RnsCkksBackend::decode(const Pt &P) const {
+  std::vector<double> Values = Encoder.decodeValues(P.Coeffs, P.Scale);
+  return Values;
+}
+
+const std::vector<uint64_t> &RnsCkksBackend::plainNtt(const Pt &P,
+                                                      size_t J) const {
+  assert(P.NttCache && "plaintext was not produced by encode()");
+  std::vector<uint64_t> &Slot = P.NttCache->PerPrime[J];
+  if (!Slot.empty())
+    return Slot;
+  const Modulus &Q = ChainMods[J];
+  Slot.resize(Degree);
+  for (size_t K = 0; K < Degree; ++K) {
+    double C = P.Coeffs[K];
+    uint64_t Mag = static_cast<uint64_t>(std::fabs(C));
+    Slot[K] = C >= 0 ? Q.reduce(Mag) : Q.negMod(Q.reduce(Mag));
+  }
+  ChainNtt[J]->forward(Slot.data());
+  return Slot;
+}
+
+RnsCkksBackend::Ct RnsCkksBackend::encrypt(const Pt &P) {
+  Ct C;
+  C.Level = static_cast<int>(ChainLen) - 1;
+  C.Scale = P.Scale;
+  C.C0.resize(ChainLen * Degree);
+  C.C1.resize(ChainLen * Degree);
+
+  std::vector<int64_t> U(Degree);
+  for (auto &V : U)
+    V = Rng.nextTernary();
+  std::vector<int64_t> E0 = sampleErrorCoeffs();
+  std::vector<int64_t> E1 = sampleErrorCoeffs();
+
+  for (size_t J = 0; J < ChainLen; ++J) {
+    const Modulus &Q = ChainMods[J];
+    std::vector<uint64_t> UNtt = smallToNtt(U, J);
+    std::vector<uint64_t> E0Ntt = smallToNtt(E0, J);
+    std::vector<uint64_t> E1Ntt = smallToNtt(E1, J);
+    const std::vector<uint64_t> &M = plainNtt(P, J);
+    uint64_t *C0 = C.C0.data() + J * Degree;
+    uint64_t *C1 = C.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      C0[K] = Q.addMod(Q.addMod(Q.mulMod(PkB[J][K], UNtt[K]), E0Ntt[K]),
+                       M[K]);
+      C1[K] = Q.addMod(Q.mulMod(PkA[J][K], UNtt[K]), E1Ntt[K]);
+    }
+  }
+  return C;
+}
+
+const CrtBasis &RnsCkksBackend::crtForLevel(int Level) const {
+  assert(Level >= 0 && Level < static_cast<int>(ChainLen));
+  if (!CrtByLevel[Level]) {
+    std::vector<uint64_t> Primes(Params.ChainPrimes.begin(),
+                                 Params.ChainPrimes.begin() + Level + 1);
+    CrtByLevel[Level] = std::make_unique<CrtBasis>(Primes);
+  }
+  return *CrtByLevel[Level];
+}
+
+RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
+  int L = C.Level;
+  std::vector<std::vector<uint64_t>> Residues(L + 1);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    Residues[J].resize(Degree);
+    const uint64_t *C0 = C.C0.data() + J * Degree;
+    const uint64_t *C1 = C.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Residues[J][K] =
+          Q.addMod(C0[K], Q.mulMod(C1[K], SecretNtt[J][K]));
+    ChainNtt[J]->inverse(Residues[J].data());
+  }
+
+  Pt P;
+  P.Scale = C.Scale;
+  P.Coeffs.resize(Degree);
+  if (L == 0) {
+    uint64_t Q = ChainMods[0].value();
+    for (size_t K = 0; K < Degree; ++K) {
+      uint64_t V = Residues[0][K];
+      P.Coeffs[K] = V > Q / 2 ? -static_cast<double>(Q - V)
+                              : static_cast<double>(V);
+    }
+  } else {
+    const CrtBasis &Basis = crtForLevel(L);
+    std::vector<uint64_t> PerCoeff(L + 1);
+    for (size_t K = 0; K < Degree; ++K) {
+      for (int J = 0; J <= L; ++J)
+        PerCoeff[J] = Residues[J][K];
+      P.Coeffs[K] = Basis.reconstructCentered(PerCoeff.data()).toDouble();
+    }
+  }
+  return P;
+}
+
+void RnsCkksBackend::freeCt(Ct &C) const {
+  C.C0.clear();
+  C.C0.shrink_to_fit();
+  C.C1.clear();
+  C.C1.shrink_to_fit();
+}
+
+//===----------------------------------------------------------------------===//
+// Linear HISA instructions
+//===----------------------------------------------------------------------===//
+
+void RnsCkksBackend::modSwitchTo(Ct &C, int Level) const {
+  assert(Level <= C.Level && "cannot raise a ciphertext's level");
+  if (Level == C.Level)
+    return;
+  // Q' divides Q, so dropping RNS components is exact modulus reduction.
+  C.C0.resize((Level + 1) * Degree);
+  C.C1.resize((Level + 1) * Degree);
+  C.Level = Level;
+}
+
+static bool scalesMatch(double A, double B) {
+  double Ratio = A / B;
+  return Ratio > 1.0 - 1e-6 && Ratio < 1.0 + 1e-6;
+}
+
+void RnsCkksBackend::addAssign(Ct &C, const Ct &Other) const {
+  assert(scalesMatch(C.Scale, Other.Scale) && "addition scale mismatch");
+  int L = C.Level < Other.Level ? C.Level : Other.Level;
+  modSwitchTo(C, L);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    const uint64_t *Src0 = Other.C0.data() + J * Degree;
+    const uint64_t *Src1 = Other.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = Q.addMod(Dst0[K], Src0[K]);
+      Dst1[K] = Q.addMod(Dst1[K], Src1[K]);
+    }
+  }
+}
+
+void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
+  assert(scalesMatch(C.Scale, Other.Scale) && "subtraction scale mismatch");
+  int L = C.Level < Other.Level ? C.Level : Other.Level;
+  modSwitchTo(C, L);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    const uint64_t *Src0 = Other.C0.data() + J * Degree;
+    const uint64_t *Src1 = Other.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = Q.subMod(Dst0[K], Src0[K]);
+      Dst1[K] = Q.subMod(Dst1[K], Src1[K]);
+    }
+  }
+}
+
+void RnsCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
+  assert(scalesMatch(C.Scale, P.Scale) && "addPlain scale mismatch");
+  for (int J = 0; J <= C.Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    const std::vector<uint64_t> &M = plainNtt(P, J);
+    uint64_t *Dst = C.C0.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Dst[K] = Q.addMod(Dst[K], M[K]);
+  }
+}
+
+void RnsCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
+  assert(scalesMatch(C.Scale, P.Scale) && "subPlain scale mismatch");
+  for (int J = 0; J <= C.Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    const std::vector<uint64_t> &M = plainNtt(P, J);
+    uint64_t *Dst = C.C0.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Dst[K] = Q.subMod(Dst[K], M[K]);
+  }
+}
+
+void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
+  // The encoding of the constant vector (x, ..., x) is the constant
+  // polynomial round(x * scale), whose NTT form is that constant in every
+  // slot.
+  double Rounded = std::nearbyint(X * C.Scale);
+  assert(std::fabs(Rounded) < 4.6e18 && "scalar exceeds embedding range");
+  bool Negative = Rounded < 0;
+  uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
+  for (int J = 0; J <= C.Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t V = Q.reduce(Mag);
+    if (Negative)
+      V = Q.negMod(V);
+    uint64_t *Dst = C.C0.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Dst[K] = Q.addMod(Dst[K], V);
+  }
+}
+
+void RnsCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
+  double Rounded = std::nearbyint(X * static_cast<double>(Scale));
+  assert(std::fabs(Rounded) < 4.6e18 && "scalar exceeds embedding range");
+  bool Negative = Rounded < 0;
+  uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
+  for (int J = 0; J <= C.Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t V = Q.reduce(Mag);
+    if (Negative)
+      V = Q.negMod(V);
+    uint64_t VShoup = shoupPrecompute(V, Q.value());
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = shoupMulMod(Dst0[K], V, VShoup, Q.value());
+      Dst1[K] = shoupMulMod(Dst1[K], V, VShoup, Q.value());
+    }
+  }
+  C.Scale *= static_cast<double>(Scale);
+}
+
+void RnsCkksBackend::mulPlainAssign(Ct &C, const Pt &P) const {
+  for (int J = 0; J <= C.Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    const std::vector<uint64_t> &M = plainNtt(P, J);
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = Q.mulMod(Dst0[K], M[K]);
+      Dst1[K] = Q.mulMod(Dst1[K], M[K]);
+    }
+  }
+  C.Scale *= P.Scale;
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplication, relinearization, rotation
+//===----------------------------------------------------------------------===//
+
+void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
+                               int Level, const KSwitchKey &Key,
+                               std::vector<uint64_t> &OutB,
+                               std::vector<uint64_t> &OutA) const {
+  size_t Components = Level + 1;
+  OutB.assign(Components * Degree, 0);
+  OutA.assign(Components * Degree, 0);
+  std::vector<uint64_t> AccBSp(Degree, 0), AccASp(Degree, 0);
+  std::vector<uint64_t> Tmp(Degree);
+
+  for (size_t I = 0; I < Components; ++I) {
+    const std::vector<uint64_t> &Digit = Digits[I];
+    for (size_t J = 0; J <= Components; ++J) {
+      size_t ModIndex = J < Components ? J : ChainLen; // special last
+      const Modulus &Q = modAt(ModIndex);
+      if (ModIndex == I) {
+        std::memcpy(Tmp.data(), Digit.data(), Degree * sizeof(uint64_t));
+      } else {
+        for (size_t K = 0; K < Degree; ++K)
+          Tmp[K] = Q.reduce(Digit[K]);
+      }
+      nttAt(ModIndex).forward(Tmp.data());
+      const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
+      const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
+      uint64_t *DstB =
+          ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
+      uint64_t *DstA =
+          ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Tmp[K], KeyB[K]));
+        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Tmp[K], KeyA[K]));
+      }
+    }
+  }
+  divideBySpecial(OutB, AccBSp, Level);
+  divideBySpecial(OutA, AccASp, Level);
+}
+
+void RnsCkksBackend::divideBySpecial(std::vector<uint64_t> &AccChain,
+                                     std::vector<uint64_t> &AccSpecial,
+                                     int Level) const {
+  SpecialNtt->inverse(AccSpecial.data());
+  uint64_t P = SpecialMod.value();
+  uint64_t HalfP = P >> 1;
+  std::vector<uint64_t> Corr(Degree);
+  for (int J = 0; J <= Level; ++J) {
+    const Modulus &Q = ChainMods[J];
+    for (size_t K = 0; K < Degree; ++K) {
+      uint64_t T = AccSpecial[K];
+      // Centered representative of T mod p, reduced into Z_q.
+      Corr[K] = T > HalfP ? Q.negMod(Q.reduce(P - T)) : Q.reduce(T);
+    }
+    ChainNtt[J]->forward(Corr.data());
+    uint64_t Inv = SpecialInvModChain[J];
+    uint64_t InvShoup = shoupPrecompute(Inv, Q.value());
+    uint64_t *Dst = AccChain.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
+                           Q.value());
+  }
+}
+
+void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
+  int L = C.Level < Other.Level ? C.Level : Other.Level;
+  modSwitchTo(C, L);
+
+  std::vector<uint64_t> D0((L + 1) * Degree), D1((L + 1) * Degree);
+  std::vector<std::vector<uint64_t>> D2(L + 1);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    const uint64_t *A0 = C.C0.data() + J * Degree;
+    const uint64_t *A1 = C.C1.data() + J * Degree;
+    const uint64_t *B0 = Other.C0.data() + J * Degree;
+    const uint64_t *B1 = Other.C1.data() + J * Degree;
+    uint64_t *O0 = D0.data() + J * Degree;
+    uint64_t *O1 = D1.data() + J * Degree;
+    D2[J].resize(Degree);
+    for (size_t K = 0; K < Degree; ++K) {
+      O0[K] = Q.mulMod(A0[K], B0[K]);
+      O1[K] = Q.addMod(Q.mulMod(A0[K], B1[K]), Q.mulMod(A1[K], B0[K]));
+      D2[J][K] = Q.mulMod(A1[K], B1[K]);
+    }
+    ChainNtt[J]->inverse(D2[J].data()); // digits must be coefficient form
+  }
+
+  std::vector<uint64_t> KB, KA;
+  keySwitch(D2, L, RelinKey, KB, KA);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    const uint64_t *S0 = D0.data() + J * Degree;
+    const uint64_t *S1 = D1.data() + J * Degree;
+    const uint64_t *K0 = KB.data() + J * Degree;
+    const uint64_t *K1 = KA.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = Q.addMod(S0[K], K0[K]);
+      Dst1[K] = Q.addMod(S1[K], K1[K]);
+    }
+  }
+  C.Scale *= Other.Scale;
+}
+
+void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
+                                     const KSwitchKey &Key) {
+  int L = C.Level;
+  std::vector<std::vector<uint64_t>> Sigma1(L + 1);
+  std::vector<uint64_t> Coeff(Degree), SigmaCoeff(Degree);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    // sigma(c1) in coefficient form: these are the key-switch digits.
+    std::memcpy(Coeff.data(), C.C1.data() + J * Degree,
+                Degree * sizeof(uint64_t));
+    ChainNtt[J]->inverse(Coeff.data());
+    Sigma1[J].resize(Degree);
+    applyAutomorphismRns(Coeff.data(), Sigma1[J].data(), Degree, Elt,
+                         Q.value());
+    // sigma(c0) goes straight back to NTT form.
+    std::memcpy(Coeff.data(), C.C0.data() + J * Degree,
+                Degree * sizeof(uint64_t));
+    ChainNtt[J]->inverse(Coeff.data());
+    applyAutomorphismRns(Coeff.data(), SigmaCoeff.data(), Degree, Elt,
+                         Q.value());
+    ChainNtt[J]->forward(SigmaCoeff.data());
+    std::memcpy(C.C0.data() + J * Degree, SigmaCoeff.data(),
+                Degree * sizeof(uint64_t));
+  }
+
+  std::vector<uint64_t> KB, KA;
+  keySwitch(Sigma1, L, Key, KB, KA);
+  for (int J = 0; J <= L; ++J) {
+    const Modulus &Q = ChainMods[J];
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    const uint64_t *K0 = KB.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K)
+      Dst0[K] = Q.addMod(Dst0[K], K0[K]);
+  }
+  std::memcpy(C.C1.data(), KA.data(), (L + 1) * Degree * sizeof(uint64_t));
+}
+
+void RnsCkksBackend::rotLeftAssign(Ct &C, int Steps) {
+  size_t Slots = slotCount();
+  int64_t S = Steps % static_cast<int64_t>(Slots);
+  if (S < 0)
+    S += Slots;
+  if (S == 0)
+    return;
+
+  uint64_t Elt = Encoder.galoisElement(static_cast<int>(S));
+  auto It = GaloisKeys.find(Elt);
+  if (It != GaloisKeys.end()) {
+    rotateByElement(C, Elt, It->second);
+    return;
+  }
+  // No dedicated key: fall back to the default power-of-two key set,
+  // taking the shorter direction (Section 2.4: "use multiple rotations to
+  // achieve the desired amount").
+  int64_t Remaining = S <= static_cast<int64_t>(Slots / 2)
+                          ? S
+                          : S - static_cast<int64_t>(Slots);
+  int Direction = Remaining >= 0 ? 1 : -1;
+  uint64_t Mag = static_cast<uint64_t>(Remaining >= 0 ? Remaining
+                                                      : -Remaining);
+  for (int Bit = 0; Mag != 0; ++Bit, Mag >>= 1) {
+    if (!(Mag & 1))
+      continue;
+    int Step = Direction * (1 << Bit);
+    uint64_t E = Encoder.galoisElement(Step);
+    auto KeyIt = GaloisKeys.find(E);
+    assert(KeyIt != GaloisKeys.end() &&
+           "power-of-two rotation key missing; cannot rotate");
+    rotateByElement(C, E, KeyIt->second);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rescaling
+//===----------------------------------------------------------------------===//
+
+uint64_t RnsCkksBackend::maxRescale(const Ct &C, uint64_t UpperBound) const {
+  // Largest product of the next chain primes that fits under the bound
+  // (Section 5.2's RNS semantics). The base prime q_0 is never consumed.
+  uint64_t Divisor = 1;
+  int Level = C.Level;
+  while (Level >= 1) {
+    uint64_t Q = Params.ChainPrimes[Level];
+    if (Divisor > UpperBound / Q)
+      break;
+    Divisor *= Q;
+    --Level;
+  }
+  return Divisor;
+}
+
+void RnsCkksBackend::dropLastPrime(Ct &C) const {
+  int L = C.Level;
+  assert(L >= 1 && "cannot rescale past the base prime");
+  uint64_t QLast = Params.ChainPrimes[L];
+  uint64_t Half = QLast >> 1;
+  std::vector<uint64_t> Last(Degree), Corr(Degree);
+  for (std::vector<uint64_t> *Poly : {&C.C0, &C.C1}) {
+    std::memcpy(Last.data(), Poly->data() + L * Degree,
+                Degree * sizeof(uint64_t));
+    ChainNtt[L]->inverse(Last.data());
+    for (int J = 0; J < L; ++J) {
+      const Modulus &Q = ChainMods[J];
+      for (size_t K = 0; K < Degree; ++K) {
+        uint64_t T = Last[K];
+        Corr[K] = T > Half ? Q.negMod(Q.reduce(QLast - T)) : Q.reduce(T);
+      }
+      ChainNtt[J]->forward(Corr.data());
+      uint64_t Inv = invMod(Q.reduce(QLast), Q);
+      uint64_t InvShoup = shoupPrecompute(Inv, Q.value());
+      uint64_t *Dst = Poly->data() + J * Degree;
+      for (size_t K = 0; K < Degree; ++K)
+        Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
+                             Q.value());
+    }
+  }
+  C.C0.resize(L * Degree);
+  C.C1.resize(L * Degree);
+  C.Level = L - 1;
+  C.Scale /= static_cast<double>(QLast);
+}
+
+void RnsCkksBackend::rescaleAssign(Ct &C, uint64_t Divisor) const {
+  while (Divisor > 1) {
+    assert(C.Level >= 1 && "rescale exceeds available moduli");
+    uint64_t QLast = Params.ChainPrimes[C.Level];
+    assert(Divisor % QLast == 0 &&
+           "divisor was not produced by maxRescale");
+    dropLastPrime(C);
+    Divisor /= QLast;
+  }
+}

@@ -1,0 +1,244 @@
+//===- RnsCkks.h - RNS-CKKS (SEAL-style) HISA backend ----------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the RNS variant of the CKKS approximate
+/// FHE scheme (Cheon-Han-Kim-Kim-Song, SAC 2018), the scheme SEAL v3.1
+/// implements and one of CHET's two compilation targets. Implements the
+/// full HISA of Table 2.
+///
+/// Representation. The ciphertext modulus is a chain of NTT-friendly
+/// primes q_0 .. q_L; a ciphertext at level l holds two polynomials with
+/// RNS components modulo q_0..q_l, kept in NTT (evaluation) form.
+/// Rescaling divides by the last active prime and drops it (Section 2.2 of
+/// the CHET paper: maxRescale returns the product of the next moduli in
+/// the chain that fits under the requested bound).
+///
+/// Key switching uses the hybrid per-prime ("RNS digit") decomposition
+/// with a single special prime p: the evaluation key for a target t is,
+/// for each digit i, an RLWE sample (b_i, a_i) modulo Q*p with
+/// b_i = -(a_i s) + e_i + p * T_i * t, where T_i is the CRT interpolation
+/// basis element (T_i = 1 mod q_i, 0 mod q_j). Switching a polynomial c
+/// accumulates sum_i [c]_{q_i} * (b_i, a_i) and divides by p with
+/// rounding. This is the standard GHS/SEAL construction whose cost is
+/// O(N log N r^2) per ciphertext multiplication or rotation -- exactly the
+/// RNS-CKKS column of Table 1 in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CKKS_RNSCKKS_H
+#define CHET_CKKS_RNSCKKS_H
+
+#include "ckks/Encoder.h"
+#include "ckks/SecurityTable.h"
+#include "math/Crt.h"
+#include "math/Ntt.h"
+#include "support/Prng.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace chet {
+
+/// Parameters of an RNS-CKKS instantiation: the ring dimension and the
+/// explicit prime chain the compiler selected.
+struct RnsCkksParams {
+  int LogN = 13;
+  /// q_0 (a wide "base" prime) followed by the scaling primes q_1..q_L.
+  std::vector<uint64_t> ChainPrimes;
+  /// The key-switching prime p (counts toward the security budget).
+  uint64_t SpecialPrime = 0;
+  SecurityLevel Security = SecurityLevel::Classical128;
+  uint64_t Seed = 0x5ea1;
+  /// Generate the default power-of-two rotation keys at construction.
+  /// The compiler turns this off when it supplies an exact key set
+  /// (Section 5.4), saving key-generation time and memory.
+  bool StockPow2Keys = true;
+
+  /// Returns the global pre-generated candidate modulus list the
+  /// parameter-selection pass consumes (Section 5.2): one \p FirstBits
+  /// base prime followed by \p Count - 1 scaling primes of \p ScaleBits
+  /// bits, all NTT-friendly up to LogN = 16 so the same chain is usable at
+  /// any smaller ring dimension.
+  static std::vector<uint64_t> candidateChain(int Count, int FirstBits = 60,
+                                              int ScaleBits = 40);
+
+  /// The candidate special prime, disjoint from candidateChain results.
+  static uint64_t candidateSpecial(int Bits = 60);
+
+  /// Convenience constructor from the candidate lists.
+  static RnsCkksParams create(int LogN, int Levels, int FirstBits = 60,
+                              int ScaleBits = 40,
+                              SecurityLevel Security =
+                                  SecurityLevel::Classical128);
+
+  /// Bits of the full ciphertext modulus q_0..q_L (excluding p).
+  double logQ() const;
+  /// Bits of the total modulus including the special prime.
+  double logQP() const;
+  /// Number of rescale levels L (ChainPrimes.size() - 1).
+  int levels() const { return static_cast<int>(ChainPrimes.size()) - 1; }
+};
+
+/// The RNS-CKKS scheme exposed through the HISA. Constructing an instance
+/// generates a secret key, a public encryption key, a relinearization key,
+/// and (by default) rotation keys for all power-of-two step counts -- the
+/// stock key configuration CHET's rotation-key-selection pass improves on.
+class RnsCkksBackend {
+public:
+  /// Ciphertext: two RNS/NTT-form polynomials plus level and scale.
+  struct Ct {
+    std::vector<uint64_t> C0, C1; ///< (Level+1) components of N words each.
+    int Level = 0;
+    double Scale = 1.0;
+  };
+
+  /// Plaintext: rounded integer coefficients (exact in doubles) plus a
+  /// per-prime NTT cache filled lazily on first multiplication (servers
+  /// encode model weights once; Section 3.2 keeps weights unencrypted).
+  struct Pt {
+    std::vector<double> Coeffs;
+    double Scale = 1.0;
+    struct Cache {
+      std::vector<std::vector<uint64_t>> PerPrime;
+    };
+    std::shared_ptr<Cache> NttCache;
+  };
+
+  explicit RnsCkksBackend(const RnsCkksParams &Params);
+
+  //===--------------------------------------------------------------===//
+  // HISA instructions (Table 2).
+  //===--------------------------------------------------------------===//
+
+  size_t slotCount() const { return Degree / 2; }
+  Pt encode(const std::vector<double> &Values, double Scale) const;
+  std::vector<double> decode(const Pt &P) const;
+  Ct encrypt(const Pt &P);
+  Pt decrypt(const Ct &C) const;
+  Ct copy(const Ct &C) const { return C; }
+  void freeCt(Ct &C) const;
+
+  void rotLeftAssign(Ct &C, int Steps);
+  void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
+
+  void addAssign(Ct &C, const Ct &Other) const;
+  void subAssign(Ct &C, const Ct &Other) const;
+  void addPlainAssign(Ct &C, const Pt &P) const;
+  void subPlainAssign(Ct &C, const Pt &P) const;
+  void addScalarAssign(Ct &C, double X) const;
+  void subScalarAssign(Ct &C, double X) const { addScalarAssign(C, -X); }
+
+  void mulAssign(Ct &C, const Ct &Other);
+  void mulPlainAssign(Ct &C, const Pt &P) const;
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) const;
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const;
+  void rescaleAssign(Ct &C, uint64_t Divisor) const;
+  double scaleOf(const Ct &C) const { return C.Scale; }
+
+  //===--------------------------------------------------------------===//
+  // Key management and introspection.
+  //===--------------------------------------------------------------===//
+
+  /// Generates Galois keys for exactly these rotation steps (the output of
+  /// CHET's rotation-key-selection pass, Section 5.4).
+  void generateRotationKeys(const std::vector<int> &Steps);
+
+  /// Drops every rotation key, including the default power-of-two set.
+  /// Used by benchmarks to isolate key-set configurations.
+  void clearRotationKeys();
+
+  bool hasRotationKey(int Steps) const;
+
+  /// Number of rotation keys currently held.
+  size_t rotationKeyCount() const { return GaloisKeys.size(); }
+
+  const RnsCkksParams &params() const { return Params; }
+  const CkksEncoder &encoder() const { return Encoder; }
+  int maxLevel() const { return static_cast<int>(ChainLen) - 1; }
+  int levelOf(const Ct &C) const { return C.Level; }
+
+private:
+  struct KSwitchKey {
+    /// B[i] and A[i] hold, for digit i, one N-word NTT polynomial per
+    /// modulus (ChainLen chain primes then the special prime).
+    std::vector<std::vector<uint64_t>> B, A;
+  };
+
+  const Modulus &modAt(size_t J) const {
+    return J < ChainLen ? ChainMods[J] : SpecialMod;
+  }
+  const NttTables &nttAt(size_t J) const {
+    return J < ChainLen ? *ChainNtt[J] : *SpecialNtt;
+  }
+
+  std::vector<int8_t> sampleTernaryCoeffs();
+  std::vector<int64_t> sampleErrorCoeffs();
+  /// Reduces small signed coefficients modulo modulus \p J and transforms
+  /// to NTT form.
+  std::vector<uint64_t> smallToNtt(const std::vector<int64_t> &Coeffs,
+                                   size_t J) const;
+  std::vector<uint64_t> uniformNtt(size_t J);
+
+  /// Builds a key-switching key for \p Target (NTT form, one polynomial
+  /// per modulus including the special prime).
+  KSwitchKey makeKSwitchKey(const std::vector<std::vector<uint64_t>> &Target);
+
+  /// Key-switches the coefficient-form polynomial whose per-prime digits
+  /// are Digits[0..Level]; writes NTT-form results into OutB/OutA
+  /// ((Level+1) * N words each).
+  void keySwitch(const std::vector<std::vector<uint64_t>> &Digits, int Level,
+                 const KSwitchKey &Key, std::vector<uint64_t> &OutB,
+                 std::vector<uint64_t> &OutA) const;
+
+  /// Divides an accumulated (chain + special) value by the special prime
+  /// with rounding; AccChain is NTT form, AccSpecial NTT form.
+  void divideBySpecial(std::vector<uint64_t> &AccChain,
+                       std::vector<uint64_t> &AccSpecial, int Level) const;
+
+  /// Drops the last active prime of \p C, dividing by it (one rescale
+  /// step).
+  void dropLastPrime(Ct &C) const;
+
+  /// Reduces \p C in place to \p Level by discarding RNS components.
+  void modSwitchTo(Ct &C, int Level) const;
+
+  void rotateByElement(Ct &C, uint64_t Elt, const KSwitchKey &Key);
+
+  /// Returns P's NTT representation modulo chain prime \p J, computing and
+  /// caching it on first use.
+  const std::vector<uint64_t> &plainNtt(const Pt &P, size_t J) const;
+
+  const CrtBasis &crtForLevel(int Level) const;
+
+  RnsCkksParams Params;
+  int LogN;
+  size_t Degree;
+  size_t ChainLen; ///< Number of chain primes (levels + 1).
+  std::vector<Modulus> ChainMods;
+  Modulus SpecialMod;
+  std::vector<std::unique_ptr<NttTables>> ChainNtt;
+  std::unique_ptr<NttTables> SpecialNtt;
+  CkksEncoder Encoder;
+  Prng Rng;
+
+  std::vector<int8_t> SecretTernary;          ///< s in coefficient form.
+  std::vector<std::vector<uint64_t>> SecretNtt; ///< s per modulus, NTT.
+  std::vector<std::vector<uint64_t>> PkB, PkA;  ///< per chain prime, NTT.
+  KSwitchKey RelinKey;
+  std::map<uint64_t, KSwitchKey> GaloisKeys; ///< keyed by Galois element.
+
+  std::vector<uint64_t> SpecialInvModChain;      ///< p^{-1} mod q_j.
+  std::vector<uint64_t> SpecialModChain;         ///< p mod q_j.
+  mutable std::vector<std::unique_ptr<CrtBasis>> CrtByLevel;
+};
+
+
+} // namespace chet
+
+#endif // CHET_CKKS_RNSCKKS_H

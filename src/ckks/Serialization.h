@@ -1,0 +1,51 @@
+//===- Serialization.h - Ciphertext and parameter serialization -*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization for scheme parameters and ciphertexts, enabling
+/// the client/server split of Figure 3 (the encrypted image travels to
+/// the server; the encrypted prediction travels back) and the
+/// storage-offload use case of Section 1. The format is a simple tagged
+/// little-endian layout with explicit sizes; readers validate sizes and
+/// tags and return false on malformed input instead of crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CKKS_SERIALIZATION_H
+#define CHET_CKKS_SERIALIZATION_H
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chet {
+
+/// Byte buffer used by all serializers.
+using ByteBuffer = std::vector<uint8_t>;
+
+/// Serializes RNS-CKKS parameters (ring dimension, prime chain, special
+/// prime, security level).
+ByteBuffer serialize(const RnsCkksParams &Params);
+bool deserialize(const ByteBuffer &Bytes, RnsCkksParams &Params);
+
+/// Serializes an RNS-CKKS ciphertext (both polynomials, level, scale).
+ByteBuffer serialize(const RnsCkksBackend::Ct &Ct);
+bool deserialize(const ByteBuffer &Bytes, RnsCkksBackend::Ct &Ct);
+
+/// Serializes big-CKKS parameters.
+ByteBuffer serialize(const BigCkksParams &Params);
+bool deserialize(const ByteBuffer &Bytes, BigCkksParams &Params);
+
+/// Serializes a big-CKKS ciphertext. BigInt coefficients are stored as
+/// (sign, limb count, limbs), so sparse/small coefficients stay compact.
+ByteBuffer serialize(const BigCkksBackend::Ct &Ct);
+bool deserialize(const ByteBuffer &Bytes, BigCkksBackend::Ct &Ct);
+
+} // namespace chet
+
+#endif // CHET_CKKS_SERIALIZATION_H

@@ -1,0 +1,149 @@
+//===- Analysis.h - Dataflow-analysis HISA backend -------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's analysis interpretation of the HISA (Section 5.1): a
+/// backend whose ciphertext type carries dataflow facts instead of
+/// polynomials. Running the ordinary kernels/evaluator over this backend
+/// "dynamically unrolls the graph on-the-fly" and composes the per-
+/// instruction dataflow equations, with no explicit dataflow graph.
+///
+/// One backend type serves the three analyses of Sections 5.2-5.4 (the
+/// paper describes them as separate HISA-Analysers; we fuse them into one
+/// interpretation since they read disjoint state, and expose each
+/// analysis's result separately):
+///
+///   - encryption-parameter selection: each ct tracks the modulus its
+///     history consumed -- a log2 product of divisors for CKKS, an index
+///     into the global candidate modulus list for RNS-CKKS -- with
+///     maxRescale faithfully replicating the real backends' semantics;
+///   - cost estimation: a global accumulator adds the cost-model price of
+///     every executed instruction (each instruction executes exactly once
+///     during re-interpretation, so shared subcircuits are not
+///     double-counted);
+///   - rotation-key selection: the set of distinct (normalized) rotation
+///     step counts is collected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CORE_ANALYSIS_H
+#define CHET_CORE_ANALYSIS_H
+
+#include "core/CostModel.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+/// Configuration of one analysis run.
+struct AnalysisConfig {
+  SchemeKind Scheme = SchemeKind::RnsCkks;
+  int LogN = 13;
+  /// RNS only: the global pre-generated candidate scaling moduli
+  /// (Section 5.2), consumed in order.
+  std::vector<uint64_t> ScalePrimeCandidates;
+  /// Cost accounting (phase 2). Null disables cost accumulation.
+  const CostModel *Cost = nullptr;
+  /// Phase 2, RNS: total chain primes selected by phase 1, so the number
+  /// of active components r of each ciphertext is known.
+  int TotalChainPrimes = 0;
+  /// Phase 2, CKKS: total log Q selected by phase 1.
+  double TotalLogQ = 0;
+  /// Whether the rotation-key set is assumed generated for exactly the
+  /// steps used (true) or only the default power-of-two keys exist
+  /// (false), in which case rotations cost one hop per set bit of the
+  /// shorter direction (Section 2.4).
+  bool SelectedRotationKeys = true;
+};
+
+/// HISA implementation over dataflow metadata. Satisfies the same
+/// HisaBackend concept as the real schemes.
+class AnalysisBackend {
+public:
+  struct Ct {
+    double Scale = 1.0;
+    int ConsumedPrimes = 0;    ///< RNS: index into the candidate list.
+    double LogConsumed = 0.0;  ///< CKKS: log2 of the divisor product.
+  };
+  struct Pt {
+    double Scale = 1.0;
+  };
+
+  explicit AnalysisBackend(const AnalysisConfig &Config);
+
+  //===--------------------------------------------------------------===//
+  // HISA instructions.
+  //===--------------------------------------------------------------===//
+
+  size_t slotCount() const { return Slots; }
+  Pt encode(const std::vector<double> &Values, double Scale);
+  std::vector<double> decode(const Pt &P) const;
+  Ct encrypt(const Pt &P);
+  Pt decrypt(const Ct &C) const { return Pt{C.Scale}; }
+  Ct copy(const Ct &C) const { return C; }
+  void freeCt(Ct &C) const {}
+
+  void rotLeftAssign(Ct &C, int Steps);
+  void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
+
+  void addAssign(Ct &C, const Ct &Other);
+  void subAssign(Ct &C, const Ct &Other) { addAssign(C, Other); }
+  void addPlainAssign(Ct &C, const Pt &P);
+  void subPlainAssign(Ct &C, const Pt &P) { addPlainAssign(C, P); }
+  void addScalarAssign(Ct &C, double X);
+  void subScalarAssign(Ct &C, double X) { addScalarAssign(C, X); }
+
+  void mulAssign(Ct &C, const Ct &Other);
+  void mulPlainAssign(Ct &C, const Pt &P);
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale);
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const;
+  void rescaleAssign(Ct &C, uint64_t Divisor);
+  double scaleOf(const Ct &C) const { return C.Scale; }
+
+  //===--------------------------------------------------------------===//
+  // Analysis results.
+  //===--------------------------------------------------------------===//
+
+  /// RNS: the largest number of candidate primes any ciphertext consumed.
+  int maxConsumedPrimes() const { return MaxConsumedPrimes; }
+  /// CKKS: the largest log2 modulus any ciphertext consumed.
+  double maxLogConsumed() const { return MaxLogConsumed; }
+  /// Largest scale any ciphertext reached (headroom check).
+  double maxLogScale() const { return MaxLogScale; }
+  /// Distinct normalized rotation steps used (Section 5.4).
+  const std::set<int> &rotationSteps() const { return RotationSteps; }
+  /// Estimated execution cost (only meaningful with a cost model).
+  double totalCost() const { return TotalCost; }
+  /// Executed-instruction histogram, keyed by instruction name.
+  const std::map<std::string, uint64_t> &opCounts() const {
+    return OpCounts;
+  }
+
+private:
+  void charge(const std::string &Op, double Cost);
+  /// r (RNS) or remaining logQ (CKKS) of a ciphertext, for cost pricing.
+  double modulusState(const Ct &C) const;
+  void trackScale(const Ct &C);
+
+  AnalysisConfig Config;
+  size_t Slots;
+
+  int MaxConsumedPrimes = 0;
+  double MaxLogConsumed = 0;
+  double MaxLogScale = 0;
+  std::set<int> RotationSteps;
+  double TotalCost = 0;
+  std::map<std::string, uint64_t> OpCounts;
+};
+
+} // namespace chet
+
+#endif // CHET_CORE_ANALYSIS_H

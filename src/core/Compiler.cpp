@@ -1,0 +1,330 @@
+//===- Compiler.cpp - The CHET compiler driver -----------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "runtime/ReferenceOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+/// Smallest LogN whose slot count fits the padded input image (and hence
+/// every later tensor: spatial dims only shrink and the FC outputs are
+/// vectors).
+int minLogNForData(const TensorCircuit &Circ) {
+  const OpNode &In = Circ.ops().front();
+  int Pad = Circ.padPhysNeeded();
+  long Phys = static_cast<long>(In.H + 2 * Pad) * (In.W + 2 * Pad);
+  int LogSlots = 0;
+  while ((1L << LogSlots) < Phys)
+    ++LogSlots;
+  int LogN = LogSlots + 1;
+  return std::max(LogN, 11);
+}
+
+int scalePrimeBits(const ScaleConfig &S) {
+  int Bits = static_cast<int>(std::lround(std::log2(S.Image)));
+  // Floor of 29: the candidate primes must satisfy q = 1 mod 2^17 (valid
+  // at every ring dimension up to 2^16), and the list needs dozens of
+  // distinct primes of the chosen size -- below 2^29 the congruence
+  // class holds too few primes.
+  return std::clamp(Bits, 29, 55);
+}
+
+struct PolicyRun {
+  PolicyAnalysis Info;
+  int ConsumedPrimes = 0;
+  int ExtraPrimes = 0;
+  double LogConsumed = 0;
+  bool Feasible = true;
+};
+
+/// Runs the modulus analysis (phase 1) and the cost analysis (phase 2)
+/// for one layout policy, iterating the ring dimension to a fixpoint
+/// between data fit, modulus budget, and the security table (the
+/// interdependence discussed in Section 3.1).
+PolicyRun analyzePolicy(const TensorCircuit &Circ,
+                        const CompilerOptions &Options, LayoutPolicy Policy,
+                        const std::vector<uint64_t> &ScaleCandidates) {
+  PolicyRun Run;
+  Run.Info.Policy = Policy;
+  const OpNode &In = Circ.ops().front();
+  Tensor3 Dummy(In.C, In.H, In.W);
+
+  int LogN = minLogNForData(Circ);
+  double LogQ = 0, LogQP = 0;
+  int ChainPrimes = 0;
+  for (;;) {
+    AnalysisConfig C1;
+    C1.Scheme = Options.Scheme;
+    C1.LogN = LogN;
+    C1.ScalePrimeCandidates = ScaleCandidates;
+    AnalysisBackend B1(C1);
+    TensorLayout L = circuitInputLayout(Circ, Policy, B1.slotCount());
+    auto Enc = encryptTensor(B1, Dummy, L, Options.Scales);
+    auto Out = evaluateCircuit(B1, Circ, Enc, Options.Scales, Policy);
+    double OutScaleLog = std::log2(Out.scale(B1));
+    double Need = OutScaleLog + Options.OutputPrecisionBits;
+
+    if (Options.Scheme == SchemeKind::RnsCkks) {
+      Run.ConsumedPrimes = B1.maxConsumedPrimes();
+      double ConsumedBits = 0;
+      for (int I = 0; I < Run.ConsumedPrimes; ++I)
+        ConsumedBits += std::log2(static_cast<double>(ScaleCandidates[I]));
+      // Reserve enough unconsumed modulus (q_0 plus extra primes) to hold
+      // the output at its scale plus the precision headroom.
+      double Reserve = Options.FirstPrimeBits;
+      Run.ExtraPrimes = 0;
+      while (Reserve < Need) {
+        size_t Index = Run.ConsumedPrimes + Run.ExtraPrimes;
+        assert(Index < ScaleCandidates.size() &&
+               "candidate modulus list exhausted");
+        Reserve += std::log2(static_cast<double>(ScaleCandidates[Index]));
+        ++Run.ExtraPrimes;
+      }
+      LogQ = ConsumedBits + Reserve;
+      ChainPrimes = 1 + Run.ConsumedPrimes + Run.ExtraPrimes;
+      LogQP = LogQ + Options.FirstPrimeBits;
+    } else {
+      Run.LogConsumed = B1.maxLogConsumed();
+      LogQ = std::ceil(Run.LogConsumed + Need);
+      LogQP = 2 * LogQ; // LogSpecial = LogQ, HEAAN style
+    }
+
+    int SecLogN = minLogNForLogQ(static_cast<int>(std::ceil(LogQP)),
+                                 Options.Security);
+    if (SecLogN == -1 || std::max(LogN, SecLogN) > Options.MaxLogN) {
+      // This policy consumes more modulus than any permissible ring
+      // dimension provides at the requested security level. Mark it
+      // infeasible; the driver fails only if every policy is.
+      Run.Feasible = false;
+      Run.Info.LogN = LogN;
+      Run.Info.LogQ = LogQ;
+      Run.Info.LogQP = LogQP;
+      Run.Info.EstimatedCost = std::numeric_limits<double>::infinity();
+      return Run;
+    }
+    int NewLogN = std::max(LogN, SecLogN);
+    if (NewLogN == LogN)
+      break;
+    LogN = NewLogN; // slot-dependent choices change; re-analyze
+  }
+
+  // Phase 2: cost + rotation-set analysis at the chosen dimension.
+  CostModel Model = CostModel::create(
+      Options.Scheme, LogN,
+      Options.Scheme == SchemeKind::BigCkks ? LogQ : 0);
+  AnalysisConfig C2;
+  C2.Scheme = Options.Scheme;
+  C2.LogN = LogN;
+  C2.ScalePrimeCandidates = ScaleCandidates;
+  C2.Cost = &Model;
+  C2.TotalChainPrimes = ChainPrimes;
+  C2.TotalLogQ = LogQ;
+  C2.SelectedRotationKeys = Options.SelectRotationKeys;
+  AnalysisBackend B2(C2);
+  TensorLayout L = circuitInputLayout(Circ, Policy, B2.slotCount());
+  auto Enc = encryptTensor(B2, Dummy, L, Options.Scales);
+  (void)evaluateCircuit(B2, Circ, Enc, Options.Scales, Policy);
+
+  Run.Info.LogN = LogN;
+  Run.Info.LogQ = LogQ;
+  Run.Info.LogQP = LogQP;
+  Run.Info.ChainPrimes = ChainPrimes;
+  Run.Info.EstimatedCost = B2.totalCost();
+  Run.Info.RotationSteps = B2.rotationSteps();
+  return Run;
+}
+
+} // namespace
+
+CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
+                                     const CompilerOptions &Options) {
+  // The global pre-generated candidate modulus list (Section 5.2).
+  int ScaleBits = scalePrimeBits(Options.Scales);
+  std::vector<uint64_t> Chain =
+      RnsCkksParams::candidateChain(65, Options.FirstPrimeBits, ScaleBits);
+  uint64_t FirstPrime = Chain.front();
+  std::vector<uint64_t> ScaleCandidates(Chain.begin() + 1, Chain.end());
+
+  std::vector<LayoutPolicy> Policies;
+  if (Options.SearchLayouts)
+    Policies.assign(std::begin(kAllLayoutPolicies),
+                    std::end(kAllLayoutPolicies));
+  else
+    Policies.push_back(Options.FixedPolicy);
+
+  CompiledCircuit Result;
+  Result.Scheme = Options.Scheme;
+  Result.Scales = Options.Scales;
+  Result.PadPhys = Circ.padPhysNeeded();
+
+  std::optional<PolicyRun> Best;
+  for (LayoutPolicy Policy : Policies) {
+    PolicyRun Run =
+        analyzePolicy(Circ, Options, Policy, ScaleCandidates);
+    Result.PerPolicy.push_back(Run.Info);
+    if (!Run.Feasible)
+      continue;
+    if (!Best || Run.Info.EstimatedCost < Best->Info.EstimatedCost)
+      Best = std::move(Run);
+  }
+  assert(Best && "no layout policy fits any tabulated ring dimension at "
+                 "the requested security level");
+
+  Result.Policy = Best->Info.Policy;
+  Result.LogN = Best->Info.LogN;
+  Result.LogQ = Best->Info.LogQ;
+  Result.EstimatedCost = Best->Info.EstimatedCost;
+  if (Options.SelectRotationKeys)
+    Result.RotationKeys.assign(Best->Info.RotationSteps.begin(),
+                               Best->Info.RotationSteps.end());
+
+  if (Options.Scheme == SchemeKind::RnsCkks) {
+    RnsCkksParams P;
+    P.LogN = Result.LogN;
+    // Chain layout: base prime, then the reserve primes, then the
+    // consumed candidates in reverse -- the backend rescales from the
+    // chain's tail, so it consumes candidates in exactly the order the
+    // analysis did.
+    P.ChainPrimes.push_back(FirstPrime);
+    for (int I = 0; I < Best->ExtraPrimes; ++I)
+      P.ChainPrimes.push_back(ScaleCandidates[Best->ConsumedPrimes + I]);
+    for (int I = Best->ConsumedPrimes - 1; I >= 0; --I)
+      P.ChainPrimes.push_back(ScaleCandidates[I]);
+    P.SpecialPrime =
+        RnsCkksParams::candidateSpecial(Options.FirstPrimeBits);
+    P.Security = Options.Security;
+    P.StockPow2Keys = !Options.SelectRotationKeys;
+    Result.Rns = std::move(P);
+  } else {
+    BigCkksParams P;
+    P.LogN = Result.LogN;
+    P.LogQ = static_cast<int>(Result.LogQ);
+    P.LogSpecial = 0; // defaults to LogQ
+    P.Security = Options.Security;
+    P.StockPow2Keys = !Options.SelectRotationKeys;
+    Result.Big = std::move(P);
+  }
+  return Result;
+}
+
+RnsCkksBackend chet::makeRnsBackend(const CompiledCircuit &Compiled,
+                                    uint64_t Seed) {
+  assert(Compiled.Rns && "compiled circuit does not target RNS-CKKS");
+  RnsCkksParams P = *Compiled.Rns;
+  P.Seed = Seed;
+  RnsCkksBackend Backend(P);
+  if (!Compiled.RotationKeys.empty())
+    Backend.generateRotationKeys(Compiled.RotationKeys);
+  return Backend;
+}
+
+BigCkksBackend chet::makeBigBackend(const CompiledCircuit &Compiled,
+                                    uint64_t Seed) {
+  assert(Compiled.Big && "compiled circuit does not target big-CKKS");
+  BigCkksParams P = *Compiled.Big;
+  P.Seed = Seed;
+  BigCkksBackend Backend(P);
+  if (!Compiled.RotationKeys.empty())
+    Backend.generateRotationKeys(Compiled.RotationKeys);
+  return Backend;
+}
+
+namespace {
+
+/// Largest output error of encrypted inference vs the plain reference
+/// over the test inputs, for one candidate scale configuration.
+double maxOutputError(const TensorCircuit &Circ,
+                      const CompilerOptions &Options,
+                      const std::vector<Tensor3> &Inputs) {
+  CompiledCircuit Compiled = compileCircuit(Circ, Options);
+  double MaxErr = 0;
+  auto RunAll = [&](auto &Backend) {
+    for (const Tensor3 &Image : Inputs) {
+      Tensor3 Got = runEncryptedInference(Backend, Circ, Image,
+                                          Options.Scales, Compiled.Policy);
+      Tensor3 Want = Circ.evaluatePlain(Image);
+      MaxErr = std::max(MaxErr, maxAbsDiff(Got, Want));
+    }
+  };
+  if (Options.Scheme == SchemeKind::RnsCkks) {
+    RnsCkksBackend Backend = makeRnsBackend(Compiled);
+    RunAll(Backend);
+  } else {
+    BigCkksBackend Backend = makeBigBackend(Compiled);
+    RunAll(Backend);
+  }
+  return MaxErr;
+}
+
+} // namespace
+
+ScaleSearchResult chet::selectScales(const TensorCircuit &Circ,
+                                     const CompilerOptions &Options,
+                                     const std::vector<Tensor3> &TestInputs,
+                                     const ScaleSearchOptions &Search) {
+  assert(!TestInputs.empty() && "scale search needs test inputs");
+  CompilerOptions Current = Options;
+  ScaleSearchResult Result;
+
+  auto Acceptable = [&](const CompilerOptions &Cand) {
+    ++Result.Trials;
+    return maxOutputError(Circ, Cand, TestInputs) <= Search.Tolerance;
+  };
+
+  // The starting point must itself be acceptable; otherwise report the
+  // originals untouched (the user must raise the starting scales).
+  if (!Acceptable(Current)) {
+    Result.Scales = Options.Scales;
+    return Result;
+  }
+
+  // Round-robin descent over (Pc, Pw, Pu, Pm), Section 5.5: decrease one
+  // exponent at a time while every test input stays within tolerance.
+  int Exponents[4] = {
+      static_cast<int>(std::lround(std::log2(Current.Scales.Image))),
+      static_cast<int>(std::lround(std::log2(Current.Scales.Weight))),
+      static_cast<int>(std::lround(std::log2(Current.Scales.Scalar))),
+      static_cast<int>(std::lround(std::log2(Current.Scales.Mask)))};
+  bool Stuck[4] = {false, false, false, false};
+  int Role = 0;
+  int StuckCount = 0;
+  while (StuckCount < 4) {
+    if (Stuck[Role]) {
+      Role = (Role + 1) % 4;
+      continue;
+    }
+    int Candidate = Exponents[Role] - Search.StepBits;
+    if (Candidate < Search.MinExponent) {
+      Stuck[Role] = true;
+      ++StuckCount;
+      Role = (Role + 1) % 4;
+      continue;
+    }
+    CompilerOptions Trial = Current;
+    int E[4] = {Exponents[0], Exponents[1], Exponents[2], Exponents[3]};
+    E[Role] = Candidate;
+    Trial.Scales = ScaleConfig::fromExponents(E[0], E[1], E[2], E[3]);
+    if (Acceptable(Trial)) {
+      Exponents[Role] = Candidate;
+      Current = Trial;
+      ++Result.AcceptedSteps;
+    } else {
+      Stuck[Role] = true;
+      ++StuckCount;
+    }
+    Role = (Role + 1) % 4;
+  }
+  Result.Scales = Current.Scales;
+  return Result;
+}

@@ -1,0 +1,131 @@
+//===- Compiler.h - The CHET compiler driver -------------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler of Section 5: given a tensor circuit, an input schema
+/// (carried by the circuit), and a target scheme, it
+///
+///   1. searches the pruned layout-policy space (Section 5.3), running for
+///      each policy an encryption-parameter analysis (Section 5.2) and a
+///      cost analysis over the scheme's cost model,
+///   2. picks the cheapest policy and derives the concrete encryption
+///      parameters (ring dimension N from the security table, the modulus
+///      chain / log Q from the modulus the circuit consumes plus the
+///      desired output precision),
+///   3. selects the exact rotation-key set (Section 5.4),
+///   4. optionally tunes the four fixed-point scales by profile-guided
+///      search against the unencrypted reference (Section 5.5).
+///
+/// The resulting CompiledCircuit plays the role of the paper's "optimized
+/// homomorphic tensor circuit + encryptor/decryptor": it fixes everything
+/// the client and server need (parameters, keys to generate, layout
+/// policy, scales).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CORE_COMPILER_H
+#define CHET_CORE_COMPILER_H
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+#include "core/Analysis.h"
+#include "core/Evaluate.h"
+#include "core/Ir.h"
+
+#include <optional>
+#include <set>
+
+namespace chet {
+
+/// User-facing compilation options (the "schema" side inputs of Fig. 2).
+struct CompilerOptions {
+  SchemeKind Scheme = SchemeKind::RnsCkks;
+  SecurityLevel Security = SecurityLevel::Classical128;
+  /// Fixed-point scales; either user-provided or from selectScales.
+  ScaleConfig Scales;
+  /// Bit size of the base prime q_0 and the special prime.
+  int FirstPrimeBits = 60;
+  /// Headroom reserved above the output's scale so the result decrypts to
+  /// the desired precision (Section 5.2's "output precision").
+  int OutputPrecisionBits = 20;
+  /// Generate rotation keys for exactly the steps the circuit uses
+  /// (Section 5.4) instead of relying on the power-of-two default.
+  bool SelectRotationKeys = true;
+  /// Search all four layout policies; when false, FixedPolicy is used.
+  bool SearchLayouts = true;
+  LayoutPolicy FixedPolicy = LayoutPolicy::AllHW;
+  /// Ring-dimension search bound.
+  int MaxLogN = 16;
+};
+
+/// Per-policy analysis record, kept for reporting (Tables 5/6, Figure 6).
+struct PolicyAnalysis {
+  LayoutPolicy Policy = LayoutPolicy::AllHW;
+  int LogN = 0;
+  double LogQ = 0;
+  double LogQP = 0;
+  int ChainPrimes = 0; ///< RNS only.
+  double EstimatedCost = 0;
+  std::set<int> RotationSteps;
+};
+
+/// The compiler's output artifact.
+struct CompiledCircuit {
+  SchemeKind Scheme = SchemeKind::RnsCkks;
+  LayoutPolicy Policy = LayoutPolicy::AllHW;
+  ScaleConfig Scales;
+  int LogN = 0;
+  double LogQ = 0;
+  int PadPhys = 0;
+  double EstimatedCost = 0;
+  std::optional<RnsCkksParams> Rns;
+  std::optional<BigCkksParams> Big;
+  /// Rotation steps to generate keys for (empty: power-of-two default).
+  std::vector<int> RotationKeys;
+  /// The full four-policy analysis for reporting.
+  std::vector<PolicyAnalysis> PerPolicy;
+};
+
+/// Runs passes 1-3. Aborts (assert) if no tabulated ring dimension can
+/// hold the circuit at the requested security level.
+CompiledCircuit compileCircuit(const TensorCircuit &Circ,
+                               const CompilerOptions &Options);
+
+/// Instantiates the scheme backend a CompiledCircuit prescribes and
+/// generates its selected rotation keys. Exactly one of these matches
+/// Compiled.Scheme.
+RnsCkksBackend makeRnsBackend(const CompiledCircuit &Compiled,
+                              uint64_t Seed = 0x5ea1);
+BigCkksBackend makeBigBackend(const CompiledCircuit &Compiled,
+                              uint64_t Seed = 0x4ea2);
+
+/// Profile-guided fixed-point scale selection (Section 5.5).
+struct ScaleSearchOptions {
+  /// Output error bound relative to the unencrypted reference.
+  double Tolerance = 0.1;
+  /// Exponent decrement per accepted trial.
+  int StepBits = 2;
+  /// Search floor for every exponent.
+  int MinExponent = 8;
+};
+
+struct ScaleSearchResult {
+  ScaleConfig Scales;
+  int Trials = 0;
+  int AcceptedSteps = 0;
+};
+
+/// Round-robin descent over the four scale exponents, accepting a
+/// decrement while every test input's encrypted output stays within
+/// Tolerance of the plain reference. Starts from Options.Scales.
+ScaleSearchResult selectScales(const TensorCircuit &Circ,
+                               const CompilerOptions &Options,
+                               const std::vector<Tensor3> &TestInputs,
+                               const ScaleSearchOptions &Search = {});
+
+} // namespace chet
+
+#endif // CHET_CORE_COMPILER_H

@@ -1,0 +1,99 @@
+//===- CostModel.cpp - HISA-primitive cost models -------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+
+#include <cmath>
+
+using namespace chet;
+
+// Constants below are nanoseconds per element-operation, measured with the
+// bench_table1_hisa_ops microbenchmark on the development machine (single
+// core). Only ratios matter for layout selection and Figure 6.
+namespace {
+// RNS-CKKS: word-level modular arithmetic.
+constexpr double RnsAddPerElem = 1.2;
+constexpr double RnsMulScalarPerElem = 2.0;
+constexpr double RnsMulPlainPerElem = 4.5;
+constexpr double RnsNttButterfly = 2.4;
+constexpr double RnsEncode = 55.0; // per slot-ish: FFT + rounding
+
+// Big-CKKS: BigInt limb arithmetic and RNS bridging.
+constexpr double BigLimbOp = 2.8;
+constexpr double BigNttButterfly = 2.4;
+constexpr double BigCrtPerPrimeLimb = 1.6;
+constexpr double BigEncode = 55.0;
+} // namespace
+
+CostModel CostModel::create(SchemeKind Scheme, int LogN, double LogQP) {
+  CostModel M;
+  M.Scheme = Scheme;
+  M.LogN = LogN;
+  M.N = std::ldexp(1.0, LogN);
+  M.LogQP = LogQP;
+  return M;
+}
+
+double CostModel::add(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks)
+    return RnsAddPerElem * N * ModulusState; // O(N r), Table 1
+  return BigLimbOp * N * (ModulusState / 64.0 + 1); // O(N log Q)
+}
+
+double CostModel::mulScalar(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks)
+    return RnsMulScalarPerElem * 2 * N * ModulusState; // O(N r)
+  // O(N M(Q)): one word multiply per limb per coefficient.
+  return BigLimbOp * 2 * N * (ModulusState / 32.0 + 1);
+}
+
+double CostModel::mulPlain(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks)
+    return RnsMulPlainPerElem * 2 * N * ModulusState; // O(N r)
+  // O(N log N M(Q)): RNS bridging with np ~ 2 logQ / 59 primes.
+  double Np = 2 * ModulusState / 59.0 + 1;
+  return 2 * Np *
+         (BigNttButterfly * N * LogN +
+          BigCrtPerPrimeLimb * N * (ModulusState / 64.0 + 1));
+}
+
+double CostModel::mulCipher(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks) {
+    // Key switching: ~(r+1)(r+2) NTTs of size N.
+    double R = ModulusState;
+    return RnsNttButterfly * N * LogN * (R + 1) * (R + 2) +
+           RnsMulPlainPerElem * 4 * N * R;
+  }
+  // Tensor products at np ~ (2 logQ)/59 plus a key switch at
+  // np ~ (logQ + logQP)/59.
+  double NpMul = 2 * ModulusState / 59.0 + 1;
+  double NpKs = (ModulusState + LogQP) / 59.0 + 1;
+  double PerPrime = BigNttButterfly * N * LogN +
+                    BigCrtPerPrimeLimb * N * (ModulusState / 64.0 + 1);
+  return (7 * NpMul + 4 * NpKs) * PerPrime;
+}
+
+double CostModel::rotate(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks) {
+    double R = ModulusState;
+    return RnsNttButterfly * N * LogN * (R + 1) * (R + 2) +
+           RnsAddPerElem * 6 * N * R;
+  }
+  double NpKs = (ModulusState + LogQP) / 59.0 + 1;
+  double PerPrime = BigNttButterfly * N * LogN +
+                    BigCrtPerPrimeLimb * N * ((ModulusState + LogQP) / 96.0 + 1);
+  return 4 * NpKs * PerPrime;
+}
+
+double CostModel::rescale(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks)
+    return RnsNttButterfly * 4 * N * LogN * ModulusState;
+  return BigLimbOp * 2 * N * (ModulusState / 64.0 + 1);
+}
+
+double CostModel::encode() const {
+  return (Scheme == SchemeKind::RnsCkks ? RnsEncode : BigEncode) * N;
+}

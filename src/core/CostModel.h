@@ -1,0 +1,64 @@
+//===- CostModel.h - HISA-primitive cost models ----------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-scheme cost models for HISA primitives, following Section 5.3:
+/// asymptotic complexity (Table 1) with constants tuned by
+/// microbenchmarking the two backends. Costs use only local information
+/// (the instruction's arguments and the ciphertext's current modulus),
+/// independent of the rest of the circuit. Units are arbitrary
+/// ("estimated cost"); Figure 6 only requires them to correlate with
+/// wall-clock latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CORE_COSTMODEL_H
+#define CHET_CORE_COSTMODEL_H
+
+namespace chet {
+
+/// Which FHE scheme a compilation targets.
+enum class SchemeKind {
+  RnsCkks, ///< SEAL-style RNS-CKKS.
+  BigCkks, ///< HEAAN-style CKKS with a power-of-two modulus.
+};
+
+inline const char *schemeName(SchemeKind K) {
+  return K == SchemeKind::RnsCkks ? "RNS-CKKS(SEAL-like)"
+                                  : "CKKS(HEAAN-like)";
+}
+
+/// Cost model for one scheme at one ring dimension. The RNS functions
+/// take the number of active RNS components r; the big-CKKS functions
+/// take the current modulus width logQ (and the key modulus width logQP
+/// where key switching is involved).
+class CostModel {
+public:
+  /// Returns the model for \p Scheme at ring dimension 2^\p LogN, with
+  /// constants measured once on the development machine. logQP is the
+  /// key-switching modulus width used by big-CKKS key switches.
+  static CostModel create(SchemeKind Scheme, int LogN, double LogQP = 0);
+
+  double add(double ModulusState) const;
+  double mulScalar(double ModulusState) const;
+  double mulPlain(double ModulusState) const;
+  double mulCipher(double ModulusState) const;
+  double rotate(double ModulusState) const;
+  double rescale(double ModulusState) const;
+  double encode() const;
+
+  SchemeKind scheme() const { return Scheme; }
+
+private:
+  SchemeKind Scheme = SchemeKind::RnsCkks;
+  double N = 0;
+  double LogN = 0;
+  double LogQP = 0;
+};
+
+} // namespace chet
+
+#endif // CHET_CORE_COSTMODEL_H

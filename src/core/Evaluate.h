@@ -1,0 +1,188 @@
+//===- Evaluate.h - Homomorphic tensor-circuit evaluator -------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a tensor circuit against any HISA backend under one of the
+/// paper's four pruned layout policies (Section 5.3). This single
+/// template is the heart of CHET's re-interpretation design (Section 5.1):
+/// run it with a real CKKS backend and it performs encrypted inference;
+/// run it with the PlainBackend and it is the reference engine; run it
+/// with an analysis backend and it *is* the dataflow analysis -- the
+/// "dynamically unrolled" circuit never exists as an explicit graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CORE_EVALUATE_H
+#define CHET_CORE_EVALUATE_H
+
+#include "core/Ir.h"
+#include "runtime/Kernels.h"
+
+#include <optional>
+
+namespace chet {
+
+/// The four layout policies the compiler searches (Section 5.3):
+///   AllHW   -- every operation in HW;
+///   AllCHW  -- every operation in CHW;
+///   ConvHW  -- "HW-conv, CHW-rest": switch to HW before each convolution
+///              and back to CHW after it;
+///   FcCHW   -- "CHW-fc, HW-before": HW until the first fully connected
+///              layer, CHW from there on.
+enum class LayoutPolicy { AllHW, AllCHW, ConvHW, FcCHW };
+
+inline const char *layoutPolicyName(LayoutPolicy P) {
+  switch (P) {
+  case LayoutPolicy::AllHW:
+    return "HW";
+  case LayoutPolicy::AllCHW:
+    return "CHW";
+  case LayoutPolicy::ConvHW:
+    return "HW-conv,CHW-rest";
+  case LayoutPolicy::FcCHW:
+    return "CHW-fc,HW-before";
+  }
+  return "?";
+}
+
+inline constexpr LayoutPolicy kAllLayoutPolicies[] = {
+    LayoutPolicy::AllHW, LayoutPolicy::AllCHW, LayoutPolicy::ConvHW,
+    LayoutPolicy::FcCHW};
+
+/// Layout the encryptor must use for the circuit input under a policy.
+inline TensorLayout circuitInputLayout(const TensorCircuit &Circ,
+                                       LayoutPolicy Policy, size_t Slots) {
+  const OpNode &In = Circ.ops().front();
+  LayoutKind Kind = Policy == LayoutPolicy::AllCHW ? LayoutKind::CHW
+                                                   : LayoutKind::HW;
+  return makeInputLayout(Kind, In.C, In.H, In.W, Circ.padPhysNeeded(),
+                         Slots);
+}
+
+namespace detail {
+
+/// Computes, per node, whether its output must have zeroed margins: true
+/// iff a padded convolution will (transitively) read its margins.
+/// Activations and concatenations are margin-transparent -- they preserve
+/// zeros but cannot create them -- so the need propagates up through
+/// them. Unmasked outputs skip one multiplicative level (Section 3.1's
+/// masking-cost discussion).
+inline std::vector<bool> computeMaskNeeds(const TensorCircuit &Circ,
+                                          LayoutPolicy Policy) {
+  const auto &Ops = Circ.ops();
+  std::vector<bool> Needs(Ops.size(), false);
+  for (int Id = static_cast<int>(Ops.size()) - 1; Id >= 0; --Id) {
+    const OpNode &Node = Ops[Id];
+    bool ConsumerNeeds = false;
+    for (int Cons : Circ.consumersOf(Id)) {
+      const OpNode &C = Ops[Cons];
+      if (C.Kind == OpKind::Conv2d && C.Pad > 0)
+        ConsumerNeeds = true;
+      bool Transparent = C.Kind == OpKind::ConcatChannels ||
+                         C.Kind == OpKind::PolyActivation ||
+                         C.Kind == OpKind::Output;
+      if (Transparent && Needs[Cons])
+        ConsumerNeeds = true;
+    }
+    // Under ConvHW every convolution output is converted HW -> CHW, which
+    // sums channel blocks and therefore requires zero slack.
+    if (Policy == LayoutPolicy::ConvHW && Node.Kind == OpKind::Conv2d)
+      ConsumerNeeds = true;
+    Needs[Id] = ConsumerNeeds;
+  }
+  return Needs;
+}
+
+} // namespace detail
+
+/// Evaluates \p Circ on the encrypted \p Input (packed per
+/// circuitInputLayout for the same policy). Returns the encrypted output
+/// tensor.
+template <HisaBackend B>
+CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
+                                const CipherTensor<B> &Input,
+                                const ScaleConfig &S, LayoutPolicy Policy,
+                                FcAlgorithm FcAlg = FcAlgorithm::Auto) {
+  const auto &Ops = Circ.ops();
+  std::vector<bool> NeedsMask = detail::computeMaskNeeds(Circ, Policy);
+  std::vector<std::optional<CipherTensor<B>>> Vals(Ops.size());
+
+  for (const OpNode &Node : Ops) {
+    switch (Node.Kind) {
+    case OpKind::Input: {
+      CipherTensor<B> V;
+      V.L = Input.L;
+      for (const auto &Ct : Input.Cts)
+        V.Cts.push_back(Backend.copy(Ct));
+      Vals[Node.Id] = std::move(V);
+      break;
+    }
+    case OpKind::Conv2d: {
+      const CipherTensor<B> &Src = *Vals[Node.Inputs[0]];
+      if (Policy == LayoutPolicy::ConvHW &&
+          Src.L.Kind != LayoutKind::HW) {
+        CipherTensor<B> AsHw =
+            convertLayout(Backend, Src, LayoutKind::HW, S);
+        CipherTensor<B> Conv = conv2d(Backend, AsHw, Node.Conv, Node.Stride,
+                                      Node.Pad, S, NeedsMask[Node.Id]);
+        Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S);
+      } else {
+        CipherTensor<B> Conv = conv2d(Backend, Src, Node.Conv, Node.Stride,
+                                      Node.Pad, S, NeedsMask[Node.Id]);
+        if (Policy == LayoutPolicy::ConvHW)
+          Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S);
+        else
+          Vals[Node.Id] = std::move(Conv);
+      }
+      break;
+    }
+    case OpKind::AveragePool:
+    case OpKind::GlobalAveragePool:
+      Vals[Node.Id] =
+          averagePool(Backend, *Vals[Node.Inputs[0]], Node.PoolK,
+                      Node.PoolStride, S, NeedsMask[Node.Id]);
+      break;
+    case OpKind::PolyActivation:
+      Vals[Node.Id] = polyActivation(Backend, *Vals[Node.Inputs[0]],
+                                     Node.A2, Node.A1, S);
+      break;
+    case OpKind::FullyConnected: {
+      LayoutKind OutKind = Policy == LayoutPolicy::AllHW ? LayoutKind::HW
+                                                         : LayoutKind::CHW;
+      Vals[Node.Id] = fullyConnected(Backend, *Vals[Node.Inputs[0]],
+                                     Node.Fc, S, OutKind, FcAlg);
+      break;
+    }
+    case OpKind::ConcatChannels:
+      Vals[Node.Id] = concatChannels(Backend, *Vals[Node.Inputs[0]],
+                                     *Vals[Node.Inputs[1]], S);
+      break;
+    case OpKind::Output:
+      return std::move(*Vals[Node.Inputs[0]]);
+    }
+  }
+  // A well-formed circuit ends in an Output node.
+  assert(false && "circuit has no output node");
+  return std::move(*Vals.back());
+}
+
+/// Convenience wrapper: encrypt, evaluate, decrypt (used by tests, the
+/// examples, and the profile-guided scale search).
+template <HisaBackend B>
+Tensor3 runEncryptedInference(B &Backend, const TensorCircuit &Circ,
+                              const Tensor3 &Image, const ScaleConfig &S,
+                              LayoutPolicy Policy,
+                              FcAlgorithm FcAlg = FcAlgorithm::Auto) {
+  TensorLayout L = circuitInputLayout(Circ, Policy, Backend.slotCount());
+  CipherTensor<B> Enc = encryptTensor(Backend, Image, L, S);
+  CipherTensor<B> Out =
+      evaluateCircuit(Backend, Circ, Enc, S, Policy, FcAlg);
+  return decryptTensor(Backend, Out);
+}
+
+} // namespace chet
+
+#endif // CHET_CORE_EVALUATE_H

@@ -1,0 +1,261 @@
+//===- Ir.cpp - Tensor-circuit intermediate representation ----------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Ir.h"
+
+#include "runtime/ReferenceOps.h"
+
+#include <cassert>
+
+using namespace chet;
+
+OpNode &TensorCircuit::append(OpKind Kind) {
+  OpNode Node;
+  Node.Kind = Kind;
+  Node.Id = static_cast<int>(Ops.size());
+  Ops.push_back(std::move(Node));
+  return Ops.back();
+}
+
+int TensorCircuit::input(int C, int H, int W) {
+  assert(Ops.empty() && "input must be the first node");
+  OpNode &Node = append(OpKind::Input);
+  Node.C = C;
+  Node.H = H;
+  Node.W = W;
+  return Node.Id;
+}
+
+int TensorCircuit::conv2d(int In, ConvWeights Wt, int Stride, int Pad) {
+  assert(In >= 0 && In < static_cast<int>(Ops.size()) && "bad input id");
+  const OpNode &Src = Ops[In];
+  assert(Src.C == Wt.Cin && "convolution channel mismatch");
+  OpNode &Node = append(OpKind::Conv2d);
+  Node.Inputs = {In};
+  Node.Stride = Stride;
+  Node.Pad = Pad;
+  Node.C = Wt.Cout;
+  Node.H = (Src.H + 2 * Pad - Wt.Kh) / Stride + 1;
+  Node.W = (Src.W + 2 * Pad - Wt.Kw) / Stride + 1;
+  Node.Conv = std::move(Wt);
+  return Node.Id;
+}
+
+int TensorCircuit::averagePool(int In, int K, int Stride) {
+  const OpNode &Src = Ops[In];
+  OpNode &Node = append(OpKind::AveragePool);
+  Node.Inputs = {In};
+  Node.PoolK = K;
+  Node.PoolStride = Stride;
+  Node.C = Src.C;
+  Node.H = (Src.H - K) / Stride + 1;
+  Node.W = (Src.W - K) / Stride + 1;
+  return Node.Id;
+}
+
+int TensorCircuit::globalAveragePool(int In) {
+  const OpNode &Src = Ops[In];
+  assert(Src.H == Src.W && "global pool expects square maps");
+  OpNode &Node = append(OpKind::GlobalAveragePool);
+  Node.Inputs = {In};
+  Node.PoolK = Src.H;
+  Node.PoolStride = Src.H;
+  Node.C = Src.C;
+  Node.H = 1;
+  Node.W = 1;
+  return Node.Id;
+}
+
+int TensorCircuit::polyActivation(int In, double A2, double A1) {
+  const OpNode &Src = Ops[In];
+  OpNode &Node = append(OpKind::PolyActivation);
+  Node.Inputs = {In};
+  Node.A2 = A2;
+  Node.A1 = A1;
+  Node.C = Src.C;
+  Node.H = Src.H;
+  Node.W = Src.W;
+  return Node.Id;
+}
+
+int TensorCircuit::fullyConnected(int In, FcWeights Wt) {
+  const OpNode &Src = Ops[In];
+  assert(Wt.In == Src.C * Src.H * Src.W && "FC feature mismatch");
+  OpNode &Node = append(OpKind::FullyConnected);
+  Node.Inputs = {In};
+  Node.C = Wt.Out;
+  Node.H = 1;
+  Node.W = 1;
+  Node.Fc = std::move(Wt);
+  return Node.Id;
+}
+
+int TensorCircuit::concatChannels(int A, int B) {
+  const OpNode &SrcA = Ops[A];
+  const OpNode &SrcB = Ops[B];
+  assert(SrcA.H == SrcB.H && SrcA.W == SrcB.W &&
+         "concat requires matching spatial dims");
+  OpNode &Node = append(OpKind::ConcatChannels);
+  Node.Inputs = {A, B};
+  Node.C = SrcA.C + SrcB.C;
+  Node.H = SrcA.H;
+  Node.W = SrcA.W;
+  return Node.Id;
+}
+
+int TensorCircuit::output(int In) {
+  const OpNode &Src = Ops[In];
+  OpNode &Node = append(OpKind::Output);
+  Node.Inputs = {In};
+  Node.C = Src.C;
+  Node.H = Src.H;
+  Node.W = Src.W;
+  return Node.Id;
+}
+
+int TensorCircuit::padPhysNeeded() const {
+  // Accumulated stride of each node's output grid relative to the input
+  // packing, times the padding of each convolution reading it.
+  std::vector<int> Accum(Ops.size(), 1);
+  int Needed = 0;
+  for (const OpNode &Node : Ops) {
+    switch (Node.Kind) {
+    case OpKind::Input:
+      Accum[Node.Id] = 1;
+      break;
+    case OpKind::Conv2d: {
+      int InAccum = Accum[Node.Inputs[0]];
+      if (Node.Pad > 0 && Node.Pad * InAccum > Needed)
+        Needed = Node.Pad * InAccum;
+      Accum[Node.Id] = InAccum * Node.Stride;
+      break;
+    }
+    case OpKind::AveragePool:
+    case OpKind::GlobalAveragePool:
+      Accum[Node.Id] = Accum[Node.Inputs[0]] * Node.PoolStride;
+      break;
+    case OpKind::FullyConnected:
+      Accum[Node.Id] = 1; // dense repacked output
+      break;
+    default:
+      Accum[Node.Id] = Accum[Node.Inputs[0]];
+      break;
+    }
+  }
+  return Needed;
+}
+
+uint64_t TensorCircuit::fpOperationCount() const {
+  uint64_t Count = 0;
+  for (const OpNode &Node : Ops) {
+    uint64_t Out = static_cast<uint64_t>(Node.C) * Node.H * Node.W;
+    switch (Node.Kind) {
+    case OpKind::Conv2d:
+      // One multiply + one add per MAC, plus the bias add.
+      Count += Out * (2ULL * Node.Conv.Cin * Node.Conv.Kh * Node.Conv.Kw + 1);
+      break;
+    case OpKind::AveragePool:
+      Count += Out * (static_cast<uint64_t>(Node.PoolK) * Node.PoolK + 1);
+      break;
+    case OpKind::GlobalAveragePool: {
+      const OpNode &Src = Ops[Node.Inputs[0]];
+      Count += Out * (static_cast<uint64_t>(Src.H) * Src.W + 1);
+      break;
+    }
+    case OpKind::PolyActivation:
+      Count += Out * 3; // x*(a2*x + a1)
+      break;
+    case OpKind::FullyConnected:
+      Count += Out * (2ULL * Node.Fc.In + 1);
+      break;
+    default:
+      break;
+    }
+  }
+  return Count;
+}
+
+int TensorCircuit::ctMultiplicativeDepth() const {
+  std::vector<int> Depth(Ops.size(), 0);
+  int Max = 0;
+  for (const OpNode &Node : Ops) {
+    int D = 0;
+    for (int In : Node.Inputs)
+      D = std::max(D, Depth[In]);
+    if (Node.Kind == OpKind::PolyActivation && Node.A2 != 0.0)
+      D += 1;
+    Depth[Node.Id] = D;
+    Max = std::max(Max, D);
+  }
+  return Max;
+}
+
+int TensorCircuit::convLayerCount() const {
+  int N = 0;
+  for (const OpNode &Node : Ops)
+    N += Node.Kind == OpKind::Conv2d;
+  return N;
+}
+
+int TensorCircuit::fcLayerCount() const {
+  int N = 0;
+  for (const OpNode &Node : Ops)
+    N += Node.Kind == OpKind::FullyConnected;
+  return N;
+}
+
+int TensorCircuit::activationLayerCount() const {
+  int N = 0;
+  for (const OpNode &Node : Ops)
+    N += Node.Kind == OpKind::PolyActivation;
+  return N;
+}
+
+std::vector<int> TensorCircuit::consumersOf(int Id) const {
+  std::vector<int> Out;
+  for (const OpNode &Node : Ops)
+    for (int In : Node.Inputs)
+      if (In == Id)
+        Out.push_back(Node.Id);
+  return Out;
+}
+
+Tensor3 TensorCircuit::evaluatePlain(const Tensor3 &Image) const {
+  std::vector<Tensor3> Values(Ops.size());
+  for (const OpNode &Node : Ops) {
+    switch (Node.Kind) {
+    case OpKind::Input:
+      assert(Image.C == Node.C && Image.H == Node.H && Image.W == Node.W &&
+             "image does not match the declared input schema");
+      Values[Node.Id] = Image;
+      break;
+    case OpKind::Conv2d:
+      Values[Node.Id] =
+          refConv2d(Values[Node.Inputs[0]], Node.Conv, Node.Stride, Node.Pad);
+      break;
+    case OpKind::AveragePool:
+    case OpKind::GlobalAveragePool:
+      Values[Node.Id] =
+          refAveragePool(Values[Node.Inputs[0]], Node.PoolK, Node.PoolStride);
+      break;
+    case OpKind::PolyActivation:
+      Values[Node.Id] =
+          refPolyActivation(Values[Node.Inputs[0]], Node.A2, Node.A1);
+      break;
+    case OpKind::FullyConnected:
+      Values[Node.Id] = refFullyConnected(Values[Node.Inputs[0]], Node.Fc);
+      break;
+    case OpKind::ConcatChannels:
+      Values[Node.Id] = refConcatChannels(Values[Node.Inputs[0]],
+                                          Values[Node.Inputs[1]]);
+      break;
+    case OpKind::Output:
+      Values[Node.Id] = Values[Node.Inputs[0]];
+      break;
+    }
+  }
+  return Values.back();
+}

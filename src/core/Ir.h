@@ -1,0 +1,128 @@
+//===- Ir.h - Tensor-circuit intermediate representation -------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CHET's input language: a tensor circuit, i.e. a DAG of tensor
+/// operations over a single encrypted input image and unencrypted model
+/// weights (Section 2.6, Section 3.2). The builder API mirrors how
+/// networks are written in frameworks like TensorFlow; shapes are known
+/// at compile time from the input schema, which is what lets the compiler
+/// unroll analyses without materializing a dataflow graph (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_CORE_IR_H
+#define CHET_CORE_IR_H
+
+#include "runtime/PlainTensor.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+/// Tensor operation kinds supported by the circuit language.
+enum class OpKind {
+  Input,           ///< The encrypted image.
+  Conv2d,          ///< Cross-correlation with stride/padding + bias.
+  AveragePool,     ///< K x K average pooling (the HE-compatible pool).
+  GlobalAveragePool,
+  PolyActivation,  ///< f(x) = A2 x^2 + A1 x with learnable A2, A1.
+  FullyConnected,  ///< Dense layer over the flattened tensor.
+  ConcatChannels,  ///< Channel concatenation (SqueezeNet Fire modules).
+  Output,          ///< Marks the circuit result.
+};
+
+/// One node of the tensor circuit. Fields beyond Kind/Inputs are only
+/// meaningful for the corresponding kinds.
+struct OpNode {
+  OpKind Kind = OpKind::Input;
+  int Id = -1;
+  std::vector<int> Inputs;
+
+  // Inferred output shape.
+  int C = 0, H = 0, W = 0;
+
+  // Conv2d.
+  ConvWeights Conv;
+  int Stride = 1;
+  int Pad = 0;
+
+  // AveragePool.
+  int PoolK = 2;
+  int PoolStride = 2;
+
+  // PolyActivation.
+  double A2 = 0.0, A1 = 1.0;
+
+  // FullyConnected.
+  FcWeights Fc;
+};
+
+/// A tensor circuit: ops in topological order (the builder only permits
+/// references to earlier nodes), exactly one Input and one Output.
+class TensorCircuit {
+public:
+  explicit TensorCircuit(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<OpNode> &ops() const { return Ops; }
+  const OpNode &op(int Id) const { return Ops[Id]; }
+
+  /// Declares the encrypted input image (must be called exactly once,
+  /// first). Returns the node id.
+  int input(int C, int H, int W);
+
+  /// Adds a convolution reading node \p In.
+  int conv2d(int In, ConvWeights Wt, int Stride, int Pad);
+
+  int averagePool(int In, int K, int Stride);
+  int globalAveragePool(int In);
+  int polyActivation(int In, double A2, double A1);
+  int fullyConnected(int In, FcWeights Wt);
+  int concatChannels(int A, int B);
+
+  /// Marks \p In as the circuit output (call exactly once, last).
+  int output(int In);
+
+  int outputId() const { return static_cast<int>(Ops.size()) - 1; }
+
+  /// The physical margin (in cells) input packing must reserve so every
+  /// padded convolution in the circuit can read zeros: the maximum over
+  /// convolutions of pad * accumulated stride (Section 4.2's padding
+  /// metadata).
+  int padPhysNeeded() const;
+
+  /// Number of floating-point operations of one unencrypted inference
+  /// (multiply and add counted separately), as reported in Table 3.
+  uint64_t fpOperationCount() const;
+
+  /// Multiplicative depth in ciphertext-ciphertext multiplications.
+  int ctMultiplicativeDepth() const;
+
+  /// Counts of the layer kinds, for Table 3's columns.
+  int convLayerCount() const;
+  int fcLayerCount() const;
+  int activationLayerCount() const;
+
+  /// Evaluates the circuit in plain floating point (the unencrypted
+  /// reference engine).
+  Tensor3 evaluatePlain(const Tensor3 &Image) const;
+
+  /// Ids of nodes that consume node \p Id.
+  std::vector<int> consumersOf(int Id) const;
+
+private:
+  OpNode &append(OpKind Kind);
+
+  std::string Name;
+  std::vector<OpNode> Ops;
+};
+
+} // namespace chet
+
+#endif // CHET_CORE_IR_H

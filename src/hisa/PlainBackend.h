@@ -1,0 +1,163 @@
+//===- PlainBackend.h - Unencrypted reference HISA implementation -*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A HISA backend that evaluates every instruction on unencrypted slot
+/// vectors in exact double arithmetic while tracking fixed-point scales.
+/// It serves three roles from the paper:
+///   - the "unencrypted reference inference engine" CHET compares against
+///     (Section 6: "CHET's unencrypted reference inference engine");
+///   - the oracle for the profile-guided scaling-factor search
+///     (Section 5.5 compares encrypted outputs with the unencrypted
+///     circuit's outputs);
+///   - a fast executor for kernel unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_HISA_PLAINBACKEND_H
+#define CHET_HISA_PLAINBACKEND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace chet {
+
+/// Unencrypted slot-vector execution of the HISA. See file comment.
+class PlainBackend {
+public:
+  /// A "ciphertext": the slot values in the clear plus the tracked scale.
+  struct Ct {
+    std::vector<double> Values;
+    double Scale = 1.0;
+  };
+
+  /// A "plaintext": encoded slot values plus their scale.
+  struct Pt {
+    std::vector<double> Values;
+    double Scale = 1.0;
+  };
+
+  /// Creates a backend with 2^\p LogN / 2 slots, matching the slot count
+  /// the CKKS backends would have at ring dimension 2^LogN.
+  explicit PlainBackend(int LogN) : Slots(size_t(1) << (LogN - 1)) {}
+
+  size_t slotCount() const { return Slots; }
+
+  Pt encode(const std::vector<double> &Values, double Scale) const {
+    assert(Values.size() <= Slots && "too many values for slot count");
+    Pt P;
+    P.Values = Values;
+    P.Values.resize(Slots, 0.0);
+    P.Scale = Scale;
+    return P;
+  }
+
+  std::vector<double> decode(const Pt &P) const { return P.Values; }
+
+  Ct encrypt(const Pt &P) const { return Ct{P.Values, P.Scale}; }
+
+  Pt decrypt(const Ct &C) const { return Pt{C.Values, C.Scale}; }
+
+  Ct copy(const Ct &C) const { return C; }
+
+  void freeCt(Ct &C) const { C.Values.clear(); }
+
+  void rotLeftAssign(Ct &C, int Steps) const {
+    rotate(C, Steps);
+  }
+
+  void rotRightAssign(Ct &C, int Steps) const {
+    rotate(C, -Steps);
+  }
+
+  void addAssign(Ct &C, const Ct &Other) const {
+    assert(sameScale(C.Scale, Other.Scale) && "addition scale mismatch");
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] += Other.Values[I];
+  }
+
+  void subAssign(Ct &C, const Ct &Other) const {
+    assert(sameScale(C.Scale, Other.Scale) && "subtraction scale mismatch");
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] -= Other.Values[I];
+  }
+
+  void addPlainAssign(Ct &C, const Pt &P) const {
+    assert(sameScale(C.Scale, P.Scale) && "addPlain scale mismatch");
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] += P.Values[I];
+  }
+
+  void subPlainAssign(Ct &C, const Pt &P) const {
+    assert(sameScale(C.Scale, P.Scale) && "subPlain scale mismatch");
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] -= P.Values[I];
+  }
+
+  void addScalarAssign(Ct &C, double X) const {
+    for (double &V : C.Values)
+      V += X;
+  }
+
+  void subScalarAssign(Ct &C, double X) const {
+    for (double &V : C.Values)
+      V -= X;
+  }
+
+  void mulAssign(Ct &C, const Ct &Other) const {
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] *= Other.Values[I];
+    C.Scale *= Other.Scale;
+  }
+
+  void mulPlainAssign(Ct &C, const Pt &P) const {
+    for (size_t I = 0; I < Slots; ++I)
+      C.Values[I] *= P.Values[I];
+    C.Scale *= P.Scale;
+  }
+
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
+    for (double &V : C.Values)
+      V *= X;
+    C.Scale *= static_cast<double>(Scale);
+  }
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
+    // The plain backend has no modulus, so any divisor is available.
+    return UpperBound == 0 ? 1 : UpperBound;
+  }
+
+  void rescaleAssign(Ct &C, uint64_t Divisor) const {
+    C.Scale /= static_cast<double>(Divisor);
+  }
+
+  double scaleOf(const Ct &C) const { return C.Scale; }
+
+private:
+  static bool sameScale(double A, double B) {
+    double Ratio = A / B;
+    return Ratio > 0.999999 && Ratio < 1.000001;
+  }
+
+  void rotate(Ct &C, int Steps) const {
+    assert(C.Values.size() == Slots && "uninitialized ciphertext");
+    int N = static_cast<int>(Slots);
+    int S = ((Steps % N) + N) % N;
+    if (S == 0)
+      return;
+    std::vector<double> Out(Slots);
+    for (int I = 0; I < N; ++I)
+      Out[I] = C.Values[(I + S) % N];
+    C.Values.swap(Out);
+  }
+
+  size_t Slots;
+};
+
+} // namespace chet
+
+#endif // CHET_HISA_PLAINBACKEND_H

@@ -1,0 +1,324 @@
+//===- BigInt.cpp - Fixed-capacity signed big integers -------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/BigInt.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace chet;
+
+BigInt::BigInt(int64_t V) {
+  if (V == 0)
+    return;
+  Sign = V < 0 ? -1 : 1;
+  uint64_t Mag = V < 0 ? ~static_cast<uint64_t>(V) + 1 : static_cast<uint64_t>(V);
+  Limbs[0] = Mag;
+  Size = 1;
+}
+
+BigInt BigInt::fromDouble(double V) {
+  BigInt Result;
+  if (V == 0.0 || std::isnan(V))
+    return Result;
+  Result.Sign = V < 0 ? -1 : 1;
+  double Mag = std::fabs(V);
+  // Split into a 53-bit mantissa and a binary exponent, then shift.
+  int Exp = 0;
+  double Frac = std::frexp(Mag, &Exp); // Mag = Frac * 2^Exp, Frac in [0.5,1)
+  // Take 53 mantissa bits: M = round(Frac * 2^53), value = M * 2^(Exp-53).
+  uint64_t Mantissa = static_cast<uint64_t>(std::llround(Frac * 9007199254740992.0));
+  Result.Limbs[0] = Mantissa;
+  Result.Size = Mantissa != 0;
+  int Shift = Exp - 53;
+  if (Shift > 0) {
+    assert(Shift < 64 * MaxLimbs - 64 && "double too large for BigInt");
+    Result.shiftLeft(Shift);
+  } else if (Shift < 0) {
+    // Round to nearest.
+    BigInt Tmp = Result;
+    Tmp.shiftRightRound(-Shift);
+    Tmp.Sign = Result.Sign;
+    Tmp.normalize();
+    return Tmp;
+  }
+  return Result;
+}
+
+BigInt BigInt::powerOfTwo(int Bits) {
+  assert(Bits >= 0 && Bits < 64 * MaxLimbs && "power of two out of range");
+  BigInt Result;
+  Result.Limbs[Bits / 64] = uint64_t(1) << (Bits % 64);
+  Result.Size = static_cast<int16_t>(Bits / 64 + 1);
+  return Result;
+}
+
+BigInt BigInt::fromLimbs(const uint64_t *Data, int Count, bool Negative) {
+  assert(Count >= 0 && Count <= MaxLimbs && "limb count out of range");
+  BigInt Result;
+  for (int I = 0; I < Count; ++I)
+    Result.Limbs[I] = Data[I];
+  Result.Size = static_cast<int16_t>(Count);
+  Result.normalize();
+  if (Negative)
+    Result.negate();
+  return Result;
+}
+
+double BigInt::toDouble() const {
+  if (Size == 0)
+    return 0.0;
+  // Use the top three limbs for full double precision.
+  double Value = 0.0;
+  int Top = Size - 1;
+  int Low = Top >= 2 ? Top - 2 : 0;
+  for (int I = Top; I >= Low; --I)
+    Value = Value * 18446744073709551616.0 + static_cast<double>(Limbs[I]);
+  Value = std::ldexp(Value, 64 * Low);
+  return Sign < 0 ? -Value : Value;
+}
+
+int BigInt::bitLength() const {
+  if (Size == 0)
+    return 0;
+  return 64 * (Size - 1) + (64 - __builtin_clzll(Limbs[Size - 1]));
+}
+
+void BigInt::normalize() {
+  while (Size > 0 && Limbs[Size - 1] == 0)
+    --Size;
+  if (Size == 0)
+    Sign = 1;
+}
+
+void BigInt::addMagnitude(const BigInt &Other) {
+  unsigned __int128 Carry = 0;
+  int Max = Size > Other.Size ? Size : Other.Size;
+  assert(Max <= MaxLimbs && "BigInt overflow");
+  for (int I = 0; I < Max; ++I) {
+    unsigned __int128 Sum = Carry;
+    if (I < Size)
+      Sum += Limbs[I];
+    if (I < Other.Size)
+      Sum += Other.Limbs[I];
+    Limbs[I] = static_cast<uint64_t>(Sum);
+    Carry = Sum >> 64;
+  }
+  Size = static_cast<int16_t>(Max);
+  if (Carry) {
+    assert(Max < MaxLimbs && "BigInt overflow");
+    Limbs[Size++] = static_cast<uint64_t>(Carry);
+  }
+}
+
+void BigInt::subMagnitudeSmaller(const BigInt &Other) {
+  assert(compareMagnitude(Other) >= 0 && "subtrahend too large");
+  uint64_t Borrow = 0;
+  for (int I = 0; I < Size; ++I) {
+    unsigned __int128 Sub = Borrow;
+    if (I < Other.Size)
+      Sub += Other.Limbs[I];
+    if (Limbs[I] >= Sub) {
+      Limbs[I] -= static_cast<uint64_t>(Sub);
+      Borrow = 0;
+    } else {
+      Limbs[I] = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) + Limbs[I] - Sub);
+      Borrow = 1;
+    }
+  }
+  assert(Borrow == 0 && "magnitude underflow");
+  normalize();
+}
+
+int BigInt::compareMagnitude(const BigInt &Other) const {
+  if (Size != Other.Size)
+    return Size < Other.Size ? -1 : 1;
+  for (int I = Size - 1; I >= 0; --I)
+    if (Limbs[I] != Other.Limbs[I])
+      return Limbs[I] < Other.Limbs[I] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt &Other) const {
+  bool ThisNeg = isNegative();
+  bool OtherNeg = Other.isNegative();
+  if (ThisNeg != OtherNeg)
+    return ThisNeg ? -1 : 1;
+  int MagCmp = compareMagnitude(Other);
+  return ThisNeg ? -MagCmp : MagCmp;
+}
+
+bool BigInt::operator==(const BigInt &Other) const {
+  return compare(Other) == 0;
+}
+
+BigInt &BigInt::operator+=(const BigInt &Other) {
+  if (Sign == Other.Sign) {
+    addMagnitude(Other);
+    return *this;
+  }
+  if (compareMagnitude(Other) >= 0) {
+    subMagnitudeSmaller(Other);
+  } else {
+    BigInt Tmp = Other;
+    Tmp.subMagnitudeSmaller(*this);
+    *this = Tmp;
+  }
+  return *this;
+}
+
+BigInt &BigInt::operator-=(const BigInt &Other) {
+  // Avoid copying: negate, add, negate back semantics.
+  if (Sign != Other.Sign) {
+    addMagnitude(Other);
+    return *this;
+  }
+  if (compareMagnitude(Other) >= 0) {
+    subMagnitudeSmaller(Other);
+  } else {
+    BigInt Tmp = Other;
+    Tmp.subMagnitudeSmaller(*this);
+    Tmp.Sign = static_cast<int16_t>(-Sign);
+    Tmp.normalize();
+    *this = Tmp;
+  }
+  return *this;
+}
+
+void BigInt::addMul(const BigInt &Addend, uint64_t Multiplier) {
+  if (Addend.Size == 0 || Multiplier == 0)
+    return;
+  BigInt Product = Addend;
+  Product.mulU64(Multiplier);
+  *this += Product;
+}
+
+void BigInt::mulU64(uint64_t Multiplier) {
+  if (Multiplier == 0 || Size == 0) {
+    *this = BigInt();
+    return;
+  }
+  unsigned __int128 Carry = 0;
+  for (int I = 0; I < Size; ++I) {
+    unsigned __int128 Prod =
+        static_cast<unsigned __int128>(Limbs[I]) * Multiplier + Carry;
+    Limbs[I] = static_cast<uint64_t>(Prod);
+    Carry = Prod >> 64;
+  }
+  if (Carry) {
+    assert(Size < MaxLimbs && "BigInt overflow");
+    Limbs[Size++] = static_cast<uint64_t>(Carry);
+  }
+}
+
+void BigInt::shiftLeft(int Bits) {
+  assert(Bits >= 0 && "negative shift");
+  if (Size == 0 || Bits == 0)
+    return;
+  int LimbShift = Bits / 64;
+  int BitShift = Bits % 64;
+  int NewSize = Size + LimbShift + (BitShift != 0);
+  assert(NewSize <= MaxLimbs && "BigInt overflow");
+  for (int I = NewSize - 1; I >= 0; --I) {
+    uint64_t Hi = 0, Lo = 0;
+    int SrcHi = I - LimbShift;
+    int SrcLo = SrcHi - 1;
+    if (SrcHi >= 0 && SrcHi < Size)
+      Hi = Limbs[SrcHi];
+    if (SrcLo >= 0 && SrcLo < Size)
+      Lo = Limbs[SrcLo];
+    Limbs[I] = BitShift == 0 ? Hi : (Hi << BitShift) | (Lo >> (64 - BitShift));
+  }
+  for (int I = 0; I < LimbShift; ++I)
+    Limbs[I] = 0;
+  Size = static_cast<int16_t>(NewSize);
+  normalize();
+}
+
+void BigInt::shiftRightTrunc(int Bits) {
+  assert(Bits >= 0 && "negative shift");
+  if (Size == 0 || Bits == 0)
+    return;
+  int LimbShift = Bits / 64;
+  int BitShift = Bits % 64;
+  if (LimbShift >= Size) {
+    *this = BigInt();
+    return;
+  }
+  for (int I = 0; I < Size - LimbShift; ++I) {
+    uint64_t Lo = Limbs[I + LimbShift];
+    uint64_t Hi =
+        I + LimbShift + 1 < Size ? Limbs[I + LimbShift + 1] : 0;
+    Limbs[I] = BitShift == 0 ? Lo : (Lo >> BitShift) | (Hi << (64 - BitShift));
+  }
+  for (int I = Size - LimbShift; I < Size; ++I)
+    Limbs[I] = 0;
+  Size = static_cast<int16_t>(Size - LimbShift);
+  normalize();
+}
+
+void BigInt::shiftRightRound(int Bits) {
+  assert(Bits >= 0 && "negative shift");
+  if (Bits == 0 || Size == 0)
+    return;
+  bool RoundUp = magnitudeBit(Bits - 1);
+  shiftRightTrunc(Bits);
+  if (RoundUp) {
+    BigInt One(1);
+    // Rounds the magnitude, i.e. ties away from zero on the value.
+    addMagnitude(One);
+  }
+  normalize();
+}
+
+bool BigInt::magnitudeBit(int Index) const {
+  int Limb = Index / 64;
+  if (Limb >= Size)
+    return false;
+  return (Limbs[Limb] >> (Index % 64)) & 1;
+}
+
+uint64_t BigInt::modPrime(const Modulus &P) const {
+  // Horner evaluation of the limbs base 2^64 modulo P.
+  uint64_t Base = P.reduce(UINT64_MAX);
+  Base = P.addMod(Base, 1); // 2^64 mod P
+  uint64_t Acc = 0;
+  for (int I = Size - 1; I >= 0; --I) {
+    Acc = P.mulMod(Acc, Base);
+    Acc = P.addMod(Acc, P.reduce(Limbs[I]));
+  }
+  if (isNegative())
+    Acc = P.negMod(Acc);
+  return Acc;
+}
+
+void BigInt::centerMod2k(int Bits) {
+  assert(Bits >= 1 && Bits < 64 * MaxLimbs && "modulus width out of range");
+  // First compute the nonnegative residue in [0, 2^Bits).
+  int LimbCount = (Bits + 63) / 64;
+  bool WasNegative = isNegative();
+  // Mask the magnitude down to Bits bits.
+  if (Size > LimbCount)
+    Size = static_cast<int16_t>(LimbCount);
+  if (Bits % 64 != 0 && Size == LimbCount)
+    Limbs[LimbCount - 1] &= (uint64_t(1) << (Bits % 64)) - 1;
+  normalize();
+  if (WasNegative && Size != 0) {
+    // Magnitude residue M represents -M; the nonnegative residue is
+    // 2^Bits - M.
+    BigInt Pow = powerOfTwo(Bits);
+    Pow.subMagnitudeSmaller(*this);
+    Pow.Sign = 1;
+    *this = Pow;
+  }
+  // Center: subtract 2^Bits if the residue is >= 2^(Bits-1).
+  if (magnitudeBit(Bits - 1) || bitLength() > Bits) {
+    BigInt Pow = powerOfTwo(Bits);
+    *this -= Pow;
+  }
+}

@@ -1,0 +1,125 @@
+//===- BigInt.h - Fixed-capacity signed big integers -----------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sign-magnitude big integer with a fixed compile-time capacity of
+/// 48 limbs (3072 bits), sized for the HEAAN-style CKKS backend: the widest
+/// intermediate it must hold is a polynomial product coefficient bounded by
+/// N * (Q/2) * (PQ/2) with log Q up to 1024 and log P = log Q, i.e. about
+/// 2^2900. Allocation-free by design; a ciphertext polynomial is a flat
+/// array of these.
+///
+/// The value zero is represented with Size == 0 and Sign == +1. All
+/// operations keep Size normalized (no leading zero limbs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_MATH_BIGINT_H
+#define CHET_MATH_BIGINT_H
+
+#include "math/UIntArith.h"
+
+#include <cstdint>
+
+namespace chet {
+
+/// Signed big integer with 3072-bit capacity. See file comment for sizing.
+class BigInt {
+public:
+  static constexpr int MaxLimbs = 48;
+
+  BigInt() = default;
+
+  /// Constructs from a signed 64-bit value.
+  explicit BigInt(int64_t V);
+
+  /// Rounds \p V to the nearest integer. \p V must be finite and have
+  /// magnitude below 2^3000.
+  static BigInt fromDouble(double V);
+
+  /// Returns 2^\p Bits.
+  static BigInt powerOfTwo(int Bits);
+
+  /// Returns the closest double to this value (may overflow to +-inf only
+  /// beyond double range, which callers never hit after rescaling).
+  double toDouble() const;
+
+  bool isZero() const { return Size == 0; }
+  bool isNegative() const { return Sign < 0 && Size != 0; }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  int bitLength() const;
+
+  void negate() {
+    if (Size != 0)
+      Sign = -Sign;
+  }
+
+  BigInt &operator+=(const BigInt &Other);
+  BigInt &operator-=(const BigInt &Other);
+
+  bool operator==(const BigInt &Other) const;
+  bool operator!=(const BigInt &Other) const { return !(*this == Other); }
+
+  /// Compares signed values: returns -1, 0, or +1.
+  int compare(const BigInt &Other) const;
+
+  /// Compares magnitudes only: returns -1, 0, or +1.
+  int compareMagnitude(const BigInt &Other) const;
+
+  /// this += Addend * Multiplier (signed; Multiplier is nonnegative).
+  void addMul(const BigInt &Addend, uint64_t Multiplier);
+
+  /// this *= Multiplier (nonnegative).
+  void mulU64(uint64_t Multiplier);
+
+  /// this <<= Bits.
+  void shiftLeft(int Bits);
+
+  /// this = floor-toward-zero(this / 2^Bits) with round-to-nearest
+  /// (ties away from zero); the rounding used by CKKS rescale.
+  void shiftRightRound(int Bits);
+
+  /// this = value truncated toward zero by \p Bits bits.
+  void shiftRightTrunc(int Bits);
+
+  /// Returns this mod P in [0, P) (sign-correct).
+  uint64_t modPrime(const Modulus &P) const;
+
+  /// Reduces this modulo 2^\p Bits into the centered interval
+  /// [-2^(Bits-1), 2^(Bits-1)).
+  void centerMod2k(int Bits);
+
+  /// Returns bit \p Index of the magnitude.
+  bool magnitudeBit(int Index) const;
+
+  /// Number of significant 64-bit limbs (0 for zero). For serialization.
+  int limbCount() const { return Size; }
+
+  /// Returns limb \p Index of the magnitude (little-endian).
+  uint64_t limb(int Index) const {
+    assert(Index >= 0 && Index < Size && "limb index out of range");
+    return Limbs[Index];
+  }
+
+  /// Reconstructs a value from little-endian limbs (for deserialization).
+  static BigInt fromLimbs(const uint64_t *Data, int Count, bool Negative);
+
+private:
+  void normalize();
+  /// Magnitude-only helpers; ignore Sign.
+  void addMagnitude(const BigInt &Other);
+  /// Requires |this| >= |Other|.
+  void subMagnitudeSmaller(const BigInt &Other);
+
+  uint64_t Limbs[MaxLimbs] = {};
+  int16_t Size = 0;
+  int16_t Sign = 1;
+};
+
+} // namespace chet
+
+#endif // CHET_MATH_BIGINT_H

@@ -1,0 +1,58 @@
+//===- Crt.cpp - Chinese-remainder basis over word-size primes -----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Crt.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace chet;
+
+CrtBasis::CrtBasis(const std::vector<uint64_t> &PrimeValues) {
+  assert(!PrimeValues.empty() && "empty CRT basis");
+  Primes.reserve(PrimeValues.size());
+  for (uint64_t P : PrimeValues)
+    Primes.emplace_back(P);
+
+  Product = BigInt(1);
+  for (uint64_t P : PrimeValues)
+    Product.mulU64(P);
+  HalfProduct = Product;
+  HalfProduct.shiftRightTrunc(1);
+
+  ProductHat.resize(Primes.size());
+  ProductHatInv.resize(Primes.size());
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    BigInt Hat(1);
+    for (size_t J = 0; J < Primes.size(); ++J)
+      if (J != I)
+        Hat.mulU64(PrimeValues[J]);
+    ProductHat[I] = Hat;
+    uint64_t HatModP = Hat.modPrime(Primes[I]);
+    ProductHatInv[I] = invMod(HatModP, Primes[I]);
+  }
+}
+
+void CrtBasis::decompose(const BigInt &X, uint64_t *Residues) const {
+  for (size_t I = 0; I < Primes.size(); ++I)
+    Residues[I] = X.modPrime(Primes[I]);
+}
+
+BigInt CrtBasis::reconstructCentered(const uint64_t *Residues) const {
+  // Classic Garner-free CRT: sum_i PHat_i * ((r_i * PHatInv_i) mod p_i),
+  // then reduce modulo P and center. The sum is below count() * P, so the
+  // reduction needs at most count() subtractions.
+  BigInt Acc;
+  for (size_t I = 0; I < Primes.size(); ++I) {
+    uint64_t Coeff = Primes[I].mulMod(Residues[I], ProductHatInv[I]);
+    Acc.addMul(ProductHat[I], Coeff);
+  }
+  while (Acc.compareMagnitude(Product) >= 0)
+    Acc -= Product;
+  if (Acc.compareMagnitude(HalfProduct) > 0)
+    Acc -= Product;
+  return Acc;
+}

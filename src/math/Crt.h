@@ -1,0 +1,57 @@
+//===- Crt.h - Chinese-remainder basis over word-size primes ---*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CRT basis of NTT-friendly word-size primes with exact decomposition
+/// of signed big integers into residues and exact centered reconstruction.
+/// The HEAAN-style CKKS backend uses this to bridge big-integer polynomial
+/// coefficients into RNS form for NTT-based multiplication and back
+/// (the same technique HEAAN itself uses in Ring::mult).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_MATH_CRT_H
+#define CHET_MATH_CRT_H
+
+#include "math/BigInt.h"
+#include "math/UIntArith.h"
+
+#include <vector>
+
+namespace chet {
+
+/// An ordered set of coprime word-size primes acting as a CRT basis.
+class CrtBasis {
+public:
+  /// \p PrimeValues must be distinct primes below 2^61.
+  explicit CrtBasis(const std::vector<uint64_t> &PrimeValues);
+
+  int count() const { return static_cast<int>(Primes.size()); }
+  const Modulus &prime(int I) const { return Primes[I]; }
+  const std::vector<Modulus> &primes() const { return Primes; }
+
+  /// The basis product P.
+  const BigInt &product() const { return Product; }
+
+  /// Writes x mod p_i into Residues[i] for every prime (sign-correct:
+  /// residues of negative x are the nonnegative representatives).
+  void decompose(const BigInt &X, uint64_t *Residues) const;
+
+  /// Reconstructs the unique value congruent to the residues in the
+  /// centered interval (-P/2, P/2].
+  BigInt reconstructCentered(const uint64_t *Residues) const;
+
+private:
+  std::vector<Modulus> Primes;
+  BigInt Product;
+  BigInt HalfProduct;
+  std::vector<BigInt> ProductHat;     ///< P / p_i.
+  std::vector<uint64_t> ProductHatInv; ///< (P / p_i)^{-1} mod p_i.
+};
+
+} // namespace chet
+
+#endif // CHET_MATH_CRT_H

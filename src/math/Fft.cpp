@@ -1,0 +1,61 @@
+//===- Fft.cpp - Complex FFT for the CKKS canonical embedding ------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Fft.h"
+
+#include "math/Ntt.h" // for reverseBits
+
+#include <cassert>
+#include <cmath>
+
+using namespace chet;
+
+Fft::Fft(int LogNIn) : LogN(LogNIn), N(size_t(1) << LogNIn) {
+  assert(LogN >= 0 && LogN <= 20 && "transform size out of range");
+  Twiddles.resize(N / 2 + 1);
+  InvTwiddles.resize(N / 2 + 1);
+  const double TwoPi = 6.283185307179586476925286766559;
+  for (size_t K = 0; K <= N / 2; ++K) {
+    double Angle = TwoPi * static_cast<double>(K) / static_cast<double>(N);
+    Twiddles[K] = std::complex<double>(std::cos(Angle), -std::sin(Angle));
+    InvTwiddles[K] = std::complex<double>(std::cos(Angle), std::sin(Angle));
+  }
+  BitRev.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    BitRev[I] = reverseBits(static_cast<uint32_t>(I), LogN);
+}
+
+void Fft::transform(std::complex<double> *Data, bool Inverse) const {
+  const auto &Tw = Inverse ? InvTwiddles : Twiddles;
+  for (size_t I = 0; I < N; ++I) {
+    size_t J = BitRev[I];
+    if (I < J)
+      std::swap(Data[I], Data[J]);
+  }
+  for (size_t Len = 2; Len <= N; Len <<= 1) {
+    size_t Stride = N / Len;
+    for (size_t Start = 0; Start < N; Start += Len) {
+      for (size_t K = 0; K < Len / 2; ++K) {
+        std::complex<double> W = Tw[K * Stride];
+        std::complex<double> U = Data[Start + K];
+        std::complex<double> V = Data[Start + K + Len / 2] * W;
+        Data[Start + K] = U + V;
+        Data[Start + K + Len / 2] = U - V;
+      }
+    }
+  }
+}
+
+void Fft::forward(std::complex<double> *Data) const {
+  transform(Data, /*Inverse=*/false);
+}
+
+void Fft::inverse(std::complex<double> *Data) const {
+  transform(Data, /*Inverse=*/true);
+  double Scale = 1.0 / static_cast<double>(N);
+  for (size_t I = 0; I < N; ++I)
+    Data[I] *= Scale;
+}

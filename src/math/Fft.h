@@ -1,0 +1,50 @@
+//===- Fft.h - Complex FFT for the CKKS canonical embedding ----*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain iterative radix-2 complex FFT used by the CKKS encoder. The
+/// encoder reduces the canonical-embedding transform (evaluation of a real
+/// polynomial at the primitive 2N-th roots of unity) to one size-N complex
+/// FFT via the twist a_j = m_j * zeta^j; see ckks/Encoder.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_MATH_FFT_H
+#define CHET_MATH_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace chet {
+
+/// Precomputed twiddle factors for power-of-two complex FFTs.
+class Fft {
+public:
+  /// Builds tables for transforms of size 2^\p LogN.
+  explicit Fft(int LogN);
+
+  size_t size() const { return N; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] exp(-2 pi i j k / N).
+  void forward(std::complex<double> *Data) const;
+
+  /// In-place inverse DFT (unitary pairing with forward: includes 1/N).
+  void inverse(std::complex<double> *Data) const;
+
+private:
+  void transform(std::complex<double> *Data, bool Inverse) const;
+
+  int LogN;
+  size_t N;
+  std::vector<std::complex<double>> Twiddles;    ///< exp(-2 pi i k / N).
+  std::vector<std::complex<double>> InvTwiddles; ///< exp(+2 pi i k / N).
+  std::vector<uint32_t> BitRev;
+};
+
+} // namespace chet
+
+#endif // CHET_MATH_FFT_H

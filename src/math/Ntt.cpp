@@ -1,0 +1,108 @@
+//===- Ntt.cpp - Negacyclic number-theoretic transform -------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Ntt.h"
+
+using namespace chet;
+
+NttTables::NttTables(int LogNIn, const Modulus &QIn)
+    : LogN(LogNIn), N(size_t(1) << LogNIn), Q(QIn) {
+  assert(LogN >= 1 && LogN <= 17 && "transform size out of range");
+  assert((Q.value() - 1) % (2 * N) == 0 && "prime is not NTT-friendly");
+
+  Psi = findPrimitiveRoot(2 * N, Q);
+  assert(Psi != 0 && "no primitive 2N-th root of unity found");
+  uint64_t PsiInv = invMod(Psi, Q);
+
+  RootPowers.resize(N);
+  RootPowersShoup.resize(N);
+  InvRootPowers.resize(N);
+  InvRootPowersShoup.resize(N);
+
+  uint64_t Power = 1;
+  uint64_t InvPower = 1;
+  std::vector<uint64_t> Fwd(N), Inv(N);
+  for (size_t I = 0; I < N; ++I) {
+    Fwd[I] = Power;
+    Inv[I] = InvPower;
+    Power = Q.mulMod(Power, Psi);
+    InvPower = Q.mulMod(InvPower, PsiInv);
+  }
+  for (size_t I = 0; I < N; ++I) {
+    size_t Rev = reverseBits(static_cast<uint32_t>(I), LogN);
+    RootPowers[I] = Fwd[Rev];
+    InvRootPowers[I] = Inv[Rev];
+    RootPowersShoup[I] = shoupPrecompute(RootPowers[I], Q.value());
+    InvRootPowersShoup[I] = shoupPrecompute(InvRootPowers[I], Q.value());
+  }
+
+  NInv = invMod(static_cast<uint64_t>(N) % Q.value(), Q);
+  NInvShoup = shoupPrecompute(NInv, Q.value());
+}
+
+void NttTables::forward(uint64_t *Data) const {
+  // Longa-Naehrig Algorithm 1 (Cooley-Tukey, decimation in time), with lazy
+  // butterflies keeping values below 4q; a final pass fully reduces.
+  const uint64_t QVal = Q.value();
+  const uint64_t TwoQ = 2 * QVal;
+  size_t T = N;
+  for (size_t M = 1; M < N; M <<= 1) {
+    T >>= 1;
+    for (size_t I = 0; I < M; ++I) {
+      size_t J1 = 2 * I * T;
+      size_t J2 = J1 + T;
+      uint64_t W = RootPowers[M + I];
+      uint64_t WShoup = RootPowersShoup[M + I];
+      for (size_t J = J1; J < J2; ++J) {
+        uint64_t U = Data[J];
+        if (U >= TwoQ)
+          U -= TwoQ;
+        uint64_t V = shoupMulModLazy(Data[J + T], W, WShoup, QVal);
+        Data[J] = U + V;
+        Data[J + T] = U + TwoQ - V;
+      }
+    }
+  }
+  for (size_t J = 0; J < N; ++J) {
+    uint64_t X = Data[J];
+    if (X >= TwoQ)
+      X -= TwoQ;
+    if (X >= QVal)
+      X -= QVal;
+    Data[J] = X;
+  }
+}
+
+void NttTables::inverse(uint64_t *Data) const {
+  // Longa-Naehrig Algorithm 2 (Gentleman-Sande, decimation in frequency).
+  const uint64_t QVal = Q.value();
+  const uint64_t TwoQ = 2 * QVal;
+  size_t T = 1;
+  for (size_t M = N; M > 1; M >>= 1) {
+    size_t J1 = 0;
+    size_t H = M >> 1;
+    for (size_t I = 0; I < H; ++I) {
+      size_t J2 = J1 + T;
+      uint64_t W = InvRootPowers[H + I];
+      uint64_t WShoup = InvRootPowersShoup[H + I];
+      for (size_t J = J1; J < J2; ++J) {
+        uint64_t U = Data[J];
+        uint64_t V = Data[J + T];
+        uint64_t Sum = U + V;
+        if (Sum >= TwoQ)
+          Sum -= TwoQ;
+        Data[J] = Sum;
+        Data[J + T] = shoupMulModLazy(U + TwoQ - V, W, WShoup, QVal);
+      }
+      J1 += 2 * T;
+    }
+    T <<= 1;
+  }
+  for (size_t J = 0; J < N; ++J) {
+    uint64_t X = shoupMulMod(Q.reduce(Data[J]), NInv, NInvShoup, QVal);
+    Data[J] = X;
+  }
+}

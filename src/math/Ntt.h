@@ -1,0 +1,74 @@
+//===- Ntt.h - Negacyclic number-theoretic transform -----------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-place negacyclic NTT over Z_q[X]/(X^N + 1) for power-of-two N and
+/// NTT-friendly primes q = 1 (mod 2N), following Longa & Naehrig's merged
+/// algorithms with Shoup (lazy) butterflies. The forward transform maps a
+/// coefficient vector to evaluations at the odd powers of a primitive
+/// 2N-th root of unity, in bit-reversed order; pointwise multiplication in
+/// that domain realizes multiplication modulo X^N + 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_MATH_NTT_H
+#define CHET_MATH_NTT_H
+
+#include "math/UIntArith.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace chet {
+
+/// Reverses the low \p Bits bits of \p X.
+inline uint32_t reverseBits(uint32_t X, int Bits) {
+  uint32_t R = 0;
+  for (int I = 0; I < Bits; ++I) {
+    R = (R << 1) | (X & 1);
+    X >>= 1;
+  }
+  return R;
+}
+
+/// Precomputed twiddle tables for one (N, q) pair. Instances are immutable
+/// after construction and safe to share.
+class NttTables {
+public:
+  /// Builds tables for transforms of size 2^\p LogN modulo \p Q.
+  /// \p Q must be prime and congruent to 1 modulo 2^(LogN + 1).
+  NttTables(int LogN, const Modulus &Q);
+
+  size_t size() const { return N; }
+  int logSize() const { return LogN; }
+  const Modulus &modulus() const { return Q; }
+
+  /// Returns the primitive 2N-th root of unity psi used by this table.
+  uint64_t psi() const { return Psi; }
+
+  /// In-place forward negacyclic NTT. Input in natural coefficient order;
+  /// output in bit-reversed evaluation order. Values fully reduced.
+  void forward(uint64_t *Data) const;
+
+  /// In-place inverse of forward(). Output fully reduced.
+  void inverse(uint64_t *Data) const;
+
+private:
+  int LogN;
+  size_t N;
+  Modulus Q;
+  uint64_t Psi;
+  uint64_t NInv;       ///< N^{-1} mod q.
+  uint64_t NInvShoup;
+  std::vector<uint64_t> RootPowers;      ///< psi^{bitrev(i)}.
+  std::vector<uint64_t> RootPowersShoup;
+  std::vector<uint64_t> InvRootPowers;   ///< psi^{-bitrev(i)}.
+  std::vector<uint64_t> InvRootPowersShoup;
+};
+
+} // namespace chet
+
+#endif // CHET_MATH_NTT_H

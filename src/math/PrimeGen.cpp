@@ -1,0 +1,40 @@
+//===- PrimeGen.cpp - NTT-friendly prime generation ----------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/PrimeGen.h"
+
+#include "math/UIntArith.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chet;
+
+std::vector<uint64_t> chet::generateNttPrimes(int BitSize, int LogN,
+                                              int Count) {
+  return generateNttPrimes(BitSize, LogN, Count, {});
+}
+
+std::vector<uint64_t>
+chet::generateNttPrimes(int BitSize, int LogN, int Count,
+                        const std::vector<uint64_t> &Exclude) {
+  assert(BitSize >= LogN + 2 && BitSize <= 61 &&
+         "prime size out of supported range");
+  const uint64_t Step = uint64_t(1) << (LogN + 1);
+  // Largest candidate of the form k * 2N + 1 strictly below 2^BitSize.
+  uint64_t Candidate = ((uint64_t(1) << BitSize) - 1) / Step * Step + 1;
+  std::vector<uint64_t> Primes;
+  Primes.reserve(Count);
+  while (static_cast<int>(Primes.size()) < Count) {
+    assert(Candidate >= (uint64_t(1) << (BitSize - 1)) &&
+           "ran out of primes of the requested size");
+    if (isPrime(Candidate) &&
+        std::find(Exclude.begin(), Exclude.end(), Candidate) == Exclude.end())
+      Primes.push_back(Candidate);
+    Candidate -= Step;
+  }
+  return Primes;
+}

@@ -1,0 +1,37 @@
+//===- PrimeGen.h - NTT-friendly prime generation --------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates chains of NTT-friendly primes (q = 1 mod 2N) of requested bit
+/// sizes, mirroring the pre-generated candidate modulus lists that SEAL
+/// ships and that CHET's RNS-CKKS parameter-selection pass consumes
+/// (Section 5.2 of the paper: "a global list Q1, Q2, ..., Qn of
+/// pre-generated candidate moduli").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_MATH_PRIMEGEN_H
+#define CHET_MATH_PRIMEGEN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace chet {
+
+/// Returns \p Count distinct primes of exactly \p BitSize bits, each
+/// congruent to 1 mod 2^(\p LogN + 1), in decreasing order starting just
+/// below 2^BitSize. Aborts if the range is exhausted (never happens for
+/// the sizes used here).
+std::vector<uint64_t> generateNttPrimes(int BitSize, int LogN, int Count);
+
+/// Returns \p Count distinct primes with the same congruence condition,
+/// skipping any prime already present in \p Exclude.
+std::vector<uint64_t> generateNttPrimes(int BitSize, int LogN, int Count,
+                                        const std::vector<uint64_t> &Exclude);
+
+} // namespace chet
+
+#endif // CHET_MATH_PRIMEGEN_H

@@ -1,0 +1,216 @@
+//===- Networks.cpp - The evaluation network zoo ---------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Networks.h"
+
+#include "support/Prng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+int reduced(int Channels, int Reduction) {
+  int R = Channels / Reduction;
+  return R < 2 ? 2 : R;
+}
+
+/// He-style initialization, damped so that repeated degree-2 activations
+/// keep intermediate values O(1) (random weights, unlike trained ones,
+/// have no implicit normalization).
+ConvWeights heConv(Prng &Rng, int Cout, int Cin, int K) {
+  ConvWeights Wt(Cout, Cin, K, K);
+  double Std = 0.5 * std::sqrt(2.0 / (Cin * K * K));
+  for (double &V : Wt.W)
+    V = Rng.nextNormal() * Std;
+  for (double &V : Wt.Bias)
+    V = Rng.nextNormal() * 0.05;
+  return Wt;
+}
+
+FcWeights heFc(Prng &Rng, int Out, int In) {
+  FcWeights Wt(Out, In);
+  double Std = 0.5 * std::sqrt(2.0 / In);
+  for (double &V : Wt.W)
+    V = Rng.nextNormal() * Std;
+  for (double &V : Wt.Bias)
+    V = Rng.nextNormal() * 0.05;
+  return Wt;
+}
+
+// The learnable degree-2 activation parameters; modest curvature keeps
+// magnitudes stable through deep stacks.
+constexpr double kActA2 = 0.125;
+constexpr double kActA1 = 0.5;
+
+TensorCircuit makeLeNetFamily(const std::string &Name, int C1, int C2,
+                              int Hidden, int Reduction, uint64_t Seed) {
+  Prng Rng(Seed);
+  C1 = reduced(C1, Reduction);
+  C2 = reduced(C2, Reduction);
+  Hidden = reduced(Hidden, Reduction);
+
+  TensorCircuit Circ(Name);
+  int X = Circ.input(1, 28, 28);
+  X = Circ.conv2d(X, heConv(Rng, C1, 1, 5), /*Stride=*/1, /*Pad=*/2);
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = Circ.averagePool(X, 2, 2); // 28 -> 14
+  X = Circ.conv2d(X, heConv(Rng, C2, C1, 5), 1, 2);
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = Circ.averagePool(X, 2, 2); // 14 -> 7
+  X = Circ.fullyConnected(X, heFc(Rng, Hidden, C2 * 7 * 7));
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = Circ.fullyConnected(X, heFc(Rng, 10, Hidden));
+  // A final linear "activation" slot mirrors the 4-activation count of
+  // Table 3 (the last activation in these models is linear at inference).
+  X = Circ.polyActivation(X, 0.0, 1.0);
+  Circ.output(X);
+  return Circ;
+}
+
+} // namespace
+
+TensorCircuit chet::makeLeNet5Small(int Reduction, uint64_t Seed) {
+  return makeLeNetFamily("LeNet-5-small", 4, 8, 32, Reduction, Seed);
+}
+
+TensorCircuit chet::makeLeNet5Medium(int Reduction, uint64_t Seed) {
+  return makeLeNetFamily("LeNet-5-medium", 16, 32, 256, Reduction, Seed);
+}
+
+TensorCircuit chet::makeLeNet5Large(int Reduction, uint64_t Seed) {
+  return makeLeNetFamily("LeNet-5-large", 32, 64, 512, Reduction, Seed);
+}
+
+TensorCircuit chet::makeIndustrial(int Reduction, uint64_t Seed) {
+  Prng Rng(Seed);
+  int C1 = reduced(16, Reduction);
+  int C2 = reduced(16, Reduction);
+  int C3 = reduced(32, Reduction);
+  int C4 = reduced(32, Reduction);
+  int C5 = reduced(64, Reduction);
+  int Hidden = reduced(64, Reduction);
+
+  TensorCircuit Circ("Industrial");
+  int X = Circ.input(1, 32, 32);
+
+  auto BnConv = [&](int Cout, int Cin, int K, int Stride, int Pad,
+                    int In) {
+    ConvWeights Wt = heConv(Rng, Cout, Cin, K);
+    // Synthetic batch-norm statistics folded at build time.
+    std::vector<double> Gamma(Cout), Beta(Cout), Mean(Cout), Var(Cout);
+    for (int I = 0; I < Cout; ++I) {
+      Gamma[I] = 0.9 + 0.2 * Rng.nextDouble();
+      Beta[I] = 0.1 * Rng.nextNormal();
+      Mean[I] = 0.1 * Rng.nextNormal();
+      Var[I] = 0.8 + 0.4 * Rng.nextDouble();
+    }
+    foldBatchNormIntoConv(Wt, Gamma, Beta, Mean, Var);
+    return Circ.conv2d(In, std::move(Wt), Stride, Pad);
+  };
+
+  X = BnConv(C1, 1, 3, 1, 1, X);
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = BnConv(C2, C1, 3, 2, 1, X); // 32 -> 16
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = BnConv(C3, C2, 3, 1, 1, X);
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = BnConv(C4, C3, 3, 2, 1, X); // 16 -> 8
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = BnConv(C5, C4, 3, 1, 1, X);
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = Circ.fullyConnected(X, heFc(Rng, Hidden, C5 * 8 * 8));
+  X = Circ.polyActivation(X, kActA2, kActA1);
+  X = Circ.fullyConnected(X, heFc(Rng, 2, Hidden)); // binary classifier
+  Circ.output(X);
+  return Circ;
+}
+
+TensorCircuit chet::makeSqueezeNetCifar(int Reduction, uint64_t Seed) {
+  Prng Rng(Seed);
+  TensorCircuit Circ("SqueezeNet-CIFAR");
+  int X = Circ.input(3, 32, 32);
+
+  // Stem.
+  int Stem = reduced(32, Reduction);
+  X = Circ.conv2d(X, heConv(Rng, Stem, 3, 3), /*Stride=*/2, /*Pad=*/1);
+  X = Circ.polyActivation(X, kActA2, kActA1); // 16x16
+
+  // A Fire module: squeeze 1x1 then fused expand (1x1 branch zero-padded
+  // into the 3x3 filter bank -- exactly concat(conv1x1, conv3x3)).
+  auto Fire = [&](int In, int InC, int Squeeze, int ExpandEach) {
+    int Sq = Circ.conv2d(In, heConv(Rng, Squeeze, InC, 1), 1, 0);
+    Sq = Circ.polyActivation(Sq, kActA2, kActA1);
+    ConvWeights Expand(2 * ExpandEach, Squeeze, 3, 3);
+    ConvWeights E1 = heConv(Rng, ExpandEach, Squeeze, 1);
+    ConvWeights E3 = heConv(Rng, ExpandEach, Squeeze, 3);
+    for (int Co = 0; Co < ExpandEach; ++Co) {
+      for (int Ci = 0; Ci < Squeeze; ++Ci) {
+        Expand.at(Co, Ci, 1, 1) = E1.at(Co, Ci, 0, 0); // center tap
+        for (int Dy = 0; Dy < 3; ++Dy)
+          for (int Dx = 0; Dx < 3; ++Dx)
+            Expand.at(ExpandEach + Co, Ci, Dy, Dx) = E3.at(Co, Ci, Dy, Dx);
+      }
+      Expand.Bias[Co] = E1.Bias[Co];
+      Expand.Bias[ExpandEach + Co] = E3.Bias[Co];
+    }
+    int Ex = Circ.conv2d(Sq, std::move(Expand), 1, 1);
+    return Circ.polyActivation(Ex, kActA2, kActA1);
+  };
+
+  int S1 = reduced(16, Reduction), E1 = reduced(32, Reduction);
+  int S2 = reduced(32, Reduction), E2 = reduced(64, Reduction);
+  X = Fire(X, Stem, S1, E1);        // -> 2*E1 channels, 16x16
+  X = Fire(X, 2 * E1, S1, E1);      // -> 2*E1, 16x16
+  X = Circ.averagePool(X, 2, 2);    // 16 -> 8
+  X = Fire(X, 2 * E1, S2, E2);      // -> 2*E2, 8x8
+  X = Fire(X, 2 * E2, S2, E2);      // -> 2*E2, 8x8
+  // Classifier: 1x1 conv to 10 maps, then global average pooling.
+  X = Circ.conv2d(X, heConv(Rng, 10, 2 * E2, 1), 1, 0);
+  X = Circ.globalAveragePool(X);
+  Circ.output(X);
+  return Circ;
+}
+
+void chet::foldBatchNormIntoConv(ConvWeights &Wt,
+                                 const std::vector<double> &Gamma,
+                                 const std::vector<double> &Beta,
+                                 const std::vector<double> &Mean,
+                                 const std::vector<double> &Var,
+                                 double Epsilon) {
+  assert(static_cast<int>(Gamma.size()) == Wt.Cout && "BN size mismatch");
+  for (int Co = 0; Co < Wt.Cout; ++Co) {
+    double Scale = Gamma[Co] / std::sqrt(Var[Co] + Epsilon);
+    for (int Ci = 0; Ci < Wt.Cin; ++Ci)
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy)
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx)
+          Wt.at(Co, Ci, Dy, Dx) *= Scale;
+    Wt.Bias[Co] = (Wt.Bias[Co] - Mean[Co]) * Scale + Beta[Co];
+  }
+}
+
+std::vector<NetworkEntry> chet::networkZoo() {
+  return {
+      {"LeNet-5-small", 98.5, [](int R) { return makeLeNet5Small(R); }},
+      {"LeNet-5-medium", 99.0, [](int R) { return makeLeNet5Medium(R); }},
+      {"LeNet-5-large", 99.3, [](int R) { return makeLeNet5Large(R); }},
+      {"Industrial", -1.0, [](int R) { return makeIndustrial(R); }},
+      {"SqueezeNet-CIFAR", 81.5,
+       [](int R) { return makeSqueezeNetCifar(R); }},
+  };
+}
+
+Tensor3 chet::randomImageFor(const TensorCircuit &Circ, uint64_t Seed,
+                             double Lo, double Hi) {
+  const OpNode &In = Circ.ops().front();
+  Tensor3 T(In.C, In.H, In.W);
+  Prng Rng(Seed);
+  for (double &V : T.Data)
+    V = Rng.nextDouble(Lo, Hi);
+  return T;
+}

@@ -1,0 +1,92 @@
+//===- Networks.h - The evaluation network zoo -----------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five HE-compatible CNNs of the paper's evaluation (Table 3):
+/// LeNet-5-{small,medium,large} for MNIST-sized inputs, the "Industrial"
+/// model (a stand-in with the disclosed shape: 5 convolutional and 2 fully
+/// connected layers, binary output), and SqueezeNet-CIFAR (4 Fire modules,
+/// 10 convolutional layers). All use the paper's HE-compatible recipe:
+/// degree-2 activations f(x) = a x^2 + b x with learnable a, b, and
+/// average pooling instead of max pooling (Section 6).
+///
+/// Substitution note (see DESIGN.md): trained weights are not available
+/// offline, so weights are synthetic -- seeded He-style initialization,
+/// scaled so activations stay O(1). Every compiler experiment in the
+/// paper depends only on network *shape*; the accuracy-parity check is
+/// replaced by encrypted-vs-unencrypted prediction agreement.
+///
+/// Each builder takes a \p Reduction divisor (default 1 = the full
+/// network) that divides channel and neuron counts, so the benchmark
+/// harness can run the big models end-to-end on a small machine while
+/// preserving their structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_NN_NETWORKS_H
+#define CHET_NN_NETWORKS_H
+
+#include "core/Ir.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+/// LeNet-5-small: 2 conv, 2 FC, 4 activations; 28x28x1 input, 10 classes.
+TensorCircuit makeLeNet5Small(int Reduction = 1, uint64_t Seed = 101);
+
+/// LeNet-5-medium: same structure, 4x the feature maps.
+TensorCircuit makeLeNet5Medium(int Reduction = 1, uint64_t Seed = 102);
+
+/// LeNet-5-large: matches the TensorFlow tutorial sizing
+/// (32/64 feature maps, 512 hidden units).
+TensorCircuit makeLeNet5Large(int Reduction = 1, uint64_t Seed = 103);
+
+/// Industrial stand-in: 5 conv + 2 FC, 6 activations, binary output
+/// (the paper cannot reveal more; this matches the disclosed shape).
+/// Batch-norm parameters are folded into the convolutions, exercising
+/// the element-wise-op folding path.
+TensorCircuit makeIndustrial(int Reduction = 1, uint64_t Seed = 104);
+
+/// SqueezeNet-CIFAR: 32x32x3 input, one stem conv, 4 Fire modules, a
+/// 1x1 classifier conv and global average pooling -- 10 convolutional
+/// layers, 9 activations. Fire expand branches (1x1 and 3x3) are fused
+/// into a single 3x3 convolution with the 1x1 filters zero-padded, which
+/// is exactly equivalent to concatenating the two branches.
+TensorCircuit makeSqueezeNetCifar(int Reduction = 1, uint64_t Seed = 105);
+
+/// Folds batch-normalization (Gamma, Beta, Mean, Var) into convolution
+/// weights and bias, the standard inference-time rewrite that makes batch
+/// norm free under FHE.
+void foldBatchNormIntoConv(ConvWeights &Wt, const std::vector<double> &Gamma,
+                           const std::vector<double> &Beta,
+                           const std::vector<double> &Mean,
+                           const std::vector<double> &Var,
+                           double Epsilon = 1e-5);
+
+/// Registry entry for the benchmark harnesses.
+struct NetworkEntry {
+  std::string Name;
+  /// Accuracy of the HE-compatible network as reported in Table 3
+  /// (negative when the paper does not disclose it).
+  double PaperAccuracy;
+  std::function<TensorCircuit(int)> Build; ///< Takes the reduction.
+};
+
+/// All five networks in Table 3 order.
+std::vector<NetworkEntry> networkZoo();
+
+/// Generates a deterministic random input image matching the circuit's
+/// input schema, with values in [Lo, Hi].
+Tensor3 randomImageFor(const TensorCircuit &Circ, uint64_t Seed,
+                       double Lo = -0.5, double Hi = 0.5);
+
+} // namespace chet
+
+#endif // CHET_NN_NETWORKS_H

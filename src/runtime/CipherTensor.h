@@ -1,0 +1,38 @@
+//===- CipherTensor.h - Encrypted tensors ----------------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HTC's CipherTensor (Section 4.2): a logical tensor physically stored as
+/// a vector of ciphertexts plus clear layout metadata. Templated over the
+/// HISA backend so the same type serves real encrypted execution, the
+/// plain reference, and the compiler's analysis interpretations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_CIPHERTENSOR_H
+#define CHET_RUNTIME_CIPHERTENSOR_H
+
+#include "hisa/Hisa.h"
+#include "runtime/Layout.h"
+
+#include <vector>
+
+namespace chet {
+
+/// An encrypted C x H x W tensor: ctCount() ciphertexts laid out per L.
+template <HisaBackend B> struct CipherTensor {
+  std::vector<typename B::Ct> Cts;
+  TensorLayout L;
+
+  /// Fixed-point scale of the underlying ciphertexts.
+  double scale(B &Backend) const {
+    return Cts.empty() ? 1.0 : Backend.scaleOf(Cts.front());
+  }
+};
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_CIPHERTENSOR_H

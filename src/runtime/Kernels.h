@@ -1,0 +1,656 @@
+//===- Kernels.h - FHE tensor kernels --------------------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CHET runtime's computational kernels (Section 4.2: "a set of
+/// computational kernels that implement the common operations found in
+/// CNNs", "designed to use the vectorization capabilities of modern FHE
+/// schemes"). Every kernel is a template over the HISA backend, so the
+/// identical code executes under real encryption, under the plain
+/// reference backend, and under the compiler's analysis interpretations
+/// (Section 5.1).
+///
+/// Kernels maintain two invariants:
+///   - the margin invariant: physical slots outside a tensor's valid
+///     logical positions hold zeros whenever a later padded convolution
+///     could read them (re-established by masking, which costs a
+///     multiplicative level -- Section 3.1's junk-entry discussion);
+///   - the scale discipline: addition operands always carry identical
+///     scales because every contribution to an accumulation goes through
+///     the same multiply/rescale sequence.
+///
+/// Fixed-point scales follow the paper's four roles (Section 5.5): image
+/// (Pc), plaintext-vector weights (Pw), scalar weights (Pu), masks (Pm).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_KERNELS_H
+#define CHET_RUNTIME_KERNELS_H
+
+#include "runtime/CipherTensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+
+namespace chet {
+
+/// The four fixed-point scale roles of Section 5.5. All must be powers of
+/// two.
+struct ScaleConfig {
+  double Image = 1099511627776.0;  ///< Pc = 2^40.
+  double Weight = 1099511627776.0; ///< Pw = 2^40.
+  double Scalar = 1099511627776.0; ///< Pu = 2^40.
+  double Mask = 1073741824.0;      ///< Pm = 2^30.
+
+  static ScaleConfig fromExponents(int Pc, int Pw, int Pu, int Pm) {
+    ScaleConfig S;
+    S.Image = std::ldexp(1.0, Pc);
+    S.Weight = std::ldexp(1.0, Pw);
+    S.Scalar = std::ldexp(1.0, Pu);
+    S.Mask = std::ldexp(1.0, Pm);
+    return S;
+  }
+};
+
+namespace detail {
+
+/// Accumulates Term into Acc, initializing Acc on first use.
+template <HisaBackend B>
+void accumulate(B &Backend, std::optional<typename B::Ct> &Acc,
+                typename B::Ct &&Term) {
+  if (!Acc)
+    Acc = std::move(Term);
+  else
+    Backend.addAssign(*Acc, Term);
+}
+
+/// Multiplies every ciphertext by its valid-position mask (scale Pm).
+template <HisaBackend B>
+void applyValidMask(B &Backend, CipherTensor<B> &T, const ScaleConfig &S) {
+  for (int I = 0; I < T.L.ctCount(); ++I) {
+    auto Mask = Backend.encode(buildValidMask(T.L, I), S.Mask);
+    Backend.mulPlainAssign(T.Cts[I], Mask);
+  }
+}
+
+/// Rescales every ciphertext back toward the working (image) scale.
+template <HisaBackend B>
+void rescaleTensor(B &Backend, CipherTensor<B> &T, const ScaleConfig &S) {
+  for (auto &Ct : T.Cts)
+    rescaleToFloor(Backend, Ct, S.Image);
+}
+
+/// Adds the per-channel bias at exactly the tensor's current scale.
+template <HisaBackend B>
+void addBias(B &Backend, CipherTensor<B> &T, const std::vector<double> &Bias,
+             const ScaleConfig &S) {
+  bool AnyNonZero = false;
+  for (double V : Bias)
+    AnyNonZero |= V != 0.0;
+  if (!AnyNonZero)
+    return;
+  for (int I = 0; I < T.L.ctCount(); ++I) {
+    auto P = Backend.encode(buildBiasVector(T.L, I, Bias),
+                            Backend.scaleOf(T.Cts[I]));
+    Backend.addPlainAssign(T.Cts[I], P);
+  }
+}
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Packing (encryptor side)
+//===----------------------------------------------------------------------===//
+
+/// Encrypts tensor \p T under layout \p L at the image scale.
+template <HisaBackend B>
+CipherTensor<B> encryptTensor(B &Backend, const Tensor3 &T,
+                              const TensorLayout &L, const ScaleConfig &S) {
+  assert(L.Slots == Backend.slotCount() && "layout/backend slot mismatch");
+  CipherTensor<B> Out;
+  Out.L = L;
+  for (auto &Slots : packTensor(T, L))
+    Out.Cts.push_back(Backend.encrypt(Backend.encode(Slots, S.Image)));
+  return Out;
+}
+
+/// Decrypts a CipherTensor back to a plain tensor (decryptor side).
+template <HisaBackend B>
+Tensor3 decryptTensor(B &Backend, const CipherTensor<B> &T) {
+  std::vector<std::vector<double>> Slots;
+  for (const auto &Ct : T.Cts)
+    Slots.push_back(Backend.decode(Backend.decrypt(Ct)));
+  return unpackTensor(Slots, T.L);
+}
+
+//===----------------------------------------------------------------------===//
+// Convolution
+//===----------------------------------------------------------------------===//
+
+/// Shape of a convolution / pooling output.
+inline void convOutputDims(int H, int W, int Kh, int Kw, int Stride, int Pad,
+                           int &OutH, int &OutW) {
+  OutH = (H + 2 * Pad - Kh) / Stride + 1;
+  OutW = (W + 2 * Pad - Kw) / Stride + 1;
+}
+
+/// Derives the output layout of a stride-\p Stride spatial op: the output
+/// lives on a sparser grid of the same physical image (no repacking).
+inline TensorLayout stridedOutputLayout(const TensorLayout &In, int OutC,
+                                        int OutH, int OutW, int Stride) {
+  TensorLayout L = In;
+  L.C = OutC;
+  L.H = OutH;
+  L.W = OutW;
+  L.SY = In.SY * Stride;
+  L.SX = In.SX * Stride;
+  return L;
+}
+
+/// 2-D convolution, HW layout (Figure 4 of the paper): one rotation per
+/// (input channel, filter tap), one scalar multiplication per
+/// (output channel, input channel, tap), masking the junk entries of each
+/// output ciphertext afterwards.
+template <HisaBackend B>
+CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
+                         const ConvWeights &Wt, int Stride, int Pad,
+                         const ScaleConfig &S, bool MaskOutput) {
+  assert(In.L.Kind == LayoutKind::HW && "conv2dHW requires HW layout");
+  assert(In.L.C == Wt.Cin && "channel mismatch");
+  assert(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX &&
+         "insufficient zero margin for the requested padding");
+  int OutH, OutW;
+  convOutputDims(In.L.H, In.L.W, Wt.Kh, Wt.Kw, Stride, Pad, OutH, OutW);
+  CipherTensor<B> Out;
+  Out.L = stridedOutputLayout(In.L, Wt.Cout, OutH, OutW, Stride);
+
+  std::vector<std::optional<typename B::Ct>> Acc(Wt.Cout);
+  for (int Ci = 0; Ci < Wt.Cin; ++Ci) {
+    for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+      for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+        bool AnyWeight = false;
+        for (int Co = 0; Co < Wt.Cout; ++Co)
+          AnyWeight |= Wt.at(Co, Ci, Dy, Dx) != 0.0;
+        if (!AnyWeight)
+          continue;
+        int Rot = In.L.rotationFor(Dy - Pad, Dx - Pad);
+        typename B::Ct Rotated = rotLeft(Backend, In.Cts[Ci], Rot);
+        for (int Co = 0; Co < Wt.Cout; ++Co) {
+          double Weight = Wt.at(Co, Ci, Dy, Dx);
+          if (Weight == 0.0)
+            continue;
+          detail::accumulate(Backend, Acc[Co],
+                             mulScalar(Backend, Rotated, Weight,
+                                       static_cast<uint64_t>(S.Scalar)));
+        }
+      }
+    }
+  }
+  for (int Co = 0; Co < Wt.Cout; ++Co) {
+    if (!Acc[Co]) // all-zero filter: materialize an explicit zero
+      Acc[Co] = mulScalar(Backend, In.Cts[0], 0.0,
+                          static_cast<uint64_t>(S.Scalar));
+    Out.Cts.push_back(std::move(*Acc[Co]));
+  }
+  if (MaskOutput)
+    detail::applyValidMask(Backend, Out, S);
+  detail::rescaleTensor(Backend, Out, S);
+  detail::addBias(Backend, Out, Wt.Bias, S);
+  return Out;
+}
+
+/// 2-D convolution, CHW layout: channel-diagonal rotations inside each
+/// ciphertext plus one plaintext multiplication per useful
+/// (output block, input block, diagonal, tap) -- the mulPlain-heavy
+/// variant whose relative cost against mulScalar drives the HW-vs-CHW
+/// tradeoff of Table 1 and Section 4.2.
+template <HisaBackend B>
+CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
+                          const ConvWeights &Wt, int Stride, int Pad,
+                          const ScaleConfig &S, bool MaskOutput) {
+  assert(In.L.Kind == LayoutKind::CHW && "conv2dCHW requires CHW layout");
+  assert(In.L.C == Wt.Cin && "channel mismatch");
+  assert(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX &&
+         "insufficient zero margin for the requested padding");
+  assert(static_cast<size_t>(In.L.ChPerCt) * In.L.ChStride == In.L.Slots &&
+         "CHW channel blocks must tile the ciphertext for cyclic diagonals");
+  int OutH, OutW;
+  convOutputDims(In.L.H, In.L.W, Wt.Kh, Wt.Kw, Stride, Pad, OutH, OutW);
+  CipherTensor<B> Out;
+  Out.L = stridedOutputLayout(In.L, Wt.Cout, OutH, OutW, Stride);
+
+  int Block = In.L.ChPerCt;
+  int InBlocks = In.L.ctCount();
+  int OutBlocks = Out.L.ctCount();
+  std::vector<std::optional<typename B::Ct>> Acc(OutBlocks);
+
+  for (int Ib = 0; Ib < InBlocks; ++Ib) {
+    for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+      for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+        std::optional<typename B::Ct> Spatial; // built lazily
+        for (int D = 0; D < Block; ++D) {
+          std::optional<typename B::Ct> Diagonal;
+          for (int Ob = 0; Ob < OutBlocks; ++Ob) {
+            std::vector<double> Plain = buildChwConvPlain(
+                In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
+            if (Plain.empty())
+              continue;
+            if (!Spatial)
+              Spatial = rotLeft(Backend, In.Cts[Ib],
+                                In.L.rotationFor(Dy - Pad, Dx - Pad));
+            if (!Diagonal)
+              Diagonal = D == 0 ? Backend.copy(*Spatial)
+                                : rotLeft(Backend, *Spatial,
+                                          D * In.L.ChStride);
+            detail::accumulate(
+                Backend, Acc[Ob],
+                mulPlain(Backend, *Diagonal,
+                         Backend.encode(Plain, S.Weight)));
+          }
+        }
+      }
+    }
+  }
+  for (int Ob = 0; Ob < OutBlocks; ++Ob) {
+    if (!Acc[Ob])
+      Acc[Ob] = mulPlain(Backend, In.Cts[0],
+                         Backend.encode(std::vector<double>(In.L.Slots, 0.0),
+                                        S.Weight));
+    Out.Cts.push_back(std::move(*Acc[Ob]));
+  }
+  // No masking required: the weight plaintexts are zero at every
+  // non-valid output position, so margins and slack come out zero by
+  // construction -- one of CHW's structural advantages.
+  (void)MaskOutput;
+  detail::rescaleTensor(Backend, Out, S);
+  detail::addBias(Backend, Out, Wt.Bias, S);
+  return Out;
+}
+
+/// Layout-dispatching convolution.
+template <HisaBackend B>
+CipherTensor<B> conv2d(B &Backend, const CipherTensor<B> &In,
+                       const ConvWeights &Wt, int Stride, int Pad,
+                       const ScaleConfig &S, bool MaskOutput = true) {
+  return In.L.Kind == LayoutKind::HW
+             ? conv2dHW(Backend, In, Wt, Stride, Pad, S, MaskOutput)
+             : conv2dCHW(Backend, In, Wt, Stride, Pad, S, MaskOutput);
+}
+
+//===----------------------------------------------------------------------===//
+// Pooling
+//===----------------------------------------------------------------------===//
+
+/// K x K average pooling with the given stride (the HE-compatible
+/// replacement for max pooling; Section 6). Works identically for both
+/// layouts since it never crosses channels.
+template <HisaBackend B>
+CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
+                            int Stride, const ScaleConfig &S,
+                            bool MaskOutput = true) {
+  assert(K >= 1 && Stride >= 1);
+  int OutH, OutW;
+  convOutputDims(In.L.H, In.L.W, K, K, Stride, /*Pad=*/0, OutH, OutW);
+  CipherTensor<B> Out;
+  Out.L = stridedOutputLayout(In.L, In.L.C, OutH, OutW, Stride);
+
+  for (const auto &Src : In.Cts) {
+    // Separable window sum: rows first, then columns.
+    typename B::Ct RowSum = Backend.copy(Src);
+    for (int I = 1; I < K; ++I)
+      Backend.addAssign(RowSum, rotLeft(Backend, Src, In.L.rotationFor(0, I)));
+    typename B::Ct Sum = Backend.copy(RowSum);
+    for (int J = 1; J < K; ++J)
+      Backend.addAssign(Sum,
+                        rotLeft(Backend, RowSum, In.L.rotationFor(J, 0)));
+    Backend.mulScalarAssign(Sum, 1.0 / (K * K),
+                            static_cast<uint64_t>(S.Scalar));
+    Out.Cts.push_back(std::move(Sum));
+  }
+  if (MaskOutput)
+    detail::applyValidMask(Backend, Out, S);
+  detail::rescaleTensor(Backend, Out, S);
+  return Out;
+}
+
+/// Global average pooling: one value per channel.
+template <HisaBackend B>
+CipherTensor<B> globalAveragePool(B &Backend, const CipherTensor<B> &In,
+                                  const ScaleConfig &S,
+                                  bool MaskOutput = true) {
+  assert(In.L.H == In.L.W && "global pool expects square maps");
+  return averagePool(Backend, In, In.L.H, In.L.H, S, MaskOutput);
+}
+
+//===----------------------------------------------------------------------===//
+// Activation
+//===----------------------------------------------------------------------===//
+
+/// The learnable degree-2 activation f(x) = A2 * x^2 + A1 * x of
+/// Section 6, evaluated as x * (A2 * x + A1) -- one ciphertext
+/// multiplication of depth 2 total. Preserves the margin invariant
+/// without masking: margins hold x = 0 and 0 * (A2*0 + A1) = 0.
+template <HisaBackend B>
+CipherTensor<B> polyActivation(B &Backend, const CipherTensor<B> &In,
+                               double A2, double A1, const ScaleConfig &S) {
+  CipherTensor<B> Out;
+  Out.L = In.L;
+  for (const auto &Src : In.Cts) {
+    if (A2 == 0.0) {
+      typename B::Ct Lin =
+          mulScalar(Backend, Src, A1, static_cast<uint64_t>(S.Scalar));
+      rescaleToFloor(Backend, Lin, S.Image);
+      Out.Cts.push_back(std::move(Lin));
+      continue;
+    }
+    typename B::Ct U =
+        mulScalar(Backend, Src, A2, static_cast<uint64_t>(S.Scalar));
+    rescaleToFloor(Backend, U, S.Image);
+    Backend.addScalarAssign(U, A1);
+    typename B::Ct Res = mul(Backend, Src, U);
+    rescaleToFloor(Backend, Res, S.Image);
+    Out.Cts.push_back(std::move(Res));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Fully connected
+//===----------------------------------------------------------------------===//
+
+/// Which fully-connected algorithm to run. Auto applies the cost
+/// heuristic in fcAlgorithmFor (deterministic in the layout and weights,
+/// so the compiler's analysis interpretation and the real execution make
+/// the same choice).
+enum class FcAlgorithm { Auto, Replicate, Bsgs };
+
+/// Fully connected layer by replicate-and-sum: for each output neuron,
+/// multiply by the weight row placed at the input's physical feature
+/// positions (so strided/decimated layouts need no compaction), sum all
+/// slots with log2(slots) power-of-two rotations, and select the neuron's
+/// slot with a mask.
+///
+/// \p OutKind selects the output layout, realizing the paper's layout
+/// policies (Section 5.3): CHW packs all neurons densely at slots
+/// 0..Out-1 of one ciphertext (the "fully connected layers are typically
+/// faster when the output is in CHW" case); HW keeps the literal HW
+/// discipline of one ciphertext per channel, i.e. one ciphertext per
+/// neuron, which makes everything downstream pay per-neuron costs.
+template <HisaBackend B>
+CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
+                                        const FcWeights &Wt,
+                                        const ScaleConfig &S,
+                                        LayoutKind OutKind = LayoutKind::CHW) {
+  assert(Wt.In == In.L.C * In.L.H * In.L.W && "FC feature count mismatch");
+  size_t Slots = In.L.Slots;
+  assert(static_cast<size_t>(Wt.Out) <= Slots && "too many outputs");
+  CipherTensor<B> Out;
+  Out.L = OutKind == LayoutKind::CHW
+              ? makeDenseVectorLayout(Wt.Out, Slots)
+              : makeInputLayout(LayoutKind::HW, Wt.Out, 1, 1, 0, Slots);
+
+  std::optional<typename B::Ct> Acc;
+  for (int Row = 0; Row < Wt.Out; ++Row) {
+    std::optional<typename B::Ct> Dot;
+    for (int CtIdx = 0; CtIdx < In.L.ctCount(); ++CtIdx) {
+      std::vector<double> RowVec = buildFcRow(In.L, Wt, Row, CtIdx);
+      bool AnyWeight = false;
+      for (double V : RowVec)
+        AnyWeight |= V != 0.0;
+      if (!AnyWeight)
+        continue;
+      detail::accumulate(Backend, Dot,
+                         mulPlain(Backend, In.Cts[CtIdx],
+                                  Backend.encode(RowVec, S.Weight)));
+    }
+    if (!Dot)
+      Dot = mulPlain(Backend, In.Cts[0],
+                     Backend.encode(std::vector<double>(Slots, 0.0),
+                                    S.Weight));
+    // Replicate the total into every slot: log2(slots) rotations, all by
+    // powers of two (covered by the stock key set).
+    for (size_t Step = 1; Step < Slots; Step <<= 1)
+      Backend.addAssign(*Dot, rotLeft(Backend, *Dot,
+                                      static_cast<int>(Step)));
+    size_t TargetSlot = OutKind == LayoutKind::CHW ? Row : 0;
+    Backend.mulPlainAssign(
+        *Dot, Backend.encode(buildSlotMask(Slots, TargetSlot), S.Mask));
+    rescaleToFloor(Backend, *Dot, S.Image);
+    if (OutKind == LayoutKind::CHW)
+      detail::accumulate(Backend, Acc, std::move(*Dot));
+    else
+      Out.Cts.push_back(std::move(*Dot));
+  }
+  if (OutKind == LayoutKind::CHW)
+    Out.Cts.push_back(std::move(*Acc));
+  detail::addBias(Backend, Out, Wt.Bias, S);
+  return Out;
+}
+
+/// Giant step for a baby-step/giant-step sweep over \p Slots diagonals:
+/// the power of two nearest sqrt(Slots), balancing baby and giant
+/// rotations.
+inline int fcGiantStep(size_t Slots) {
+  int G = 1;
+  while (static_cast<size_t>(G) * G < Slots)
+    G <<= 1;
+  return G;
+}
+
+/// Fully connected layer by the Halevi-Shoup baby-step/giant-step
+/// diagonal method over the slot domain: out = sum_d diag_d (x) rot_d(in)
+/// with d = k*G + b, sharing the G baby rotations across all giants --
+/// O(sqrt(slots)) rotations total instead of Out * log(slots). Works on
+/// strided inputs via generalized diagonals (the matrix is indexed by
+/// physical slot), produces the dense CHW vector directly, and needs no
+/// masking: rows >= Out are identically zero in every diagonal.
+template <HisaBackend B>
+CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
+                                   const FcWeights &Wt,
+                                   const ScaleConfig &S) {
+  assert(In.L.ctCount() == 1 && "BSGS FC requires a single-ciphertext input");
+  size_t Slots = In.L.Slots;
+  assert(static_cast<size_t>(Wt.Out) <= Slots && "too many outputs");
+  int G = fcGiantStep(Slots);
+  auto Plains = buildFcBsgsPlains(In.L, Wt, G);
+
+  // Baby rotations, built on demand and shared across all giants.
+  std::vector<std::optional<typename B::Ct>> Baby(G);
+  auto babyOf = [&](int Step) -> const typename B::Ct & {
+    if (!Baby[Step])
+      Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
+                             : rotLeft(Backend, In.Cts[0], Step);
+    return *Baby[Step];
+  };
+
+  std::optional<typename B::Ct> Acc;
+  auto It = Plains.begin();
+  while (It != Plains.end()) {
+    int K = It->first.first;
+    std::optional<typename B::Ct> Giant;
+    for (; It != Plains.end() && It->first.first == K; ++It) {
+      detail::accumulate(Backend, Giant,
+                         mulPlain(Backend, babyOf(It->first.second),
+                                  Backend.encode(It->second, S.Weight)));
+    }
+    if (K != 0)
+      Backend.rotLeftAssign(*Giant, K * G);
+    detail::accumulate(Backend, Acc, std::move(*Giant));
+  }
+  if (!Acc)
+    Acc = mulPlain(Backend, In.Cts[0],
+                   Backend.encode(std::vector<double>(Slots, 0.0),
+                                  S.Weight));
+  CipherTensor<B> Out;
+  Out.L = makeDenseVectorLayout(Wt.Out, Slots);
+  rescaleToFloor(Backend, *Acc, S.Image);
+  Out.Cts.push_back(std::move(*Acc));
+  detail::addBias(Backend, Out, Wt.Bias, S);
+  return Out;
+}
+
+/// Deterministic algorithm choice (both the compiler's analysis
+/// interpretation and the real execution evaluate this on identical
+/// inputs, so they agree). Rough per-op weights: one rotation costs about
+/// six plaintext multiplications.
+inline FcAlgorithm fcAlgorithmFor(const TensorLayout &In,
+                                  const FcWeights &Wt, LayoutKind OutKind) {
+  if (OutKind == LayoutKind::HW || In.ctCount() > 1)
+    return FcAlgorithm::Replicate;
+  constexpr double RotWeight = 6.0;
+  double LogSlots = 0;
+  for (size_t S = 1; S < In.Slots; S <<= 1)
+    ++LogSlots;
+  double Replicate = Wt.Out * (LogSlots * RotWeight + 2.0);
+  int G = fcGiantStep(In.Slots);
+  double Bsgs = (G + static_cast<double>(In.Slots) / G) * RotWeight +
+                static_cast<double>(countFcDiagonals(In, Wt));
+  return Bsgs < Replicate ? FcAlgorithm::Bsgs : FcAlgorithm::Replicate;
+}
+
+/// Layout- and algorithm-dispatching fully connected layer.
+template <HisaBackend B>
+CipherTensor<B> fullyConnected(B &Backend, const CipherTensor<B> &In,
+                               const FcWeights &Wt, const ScaleConfig &S,
+                               LayoutKind OutKind = LayoutKind::CHW,
+                               FcAlgorithm Alg = FcAlgorithm::Auto) {
+  if (Alg == FcAlgorithm::Auto)
+    Alg = fcAlgorithmFor(In.L, Wt, OutKind);
+  if (Alg == FcAlgorithm::Bsgs)
+    return fullyConnectedBsgs(Backend, In, Wt, S);
+  return fullyConnectedReplicate(Backend, In, Wt, S, OutKind);
+}
+
+//===----------------------------------------------------------------------===//
+// Channel concatenation
+//===----------------------------------------------------------------------===//
+
+/// Concatenates two tensors along the channel dimension (SqueezeNet Fire
+/// modules). HW layout is free (ciphertext lists concatenate); CHW is
+/// free when the first tensor fills whole ciphertexts, and otherwise
+/// extracts channels by rotation + masking (one extra level).
+template <HisaBackend B>
+CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
+                               const CipherTensor<B> &Bt,
+                               const ScaleConfig &S) {
+  assert(A.L.Kind == Bt.L.Kind && A.L.PhysH == Bt.L.PhysH &&
+         A.L.PhysW == Bt.L.PhysW && A.L.OffY == Bt.L.OffY &&
+         A.L.OffX == Bt.L.OffX && A.L.SY == Bt.L.SY && A.L.SX == Bt.L.SX &&
+         A.L.H == Bt.L.H && A.L.W == Bt.L.W &&
+         "concat requires identical geometry");
+  CipherTensor<B> Out;
+  Out.L = A.L;
+  Out.L.C = A.L.C + Bt.L.C;
+
+  auto copyAll = [&](const CipherTensor<B> &T) {
+    for (const auto &Ct : T.Cts)
+      Out.Cts.push_back(Backend.copy(Ct));
+  };
+
+  if (A.L.Kind == LayoutKind::HW ||
+      (A.L.C % A.L.ChPerCt == 0 && A.L.ChStride == Bt.L.ChStride)) {
+    copyAll(A);
+    copyAll(Bt);
+    return Out;
+  }
+
+  // General CHW path: assemble each output ciphertext channel by channel
+  // with rotations and single-block masks (everything masked so all
+  // contributions share one scale).
+  assert(A.L.ChStride == Bt.L.ChStride && A.L.ChPerCt == Bt.L.ChPerCt &&
+         "concat requires matching channel blocking");
+  int Block = Out.L.ChPerCt;
+  std::vector<std::optional<typename B::Ct>> Acc(Out.L.ctCount());
+  for (int C = 0; C < Out.L.C; ++C) {
+    const CipherTensor<B> &Src = C < A.L.C ? A : Bt;
+    int SrcC = C < A.L.C ? C : C - A.L.C;
+    int Delta = (SrcC % Block - C % Block) * Out.L.ChStride;
+    typename B::Ct T = rotLeft(Backend, Src.Cts[Src.L.ctOf(SrcC)], Delta);
+    // Mask just this channel's block (its valid positions).
+    std::vector<double> Mask(Out.L.Slots, 0.0);
+    for (int Y = 0; Y < Out.L.H; ++Y)
+      for (int X = 0; X < Out.L.W; ++X)
+        Mask[Out.L.slotOf(C, Y, X)] = 1.0;
+    Backend.mulPlainAssign(T, Backend.encode(Mask, S.Mask));
+    detail::accumulate(Backend, Acc[C / Block], std::move(T));
+  }
+  for (auto &AccCt : Acc) {
+    rescaleToFloor(Backend, *AccCt, S.Image);
+    Out.Cts.push_back(std::move(*AccCt));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Layout conversion
+//===----------------------------------------------------------------------===//
+
+/// Converts between HW and CHW (Section 5.3's layout policies switch
+/// layouts between operations). HW -> CHW is rotations and additions
+/// only; CHW -> HW additionally masks each extracted channel (one more
+/// multiplicative level).
+template <HisaBackend B>
+CipherTensor<B> convertLayout(B &Backend, const CipherTensor<B> &In,
+                              LayoutKind Target, const ScaleConfig &S) {
+  if (In.L.Kind == Target) {
+    CipherTensor<B> Out;
+    Out.L = In.L;
+    for (const auto &Ct : In.Cts)
+      Out.Cts.push_back(Backend.copy(Ct));
+    return Out;
+  }
+
+  CipherTensor<B> Out;
+  if (Target == LayoutKind::CHW) {
+    // HW -> CHW: slide each channel into its block; the HW ciphertexts
+    // are zero outside the physical image, so plain additions compose.
+    TensorLayout L = In.L;
+    size_t Image = static_cast<size_t>(L.PhysH) * L.PhysW;
+    int ChStride = 1;
+    while (static_cast<size_t>(ChStride) < Image)
+      ChStride <<= 1;
+    L.Kind = LayoutKind::CHW;
+    L.ChStride = ChStride;
+    L.ChPerCt = static_cast<int>(L.Slots / ChStride);
+    Out.L = L;
+    std::vector<std::optional<typename B::Ct>> Acc(L.ctCount());
+    for (int C = 0; C < L.C; ++C) {
+      int Block = C % L.ChPerCt;
+      detail::accumulate(
+          Backend, Acc[L.ctOf(C)],
+          Block == 0 ? Backend.copy(In.Cts[C])
+                     : rotRight(Backend, In.Cts[C], Block * ChStride));
+    }
+    for (auto &A : Acc)
+      Out.Cts.push_back(std::move(*A));
+    return Out;
+  }
+
+  // CHW -> HW: extract each channel block and mask away the neighbors.
+  TensorLayout L = In.L;
+  L.Kind = LayoutKind::HW;
+  int ChStride = L.ChStride;
+  L.ChStride = 0;
+  L.ChPerCt = 1;
+  Out.L = L;
+  for (int C = 0; C < L.C; ++C) {
+    int Block = C % In.L.ChPerCt;
+    typename B::Ct T =
+        Block == 0 ? Backend.copy(In.Cts[In.L.ctOf(C)])
+                   : rotLeft(Backend, In.Cts[In.L.ctOf(C)],
+                             Block * ChStride);
+    Backend.mulPlainAssign(T,
+                           Backend.encode(buildValidMask(L, C), S.Mask));
+    rescaleToFloor(Backend, T, S.Image);
+    Out.Cts.push_back(std::move(T));
+  }
+  return Out;
+}
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_KERNELS_H

@@ -1,0 +1,236 @@
+//===- Layout.cpp - CipherTensor data layouts ------------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Layout.h"
+
+#include <cassert>
+
+using namespace chet;
+
+static int pow2Ceil(int X) {
+  int P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+TensorLayout chet::makeInputLayout(LayoutKind Kind, int C, int H, int W,
+                                   int PadPhys, size_t Slots) {
+  assert(C > 0 && H > 0 && W > 0 && PadPhys >= 0);
+  TensorLayout L;
+  L.Kind = Kind;
+  L.C = C;
+  L.H = H;
+  L.W = W;
+  L.PhysH = H + 2 * PadPhys;
+  L.PhysW = W + 2 * PadPhys;
+  L.OffY = PadPhys;
+  L.OffX = PadPhys;
+  L.SY = 1;
+  L.SX = 1;
+  L.Slots = Slots;
+  size_t Image = static_cast<size_t>(L.PhysH) * L.PhysW;
+  assert(Image <= Slots && "padded image does not fit in one ciphertext");
+  if (Kind == LayoutKind::HW) {
+    L.ChPerCt = 1;
+    L.ChStride = 0;
+  } else {
+    // Power-of-two channel regions so block rotations wrap cyclically
+    // (ChPerCt * ChStride == Slots).
+    L.ChStride = pow2Ceil(static_cast<int>(Image));
+    assert(static_cast<size_t>(L.ChStride) <= Slots);
+    L.ChPerCt = static_cast<int>(Slots / L.ChStride);
+  }
+  return L;
+}
+
+TensorLayout chet::makeDenseVectorLayout(int C, size_t Slots) {
+  assert(C > 0 && static_cast<size_t>(C) <= Slots &&
+         "dense vector exceeds slot count");
+  TensorLayout L;
+  L.Kind = LayoutKind::CHW;
+  L.C = C;
+  L.H = 1;
+  L.W = 1;
+  L.PhysH = 1;
+  L.PhysW = 1;
+  L.OffY = 0;
+  L.OffX = 0;
+  L.SY = 1;
+  L.SX = 1;
+  L.ChStride = 1;
+  L.ChPerCt = static_cast<int>(Slots);
+  L.Slots = Slots;
+  return L;
+}
+
+std::vector<std::vector<double>> chet::packTensor(const Tensor3 &T,
+                                                  const TensorLayout &L) {
+  assert(T.C == L.C && T.H == L.H && T.W == L.W && "shape mismatch");
+  std::vector<std::vector<double>> Out(L.ctCount(),
+                                       std::vector<double>(L.Slots, 0.0));
+  for (int C = 0; C < L.C; ++C)
+    for (int Y = 0; Y < L.H; ++Y)
+      for (int X = 0; X < L.W; ++X) {
+        assert(L.isOnGrid(Y, X) && "valid position off the physical grid");
+        Out[L.ctOf(C)][L.slotOf(C, Y, X)] = T.at(C, Y, X);
+      }
+  return Out;
+}
+
+Tensor3 chet::unpackTensor(const std::vector<std::vector<double>> &Slots,
+                           const TensorLayout &L) {
+  assert(static_cast<int>(Slots.size()) == L.ctCount() && "ct count mismatch");
+  Tensor3 T(L.C, L.H, L.W);
+  for (int C = 0; C < L.C; ++C)
+    for (int Y = 0; Y < L.H; ++Y)
+      for (int X = 0; X < L.W; ++X)
+        T.at(C, Y, X) = Slots[L.ctOf(C)][L.slotOf(C, Y, X)];
+  return T;
+}
+
+std::vector<double> chet::buildValidMask(const TensorLayout &L,
+                                         int CtIndex) {
+  std::vector<double> Mask(L.Slots, 0.0);
+  for (int C = CtIndex * L.ChPerCt;
+       C < (CtIndex + 1) * L.ChPerCt && C < L.C; ++C)
+    for (int Y = 0; Y < L.H; ++Y)
+      for (int X = 0; X < L.W; ++X)
+        Mask[L.slotOf(C, Y, X)] = 1.0;
+  return Mask;
+}
+
+std::vector<double> chet::buildBiasVector(const TensorLayout &L, int CtIndex,
+                                          const std::vector<double> &Bias) {
+  assert(static_cast<int>(Bias.size()) == L.C && "bias size mismatch");
+  std::vector<double> Out(L.Slots, 0.0);
+  for (int C = CtIndex * L.ChPerCt;
+       C < (CtIndex + 1) * L.ChPerCt && C < L.C; ++C)
+    for (int Y = 0; Y < L.H; ++Y)
+      for (int X = 0; X < L.W; ++X)
+        Out[L.slotOf(C, Y, X)] = Bias[C];
+  return Out;
+}
+
+std::vector<double> chet::buildChwConvPlain(const TensorLayout &In,
+                                            const TensorLayout &Out,
+                                            const ConvWeights &Wt, int Ob,
+                                            int Ib, int D, int Dy, int Dx,
+                                            int Pad) {
+  assert(In.Kind == LayoutKind::CHW && Out.Kind == LayoutKind::CHW);
+  assert(In.ChPerCt == Out.ChPerCt && In.ChStride == Out.ChStride &&
+         "CHW convolution requires matching channel blocking");
+  int B = In.ChPerCt;
+  int Stride = Out.SY / In.SY;
+  std::vector<double> Vec(In.Slots, 0.0);
+  bool Any = false;
+  for (int C = 0; C < B; ++C) {
+    int Co = Ob * B + C;
+    if (Co >= Wt.Cout)
+      continue;
+    int CiLocal = (C + D) % B;
+    int Ci = Ib * B + CiLocal;
+    if (Ci >= Wt.Cin)
+      continue;
+    double Weight = Wt.at(Co, Ci, Dy, Dx);
+    if (Weight == 0.0)
+      continue;
+    for (int Y = 0; Y < Out.H; ++Y) {
+      int InY = Y * Stride + Dy - Pad;
+      for (int X = 0; X < Out.W; ++X) {
+        int InX = X * Stride + Dx - Pad;
+        // The rotated ciphertext reads in(Ci, InY, InX); keep the weight
+        // only where that position is on the physical grid (margins are
+        // zero by the runtime invariant; off-grid would be wrapped
+        // garbage).
+        if (!In.isOnGrid(InY, InX))
+          continue;
+        Vec[Out.slotOf(Co, Y, X)] = Weight;
+        Any = true;
+      }
+    }
+  }
+  if (!Any)
+    Vec.clear();
+  return Vec;
+}
+
+std::vector<double> chet::buildFcRow(const TensorLayout &In,
+                                     const FcWeights &Wt, int Row,
+                                     int CtIndex) {
+  assert(Wt.In == In.C * In.H * In.W && "FC input features mismatch");
+  std::vector<double> Vec(In.Slots, 0.0);
+  for (int F = 0; F < Wt.In; ++F) {
+    int C = F / (In.H * In.W);
+    int Rem = F % (In.H * In.W);
+    int Y = Rem / In.W;
+    int X = Rem % In.W;
+    if (In.ctOf(C) != CtIndex)
+      continue;
+    Vec[In.slotOf(C, Y, X)] = Wt.at(Row, F);
+  }
+  return Vec;
+}
+
+std::vector<double> chet::buildSlotMask(size_t Slots, size_t Slot) {
+  std::vector<double> Mask(Slots, 0.0);
+  assert(Slot < Slots && "selector slot out of range");
+  Mask[Slot] = 1.0;
+  return Mask;
+}
+
+namespace {
+
+/// Invokes Fn(Row, PhysSlot, Weight) for every nonzero FC matrix entry.
+template <typename FnT>
+void forEachFcEntry(const TensorLayout &In, const FcWeights &Wt, FnT Fn) {
+  assert(In.ctCount() == 1 && "BSGS FC requires a single-ciphertext input");
+  assert(Wt.In == In.C * In.H * In.W && "FC feature count mismatch");
+  for (int F = 0; F < Wt.In; ++F) {
+    int C = F / (In.H * In.W);
+    int Rem = F % (In.H * In.W);
+    long Phys = In.slotOf(C, Rem / In.W, Rem % In.W);
+    for (int Row = 0; Row < Wt.Out; ++Row) {
+      double W = Wt.at(Row, F);
+      if (W != 0.0)
+        Fn(Row, Phys, W);
+    }
+  }
+}
+
+} // namespace
+
+std::map<std::pair<int, int>, std::vector<double>>
+chet::buildFcBsgsPlains(const TensorLayout &In, const FcWeights &Wt,
+                        int GiantStep) {
+  long L = static_cast<long>(In.Slots);
+  std::map<std::pair<int, int>, std::vector<double>> Plains;
+  forEachFcEntry(In, Wt, [&](int Row, long Phys, double W) {
+    long D = ((Phys - Row) % L + L) % L;
+    int K = static_cast<int>(D / GiantStep);
+    int B = static_cast<int>(D % GiantStep);
+    long I = (Row + static_cast<long>(K) * GiantStep) % L;
+    auto &Vec = Plains[{K, B}];
+    if (Vec.empty())
+      Vec.assign(In.Slots, 0.0);
+    Vec[I] = W;
+  });
+  return Plains;
+}
+
+size_t chet::countFcDiagonals(const TensorLayout &In, const FcWeights &Wt) {
+  long L = static_cast<long>(In.Slots);
+  std::vector<bool> Seen(In.Slots, false);
+  size_t Count = 0;
+  forEachFcEntry(In, Wt, [&](int Row, long Phys, double W) {
+    long D = ((Phys - Row) % L + L) % L;
+    if (!Seen[D]) {
+      Seen[D] = true;
+      ++Count;
+    }
+  });
+  return Count;
+}

@@ -1,0 +1,161 @@
+//===- Layout.h - CipherTensor data layouts --------------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout metadata of HTC's CipherTensor (Section 4.2 of the paper):
+/// how a logical C x H x W tensor maps onto a vector of FHE ciphertexts,
+/// "with each ciphertext encrypting a vector". The metadata is kept in the
+/// clear -- it only depends on tensor dimensions, which the compiler and
+/// server already know.
+///
+/// Two layout families are supported, as in the paper:
+///   - HW:  each ciphertext holds one channel's (padded) H x W image;
+///          C ciphertexts per tensor.
+///   - CHW: each ciphertext blocks several channels, each occupying a
+///          power-of-two-sized region (ChStride) so channel rotations wrap
+///          cyclically inside the ciphertext.
+///
+/// Strides (SY, SX) implement strided convolution and pooling without
+/// repacking: downsampled tensors simply live on a sparser grid of the
+/// same physical image, and subsequent kernels rotate by stride multiples.
+/// The offsets (OffY, OffX) reserve zero margins so that padded ('same')
+/// convolutions read zeros instead of wrapped garbage; the runtime
+/// maintains the invariant that every physical slot outside the valid
+/// logical positions is zero (re-established by masking where required --
+/// the multiplicative-depth cost the paper discusses in Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_LAYOUT_H
+#define CHET_RUNTIME_LAYOUT_H
+
+#include "runtime/PlainTensor.h"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace chet {
+
+/// Which layout family a CipherTensor uses (Section 4.2).
+enum class LayoutKind { HW, CHW };
+
+/// Physical placement of a logical C x H x W tensor in ciphertext slots.
+struct TensorLayout {
+  LayoutKind Kind = LayoutKind::HW;
+  int C = 0, H = 0, W = 0; ///< Logical dimensions.
+  int PhysH = 0, PhysW = 0; ///< Physical image grid (includes margins).
+  int OffY = 0, OffX = 0;   ///< Physical coordinates of logical (0, 0).
+  int SY = 1, SX = 1;       ///< Physical steps per logical unit.
+  int ChStride = 0;         ///< CHW: slots per channel block (power of 2).
+  int ChPerCt = 1;          ///< Channels per ciphertext.
+  size_t Slots = 0;         ///< Slot count of the backing ciphertexts.
+
+  /// Number of ciphertexts the tensor occupies.
+  int ctCount() const { return (C + ChPerCt - 1) / ChPerCt; }
+
+  /// Ciphertext index holding channel \p Ch.
+  int ctOf(int Ch) const { return Ch / ChPerCt; }
+
+  /// Slot of logical element (Ch, Y, X) inside its ciphertext. Y and X may
+  /// address margin positions (negative or beyond H/W) as long as the
+  /// physical coordinates stay on the grid; use isOnGrid to check.
+  long slotOf(int Ch, int Y, int X) const {
+    long Row = OffY + static_cast<long>(Y) * SY;
+    long Col = OffX + static_cast<long>(X) * SX;
+    return static_cast<long>(Ch % ChPerCt) * ChStride + Row * PhysW + Col;
+  }
+
+  /// True if logical position (Y, X) maps inside the physical grid.
+  bool isOnGrid(int Y, int X) const {
+    long Row = OffY + static_cast<long>(Y) * SY;
+    long Col = OffX + static_cast<long>(X) * SX;
+    return Row >= 0 && Row < PhysH && Col >= 0 && Col < PhysW;
+  }
+
+  /// Rotation amount aligning input offset (Dy, Dx) with the output grid:
+  /// rotating left by this amount brings in(y + Dy, x + Dx) to the slot of
+  /// (y, x).
+  int rotationFor(int Dy, int Dx) const {
+    return Dy * SY * PhysW + Dx * SX;
+  }
+
+  bool operator==(const TensorLayout &O) const = default;
+};
+
+/// Builds the layout for freshly packed input of shape C x H x W with a
+/// zero margin of \p PadPhys physical cells on every side.
+/// For CHW, ChPerCt is slots / ChStride (channel rotations wrap
+/// cyclically); the tensor may still need multiple ciphertexts.
+TensorLayout makeInputLayout(LayoutKind Kind, int C, int H, int W,
+                             int PadPhys, size_t Slots);
+
+/// Layout of a dense length-C vector at slots 0..C-1 of one ciphertext
+/// (the natural output of a fully connected layer).
+TensorLayout makeDenseVectorLayout(int C, size_t Slots);
+
+//===----------------------------------------------------------------------===//
+// Plain-side packing and mask/weight builders (backend-independent).
+//===----------------------------------------------------------------------===//
+
+/// Scatters tensor \p T into per-ciphertext slot vectors per \p L.
+std::vector<std::vector<double>> packTensor(const Tensor3 &T,
+                                            const TensorLayout &L);
+
+/// Gathers a tensor back from per-ciphertext slot vectors.
+Tensor3 unpackTensor(const std::vector<std::vector<double>> &Slots,
+                     const TensorLayout &L);
+
+/// 0/1 mask of the valid logical positions of ciphertext \p CtIndex.
+std::vector<double> buildValidMask(const TensorLayout &L, int CtIndex);
+
+/// Per-slot bias vector: Bias[c] at every valid position of channel c in
+/// ciphertext \p CtIndex.
+std::vector<double> buildBiasVector(const TensorLayout &L, int CtIndex,
+                                    const std::vector<double> &Bias);
+
+/// The CHW-convolution weight vector for (output ct \p Ob, input ct \p Ib,
+/// channel diagonal \p D, filter tap (\p Dy, \p Dx)): at each valid output
+/// position of block channel c it holds W[Ob*B + c][Ib*B + (c+D) mod B],
+/// and zero wherever the rotated input would read garbage. Returns an
+/// empty vector when identically zero (the caller skips the rotation).
+std::vector<double> buildChwConvPlain(const TensorLayout &In,
+                                      const TensorLayout &Out,
+                                      const ConvWeights &Wt, int Ob, int Ib,
+                                      int D, int Dy, int Dx, int Pad);
+
+/// Weight vector for the replicate-and-sum FC kernel: row \p Row of \p Wt
+/// placed at the physical positions of the input features living in
+/// ciphertext \p CtIndex.
+std::vector<double> buildFcRow(const TensorLayout &In, const FcWeights &Wt,
+                               int Row, int CtIndex);
+
+/// Single-slot selector mask e_{Slot}.
+std::vector<double> buildSlotMask(size_t Slots, size_t Slot);
+
+//===----------------------------------------------------------------------===//
+// Baby-step/giant-step FC support (Halevi-Shoup diagonals).
+//===----------------------------------------------------------------------===//
+
+/// The generalized-diagonal plaintexts of the FC matrix over the slot
+/// domain, grouped for a baby-step/giant-step evaluation with giant step
+/// \p GiantStep: entry (k, b) holds P[i] = M[(i - k*G) mod L][(i + b) mod
+/// L], where M[r][p] is row r's weight for the input feature at physical
+/// slot p (zero elsewhere). Only nonzero plaintexts are returned. The
+/// input tensor must occupy a single ciphertext.
+std::map<std::pair<int, int>, std::vector<double>>
+buildFcBsgsPlains(const TensorLayout &In, const FcWeights &Wt,
+                  int GiantStep);
+
+/// Number of distinct nonzero diagonals (= mulPlain count of the BSGS
+/// evaluation); used by the algorithm-selection heuristic without
+/// materializing the plaintexts.
+size_t countFcDiagonals(const TensorLayout &In, const FcWeights &Wt);
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_LAYOUT_H

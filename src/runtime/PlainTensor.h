@@ -1,0 +1,89 @@
+//===- PlainTensor.h - Unencrypted tensors and layer weights ---*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain (unencrypted) tensor and weight containers shared by the runtime
+/// kernels (which consume weights in the clear; the server knows the model,
+/// Section 3.2), the reference inference engine, and the network zoo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_PLAINTENSOR_H
+#define CHET_RUNTIME_PLAINTENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace chet {
+
+/// A dense C x H x W tensor of doubles (batch size is 1 throughout,
+/// matching the paper's latency-oriented evaluation).
+struct Tensor3 {
+  int C = 0, H = 0, W = 0;
+  std::vector<double> Data;
+
+  Tensor3() = default;
+  Tensor3(int C, int H, int W) : C(C), H(H), W(W) {
+    Data.assign(static_cast<size_t>(C) * H * W, 0.0);
+  }
+
+  size_t size() const { return Data.size(); }
+
+  double &at(int Ch, int Y, int X) {
+    assert(Ch >= 0 && Ch < C && Y >= 0 && Y < H && X >= 0 && X < W);
+    return Data[(static_cast<size_t>(Ch) * H + Y) * W + X];
+  }
+  double at(int Ch, int Y, int X) const {
+    assert(Ch >= 0 && Ch < C && Y >= 0 && Y < H && X >= 0 && X < W);
+    return Data[(static_cast<size_t>(Ch) * H + Y) * W + X];
+  }
+};
+
+/// Convolution weights: Cout x Cin x Kh x Kw plus per-output-channel bias.
+struct ConvWeights {
+  int Cout = 0, Cin = 0, Kh = 0, Kw = 0;
+  std::vector<double> W;
+  std::vector<double> Bias; ///< Size Cout; may be all zeros.
+
+  ConvWeights() = default;
+  ConvWeights(int Cout, int Cin, int Kh, int Kw)
+      : Cout(Cout), Cin(Cin), Kh(Kh), Kw(Kw) {
+    W.assign(static_cast<size_t>(Cout) * Cin * Kh * Kw, 0.0);
+    Bias.assign(Cout, 0.0);
+  }
+
+  double &at(int Co, int Ci, int Dy, int Dx) {
+    return W[((static_cast<size_t>(Co) * Cin + Ci) * Kh + Dy) * Kw + Dx];
+  }
+  double at(int Co, int Ci, int Dy, int Dx) const {
+    return W[((static_cast<size_t>(Co) * Cin + Ci) * Kh + Dy) * Kw + Dx];
+  }
+};
+
+/// Fully connected weights: Out x In plus bias. The input feature order is
+/// the logical flatten order (c * H * W + y * W + x) of the preceding
+/// tensor.
+struct FcWeights {
+  int Out = 0, In = 0;
+  std::vector<double> W;
+  std::vector<double> Bias;
+
+  FcWeights() = default;
+  FcWeights(int Out, int In) : Out(Out), In(In) {
+    W.assign(static_cast<size_t>(Out) * In, 0.0);
+    Bias.assign(Out, 0.0);
+  }
+
+  double &at(int O, int I) { return W[static_cast<size_t>(O) * In + I]; }
+  double at(int O, int I) const {
+    return W[static_cast<size_t>(O) * In + I];
+  }
+};
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_PLAINTENSOR_H

@@ -1,0 +1,101 @@
+//===- ReferenceOps.cpp - Naive float reference layer ops ----------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ReferenceOps.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace chet;
+
+Tensor3 chet::refConv2d(const Tensor3 &In, const ConvWeights &Wt, int Stride,
+                        int Pad) {
+  assert(In.C == Wt.Cin && "channel mismatch");
+  int OutH = (In.H + 2 * Pad - Wt.Kh) / Stride + 1;
+  int OutW = (In.W + 2 * Pad - Wt.Kw) / Stride + 1;
+  Tensor3 Out(Wt.Cout, OutH, OutW);
+  for (int Co = 0; Co < Wt.Cout; ++Co)
+    for (int Y = 0; Y < OutH; ++Y)
+      for (int X = 0; X < OutW; ++X) {
+        double Sum = Wt.Bias[Co];
+        for (int Ci = 0; Ci < Wt.Cin; ++Ci)
+          for (int Dy = 0; Dy < Wt.Kh; ++Dy)
+            for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+              int SrcY = Y * Stride + Dy - Pad;
+              int SrcX = X * Stride + Dx - Pad;
+              if (SrcY < 0 || SrcY >= In.H || SrcX < 0 || SrcX >= In.W)
+                continue;
+              Sum += In.at(Ci, SrcY, SrcX) * Wt.at(Co, Ci, Dy, Dx);
+            }
+        Out.at(Co, Y, X) = Sum;
+      }
+  return Out;
+}
+
+Tensor3 chet::refAveragePool(const Tensor3 &In, int K, int Stride) {
+  int OutH = (In.H - K) / Stride + 1;
+  int OutW = (In.W - K) / Stride + 1;
+  Tensor3 Out(In.C, OutH, OutW);
+  for (int C = 0; C < In.C; ++C)
+    for (int Y = 0; Y < OutH; ++Y)
+      for (int X = 0; X < OutW; ++X) {
+        double Sum = 0;
+        for (int Dy = 0; Dy < K; ++Dy)
+          for (int Dx = 0; Dx < K; ++Dx)
+            Sum += In.at(C, Y * Stride + Dy, X * Stride + Dx);
+        Out.at(C, Y, X) = Sum / (K * K);
+      }
+  return Out;
+}
+
+Tensor3 chet::refPolyActivation(const Tensor3 &In, double A2, double A1) {
+  Tensor3 Out = In;
+  for (double &V : Out.Data)
+    V = A2 * V * V + A1 * V;
+  return Out;
+}
+
+Tensor3 chet::refFullyConnected(const Tensor3 &In, const FcWeights &Wt) {
+  assert(Wt.In == In.C * In.H * In.W && "feature count mismatch");
+  Tensor3 Out(Wt.Out, 1, 1);
+  for (int O = 0; O < Wt.Out; ++O) {
+    double Sum = Wt.Bias[O];
+    for (int F = 0; F < Wt.In; ++F)
+      Sum += In.Data[F] * Wt.at(O, F);
+    Out.at(O, 0, 0) = Sum;
+  }
+  return Out;
+}
+
+Tensor3 chet::refConcatChannels(const Tensor3 &A, const Tensor3 &B) {
+  assert(A.H == B.H && A.W == B.W && "spatial dims mismatch");
+  Tensor3 Out(A.C + B.C, A.H, A.W);
+  for (int C = 0; C < A.C; ++C)
+    for (int Y = 0; Y < A.H; ++Y)
+      for (int X = 0; X < A.W; ++X)
+        Out.at(C, Y, X) = A.at(C, Y, X);
+  for (int C = 0; C < B.C; ++C)
+    for (int Y = 0; Y < B.H; ++Y)
+      for (int X = 0; X < B.W; ++X)
+        Out.at(A.C + C, Y, X) = B.at(C, Y, X);
+  return Out;
+}
+
+double chet::maxAbsDiff(const Tensor3 &A, const Tensor3 &B) {
+  assert(A.C == B.C && A.H == B.H && A.W == B.W && "shape mismatch");
+  double Max = 0;
+  for (size_t I = 0; I < A.Data.size(); ++I)
+    Max = std::max(Max, std::fabs(A.Data[I] - B.Data[I]));
+  return Max;
+}
+
+int chet::argmax(const Tensor3 &Logits) {
+  int Best = 0;
+  for (int C = 1; C < Logits.C; ++C)
+    if (Logits.at(C, 0, 0) > Logits.at(Best, 0, 0))
+      Best = C;
+  return Best;
+}

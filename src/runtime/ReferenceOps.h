@@ -1,0 +1,50 @@
+//===- ReferenceOps.h - Naive float reference layer ops --------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straightforward floating-point implementations of the tensor
+/// operations, written independently of the FHE kernels. They serve as
+/// the oracle in kernel tests, as the body of the unencrypted reference
+/// inference engine, and as the comparison point of the profile-guided
+/// scale selection (Section 5.5 compares encrypted outputs against "the
+/// output of the unencrypted tensor circuit").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_REFERENCEOPS_H
+#define CHET_RUNTIME_REFERENCEOPS_H
+
+#include "runtime/PlainTensor.h"
+
+namespace chet {
+
+/// Plain 2-D convolution with zero padding.
+Tensor3 refConv2d(const Tensor3 &In, const ConvWeights &Wt, int Stride,
+                  int Pad);
+
+/// Plain K x K average pooling.
+Tensor3 refAveragePool(const Tensor3 &In, int K, int Stride);
+
+/// Plain f(x) = A2 x^2 + A1 x applied element-wise.
+Tensor3 refPolyActivation(const Tensor3 &In, double A2, double A1);
+
+/// Plain fully connected layer over the flattened (c, y, x) order;
+/// returns a C x 1 x 1 tensor.
+Tensor3 refFullyConnected(const Tensor3 &In, const FcWeights &Wt);
+
+/// Plain channel concatenation.
+Tensor3 refConcatChannels(const Tensor3 &A, const Tensor3 &B);
+
+/// Largest absolute element-wise difference between two same-shape
+/// tensors.
+double maxAbsDiff(const Tensor3 &A, const Tensor3 &B);
+
+/// Index of the maximum of a C x 1 x 1 tensor (the predicted class).
+int argmax(const Tensor3 &Logits);
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_REFERENCEOPS_H

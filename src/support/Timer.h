@@ -1,0 +1,44 @@
+//===- Timer.h - Wall-clock timing helpers ---------------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses and the cost
+/// model calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_SUPPORT_TIMER_H
+#define CHET_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace chet {
+
+/// Measures elapsed wall-clock time in seconds from construction or the most
+/// recent reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace chet
+
+#endif // CHET_SUPPORT_TIMER_H

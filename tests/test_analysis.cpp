@@ -1,0 +1,176 @@
+//===- test_analysis.cpp - Tests for the analysis interpretation -----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include "ckks/RnsCkks.h"
+#include "core/Evaluate.h"
+#include "hisa/Hisa.h"
+#include "math/PrimeGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+AnalysisConfig rnsConfig(int LogN = 12) {
+  AnalysisConfig C;
+  C.Scheme = SchemeKind::RnsCkks;
+  C.LogN = LogN;
+  C.ScalePrimeCandidates =
+      generateNttPrimes(30, 16, 32, {RnsCkksParams::candidateSpecial()});
+  return C;
+}
+
+AnalysisConfig ckksConfig(int LogN = 12) {
+  AnalysisConfig C;
+  C.Scheme = SchemeKind::BigCkks;
+  C.LogN = LogN;
+  return C;
+}
+
+TEST(Analysis, CkksMaxRescaleIsLargestPowerOfTwo) {
+  AnalysisBackend B(ckksConfig());
+  AnalysisBackend::Ct C;
+  C.Scale = std::ldexp(1.0, 60);
+  EXPECT_EQ(B.maxRescale(C, 1), 1u);
+  EXPECT_EQ(B.maxRescale(C, 1023), 512u);
+  EXPECT_EQ(B.maxRescale(C, 1024), 1024u);
+}
+
+TEST(Analysis, CkksRescaleTracksConsumedModulus) {
+  AnalysisBackend B(ckksConfig());
+  auto C = B.encrypt(B.encode({}, std::ldexp(1.0, 40)));
+  B.mulScalarAssign(C, 1.0, uint64_t(1) << 30);
+  uint64_t D = B.maxRescale(C, uint64_t(1) << 30);
+  EXPECT_EQ(D, uint64_t(1) << 30);
+  B.rescaleAssign(C, D);
+  EXPECT_DOUBLE_EQ(B.maxLogConsumed(), 30.0);
+  EXPECT_DOUBLE_EQ(B.scaleOf(C), std::ldexp(1.0, 40));
+}
+
+TEST(Analysis, RnsMaxRescaleWalksCandidateList) {
+  AnalysisConfig Cfg = rnsConfig();
+  AnalysisBackend B(Cfg);
+  AnalysisBackend::Ct C;
+  uint64_t Q0 = Cfg.ScalePrimeCandidates[0];
+  uint64_t Q1 = Cfg.ScalePrimeCandidates[1];
+  EXPECT_EQ(B.maxRescale(C, Q0 - 1), 1u);
+  EXPECT_EQ(B.maxRescale(C, Q0), Q0);
+  // Just below the two-prime product: still one prime.
+  EXPECT_EQ(B.maxRescale(C, Q0 * 2), Q0);
+  unsigned __int128 Two = static_cast<unsigned __int128>(Q0) * Q1;
+  ASSERT_LT(Two, static_cast<unsigned __int128>(UINT64_MAX));
+  EXPECT_EQ(B.maxRescale(C, static_cast<uint64_t>(Two)), Q0 * Q1);
+}
+
+TEST(Analysis, RnsRescaleConsumesInOrder) {
+  AnalysisConfig Cfg = rnsConfig();
+  AnalysisBackend B(Cfg);
+  auto C = B.encrypt(B.encode({}, std::ldexp(1.0, 30)));
+  B.mulScalarAssign(C, 1.0, uint64_t(1) << 30);
+  B.mulScalarAssign(C, 1.0, uint64_t(1) << 30);
+  uint64_t D = B.maxRescale(C, uint64_t(1) << 60);
+  EXPECT_EQ(D, Cfg.ScalePrimeCandidates[0] * Cfg.ScalePrimeCandidates[1]);
+  B.rescaleAssign(C, D);
+  EXPECT_EQ(B.maxConsumedPrimes(), 2);
+  // A second ciphertext consumes its own prefix of the same list.
+  auto C2 = B.encrypt(B.encode({}, std::ldexp(1.0, 30)));
+  B.mulScalarAssign(C2, 1.0, uint64_t(1) << 30);
+  uint64_t D2 = B.maxRescale(C2, uint64_t(1) << 31);
+  EXPECT_EQ(D2, Cfg.ScalePrimeCandidates[0]);
+}
+
+TEST(Analysis, RotationStepsAreCollectedNormalized) {
+  AnalysisBackend B(rnsConfig(12)); // 2048 slots
+  auto C = B.encrypt(B.encode({}, 1024.0));
+  B.rotLeftAssign(C, 5);
+  B.rotLeftAssign(C, 0); // no-op: not recorded
+  B.rotRightAssign(C, 3);
+  B.rotLeftAssign(C, 2048 + 7); // wraps to 7
+  std::set<int> Expected = {5, 2048 - 3, 7};
+  EXPECT_EQ(B.rotationSteps(), Expected);
+}
+
+TEST(Analysis, CostAccumulatesOnlyWithModel) {
+  AnalysisConfig Cfg = rnsConfig();
+  AnalysisBackend NoCost(Cfg);
+  auto C = NoCost.encrypt(NoCost.encode({}, 1024.0));
+  NoCost.rotLeftAssign(C, 3);
+  EXPECT_EQ(NoCost.totalCost(), 0.0);
+
+  CostModel Model = CostModel::create(SchemeKind::RnsCkks, 12);
+  Cfg.Cost = &Model;
+  Cfg.TotalChainPrimes = 5;
+  AnalysisBackend WithCost(Cfg);
+  auto C2 = WithCost.encrypt(WithCost.encode({}, 1024.0));
+  WithCost.rotLeftAssign(C2, 3);
+  EXPECT_GT(WithCost.totalCost(), 0.0);
+}
+
+TEST(Analysis, Pow2FallbackCostsMoreHops) {
+  CostModel Model = CostModel::create(SchemeKind::RnsCkks, 12);
+  AnalysisConfig Cfg = rnsConfig();
+  Cfg.Cost = &Model;
+  Cfg.TotalChainPrimes = 5;
+
+  // Baseline: the cost of encode + encrypt alone.
+  AnalysisBackend EncodeOnly(Cfg);
+  (void)EncodeOnly.encrypt(EncodeOnly.encode({}, 1024.0));
+  double EncodeCost = EncodeOnly.totalCost();
+
+  Cfg.SelectedRotationKeys = true;
+  AnalysisBackend Selected(Cfg);
+  auto C1 = Selected.encrypt(Selected.encode({}, 1024.0));
+  Selected.rotLeftAssign(C1, 7); // 3 bits set
+
+  Cfg.SelectedRotationKeys = false;
+  AnalysisBackend Fallback(Cfg);
+  auto C2 = Fallback.encrypt(Fallback.encode({}, 1024.0));
+  Fallback.rotLeftAssign(C2, 7);
+
+  EXPECT_NEAR(Fallback.totalCost() - EncodeCost,
+              3 * (Selected.totalCost() - EncodeCost), 1e-6);
+  // Power-of-two steps cost the same either way.
+  AnalysisBackend FallbackPow2(Cfg);
+  Cfg.SelectedRotationKeys = true;
+  AnalysisBackend SelectedPow2(Cfg);
+  auto C3 = SelectedPow2.encrypt(SelectedPow2.encode({}, 1024.0));
+  SelectedPow2.rotLeftAssign(C3, 8);
+  auto C4 = FallbackPow2.encrypt(FallbackPow2.encode({}, 1024.0));
+  FallbackPow2.rotLeftAssign(C4, 8);
+  EXPECT_NEAR(SelectedPow2.totalCost(), FallbackPow2.totalCost(), 1e-6);
+}
+
+TEST(Analysis, CostModelMonotoneInModulusState) {
+  for (SchemeKind Scheme : {SchemeKind::RnsCkks, SchemeKind::BigCkks}) {
+    CostModel M = CostModel::create(Scheme, 13, 400);
+    double Lo = Scheme == SchemeKind::RnsCkks ? 3 : 120;
+    double Hi = Scheme == SchemeKind::RnsCkks ? 9 : 360;
+    EXPECT_LT(M.add(Lo), M.add(Hi));
+    EXPECT_LT(M.mulPlain(Lo), M.mulPlain(Hi));
+    EXPECT_LT(M.mulCipher(Lo), M.mulCipher(Hi));
+    EXPECT_LT(M.rotate(Lo), M.rotate(Hi));
+    // Key-switched ops dominate plain ops (Table 1's separation).
+    EXPECT_GT(M.mulCipher(Hi), M.mulPlain(Hi));
+  }
+}
+
+TEST(Analysis, RnsMulScalarVsMulPlainGapSmallerThanCkks) {
+  // The crux of the HW/CHW tradeoff (Section 4.2): mulPlain/mulScalar is
+  // about constant in RNS-CKKS but grows like log N in CKKS.
+  CostModel Rns = CostModel::create(SchemeKind::RnsCkks, 14);
+  CostModel Big = CostModel::create(SchemeKind::BigCkks, 14, 400);
+  double RnsRatio = Rns.mulPlain(8) / Rns.mulScalar(8);
+  double BigRatio = Big.mulPlain(300) / Big.mulScalar(300);
+  EXPECT_LT(RnsRatio, 4.0);
+  EXPECT_GT(BigRatio, 8.0);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- test_big_ckks.cpp - Tests for the HEAAN-style CKKS backend ----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/BigCkks.h"
+
+#include "hisa/Hisa.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+static_assert(HisaBackend<BigCkksBackend>,
+              "BigCkksBackend must satisfy the HISA concept");
+
+namespace {
+
+constexpr double kScale = 1073741824.0; // 2^30
+
+class BigCkksTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    BigCkksParams P;
+    P.LogN = 11;
+    P.LogQ = 150;
+    P.Security = SecurityLevel::None; // test-size ring
+    Backend = new BigCkksBackend(P);
+  }
+  static void TearDownTestSuite() {
+    delete Backend;
+    Backend = nullptr;
+  }
+
+  std::vector<double> randomValues(uint64_t Seed, double Lo = -10,
+                                   double Hi = 10) {
+    Prng Rng(Seed);
+    std::vector<double> V(Backend->slotCount());
+    for (auto &X : V)
+      X = Rng.nextDouble(Lo, Hi);
+    return V;
+  }
+
+  BigCkksBackend::Ct encryptValues(const std::vector<double> &V,
+                                   double Scale = kScale) {
+    return Backend->encrypt(Backend->encode(V, Scale));
+  }
+
+  std::vector<double> decryptValues(const BigCkksBackend::Ct &C) {
+    return Backend->decode(Backend->decrypt(C));
+  }
+
+  static BigCkksBackend *Backend;
+};
+
+BigCkksBackend *BigCkksTest::Backend = nullptr;
+
+TEST_F(BigCkksTest, EncryptDecryptRoundTrip) {
+  auto V = randomValues(1);
+  auto C = encryptValues(V);
+  EXPECT_EQ(Backend->logQOf(C), Backend->params().LogQ);
+  auto Back = decryptValues(C);
+  // Fresh-encryption noise is ~2^13 in the coefficients, i.e. ~2^-17
+  // after removing the 2^30 scale.
+  for (size_t I = 0; I < V.size(); ++I)
+    ASSERT_NEAR(Back[I], V[I], 5e-5) << "slot " << I;
+}
+
+TEST_F(BigCkksTest, HomomorphicAddSub) {
+  auto A = randomValues(2), B = randomValues(3);
+  auto CA = encryptValues(A), CB = encryptValues(B);
+  auto Sum = add(*Backend, CA, CB);
+  auto Diff = sub(*Backend, CA, CB);
+  auto SumBack = decryptValues(Sum);
+  auto DiffBack = decryptValues(Diff);
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_NEAR(SumBack[I], A[I] + B[I], 1e-4);
+    ASSERT_NEAR(DiffBack[I], A[I] - B[I], 1e-4);
+  }
+}
+
+TEST_F(BigCkksTest, AddSubPlainAndScalar) {
+  auto A = randomValues(4), B = randomValues(5);
+  auto C = encryptValues(A);
+  auto P = Backend->encode(B, kScale);
+  Backend->addPlainAssign(C, P);
+  Backend->addScalarAssign(C, 2.5);
+  Backend->subScalarAssign(C, 1.0);
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] + B[I] + 1.5, 1e-4);
+}
+
+TEST_F(BigCkksTest, CiphertextMultiplicationWithExactRescale) {
+  auto A = randomValues(6, -3, 3), B = randomValues(7, -3, 3);
+  auto CA = encryptValues(A), CB = encryptValues(B);
+  auto Prod = mul(*Backend, CA, CB);
+  EXPECT_NEAR(Backend->scaleOf(Prod), kScale * kScale, 1.0);
+  rescaleToFloor(*Backend, Prod, kScale);
+  // CKKS rescaling by powers of two is exact: back to precisely 2^30.
+  EXPECT_NEAR(Backend->scaleOf(Prod), kScale, 1e-9);
+  EXPECT_EQ(Backend->logQOf(Prod), Backend->params().LogQ - 30);
+  auto Back = decryptValues(Prod);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] * B[I], 1e-3);
+}
+
+TEST_F(BigCkksTest, SquaringTwice) {
+  auto A = randomValues(8, -2, 2);
+  auto C = encryptValues(A);
+  for (int Round = 0; Round < 2; ++Round) {
+    auto C2 = mul(*Backend, C, C);
+    rescaleToFloor(*Backend, C2, kScale);
+    C = C2;
+  }
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], std::pow(A[I], 4),
+                1e-2 * std::max(1.0, std::fabs(Back[I])));
+}
+
+TEST_F(BigCkksTest, MulPlainAndScalar) {
+  auto A = randomValues(9, -4, 4), W = randomValues(10, -2, 2);
+  auto C = encryptValues(A);
+  auto P = Backend->encode(W, kScale);
+  auto CP = mulPlain(*Backend, C, P);
+  rescaleToFloor(*Backend, CP, kScale);
+  auto BackP = decryptValues(CP);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(BackP[I], A[I] * W[I], 1e-3);
+
+  auto CS = mulScalar(*Backend, C, -1.5, uint64_t(kScale));
+  rescaleToFloor(*Backend, CS, kScale);
+  auto BackS = decryptValues(CS);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(BackS[I], A[I] * -1.5, 1e-3);
+}
+
+TEST_F(BigCkksTest, RotationWithAndWithoutDedicatedKeys) {
+  auto A = randomValues(11);
+  size_t Slots = Backend->slotCount();
+  for (int Step : {1, 8, 5, -3}) { // 5 and -3 exercise the pow2 fallback
+    auto C = encryptValues(A);
+    Backend->rotLeftAssign(C, Step);
+    auto Back = decryptValues(C);
+    int S = ((Step % static_cast<int>(Slots)) + Slots) % Slots;
+    for (size_t I = 0; I < Slots; ++I)
+      ASSERT_NEAR(Back[I], A[(I + S) % Slots], 1e-4)
+          << "step " << Step << " slot " << I;
+  }
+}
+
+TEST_F(BigCkksTest, MaxRescaleReturnsPowersOfTwo) {
+  auto C = encryptValues(randomValues(12));
+  EXPECT_EQ(Backend->maxRescale(C, 1), 1u);
+  EXPECT_EQ(Backend->maxRescale(C, 2), 2u);
+  EXPECT_EQ(Backend->maxRescale(C, 3), 2u);
+  EXPECT_EQ(Backend->maxRescale(C, 1 << 20), uint64_t(1) << 20);
+  EXPECT_EQ(Backend->maxRescale(C, (1 << 20) + 12345), uint64_t(1) << 20);
+  // Bounded by the remaining modulus: bring the ciphertext down to a
+  // 40-bit modulus, then ask for a huge divisor.
+  while (Backend->logQOf(C) > 50) {
+    Backend->mulScalarAssign(C, 1.0, uint64_t(1) << 30);
+    Backend->rescaleAssign(C, uint64_t(1) << 30);
+  }
+  int LogQ = Backend->logQOf(C);
+  ASSERT_LT(LogQ, 63);
+  uint64_t Huge = uint64_t(1) << 62;
+  EXPECT_LE(Backend->maxRescale(C, Huge), uint64_t(1) << (LogQ - 2));
+}
+
+TEST_F(BigCkksTest, ModulusAlignmentOnAdd) {
+  auto A = randomValues(13, -2, 2), B = randomValues(14, -2, 2);
+  auto CA = encryptValues(A), CB = encryptValues(B);
+  Backend->rescaleAssign(CA, 1); // no-op
+  // Drop CA's modulus via a scalar multiply and exact rescale.
+  Backend->mulScalarAssign(CA, 1.0, uint64_t(1) << 20);
+  Backend->rescaleAssign(CA, uint64_t(1) << 20);
+  EXPECT_LT(Backend->logQOf(CA), Backend->logQOf(CB));
+  auto Sum = add(*Backend, CA, CB);
+  EXPECT_EQ(Backend->logQOf(Sum), Backend->logQOf(CA));
+  auto Back = decryptValues(Sum);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] + B[I], 1e-3);
+}
+
+TEST_F(BigCkksTest, SecurityCheckRejectsOversizedModulus) {
+  BigCkksParams P;
+  P.LogN = 11;
+  P.LogQ = 150;
+  P.Security = SecurityLevel::Classical128;
+  EXPECT_DEATH(BigCkksBackend{P}, "security");
+}
+
+TEST_F(BigCkksTest, DeterministicUnderSeed) {
+  BigCkksParams P;
+  P.LogN = 10;
+  P.LogQ = 60;
+  P.LogSpecial = 60;
+  P.Security = SecurityLevel::None;
+  P.Seed = 99;
+  BigCkksBackend B1(P), B2(P);
+  std::vector<double> V(B1.slotCount(), 1.25);
+  auto C1 = B1.encrypt(B1.encode(V, 1 << 20));
+  auto C2 = B2.encrypt(B2.encode(V, 1 << 20));
+  for (size_t K = 0; K < 4; ++K)
+    EXPECT_EQ(C1.C0[K].compare(C2.C0[K]), 0);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- test_bigint.cpp - Unit tests for BigInt -----------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/BigInt.h"
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+TEST(BigInt, ConstructionFromInt64) {
+  EXPECT_TRUE(BigInt().isZero());
+  EXPECT_TRUE(BigInt(0).isZero());
+  EXPECT_FALSE(BigInt(1).isZero());
+  EXPECT_FALSE(BigInt(1).isNegative());
+  EXPECT_TRUE(BigInt(-1).isNegative());
+  EXPECT_EQ(BigInt(42).toDouble(), 42.0);
+  EXPECT_EQ(BigInt(-42).toDouble(), -42.0);
+  EXPECT_EQ(BigInt(INT64_MIN).toDouble(), -9223372036854775808.0);
+}
+
+TEST(BigInt, AdditionAgainstInt64) {
+  Prng Rng(1);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t A = static_cast<int64_t>(Rng.next()) >> 16;
+    int64_t B = static_cast<int64_t>(Rng.next()) >> 16;
+    BigInt X(A);
+    X += BigInt(B);
+    EXPECT_EQ(X.toDouble(), static_cast<double>(A + B)) << A << " + " << B;
+  }
+}
+
+TEST(BigInt, SubtractionAgainstInt64) {
+  Prng Rng(2);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t A = static_cast<int64_t>(Rng.next()) >> 16;
+    int64_t B = static_cast<int64_t>(Rng.next()) >> 16;
+    BigInt X(A);
+    X -= BigInt(B);
+    EXPECT_EQ(X.toDouble(), static_cast<double>(A - B)) << A << " - " << B;
+  }
+}
+
+TEST(BigInt, CancellationToZero) {
+  BigInt X(123456789);
+  X -= BigInt(123456789);
+  EXPECT_TRUE(X.isZero());
+  X += BigInt(-5);
+  X += BigInt(5);
+  EXPECT_TRUE(X.isZero());
+}
+
+TEST(BigInt, ShiftLeftRightInverse) {
+  Prng Rng(3);
+  for (int Shift : {1, 7, 63, 64, 65, 130, 1000}) {
+    int64_t V = static_cast<int64_t>(Rng.next() >> 2) - (1LL << 61);
+    BigInt X(V);
+    X.shiftLeft(Shift);
+    X.shiftRightTrunc(Shift);
+    EXPECT_EQ(X.toDouble(), static_cast<double>(V)) << "shift " << Shift;
+  }
+}
+
+TEST(BigInt, ShiftRightRounds) {
+  BigInt X(10);
+  X.shiftRightRound(2); // 10/4 = 2.5 -> 3 (ties away from zero)
+  EXPECT_EQ(X.toDouble(), 3.0);
+  BigInt Y(9);
+  Y.shiftRightRound(2); // 2.25 -> 2
+  EXPECT_EQ(Y.toDouble(), 2.0);
+  BigInt Z(-10);
+  Z.shiftRightRound(2); // -2.5 -> -3
+  EXPECT_EQ(Z.toDouble(), -3.0);
+}
+
+TEST(BigInt, MulU64AgainstDouble) {
+  Prng Rng(4);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t A = Rng.nextBounded(1ULL << 50);
+    uint64_t M = Rng.nextBounded(1ULL << 50);
+    BigInt X(static_cast<int64_t>(A));
+    X.mulU64(M);
+    double Expected = static_cast<double>(A) * static_cast<double>(M);
+    EXPECT_NEAR(X.toDouble(), Expected, Expected * 1e-12);
+  }
+}
+
+TEST(BigInt, AddMulAccumulates) {
+  BigInt Acc;
+  BigInt Base(1);
+  Base.shiftLeft(100);
+  Acc.addMul(Base, 7); // 7 * 2^100
+  Acc.addMul(Base, 3); // + 3 * 2^100 = 10 * 2^100
+  BigInt Expected(10);
+  Expected.shiftLeft(100);
+  EXPECT_EQ(Acc, Expected);
+}
+
+TEST(BigInt, PowerOfTwoBitLength) {
+  for (int Bits : {0, 1, 63, 64, 100, 1000, 2000}) {
+    BigInt P = BigInt::powerOfTwo(Bits);
+    EXPECT_EQ(P.bitLength(), Bits + 1);
+  }
+}
+
+TEST(BigInt, FromDoubleRoundTrip) {
+  Prng Rng(5);
+  for (int I = 0; I < 500; ++I) {
+    double V = Rng.nextDouble(-1e15, 1e15);
+    BigInt X = BigInt::fromDouble(V);
+    EXPECT_NEAR(X.toDouble(), std::round(V), 0.5001);
+  }
+}
+
+TEST(BigInt, FromDoubleLargeMagnitudes) {
+  double V = std::ldexp(1.2345, 300);
+  BigInt X = BigInt::fromDouble(V);
+  EXPECT_NEAR(X.toDouble() / V, 1.0, 1e-12);
+  BigInt Y = BigInt::fromDouble(-V);
+  EXPECT_NEAR(Y.toDouble() / V, -1.0, 1e-12);
+}
+
+TEST(BigInt, ModPrimeMatchesInt64) {
+  Modulus Q(1000000007ULL);
+  Prng Rng(6);
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = static_cast<int64_t>(Rng.next()) >> 4;
+    BigInt X(V);
+    int64_t Expected = V % static_cast<int64_t>(Q.value());
+    if (Expected < 0)
+      Expected += Q.value();
+    EXPECT_EQ(X.modPrime(Q), static_cast<uint64_t>(Expected));
+  }
+}
+
+TEST(BigInt, ModPrimeOfShiftedValue) {
+  // (2^200) mod p computed independently via powMod.
+  Modulus Q(998244353ULL);
+  BigInt X = BigInt::powerOfTwo(200);
+  EXPECT_EQ(X.modPrime(Q), powMod(2, 200, Q));
+  X.negate();
+  EXPECT_EQ(X.modPrime(Q), Q.negMod(powMod(2, 200, Q)));
+}
+
+TEST(BigInt, CenterMod2kSmall) {
+  // Residues mod 16 centered into [-8, 8).
+  for (int V = -40; V <= 40; ++V) {
+    BigInt X(V);
+    X.centerMod2k(4);
+    int64_t R = ((V % 16) + 16) % 16;
+    if (R >= 8)
+      R -= 16;
+    EXPECT_EQ(X.toDouble(), static_cast<double>(R)) << "V=" << V;
+  }
+}
+
+TEST(BigInt, CenterMod2kLarge) {
+  // (2^500 + 3) mod 2^100 = 3.
+  BigInt X = BigInt::powerOfTwo(500);
+  X += BigInt(3);
+  X.centerMod2k(100);
+  EXPECT_EQ(X.toDouble(), 3.0);
+  // (2^99) mod 2^100 centered = -2^99... boundary maps to negative half.
+  BigInt Y = BigInt::powerOfTwo(99);
+  Y.centerMod2k(100);
+  EXPECT_TRUE(Y.isNegative());
+  EXPECT_EQ(Y.bitLength(), 100);
+}
+
+TEST(BigInt, CompareOrdering) {
+  EXPECT_LT(BigInt(-5).compare(BigInt(3)), 0);
+  EXPECT_GT(BigInt(3).compare(BigInt(-5)), 0);
+  EXPECT_EQ(BigInt(7).compare(BigInt(7)), 0);
+  EXPECT_LT(BigInt(-7).compare(BigInt(-5)), 0);
+  BigInt Big = BigInt::powerOfTwo(300);
+  EXPECT_GT(Big.compare(BigInt(INT64_MAX)), 0);
+}
+
+} // namespace

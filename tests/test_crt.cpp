@@ -1,0 +1,96 @@
+//===- test_crt.cpp - Unit tests for the CRT basis -------------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Crt.h"
+
+#include "math/PrimeGen.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace chet;
+
+namespace {
+
+TEST(Crt, DecomposeReconstructSmall) {
+  CrtBasis Basis({97, 101, 103});
+  for (int64_t V = -500000; V <= 500000; V += 12345) {
+    BigInt X(V);
+    uint64_t Residues[3];
+    Basis.decompose(X, Residues);
+    BigInt Back = Basis.reconstructCentered(Residues);
+    EXPECT_EQ(Back.toDouble(), static_cast<double>(V)) << V;
+  }
+}
+
+TEST(Crt, RoundTripLargeValues) {
+  auto Primes = generateNttPrimes(59, 12, 8);
+  CrtBasis Basis(Primes);
+  Prng Rng(1);
+  for (int I = 0; I < 200; ++I) {
+    // Random ~400-bit signed value (product is ~472 bits).
+    BigInt X(static_cast<int64_t>(Rng.next() >> 1));
+    for (int J = 0; J < 6; ++J) {
+      X.shiftLeft(55);
+      X += BigInt(static_cast<int64_t>(Rng.next() >> 10) - (1LL << 53));
+    }
+    uint64_t Residues[8];
+    Basis.decompose(X, Residues);
+    BigInt Back = Basis.reconstructCentered(Residues);
+    EXPECT_EQ(Back.compare(X), 0);
+  }
+}
+
+TEST(Crt, NegativeValuesReconstructCentered) {
+  auto Primes = generateNttPrimes(59, 10, 4);
+  CrtBasis Basis(Primes);
+  BigInt X = BigInt::powerOfTwo(150);
+  X.negate();
+  uint64_t Residues[4];
+  Basis.decompose(X, Residues);
+  BigInt Back = Basis.reconstructCentered(Residues);
+  EXPECT_EQ(Back.compare(X), 0);
+  EXPECT_TRUE(Back.isNegative());
+}
+
+TEST(Crt, ResiduesAreReduced) {
+  auto Primes = generateNttPrimes(59, 10, 5);
+  CrtBasis Basis(Primes);
+  Prng Rng(2);
+  BigInt X(static_cast<int64_t>(Rng.next()));
+  X.shiftLeft(200);
+  uint64_t Residues[5];
+  Basis.decompose(X, Residues);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_LT(Residues[I], Basis.prime(I).value());
+}
+
+TEST(Crt, HomomorphicUnderAddition) {
+  auto Primes = generateNttPrimes(59, 10, 4);
+  CrtBasis Basis(Primes);
+  Prng Rng(3);
+  BigInt A(static_cast<int64_t>(Rng.next() >> 8));
+  BigInt B(static_cast<int64_t>(Rng.next() >> 8));
+  A.shiftLeft(120);
+  B.shiftLeft(100);
+  uint64_t Ra[4], Rb[4], Rsum[4];
+  Basis.decompose(A, Ra);
+  Basis.decompose(B, Rb);
+  for (int I = 0; I < 4; ++I)
+    Rsum[I] = Basis.prime(I).addMod(Ra[I], Rb[I]);
+  BigInt Sum = A;
+  Sum += B;
+  BigInt Back = Basis.reconstructCentered(Rsum);
+  EXPECT_EQ(Back.compare(Sum), 0);
+}
+
+TEST(Crt, ProductMatchesPrimeProduct) {
+  CrtBasis Basis({3, 5, 7});
+  EXPECT_EQ(Basis.product().toDouble(), 105.0);
+  EXPECT_EQ(Basis.count(), 3);
+}
+
+} // namespace

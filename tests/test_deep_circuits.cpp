@@ -1,0 +1,171 @@
+//===- test_deep_circuits.cpp - Depth, precision, and budget stress --------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stress tests at the edges the compiler must reason about: multiply
+/// chains that exhaust the modulus budget to the last level, encoder
+/// precision across the fixed-point scale range, and rotation compositions
+/// under compiler-selected (non-power-of-two) key sets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+#include "hisa/Hisa.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+TEST(DeepCircuits, RnsMultiplyChainToLastLevel) {
+  // x^(2^k) by repeated squaring down the whole modulus chain.
+  RnsCkksParams P = RnsCkksParams::create(12, 8, 60, 30);
+  P.Security = SecurityLevel::None;
+  RnsCkksBackend Backend(P);
+  const double Scale = std::ldexp(1.0, 30);
+  Prng Rng(1);
+  std::vector<double> V(Backend.slotCount());
+  for (auto &X : V)
+    X = Rng.nextDouble(0.8, 1.2); // near 1 so powers stay bounded
+  auto C = Backend.encrypt(Backend.encode(V, Scale));
+  int Squarings = 0;
+  while (Backend.levelOf(C) >= 2) {
+    auto C2 = mul(Backend, C, C);
+    rescaleToFloor(Backend, C2, Scale);
+    if (Backend.levelOf(C2) == Backend.levelOf(C))
+      break; // no more modulus to consume
+    C = std::move(C2);
+    ++Squarings;
+  }
+  ASSERT_GE(Squarings, 3);
+  auto Back = Backend.decode(Backend.decrypt(C));
+  double Tol = 0.02; // relative noise accumulates with depth
+  for (size_t I = 0; I < V.size(); ++I) {
+    double Want = std::pow(V[I], std::pow(2.0, Squarings));
+    ASSERT_NEAR(Back[I], Want, Tol * std::max(1.0, Want))
+        << "slot " << I << " after " << Squarings << " squarings";
+  }
+}
+
+TEST(DeepCircuits, BigMultiplyChainExactBudget) {
+  BigCkksParams P;
+  P.LogN = 11;
+  P.LogQ = 240;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  BigCkksBackend Backend(P);
+  const double Scale = std::ldexp(1.0, 30);
+  Prng Rng(2);
+  std::vector<double> V(Backend.slotCount());
+  for (auto &X : V)
+    X = Rng.nextDouble(0.8, 1.2);
+  auto C = Backend.encrypt(Backend.encode(V, Scale));
+  // Each squaring + exact rescale consumes exactly 30 bits; the 240-bit
+  // modulus sustains five squarings with 60 bits left for the output.
+  for (int Round = 0; Round < 5; ++Round) {
+    auto C2 = mul(Backend, C, C);
+    rescaleToFloor(Backend, C2, Scale);
+    C = std::move(C2);
+  }
+  EXPECT_EQ(Backend.logQOf(C), 240 - 5 * 30);
+  auto Back = Backend.decode(Backend.decrypt(C));
+  for (size_t I = 0; I < V.size(); ++I) {
+    double Want = std::pow(V[I], 32.0);
+    ASSERT_NEAR(Back[I], Want, 0.05 * std::max(1.0, Want)) << "slot " << I;
+  }
+}
+
+class EncoderScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderScaleSweep, RoundTripPrecisionTracksScale) {
+  // Fresh encrypt/decrypt noise is roughly constant in absolute coefficient
+  // terms, so slot precision should improve proportionally with the scale.
+  int ScaleBits = GetParam();
+  RnsCkksParams P = RnsCkksParams::create(12, 2, 60, 40);
+  P.Security = SecurityLevel::None;
+  RnsCkksBackend Backend(P);
+  Prng Rng(ScaleBits);
+  std::vector<double> V(Backend.slotCount());
+  for (auto &X : V)
+    X = Rng.nextDouble(-1, 1);
+  double Scale = std::ldexp(1.0, ScaleBits);
+  auto Back = Backend.decode(Backend.decrypt(
+      Backend.encrypt(Backend.encode(V, Scale))));
+  double MaxErr = 0;
+  for (size_t I = 0; I < V.size(); ++I)
+    MaxErr = std::max(MaxErr, std::fabs(Back[I] - V[I]));
+  // Error ~ 2^14 / scale with wide margin.
+  EXPECT_LT(MaxErr, std::ldexp(1.0, 18 - ScaleBits));
+  // And the scale must not be so small that values are destroyed.
+  EXPECT_LT(MaxErr, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EncoderScaleSweep,
+                         ::testing::Values(20, 25, 30, 35, 40, 45, 50));
+
+TEST(DeepCircuits, RotationCompositionUnderSelectedKeys) {
+  // A long walk of non-power-of-two rotations, each with a dedicated key
+  // (the compiler's configuration): the composition must equal one big
+  // rotation.
+  RnsCkksParams P = RnsCkksParams::create(11, 2, 60, 40);
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  RnsCkksBackend Backend(P);
+  std::vector<int> Steps = {3, 7, 11, 23, 145};
+  Backend.generateRotationKeys(Steps);
+  Prng Rng(5);
+  std::vector<double> V(Backend.slotCount());
+  for (auto &X : V)
+    X = Rng.nextDouble(-2, 2);
+  auto C = Backend.encrypt(Backend.encode(V, std::ldexp(1.0, 35)));
+  int Total = 0;
+  for (int S : Steps) {
+    Backend.rotLeftAssign(C, S);
+    Total += S;
+  }
+  auto Back = Backend.decode(Backend.decrypt(C));
+  size_t Slots = Backend.slotCount();
+  for (size_t I = 0; I < Slots; ++I)
+    ASSERT_NEAR(Back[I], V[(I + Total) % Slots], 1e-3) << "slot " << I;
+}
+
+TEST(DeepCircuits, InterleavedAddMulRotateStaysPrecise) {
+  // A mixed workload shaped like a convolution inner loop, repeated until
+  // two levels remain.
+  RnsCkksParams P = RnsCkksParams::create(12, 6, 60, 30);
+  P.Security = SecurityLevel::None;
+  RnsCkksBackend Backend(P);
+  const double Scale = std::ldexp(1.0, 30);
+  Prng Rng(6);
+  size_t Slots = Backend.slotCount();
+  std::vector<double> V(Slots);
+  for (auto &X : V)
+    X = Rng.nextDouble(-1, 1);
+  std::vector<double> Ref = V;
+  auto C = Backend.encrypt(Backend.encode(V, Scale));
+  for (int Round = 0; Round < 3; ++Round) {
+    // ct = 0.5 * (ct + rot(ct, 4)) followed by ct += 0.25
+    auto R = rotLeft(Backend, C, 4);
+    Backend.addAssign(C, R);
+    Backend.mulScalarAssign(C, 0.5, uint64_t(1) << 30);
+    rescaleToFloor(Backend, C, Scale);
+    Backend.addScalarAssign(C, 0.25);
+    std::vector<double> Next(Slots);
+    for (size_t I = 0; I < Slots; ++I)
+      Next[I] = 0.5 * (Ref[I] + Ref[(I + 4) % Slots]) + 0.25;
+    Ref = std::move(Next);
+  }
+  auto Back = Backend.decode(Backend.decrypt(C));
+  for (size_t I = 0; I < Slots; ++I)
+    ASSERT_NEAR(Back[I], Ref[I], 1e-3) << "slot " << I;
+}
+
+} // namespace

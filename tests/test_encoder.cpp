@@ -1,0 +1,140 @@
+//===- test_encoder.cpp - Unit tests for the CKKS encoder ------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/Encoder.h"
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+class EncoderParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderParamTest, EncodeDecodeRoundTrip) {
+  int LogN = GetParam();
+  CkksEncoder Enc(LogN);
+  Prng Rng(LogN);
+  std::vector<double> Values(Enc.slotCount());
+  for (auto &V : Values)
+    V = Rng.nextDouble(-10, 10);
+  double Scale = std::ldexp(1.0, 30);
+  auto Coeffs = Enc.encodeCoeffs(Values, Scale);
+  auto Back = Enc.decodeValues(Coeffs, Scale);
+  ASSERT_EQ(Back.size(), Values.size());
+  for (size_t I = 0; I < Values.size(); ++I)
+    EXPECT_NEAR(Back[I], Values[I], 1e-6) << "slot " << I;
+}
+
+TEST_P(EncoderParamTest, CoefficientsAreIntegers) {
+  int LogN = GetParam();
+  CkksEncoder Enc(LogN);
+  Prng Rng(7 * LogN);
+  std::vector<double> Values(Enc.slotCount());
+  for (auto &V : Values)
+    V = Rng.nextDouble(-1, 1);
+  auto Coeffs = Enc.encodeCoeffs(Values, std::ldexp(1.0, 20));
+  for (double C : Coeffs)
+    EXPECT_EQ(C, std::nearbyint(C));
+}
+
+TEST_P(EncoderParamTest, EncodingIsLinear) {
+  int LogN = GetParam();
+  CkksEncoder Enc(LogN);
+  Prng Rng(13 * LogN);
+  size_t Slots = Enc.slotCount();
+  std::vector<double> A(Slots), B(Slots), Sum(Slots);
+  for (size_t I = 0; I < Slots; ++I) {
+    A[I] = Rng.nextDouble(-5, 5);
+    B[I] = Rng.nextDouble(-5, 5);
+    Sum[I] = A[I] + B[I];
+  }
+  double Scale = std::ldexp(1.0, 30);
+  auto CA = Enc.encodeCoeffs(A, Scale);
+  auto CB = Enc.encodeCoeffs(B, Scale);
+  std::vector<double> CSum(CA.size());
+  for (size_t I = 0; I < CA.size(); ++I)
+    CSum[I] = CA[I] + CB[I];
+  auto Back = Enc.decodeValues(CSum, Scale);
+  for (size_t I = 0; I < Slots; ++I)
+    EXPECT_NEAR(Back[I], Sum[I], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EncoderParamTest,
+                         ::testing::Values(4, 6, 10, 13));
+
+TEST(Encoder, PartialVectorPadsWithZeros) {
+  CkksEncoder Enc(6);
+  std::vector<double> Values = {1.5, -2.25, 3.0};
+  auto Coeffs = Enc.encodeCoeffs(Values, 1 << 20);
+  auto Back = Enc.decodeValues(Coeffs, 1 << 20);
+  EXPECT_NEAR(Back[0], 1.5, 1e-5);
+  EXPECT_NEAR(Back[1], -2.25, 1e-5);
+  EXPECT_NEAR(Back[2], 3.0, 1e-5);
+  for (size_t I = 3; I < Back.size(); ++I)
+    EXPECT_NEAR(Back[I], 0.0, 1e-5);
+}
+
+TEST(Encoder, ConstantVectorEncodesAsConstantPolynomial) {
+  CkksEncoder Enc(8);
+  std::vector<double> Values(Enc.slotCount(), 3.25);
+  double Scale = 1 << 16;
+  auto Coeffs = Enc.encodeCoeffs(Values, Scale);
+  EXPECT_NEAR(Coeffs[0], 3.25 * Scale, 1.0);
+  for (size_t I = 1; I < Coeffs.size(); ++I)
+    EXPECT_NEAR(Coeffs[I], 0.0, 1.0);
+}
+
+TEST(Encoder, GaloisElementMatchesSlotRotation) {
+  // Applying the automorphism X -> X^{g} to the encoded polynomial must
+  // rotate the slot vector left by the corresponding step count.
+  CkksEncoder Enc(6);
+  size_t N = Enc.ringDegree();
+  size_t Slots = Enc.slotCount();
+  Prng Rng(5);
+  std::vector<double> Values(Slots);
+  for (auto &V : Values)
+    V = Rng.nextDouble(-4, 4);
+  double Scale = std::ldexp(1.0, 24);
+  auto Coeffs = Enc.encodeCoeffs(Values, Scale);
+
+  for (int Step : {1, 2, 3, 7, -1, -5, static_cast<int>(Slots) - 1}) {
+    uint64_t Elt = Enc.galoisElement(Step);
+    // Apply the automorphism over the rationals (no modulus): emulate with
+    // a large prime so negation is exact.
+    uint64_t BigPrime = 2305843009213693951ULL; // 2^61 - 1
+    std::vector<uint64_t> In(N), Out(N);
+    for (size_t I = 0; I < N; ++I) {
+      long long V = static_cast<long long>(Coeffs[I]);
+      In[I] = V >= 0 ? static_cast<uint64_t>(V)
+                     : BigPrime - static_cast<uint64_t>(-V);
+    }
+    applyAutomorphismRns(In.data(), Out.data(), N, Elt, BigPrime);
+    std::vector<double> OutCoeffs(N);
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t V = Out[I];
+      OutCoeffs[I] = V > BigPrime / 2 ? -static_cast<double>(BigPrime - V)
+                                      : static_cast<double>(V);
+    }
+    auto Rotated = Enc.decodeValues(OutCoeffs, Scale);
+    int S = ((Step % static_cast<int>(Slots)) + Slots) % Slots;
+    for (size_t I = 0; I < Slots; ++I)
+      EXPECT_NEAR(Rotated[I], Values[(I + S) % Slots], 1e-5)
+          << "step " << Step << " slot " << I;
+  }
+}
+
+TEST(Encoder, RejectsOversizedInput) {
+  CkksEncoder Enc(4);
+  std::vector<double> TooMany(Enc.slotCount() + 1, 1.0);
+  EXPECT_DEATH((void)Enc.encodeCoeffs(TooMany, 1024.0), "too many values");
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- test_failure_injection.cpp - Negative-path and tamper tests ---------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the failure modes a privacy-preserving deployment cares
+/// about: decryption under the wrong key yields no information, tampered
+/// ciphertexts do not silently produce near-correct results, and the
+/// library's invariant checks fire (as aborts) instead of computing
+/// garbage when misused.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/RnsCkks.h"
+
+#include "ckks/BigCkks.h"
+#include "hisa/Hisa.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+namespace {
+
+RnsCkksParams smallParams(uint64_t Seed) {
+  RnsCkksParams P = RnsCkksParams::create(11, 3);
+  P.Security = SecurityLevel::None;
+  P.Seed = Seed;
+  P.StockPow2Keys = false;
+  return P;
+}
+
+std::vector<double> values(size_t N, uint64_t Seed) {
+  Prng Rng(Seed);
+  std::vector<double> V(N);
+  for (auto &X : V)
+    X = Rng.nextDouble(-4, 4);
+  return V;
+}
+
+TEST(FailureInjection, WrongKeyDecryptsToNoise) {
+  RnsCkksBackend Alice(smallParams(1));
+  RnsCkksBackend Eve(smallParams(2)); // different secret key
+  auto V = values(Alice.slotCount(), 3);
+  auto Ct = Alice.encrypt(Alice.encode(V, 1LL << 40));
+  auto Stolen = Eve.decode(Eve.decrypt(Ct));
+  // Under the wrong key the "plaintext" is essentially uniform mod Q,
+  // decoding to astronomically large junk; nothing resembling V.
+  double MaxMagnitude = 0;
+  for (double X : Stolen)
+    MaxMagnitude = std::max(MaxMagnitude, std::fabs(X));
+  EXPECT_GT(MaxMagnitude, 1e6);
+}
+
+TEST(FailureInjection, TamperedCiphertextCorruptsResult) {
+  RnsCkksBackend Backend(smallParams(4));
+  auto V = values(Backend.slotCount(), 5);
+  auto Ct = Backend.encrypt(Backend.encode(V, 1LL << 40));
+  // Flip a handful of NTT-domain words: the error spreads across every
+  // slot after the inverse transform (no silent local corruption).
+  Prng Rng(6);
+  for (int I = 0; I < 4; ++I)
+    Ct.C0[Rng.nextBounded(Ct.C0.size())] ^= 0xDEADBEEF;
+  auto Back = Backend.decode(Backend.decrypt(Ct));
+  int SlotsOff = 0;
+  for (size_t I = 0; I < V.size(); ++I)
+    SlotsOff += std::fabs(Back[I] - V[I]) > 1.0;
+  EXPECT_GT(SlotsOff, static_cast<int>(V.size()) / 2);
+}
+
+TEST(FailureInjection, EncryptionIsNonDeterministic) {
+  // FHE encryption samples fresh randomness per call (Section 3.2:
+  // "FHE is non-deterministic"); two encryptions of the same value must
+  // differ in nearly every word.
+  RnsCkksBackend Backend(smallParams(7));
+  auto V = values(Backend.slotCount(), 8);
+  auto P = Backend.encode(V, 1LL << 40);
+  auto C1 = Backend.encrypt(P);
+  auto C2 = Backend.encrypt(P);
+  size_t Same = 0;
+  for (size_t I = 0; I < C1.C0.size(); ++I)
+    Same += C1.C0[I] == C2.C0[I];
+  EXPECT_LT(Same, C1.C0.size() / 100);
+}
+
+TEST(FailureInjection, RotationWithoutAnyKeysAborts) {
+  RnsCkksBackend Backend(smallParams(9)); // StockPow2Keys = false
+  auto Ct = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 10), 1LL << 40));
+  EXPECT_DEATH(Backend.rotLeftAssign(Ct, 3), "rotation key");
+}
+
+TEST(FailureInjection, RescalePastBasePrimeAborts) {
+  RnsCkksBackend Backend(smallParams(11));
+  auto Ct = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 12), 1LL << 40));
+  // Consume every level...
+  while (Backend.levelOf(Ct) > 0) {
+    Backend.mulScalarAssign(Ct, 1.0, uint64_t(1) << 40);
+    uint64_t D = Backend.maxRescale(Ct, UINT64_MAX);
+    ASSERT_GT(D, 1u);
+    Backend.rescaleAssign(Ct, D);
+  }
+  // ...then one more rescale must refuse rather than corrupt.
+  EXPECT_EQ(Backend.maxRescale(Ct, UINT64_MAX), 1u);
+  EXPECT_DEATH(Backend.rescaleAssign(Ct, 2), "rescale");
+}
+
+TEST(FailureInjection, MismatchedAdditionScalesAbort) {
+  RnsCkksBackend Backend(smallParams(13));
+  auto A = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 14), 1LL << 40));
+  auto B = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 15), 1LL << 30));
+  EXPECT_DEATH(Backend.addAssign(A, B), "scale mismatch");
+}
+
+TEST(FailureInjection, BigCkksWrongKeyDecryptsToNoise) {
+  BigCkksParams P;
+  P.LogN = 10;
+  P.LogQ = 100;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  P.Seed = 21;
+  BigCkksBackend Alice(P);
+  P.Seed = 22;
+  BigCkksBackend Eve(P);
+  auto V = values(Alice.slotCount(), 23);
+  auto Ct = Alice.encrypt(Alice.encode(V, 1 << 25));
+  auto Stolen = Eve.decode(Eve.decrypt(Ct));
+  double MaxMagnitude = 0;
+  for (double X : Stolen)
+    MaxMagnitude = std::max(MaxMagnitude, std::fabs(X));
+  EXPECT_GT(MaxMagnitude, 1e3);
+}
+
+TEST(FailureInjection, OversizedEncodeAborts) {
+  RnsCkksBackend Backend(smallParams(24));
+  std::vector<double> Huge(Backend.slotCount(), 1.0);
+  // Scale * value overflows the 62-bit coefficient embedding.
+  EXPECT_DEATH((void)Backend.encode(Huge, std::ldexp(1.0, 63)),
+               "62-bit embedding");
+}
+
+} // namespace

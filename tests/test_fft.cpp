@@ -1,0 +1,113 @@
+//===- test_fft.cpp - Unit tests for the complex FFT ----------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Fft.h"
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+using namespace chet;
+
+namespace {
+
+using Cx = std::complex<double>;
+
+std::vector<Cx> refDft(const std::vector<Cx> &X, bool Inverse) {
+  size_t N = X.size();
+  std::vector<Cx> Y(N);
+  double SignTwoPi = (Inverse ? 1.0 : -1.0) * 6.283185307179586;
+  for (size_t K = 0; K < N; ++K) {
+    Cx Sum = 0;
+    for (size_t J = 0; J < N; ++J) {
+      double Angle = SignTwoPi * double(J) * double(K) / double(N);
+      Sum += X[J] * Cx(std::cos(Angle), std::sin(Angle));
+    }
+    Y[K] = Inverse ? Sum / double(N) : Sum;
+  }
+  return Y;
+}
+
+class FftParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftParamTest, MatchesReferenceDft) {
+  int LogN = GetParam();
+  size_t N = size_t(1) << LogN;
+  Fft Transform(LogN);
+  Prng Rng(LogN);
+  std::vector<Cx> Data(N);
+  for (auto &V : Data)
+    V = Cx(Rng.nextDouble(-1, 1), Rng.nextDouble(-1, 1));
+  std::vector<Cx> Expected = refDft(Data, false);
+  std::vector<Cx> Actual = Data;
+  Transform.forward(Actual.data());
+  for (size_t I = 0; I < N; ++I) {
+    EXPECT_NEAR(Actual[I].real(), Expected[I].real(), 1e-9 * N);
+    EXPECT_NEAR(Actual[I].imag(), Expected[I].imag(), 1e-9 * N);
+  }
+}
+
+TEST_P(FftParamTest, RoundTripPrecision) {
+  int LogN = GetParam();
+  size_t N = size_t(1) << LogN;
+  Fft Transform(LogN);
+  Prng Rng(100 + LogN);
+  std::vector<Cx> Data(N);
+  for (auto &V : Data)
+    V = Cx(Rng.nextDouble(-100, 100), Rng.nextDouble(-100, 100));
+  std::vector<Cx> Copy = Data;
+  Transform.forward(Copy.data());
+  Transform.inverse(Copy.data());
+  for (size_t I = 0; I < N; ++I) {
+    EXPECT_NEAR(Copy[I].real(), Data[I].real(), 1e-8);
+    EXPECT_NEAR(Copy[I].imag(), Data[I].imag(), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParamTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 9));
+
+TEST(Fft, LargeRoundTripStaysPrecise) {
+  // The encoder uses sizes up to 2^15; check precision does not collapse.
+  int LogN = 15;
+  size_t N = size_t(1) << LogN;
+  Fft Transform(LogN);
+  Prng Rng(999);
+  std::vector<Cx> Data(N);
+  for (auto &V : Data)
+    V = Cx(Rng.nextDouble(-1e6, 1e6), 0.0);
+  std::vector<Cx> Copy = Data;
+  Transform.forward(Copy.data());
+  Transform.inverse(Copy.data());
+  double MaxErr = 0;
+  for (size_t I = 0; I < N; ++I)
+    MaxErr = std::max(MaxErr, std::abs(Copy[I].real() - Data[I].real()));
+  EXPECT_LT(MaxErr, 1e-4);
+}
+
+TEST(Fft, ParsevalHolds) {
+  int LogN = 8;
+  size_t N = size_t(1) << LogN;
+  Fft Transform(LogN);
+  Prng Rng(31);
+  std::vector<Cx> Data(N);
+  double TimeEnergy = 0;
+  for (auto &V : Data) {
+    V = Cx(Rng.nextDouble(-1, 1), Rng.nextDouble(-1, 1));
+    TimeEnergy += std::norm(V);
+  }
+  Transform.forward(Data.data());
+  double FreqEnergy = 0;
+  for (auto &V : Data)
+    FreqEnergy += std::norm(V);
+  EXPECT_NEAR(FreqEnergy, TimeEnergy * double(N), 1e-6 * FreqEnergy);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- test_hisa_properties.cpp - HISA semantics across backends -----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed property tests: the same algebraic laws must hold for every HISA
+/// implementation -- the plain reference, RNS-CKKS, and big-CKKS -- since
+/// the kernels and the compiler treat them interchangeably (Section 4.1:
+/// "this abstraction enables CHET to target new encryption schemes").
+/// Each law is checked on random slot vectors within the scheme's
+/// fixed-point tolerance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+#include "hisa/Hisa.h"
+#include "hisa/PlainBackend.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace chet;
+
+namespace {
+
+constexpr double kScale = 1073741824.0; // 2^30
+
+// Uniform construction + tolerance per backend type.
+template <typename B> struct Harness;
+
+template <> struct Harness<PlainBackend> {
+  static std::unique_ptr<PlainBackend> make() {
+    return std::make_unique<PlainBackend>(11);
+  }
+  static constexpr double Tol = 1e-9;
+};
+
+template <> struct Harness<RnsCkksBackend> {
+  static std::unique_ptr<RnsCkksBackend> make() {
+    RnsCkksParams P = RnsCkksParams::create(11, 4, 60, 30);
+    P.Security = SecurityLevel::None;
+    return std::make_unique<RnsCkksBackend>(P);
+  }
+  static constexpr double Tol = 2e-3;
+};
+
+template <> struct Harness<BigCkksBackend> {
+  static std::unique_ptr<BigCkksBackend> make() {
+    BigCkksParams P;
+    P.LogN = 11;
+    P.LogQ = 180;
+    P.Security = SecurityLevel::None;
+    return std::make_unique<BigCkksBackend>(P);
+  }
+  static constexpr double Tol = 2e-3;
+};
+
+template <typename B> class HisaLawsTest : public ::testing::Test {
+protected:
+  void SetUp() override { Backend = Harness<B>::make(); }
+
+  std::vector<double> randomValues(uint64_t Seed, double Lo = -3,
+                                   double Hi = 3) {
+    Prng Rng(Seed);
+    std::vector<double> V(Backend->slotCount());
+    for (auto &X : V)
+      X = Rng.nextDouble(Lo, Hi);
+    return V;
+  }
+
+  typename B::Ct enc(const std::vector<double> &V) {
+    return Backend->encrypt(Backend->encode(V, kScale));
+  }
+
+  std::vector<double> dec(const typename B::Ct &C) {
+    return Backend->decode(Backend->decrypt(C));
+  }
+
+  void expectSlots(const typename B::Ct &C,
+                   const std::vector<double> &Want, double TolScale = 1) {
+    auto Got = dec(C);
+    for (size_t I = 0; I < Want.size(); ++I)
+      ASSERT_NEAR(Got[I], Want[I], Harness<B>::Tol * TolScale)
+          << "slot " << I;
+  }
+
+  std::unique_ptr<B> Backend;
+};
+
+using Backends =
+    ::testing::Types<PlainBackend, RnsCkksBackend, BigCkksBackend>;
+TYPED_TEST_SUITE(HisaLawsTest, Backends);
+
+TYPED_TEST(HisaLawsTest, AdditionCommutes) {
+  auto A = this->randomValues(1), B = this->randomValues(2);
+  auto CA = this->enc(A), CB = this->enc(B);
+  auto AB = add(*this->Backend, CA, CB);
+  auto BA = add(*this->Backend, CB, CA);
+  auto GotAB = this->dec(AB), GotBA = this->dec(BA);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(GotAB[I], GotBA[I], 1e-9);
+}
+
+TYPED_TEST(HisaLawsTest, AddSubCancel) {
+  auto A = this->randomValues(3), B = this->randomValues(4);
+  auto C = this->enc(A);
+  auto CB = this->enc(B);
+  this->Backend->addAssign(C, CB);
+  this->Backend->subAssign(C, CB);
+  this->expectSlots(C, A);
+}
+
+TYPED_TEST(HisaLawsTest, MulDistributesOverAdd) {
+  auto A = this->randomValues(5, -2, 2), B = this->randomValues(6, -2, 2),
+       X = this->randomValues(7, -2, 2);
+  auto CX = this->enc(X);
+  // (a + b) * x vs a*x + b*x.
+  auto CSum = add(*this->Backend, this->enc(A), this->enc(B));
+  auto Lhs = mul(*this->Backend, CSum, CX);
+  rescaleToFloor(*this->Backend, Lhs, kScale);
+  auto Ax = mul(*this->Backend, this->enc(A), CX);
+  rescaleToFloor(*this->Backend, Ax, kScale);
+  auto Bx = mul(*this->Backend, this->enc(B), CX);
+  rescaleToFloor(*this->Backend, Bx, kScale);
+  this->Backend->addAssign(Ax, Bx);
+  auto GotL = this->dec(Lhs), GotR = this->dec(Ax);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(GotL[I], GotR[I], 10 * Harness<TypeParam>::Tol);
+}
+
+TYPED_TEST(HisaLawsTest, RotationsCompose) {
+  auto A = this->randomValues(8);
+  auto C = this->enc(A);
+  this->Backend->rotLeftAssign(C, 2);
+  this->Backend->rotLeftAssign(C, 4); // both power-of-two: keyed
+  size_t Slots = this->Backend->slotCount();
+  std::vector<double> Want(Slots);
+  for (size_t I = 0; I < Slots; ++I)
+    Want[I] = A[(I + 6) % Slots];
+  this->expectSlots(C, Want, 4);
+}
+
+TYPED_TEST(HisaLawsTest, RotationInverts) {
+  auto A = this->randomValues(9);
+  auto C = this->enc(A);
+  this->Backend->rotLeftAssign(C, 8);
+  this->Backend->rotRightAssign(C, 8);
+  this->expectSlots(C, A, 4);
+}
+
+TYPED_TEST(HisaLawsTest, FullRotationIsIdentity) {
+  auto A = this->randomValues(10);
+  auto C = this->enc(A);
+  this->Backend->rotLeftAssign(C,
+                               static_cast<int>(this->Backend->slotCount()));
+  this->expectSlots(C, A);
+}
+
+TYPED_TEST(HisaLawsTest, RotationCommutesWithAddition) {
+  auto A = this->randomValues(11), B = this->randomValues(12);
+  auto CA = this->enc(A), CB = this->enc(B);
+  // rot(a + b) == rot(a) + rot(b)
+  auto Sum = add(*this->Backend, CA, CB);
+  this->Backend->rotLeftAssign(Sum, 4);
+  auto RA = rotLeft(*this->Backend, CA, 4);
+  auto RB = rotLeft(*this->Backend, CB, 4);
+  this->Backend->addAssign(RA, RB);
+  auto GotL = this->dec(Sum), GotR = this->dec(RA);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(GotL[I], GotR[I], 10 * Harness<TypeParam>::Tol);
+}
+
+TYPED_TEST(HisaLawsTest, ScalarAndPlainMultiplicationAgree) {
+  auto A = this->randomValues(13, -2, 2);
+  auto C1 = this->enc(A), C2 = this->enc(A);
+  // Multiply by the constant 1.5 via mulScalar and via a mulPlain of the
+  // constant vector.
+  this->Backend->mulScalarAssign(C1, 1.5, uint64_t(kScale));
+  std::vector<double> Const(this->Backend->slotCount(), 1.5);
+  this->Backend->mulPlainAssign(C2, this->Backend->encode(Const, kScale));
+  rescaleToFloor(*this->Backend, C1, kScale);
+  rescaleToFloor(*this->Backend, C2, kScale);
+  auto Got1 = this->dec(C1), Got2 = this->dec(C2);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Got1[I], Got2[I], 10 * Harness<TypeParam>::Tol);
+}
+
+TYPED_TEST(HisaLawsTest, RescaleWithMaxRescalePreservesValues) {
+  auto A = this->randomValues(14, -2, 2);
+  auto C = this->enc(A);
+  this->Backend->mulScalarAssign(C, 0.5, uint64_t(kScale));
+  uint64_t D = this->Backend->maxRescale(
+      C, static_cast<uint64_t>(this->Backend->scaleOf(C) / kScale));
+  this->Backend->rescaleAssign(C, D);
+  std::vector<double> Want(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Want[I] = 0.5 * A[I];
+  this->expectSlots(C, Want, 4);
+}
+
+TYPED_TEST(HisaLawsTest, ScaleBookkeepingUnderOps) {
+  auto A = this->randomValues(15);
+  auto C = this->enc(A);
+  EXPECT_NEAR(this->Backend->scaleOf(C), kScale, 1);
+  this->Backend->rotLeftAssign(C, 1);
+  EXPECT_NEAR(this->Backend->scaleOf(C), kScale, 1); // rotation: unchanged
+  this->Backend->mulScalarAssign(C, 1.0, 1u << 10);
+  EXPECT_NEAR(this->Backend->scaleOf(C), kScale * 1024, 1);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- test_ir.cpp - Unit tests for the tensor-circuit IR ------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Ir.h"
+
+#include "runtime/ReferenceOps.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace chet;
+
+namespace {
+
+ConvWeights someConv(int Cout, int Cin, int K, uint64_t Seed) {
+  ConvWeights Wt(Cout, Cin, K, K);
+  Prng Rng(Seed);
+  for (double &V : Wt.W)
+    V = Rng.nextDouble(-1, 1);
+  return Wt;
+}
+
+TEST(Ir, ShapeInference) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(3, 28, 28);
+  EXPECT_EQ(Circ.op(X).C, 3);
+  X = Circ.conv2d(X, someConv(8, 3, 5, 1), 1, 2);
+  EXPECT_EQ(Circ.op(X).C, 8);
+  EXPECT_EQ(Circ.op(X).H, 28); // 'same' padding
+  X = Circ.averagePool(X, 2, 2);
+  EXPECT_EQ(Circ.op(X).H, 14);
+  X = Circ.conv2d(X, someConv(4, 8, 3, 2), 2, 0);
+  EXPECT_EQ(Circ.op(X).H, 6); // (14 - 3)/2 + 1
+  X = Circ.fullyConnected(X, FcWeights(10, 4 * 6 * 6));
+  EXPECT_EQ(Circ.op(X).C, 10);
+  EXPECT_EQ(Circ.op(X).H, 1);
+  Circ.output(X);
+}
+
+TEST(Ir, PadPhysAccountsForAccumulatedStride) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 28, 28);
+  X = Circ.conv2d(X, someConv(2, 1, 5, 2), 1, 2); // pad 2 at stride 1
+  X = Circ.averagePool(X, 2, 2);                  // accumulate stride 2
+  X = Circ.conv2d(X, someConv(2, 2, 5, 3), 1, 2); // pad 2 at stride 2
+  Circ.output(X);
+  EXPECT_EQ(Circ.padPhysNeeded(), 4);
+}
+
+TEST(Ir, PadPhysZeroWithoutPadding) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 8, 8);
+  X = Circ.conv2d(X, someConv(2, 1, 3, 4), 1, 0);
+  Circ.output(X);
+  EXPECT_EQ(Circ.padPhysNeeded(), 0);
+}
+
+TEST(Ir, LayerAndDepthCounts) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 8, 8);
+  X = Circ.conv2d(X, someConv(2, 1, 3, 5), 1, 1);
+  X = Circ.polyActivation(X, 0.5, 1.0);
+  X = Circ.conv2d(X, someConv(2, 2, 3, 6), 1, 1);
+  X = Circ.polyActivation(X, 0.5, 1.0);
+  X = Circ.fullyConnected(X, FcWeights(4, 2 * 8 * 8));
+  X = Circ.polyActivation(X, 0.0, 1.0); // linear: no ct-ct multiply
+  Circ.output(X);
+  EXPECT_EQ(Circ.convLayerCount(), 2);
+  EXPECT_EQ(Circ.fcLayerCount(), 1);
+  EXPECT_EQ(Circ.activationLayerCount(), 3);
+  EXPECT_EQ(Circ.ctMultiplicativeDepth(), 2);
+}
+
+TEST(Ir, FpOperationCountMatchesHandCount) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 6, 6);
+  X = Circ.conv2d(X, someConv(2, 1, 3, 7), 1, 0); // out 2x4x4
+  Circ.output(X);
+  // 2*4*4 outputs, each 2*(1*3*3) + 1 ops.
+  EXPECT_EQ(Circ.fpOperationCount(), 32u * 19u);
+}
+
+TEST(Ir, ConsumersTracksFanOut) {
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 8, 8);
+  int A = Circ.conv2d(X, someConv(2, 1, 1, 8), 1, 0);
+  int B = Circ.conv2d(X, someConv(2, 1, 1, 9), 1, 0);
+  int C = Circ.concatChannels(A, B);
+  Circ.output(C);
+  auto Consumers = Circ.consumersOf(X);
+  EXPECT_EQ(Consumers.size(), 2u);
+  EXPECT_EQ(Circ.consumersOf(C).size(), 1u);
+  EXPECT_EQ(Circ.op(C).C, 4);
+}
+
+TEST(Ir, PlainEvaluationComposesReferenceOps) {
+  Prng Rng(11);
+  Tensor3 Image(1, 10, 10);
+  for (double &V : Image.Data)
+    V = Rng.nextDouble(-1, 1);
+
+  ConvWeights Conv = someConv(3, 1, 3, 12);
+  FcWeights Fc(5, 3 * 4 * 4);
+  for (double &V : Fc.W)
+    V = Rng.nextDouble(-1, 1);
+
+  TensorCircuit Circ("t");
+  int X = Circ.input(1, 10, 10);
+  X = Circ.conv2d(X, Conv, 1, 0); // 3x8x8
+  X = Circ.polyActivation(X, 0.25, 0.5);
+  X = Circ.averagePool(X, 2, 2); // 3x4x4
+  X = Circ.fullyConnected(X, Fc);
+  Circ.output(X);
+
+  Tensor3 Got = Circ.evaluatePlain(Image);
+  Tensor3 Want = refFullyConnected(
+      refAveragePool(refPolyActivation(refConv2d(Image, Conv, 1, 0), 0.25,
+                                       0.5),
+                     2, 2),
+      Fc);
+  EXPECT_LT(maxAbsDiff(Got, Want), 1e-12);
+}
+
+TEST(Ir, PlainEvaluationHandlesConcat) {
+  Prng Rng(13);
+  Tensor3 Image(2, 6, 6);
+  for (double &V : Image.Data)
+    V = Rng.nextDouble(-1, 1);
+  ConvWeights A = someConv(2, 2, 1, 14);
+  ConvWeights B = someConv(3, 2, 3, 15);
+
+  TensorCircuit Circ("t");
+  int X = Circ.input(2, 6, 6);
+  int Ca = Circ.conv2d(X, A, 1, 0);
+  int Cb = Circ.conv2d(X, B, 1, 1);
+  int Cat = Circ.concatChannels(Ca, Cb);
+  Circ.output(Cat);
+
+  Tensor3 Got = Circ.evaluatePlain(Image);
+  Tensor3 Want = refConcatChannels(refConv2d(Image, A, 1, 0),
+                                   refConv2d(Image, B, 1, 1));
+  EXPECT_LT(maxAbsDiff(Got, Want), 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- test_ntt.cpp - Unit tests for the negacyclic NTT -------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/Ntt.h"
+
+#include "math/PrimeGen.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace chet;
+
+namespace {
+
+// Schoolbook negacyclic convolution: C = A * B mod (X^N + 1, q).
+std::vector<uint64_t> refNegacyclicMul(const std::vector<uint64_t> &A,
+                                       const std::vector<uint64_t> &B,
+                                       const Modulus &Q) {
+  size_t N = A.size();
+  std::vector<uint64_t> C(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J) {
+      uint64_t Prod = Q.mulMod(A[I], B[J]);
+      size_t K = I + J;
+      if (K < N)
+        C[K] = Q.addMod(C[K], Prod);
+      else
+        C[K - N] = Q.subMod(C[K - N], Prod); // X^N = -1
+    }
+  }
+  return C;
+}
+
+class NttParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip) {
+  int LogN = GetParam();
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(50, LogN, 1)[0];
+  NttTables Tables(LogN, Modulus(Prime));
+  Prng Rng(LogN);
+  std::vector<uint64_t> Data(N), Original(N);
+  for (size_t I = 0; I < N; ++I)
+    Data[I] = Original[I] = Rng.nextBounded(Prime);
+  Tables.forward(Data.data());
+  Tables.inverse(Data.data());
+  EXPECT_EQ(Data, Original);
+}
+
+TEST_P(NttParamTest, PointwiseMulIsNegacyclicConvolution) {
+  int LogN = GetParam();
+  if (LogN > 8)
+    GTEST_SKIP() << "schoolbook reference too slow beyond N=256";
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(50, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  Prng Rng(100 + LogN);
+  std::vector<uint64_t> A(N), B(N);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = Rng.nextBounded(Prime);
+    B[I] = Rng.nextBounded(Prime);
+  }
+  std::vector<uint64_t> Expected = refNegacyclicMul(A, B, Q);
+
+  std::vector<uint64_t> AHat = A, BHat = B;
+  Tables.forward(AHat.data());
+  Tables.forward(BHat.data());
+  std::vector<uint64_t> CHat(N);
+  for (size_t I = 0; I < N; ++I)
+    CHat[I] = Q.mulMod(AHat[I], BHat[I]);
+  Tables.inverse(CHat.data());
+  EXPECT_EQ(CHat, Expected);
+}
+
+TEST_P(NttParamTest, TransformIsLinear) {
+  int LogN = GetParam();
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(50, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  Prng Rng(200 + LogN);
+  std::vector<uint64_t> A(N), B(N), Sum(N);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = Rng.nextBounded(Prime);
+    B[I] = Rng.nextBounded(Prime);
+    Sum[I] = Q.addMod(A[I], B[I]);
+  }
+  Tables.forward(A.data());
+  Tables.forward(B.data());
+  Tables.forward(Sum.data());
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Sum[I], Q.addMod(A[I], B[I]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttParamTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12, 13));
+
+TEST(Ntt, MultiplicationByXShiftsNegacyclically) {
+  // a(X) * X rotates coefficients with a sign flip at the wrap.
+  int LogN = 4;
+  size_t N = 16;
+  uint64_t Prime = generateNttPrimes(50, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  Prng Rng(55);
+  std::vector<uint64_t> A(N), X(N, 0);
+  for (size_t I = 0; I < N; ++I)
+    A[I] = Rng.nextBounded(Prime);
+  X[1] = 1;
+  std::vector<uint64_t> AHat = A, XHat = X;
+  Tables.forward(AHat.data());
+  Tables.forward(XHat.data());
+  for (size_t I = 0; I < N; ++I)
+    AHat[I] = Q.mulMod(AHat[I], XHat[I]);
+  Tables.inverse(AHat.data());
+  EXPECT_EQ(AHat[0], Q.negMod(A[N - 1]));
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_EQ(AHat[I], A[I - 1]);
+}
+
+TEST(Ntt, DifferentPrimesIndependent) {
+  int LogN = 6;
+  size_t N = 64;
+  auto Primes = generateNttPrimes(50, LogN, 2);
+  NttTables T0(LogN, Modulus(Primes[0]));
+  NttTables T1(LogN, Modulus(Primes[1]));
+  Prng Rng(77);
+  std::vector<uint64_t> Data(N);
+  for (size_t I = 0; I < N; ++I)
+    Data[I] = Rng.nextBounded(Primes[1]);
+  std::vector<uint64_t> Copy = Data;
+  T1.forward(Copy.data());
+  T1.inverse(Copy.data());
+  EXPECT_EQ(Copy, Data);
+  EXPECT_NE(T0.modulus().value(), T1.modulus().value());
+}
+
+} // namespace

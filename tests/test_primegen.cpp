@@ -1,0 +1,53 @@
+//===- test_primegen.cpp - Unit tests for prime generation ----------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/PrimeGen.h"
+
+#include "math/UIntArith.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace chet;
+
+namespace {
+
+TEST(PrimeGen, ProducesRequestedCount) {
+  auto Primes = generateNttPrimes(40, 13, 10);
+  EXPECT_EQ(Primes.size(), 10u);
+}
+
+TEST(PrimeGen, PrimesHaveCorrectSizeAndCongruence) {
+  for (int LogN : {10, 13, 15}) {
+    for (int Bits : {30, 45, 60}) {
+      auto Primes = generateNttPrimes(Bits, LogN, 5);
+      for (uint64_t P : Primes) {
+        EXPECT_TRUE(isPrime(P));
+        EXPECT_EQ(P >> (Bits - 1), 1u) << "wrong bit size";
+        EXPECT_EQ(P % (uint64_t(1) << (LogN + 1)), 1u)
+            << "not NTT-friendly for LogN=" << LogN;
+      }
+    }
+  }
+}
+
+TEST(PrimeGen, PrimesAreDistinctAndDecreasing) {
+  auto Primes = generateNttPrimes(55, 14, 20);
+  std::set<uint64_t> Unique(Primes.begin(), Primes.end());
+  EXPECT_EQ(Unique.size(), Primes.size());
+  for (size_t I = 1; I < Primes.size(); ++I)
+    EXPECT_LT(Primes[I], Primes[I - 1]);
+}
+
+TEST(PrimeGen, ExclusionIsHonored) {
+  auto First = generateNttPrimes(50, 12, 5);
+  auto Second = generateNttPrimes(50, 12, 5, First);
+  for (uint64_t P : Second)
+    EXPECT_EQ(std::count(First.begin(), First.end(), P), 0);
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===- test_rns_ckks.cpp - Tests for the RNS-CKKS backend ------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/RnsCkks.h"
+
+#include "hisa/Hisa.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace chet;
+
+static_assert(HisaBackend<RnsCkksBackend>,
+              "RnsCkksBackend must satisfy the HISA concept");
+
+namespace {
+
+constexpr double kScale = 1099511627776.0; // 2^40
+
+class RnsCkksTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    RnsCkksParams P = RnsCkksParams::create(/*LogN=*/11, /*Levels=*/3);
+    P.Security = SecurityLevel::None; // test-size ring
+    Backend = new RnsCkksBackend(P);
+  }
+  static void TearDownTestSuite() {
+    delete Backend;
+    Backend = nullptr;
+  }
+
+  std::vector<double> randomValues(uint64_t Seed, double Lo = -10,
+                                   double Hi = 10) {
+    Prng Rng(Seed);
+    std::vector<double> V(Backend->slotCount());
+    for (auto &X : V)
+      X = Rng.nextDouble(Lo, Hi);
+    return V;
+  }
+
+  RnsCkksBackend::Ct encryptValues(const std::vector<double> &V,
+                                   double Scale = kScale) {
+    return Backend->encrypt(Backend->encode(V, Scale));
+  }
+
+  std::vector<double> decryptValues(const RnsCkksBackend::Ct &C) {
+    return Backend->decode(Backend->decrypt(C));
+  }
+
+  static RnsCkksBackend *Backend;
+};
+
+RnsCkksBackend *RnsCkksTest::Backend = nullptr;
+
+TEST_F(RnsCkksTest, EncryptDecryptRoundTrip) {
+  auto V = randomValues(1);
+  auto C = encryptValues(V);
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < V.size(); ++I)
+    ASSERT_NEAR(Back[I], V[I], 1e-6) << "slot " << I;
+}
+
+TEST_F(RnsCkksTest, HomomorphicAddSub) {
+  auto A = randomValues(2), B = randomValues(3);
+  auto CA = encryptValues(A), CB = encryptValues(B);
+  auto Sum = add(*Backend, CA, CB);
+  auto Diff = sub(*Backend, CA, CB);
+  auto SumBack = decryptValues(Sum);
+  auto DiffBack = decryptValues(Diff);
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_NEAR(SumBack[I], A[I] + B[I], 1e-5);
+    ASSERT_NEAR(DiffBack[I], A[I] - B[I], 1e-5);
+  }
+}
+
+TEST_F(RnsCkksTest, AddSubPlainAndScalar) {
+  auto A = randomValues(4), B = randomValues(5);
+  auto C = encryptValues(A);
+  auto P = Backend->encode(B, kScale);
+  Backend->addPlainAssign(C, P);
+  Backend->addScalarAssign(C, 2.5);
+  Backend->subScalarAssign(C, 1.0);
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] + B[I] + 1.5, 1e-5);
+}
+
+TEST_F(RnsCkksTest, CiphertextMultiplicationWithRescale) {
+  auto A = randomValues(6, -3, 3), B = randomValues(7, -3, 3);
+  auto CA = encryptValues(A), CB = encryptValues(B);
+  auto Prod = mul(*Backend, CA, CB);
+  EXPECT_NEAR(Backend->scaleOf(Prod), kScale * kScale, 1.0);
+  rescaleToFloor(*Backend, Prod, kScale);
+  EXPECT_LT(Backend->scaleOf(Prod), kScale * kScale);
+  EXPECT_EQ(Backend->levelOf(Prod), Backend->maxLevel() - 1);
+  auto Back = decryptValues(Prod);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] * B[I], 1e-4);
+}
+
+TEST_F(RnsCkksTest, SquaringTwiceConsumesTwoLevels) {
+  auto A = randomValues(8, -2, 2);
+  auto C = encryptValues(A);
+  for (int Round = 0; Round < 2; ++Round) {
+    auto C2 = mul(*Backend, C, C);
+    rescaleToFloor(*Backend, C2, kScale);
+    C = C2;
+  }
+  EXPECT_EQ(Backend->levelOf(C), Backend->maxLevel() - 2);
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] * A[I] * A[I] * A[I],
+                5e-3 * std::max(1.0, std::fabs(Back[I])));
+}
+
+TEST_F(RnsCkksTest, MulPlainAndScalar) {
+  auto A = randomValues(9, -4, 4), W = randomValues(10, -2, 2);
+  auto C = encryptValues(A);
+  auto P = Backend->encode(W, kScale);
+  auto CP = mulPlain(*Backend, C, P);
+  rescaleToFloor(*Backend, CP, kScale);
+  auto BackP = decryptValues(CP);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(BackP[I], A[I] * W[I], 1e-4);
+
+  auto CS = mulScalar(*Backend, C, -1.5, uint64_t(kScale));
+  rescaleToFloor(*Backend, CS, kScale);
+  auto BackS = decryptValues(CS);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(BackS[I], A[I] * -1.5, 1e-4);
+}
+
+TEST_F(RnsCkksTest, RotationWithDedicatedKeys) {
+  auto A = randomValues(11);
+  size_t Slots = Backend->slotCount();
+  for (int Step : {1, 2, 16, static_cast<int>(Slots) / 2}) {
+    auto C = encryptValues(A);
+    Backend->rotLeftAssign(C, Step);
+    auto Back = decryptValues(C);
+    for (size_t I = 0; I < Slots; ++I)
+      ASSERT_NEAR(Back[I], A[(I + Step) % Slots], 1e-5)
+          << "step " << Step << " slot " << I;
+  }
+}
+
+TEST_F(RnsCkksTest, RotationRightAndComposition) {
+  auto A = randomValues(12);
+  size_t Slots = Backend->slotCount();
+  auto C = encryptValues(A);
+  Backend->rotRightAssign(C, 4);
+  auto Back = decryptValues(C);
+  for (size_t I = 0; I < Slots; ++I)
+    ASSERT_NEAR(Back[I], A[(I + Slots - 4) % Slots], 1e-5);
+}
+
+TEST_F(RnsCkksTest, NonPow2RotationFallsBackToPow2Keys) {
+  // Step 5 = 4 + 1 has no dedicated key by default.
+  EXPECT_FALSE(Backend->hasRotationKey(5));
+  auto A = randomValues(13);
+  auto C = encryptValues(A);
+  Backend->rotLeftAssign(C, 5);
+  auto Back = decryptValues(C);
+  size_t Slots = Backend->slotCount();
+  for (size_t I = 0; I < Slots; ++I)
+    ASSERT_NEAR(Back[I], A[(I + 5) % Slots], 1e-5);
+}
+
+TEST_F(RnsCkksTest, GeneratedKeyMakesRotationSingleHop) {
+  Backend->generateRotationKeys({5});
+  EXPECT_TRUE(Backend->hasRotationKey(5));
+  auto A = randomValues(14);
+  auto C = encryptValues(A);
+  Backend->rotLeftAssign(C, 5);
+  auto Back = decryptValues(C);
+  size_t Slots = Backend->slotCount();
+  for (size_t I = 0; I < Slots; ++I)
+    ASSERT_NEAR(Back[I], A[(I + 5) % Slots], 1e-5);
+}
+
+TEST_F(RnsCkksTest, MaxRescaleFollowsChainSemantics) {
+  auto C = encryptValues(randomValues(15));
+  // Bound below the next prime: nothing to rescale by.
+  EXPECT_EQ(Backend->maxRescale(C, 1), 1u);
+  EXPECT_EQ(Backend->maxRescale(C, 1000), 1u);
+  // Bound above the last prime: exactly that prime.
+  uint64_t QLast = Backend->params().ChainPrimes.back();
+  EXPECT_EQ(Backend->maxRescale(C, QLast), QLast);
+  EXPECT_EQ(Backend->maxRescale(C, QLast + 1000), QLast);
+}
+
+TEST_F(RnsCkksTest, AdditionAlignsLevels) {
+  auto A = randomValues(16, -2, 2), B = randomValues(17, -2, 2);
+  auto CA = encryptValues(A);
+  auto CB = encryptValues(B);
+  // Push CA one level down via a square + rescale.
+  auto CA2 = mul(*Backend, CA, CA);
+  rescaleToFloor(*Backend, CA2, kScale);
+  // Multiply CB by a plaintext of ones, rescale by the same prime so the
+  // scales match exactly, then add.
+  auto Ones = Backend->encode(std::vector<double>(Backend->slotCount(), 1.0),
+                              kScale);
+  auto CB2 = mulPlain(*Backend, CB, Ones);
+  rescaleToFloor(*Backend, CB2, kScale);
+  EXPECT_EQ(Backend->levelOf(CA2), Backend->levelOf(CB2));
+  auto Sum = add(*Backend, CA2, CB2);
+  auto Back = decryptValues(Sum);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_NEAR(Back[I], A[I] * A[I] + B[I], 5e-4);
+}
+
+TEST_F(RnsCkksTest, ParamsReportModulusSizes) {
+  const RnsCkksParams &P = Backend->params();
+  EXPECT_EQ(P.levels(), 3);
+  EXPECT_GT(P.logQ(), 59 + 3 * 39);
+  EXPECT_GT(P.logQP(), P.logQ());
+}
+
+TEST_F(RnsCkksTest, CandidateChainIsDisjointFromSpecial) {
+  auto Chain = RnsCkksParams::candidateChain(5);
+  uint64_t Special = RnsCkksParams::candidateSpecial();
+  for (uint64_t Q : Chain)
+    EXPECT_NE(Q, Special);
+}
+
+TEST_F(RnsCkksTest, SecurityCheckRejectsOversizedModulus) {
+  RnsCkksParams P = RnsCkksParams::create(/*LogN=*/11, /*Levels=*/3);
+  P.Security = SecurityLevel::Classical128; // budget is 54 bits at LogN=11
+  EXPECT_DEATH(RnsCkksBackend{P}, "security");
+}
+
+TEST_F(RnsCkksTest, FreeReleasesStorage) {
+  auto C = encryptValues(randomValues(18));
+  Backend->freeCt(C);
+  EXPECT_TRUE(C.C0.empty());
+  EXPECT_TRUE(C.C1.empty());
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+//===- test_security_table.cpp - Unit tests for the security table ---------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/SecurityTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace chet;
+
+namespace {
+
+TEST(SecurityTable, HeStandardValues128) {
+  EXPECT_EQ(maxLogQForSecurity(10, SecurityLevel::Classical128), 27);
+  EXPECT_EQ(maxLogQForSecurity(13, SecurityLevel::Classical128), 218);
+  EXPECT_EQ(maxLogQForSecurity(15, SecurityLevel::Classical128), 881);
+}
+
+TEST(SecurityTable, HigherSecurityMeansSmallerBudget) {
+  for (int LogN = 10; LogN <= 15; ++LogN) {
+    int B128 = maxLogQForSecurity(LogN, SecurityLevel::Classical128);
+    int B192 = maxLogQForSecurity(LogN, SecurityLevel::Classical192);
+    int B256 = maxLogQForSecurity(LogN, SecurityLevel::Classical256);
+    EXPECT_GT(B128, B192);
+    EXPECT_GT(B192, B256);
+  }
+}
+
+TEST(SecurityTable, BudgetGrowsWithDimension) {
+  for (int LogN = 10; LogN < 16; ++LogN)
+    EXPECT_LT(maxLogQForSecurity(LogN, SecurityLevel::Classical128),
+              maxLogQForSecurity(LogN + 1, SecurityLevel::Classical128));
+}
+
+TEST(SecurityTable, OutOfRangeDimensionHasNoBudget) {
+  EXPECT_EQ(maxLogQForSecurity(9, SecurityLevel::Classical128), 0);
+  EXPECT_EQ(maxLogQForSecurity(17, SecurityLevel::Classical128), 0);
+}
+
+TEST(SecurityTable, NoneIsUnconstrained) {
+  EXPECT_GT(maxLogQForSecurity(13, SecurityLevel::None), 100000);
+}
+
+TEST(SecurityTable, MinLogNIsMinimal) {
+  // 218 bits fit at LogN = 13 but 219 do not.
+  EXPECT_EQ(minLogNForLogQ(218, SecurityLevel::Classical128), 13);
+  EXPECT_EQ(minLogNForLogQ(219, SecurityLevel::Classical128), 14);
+  EXPECT_EQ(minLogNForLogQ(27, SecurityLevel::Classical128), 10);
+  EXPECT_EQ(minLogNForLogQ(28, SecurityLevel::Classical128), 11);
+}
+
+TEST(SecurityTable, MinLogNFailsBeyondTable) {
+  EXPECT_EQ(minLogNForLogQ(100000, SecurityLevel::Classical128), -1);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- test_serialization.cpp - Serialization round-trip tests -------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ckks/Serialization.h"
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace chet;
+
+namespace {
+
+RnsCkksParams testRnsParams() {
+  RnsCkksParams P = RnsCkksParams::create(11, 3);
+  P.Security = SecurityLevel::None;
+  return P;
+}
+
+std::vector<double> someValues(size_t N, uint64_t Seed) {
+  Prng Rng(Seed);
+  std::vector<double> V(N);
+  for (auto &X : V)
+    X = Rng.nextDouble(-5, 5);
+  return V;
+}
+
+TEST(Serialization, RnsParamsRoundTrip) {
+  RnsCkksParams P = testRnsParams();
+  P.Seed = 1234;
+  P.StockPow2Keys = false;
+  ByteBuffer B = serialize(P);
+  RnsCkksParams Q;
+  ASSERT_TRUE(deserialize(B, Q));
+  EXPECT_EQ(Q.LogN, P.LogN);
+  EXPECT_EQ(Q.ChainPrimes, P.ChainPrimes);
+  EXPECT_EQ(Q.SpecialPrime, P.SpecialPrime);
+  EXPECT_EQ(Q.Security, P.Security);
+  EXPECT_EQ(Q.Seed, P.Seed);
+  EXPECT_EQ(Q.StockPow2Keys, P.StockPow2Keys);
+}
+
+TEST(Serialization, RnsCiphertextRoundTripsThroughTheWire) {
+  // The Figure 3 flow: the client encrypts, the bytes travel, the server
+  // (here: a second backend with the same keys/seed) computes, the bytes
+  // travel back, the client decrypts.
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Client(P);
+  RnsCkksBackend Server(P); // same seed -> same secret key
+
+  auto Values = someValues(Client.slotCount(), 1);
+  auto Ct = Client.encrypt(Client.encode(Values, 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+
+  RnsCkksBackend::Ct Received;
+  ASSERT_TRUE(deserialize(Wire, Received));
+  Server.addScalarAssign(Received, 1.0);
+  ByteBuffer WireBack = serialize(Received);
+
+  RnsCkksBackend::Ct Result;
+  ASSERT_TRUE(deserialize(WireBack, Result));
+  auto Back = Client.decode(Client.decrypt(Result));
+  for (size_t I = 0; I < Values.size(); ++I)
+    ASSERT_NEAR(Back[I], Values[I] + 1.0, 1e-6);
+}
+
+TEST(Serialization, BigParamsRoundTrip) {
+  BigCkksParams P;
+  P.LogN = 11;
+  P.LogQ = 150;
+  P.LogSpecial = 150;
+  P.Security = SecurityLevel::None;
+  P.Seed = 99;
+  ByteBuffer B = serialize(P);
+  BigCkksParams Q;
+  ASSERT_TRUE(deserialize(B, Q));
+  EXPECT_EQ(Q.LogN, P.LogN);
+  EXPECT_EQ(Q.LogQ, P.LogQ);
+  EXPECT_EQ(Q.LogSpecial, P.LogSpecial);
+  EXPECT_EQ(Q.Seed, P.Seed);
+}
+
+TEST(Serialization, BigCiphertextRoundTrip) {
+  BigCkksParams P;
+  P.LogN = 10;
+  P.LogQ = 120;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  BigCkksBackend Backend(P);
+  auto Values = someValues(Backend.slotCount(), 2);
+  auto Ct = Backend.encrypt(Backend.encode(Values, 1 << 25));
+  ByteBuffer Wire = serialize(Ct);
+  BigCkksBackend::Ct Back;
+  ASSERT_TRUE(deserialize(Wire, Back));
+  EXPECT_EQ(Back.LogQ, Ct.LogQ);
+  for (size_t K = 0; K < Ct.C0.size(); ++K) {
+    EXPECT_EQ(Back.C0[K].compare(Ct.C0[K]), 0);
+    EXPECT_EQ(Back.C1[K].compare(Ct.C1[K]), 0);
+  }
+  auto Decoded = Backend.decode(Backend.decrypt(Back));
+  for (size_t I = 0; I < Values.size(); ++I)
+    ASSERT_NEAR(Decoded[I], Values[I], 1e-3);
+}
+
+TEST(Serialization, RejectsWrongTag) {
+  RnsCkksParams P = testRnsParams();
+  ByteBuffer B = serialize(P);
+  BigCkksParams Q;
+  EXPECT_FALSE(deserialize(B, Q)); // RNS bytes into big-CKKS params
+  RnsCkksBackend::Ct Ct;
+  EXPECT_FALSE(deserialize(B, Ct)); // params bytes into ciphertext
+}
+
+TEST(Serialization, RejectsTruncatedInput) {
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Values = someValues(Backend.slotCount(), 3);
+  auto Ct = Backend.encrypt(Backend.encode(Values, 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  for (size_t Cut : {size_t(0), size_t(3), Wire.size() / 2,
+                     Wire.size() - 1}) {
+    ByteBuffer Truncated(Wire.begin(), Wire.begin() + Cut);
+    RnsCkksBackend::Ct Out;
+    EXPECT_FALSE(deserialize(Truncated, Out)) << "cut at " << Cut;
+  }
+}
+
+TEST(Serialization, RejectsTrailingGarbage) {
+  RnsCkksParams P = testRnsParams();
+  ByteBuffer B = serialize(P);
+  B.push_back(0xAB);
+  RnsCkksParams Q;
+  EXPECT_FALSE(deserialize(B, Q));
+}
+
+TEST(Serialization, RejectsCorruptScale) {
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 4), 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  // The scale field sits after tag (4) + level (4); zero it out.
+  for (int I = 0; I < 8; ++I)
+    Wire[8 + I] = 0;
+  RnsCkksBackend::Ct Out;
+  EXPECT_FALSE(deserialize(Wire, Out));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- test_uint_arith.cpp - Unit tests for modular arithmetic -----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/UIntArith.h"
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace chet;
+
+namespace {
+
+// Reference 128-bit modmul used to validate the Barrett path.
+uint64_t refMulMod(uint64_t A, uint64_t B, uint64_t Q) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned __int128>(A) * B % Q);
+}
+
+class ModulusParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModulusParamTest, ReduceMatchesReference) {
+  uint64_t Q = GetParam();
+  Modulus Mod(Q);
+  Prng Rng(Q);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t X = Rng.next();
+    EXPECT_EQ(Mod.reduce(X), X % Q);
+  }
+}
+
+TEST_P(ModulusParamTest, MulModMatchesReference) {
+  uint64_t Q = GetParam();
+  Modulus Mod(Q);
+  Prng Rng(Q ^ 0x1234);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t A = Rng.nextBounded(Q);
+    uint64_t B = Rng.nextBounded(Q);
+    EXPECT_EQ(Mod.mulMod(A, B), refMulMod(A, B, Q));
+  }
+}
+
+TEST_P(ModulusParamTest, Reduce128MatchesReference) {
+  uint64_t Q = GetParam();
+  Modulus Mod(Q);
+  Prng Rng(Q ^ 0x9999);
+  for (int I = 0; I < 1000; ++I) {
+    unsigned __int128 X =
+        (static_cast<unsigned __int128>(Rng.next()) << 64) | Rng.next();
+    EXPECT_EQ(Mod.reduce128(X), static_cast<uint64_t>(X % Q));
+  }
+}
+
+TEST_P(ModulusParamTest, AddSubNeg) {
+  uint64_t Q = GetParam();
+  Modulus Mod(Q);
+  Prng Rng(Q ^ 0x777);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t A = Rng.nextBounded(Q);
+    uint64_t B = Rng.nextBounded(Q);
+    EXPECT_EQ(Mod.addMod(A, B), (A + B) % Q);
+    EXPECT_EQ(Mod.subMod(A, B), (A + Q - B) % Q);
+    EXPECT_EQ(Mod.addMod(A, Mod.negMod(A)), 0u);
+  }
+}
+
+TEST_P(ModulusParamTest, ShoupMulMatchesBarrett) {
+  uint64_t Q = GetParam();
+  Modulus Mod(Q);
+  Prng Rng(Q ^ 0xABCD);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t W = Rng.nextBounded(Q);
+    uint64_t WShoup = shoupPrecompute(W, Q);
+    for (int J = 0; J < 4; ++J) {
+      uint64_t X = Rng.nextBounded(Q);
+      EXPECT_EQ(shoupMulMod(X, W, WShoup, Q), Mod.mulMod(X, W));
+      uint64_t Lazy = shoupMulModLazy(X, W, WShoup, Q);
+      EXPECT_LT(Lazy, 2 * Q);
+      EXPECT_EQ(Lazy % Q, Mod.mulMod(X, W));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariousModuli, ModulusParamTest,
+    ::testing::Values(2ULL, 3ULL, 97ULL, 65537ULL, (1ULL << 30) - 35,
+                      1000000007ULL,
+                      // NTT-friendly 50/60-bit primes.
+                      1125899906826241ULL, 1152921504606584833ULL,
+                      // Largest supported size (61 bits).
+                      2305843009213693951ULL));
+
+TEST(PowMod, SmallCases) {
+  Modulus Q(97);
+  EXPECT_EQ(powMod(2, 10, Q), 1024 % 97);
+  EXPECT_EQ(powMod(5, 0, Q), 1u);
+  EXPECT_EQ(powMod(5, 96, Q), 1u); // Fermat
+}
+
+TEST(InvMod, RoundTrips) {
+  Modulus Q(1000000007ULL);
+  Prng Rng(3);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t A = Rng.nextBounded(Q.value() - 1) + 1;
+    uint64_t Inv = invMod(A, Q);
+    EXPECT_EQ(Q.mulMod(A, Inv), 1u);
+  }
+}
+
+TEST(IsPrime, KnownValues) {
+  EXPECT_FALSE(isPrime(0));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(3));
+  EXPECT_FALSE(isPrime(4));
+  EXPECT_TRUE(isPrime(97));
+  EXPECT_FALSE(isPrime(1ULL << 40));
+  EXPECT_TRUE(isPrime(1000000007ULL));
+  EXPECT_TRUE(isPrime(2305843009213693951ULL)); // Mersenne prime 2^61-1
+  EXPECT_FALSE(isPrime(2305843009213693951ULL - 2));
+  // Carmichael numbers must be rejected.
+  EXPECT_FALSE(isPrime(561));
+  EXPECT_FALSE(isPrime(41041));
+  EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(PrimitiveRoot, HasExactOrder) {
+  // q = 1 mod 2N for N = 1024.
+  uint64_t QVal = 132120577; // 63 * 2^21 + 1
+  ASSERT_TRUE(isPrime(QVal));
+  Modulus Q(QVal);
+  uint64_t Order = 2048;
+  uint64_t Root = findPrimitiveRoot(Order, Q);
+  ASSERT_NE(Root, 0u);
+  EXPECT_EQ(powMod(Root, Order, Q), 1u);
+  EXPECT_NE(powMod(Root, Order / 2, Q), 1u);
+}
+
+} // namespace
