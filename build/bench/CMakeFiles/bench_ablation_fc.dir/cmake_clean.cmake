@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fc.dir/bench_ablation_fc.cpp.o"
+  "CMakeFiles/bench_ablation_fc.dir/bench_ablation_fc.cpp.o.d"
+  "bench_ablation_fc"
+  "bench_ablation_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

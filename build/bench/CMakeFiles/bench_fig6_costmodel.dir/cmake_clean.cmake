@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_costmodel.dir/bench_fig6_costmodel.cpp.o"
+  "CMakeFiles/bench_fig6_costmodel.dir/bench_fig6_costmodel.cpp.o.d"
+  "bench_fig6_costmodel"
+  "bench_fig6_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rotkeys.dir/bench_fig7_rotkeys.cpp.o"
+  "CMakeFiles/bench_fig7_rotkeys.dir/bench_fig7_rotkeys.cpp.o.d"
+  "bench_fig7_rotkeys"
+  "bench_fig7_rotkeys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rotkeys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

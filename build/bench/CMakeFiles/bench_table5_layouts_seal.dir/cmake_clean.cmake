@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_layouts_seal.dir/bench_table5_layouts_seal.cpp.o"
+  "CMakeFiles/bench_table5_layouts_seal.dir/bench_table5_layouts_seal.cpp.o.d"
+  "bench_table5_layouts_seal"
+  "bench_table5_layouts_seal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_layouts_seal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table5_layouts_seal.
+# This may be replaced when dependencies are built.

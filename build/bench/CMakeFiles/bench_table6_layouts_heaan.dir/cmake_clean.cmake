@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_layouts_heaan.dir/bench_table6_layouts_heaan.cpp.o"
+  "CMakeFiles/bench_table6_layouts_heaan.dir/bench_table6_layouts_heaan.cpp.o.d"
+  "bench_table6_layouts_heaan"
+  "bench_table6_layouts_heaan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_layouts_heaan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisa_matmul.dir/hisa_matmul.cpp.o"
+  "CMakeFiles/hisa_matmul.dir/hisa_matmul.cpp.o.d"
+  "hisa_matmul"
+  "hisa_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisa_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

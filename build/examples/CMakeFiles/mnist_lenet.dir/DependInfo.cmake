@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mnist_lenet.cpp" "examples/CMakeFiles/mnist_lenet.dir/mnist_lenet.cpp.o" "gcc" "examples/CMakeFiles/mnist_lenet.dir/mnist_lenet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/chet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/chet_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/chet_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_tuning.dir/scale_tuning.cpp.o"
+  "CMakeFiles/scale_tuning.dir/scale_tuning.cpp.o.d"
+  "scale_tuning"
+  "scale_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

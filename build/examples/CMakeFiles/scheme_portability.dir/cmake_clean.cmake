@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_portability.dir/scheme_portability.cpp.o"
+  "CMakeFiles/scheme_portability.dir/scheme_portability.cpp.o.d"
+  "scheme_portability"
+  "scheme_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

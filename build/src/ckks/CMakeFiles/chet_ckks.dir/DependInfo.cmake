@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/BigCkks.cpp" "src/ckks/CMakeFiles/chet_ckks.dir/BigCkks.cpp.o" "gcc" "src/ckks/CMakeFiles/chet_ckks.dir/BigCkks.cpp.o.d"
+  "/root/repo/src/ckks/Encoder.cpp" "src/ckks/CMakeFiles/chet_ckks.dir/Encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/chet_ckks.dir/Encoder.cpp.o.d"
+  "/root/repo/src/ckks/RnsCkks.cpp" "src/ckks/CMakeFiles/chet_ckks.dir/RnsCkks.cpp.o" "gcc" "src/ckks/CMakeFiles/chet_ckks.dir/RnsCkks.cpp.o.d"
+  "/root/repo/src/ckks/SecurityTable.cpp" "src/ckks/CMakeFiles/chet_ckks.dir/SecurityTable.cpp.o" "gcc" "src/ckks/CMakeFiles/chet_ckks.dir/SecurityTable.cpp.o.d"
+  "/root/repo/src/ckks/Serialization.cpp" "src/ckks/CMakeFiles/chet_ckks.dir/Serialization.cpp.o" "gcc" "src/ckks/CMakeFiles/chet_ckks.dir/Serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/chet_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/ckks/CMakeFiles/chet_ckks.dir/SecurityTable.cpp.o: \
+ /root/repo/src/ckks/SecurityTable.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/ckks/SecurityTable.h

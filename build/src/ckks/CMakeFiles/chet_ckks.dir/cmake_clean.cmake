@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_ckks.dir/BigCkks.cpp.o"
+  "CMakeFiles/chet_ckks.dir/BigCkks.cpp.o.d"
+  "CMakeFiles/chet_ckks.dir/Encoder.cpp.o"
+  "CMakeFiles/chet_ckks.dir/Encoder.cpp.o.d"
+  "CMakeFiles/chet_ckks.dir/RnsCkks.cpp.o"
+  "CMakeFiles/chet_ckks.dir/RnsCkks.cpp.o.d"
+  "CMakeFiles/chet_ckks.dir/SecurityTable.cpp.o"
+  "CMakeFiles/chet_ckks.dir/SecurityTable.cpp.o.d"
+  "CMakeFiles/chet_ckks.dir/Serialization.cpp.o"
+  "CMakeFiles/chet_ckks.dir/Serialization.cpp.o.d"
+  "libchet_ckks.a"
+  "libchet_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_core.dir/Analysis.cpp.o"
+  "CMakeFiles/chet_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/chet_core.dir/Compiler.cpp.o"
+  "CMakeFiles/chet_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/chet_core.dir/CostModel.cpp.o"
+  "CMakeFiles/chet_core.dir/CostModel.cpp.o.d"
+  "CMakeFiles/chet_core.dir/Ir.cpp.o"
+  "CMakeFiles/chet_core.dir/Ir.cpp.o.d"
+  "libchet_core.a"
+  "libchet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_math.dir/BigInt.cpp.o"
+  "CMakeFiles/chet_math.dir/BigInt.cpp.o.d"
+  "CMakeFiles/chet_math.dir/Crt.cpp.o"
+  "CMakeFiles/chet_math.dir/Crt.cpp.o.d"
+  "CMakeFiles/chet_math.dir/Fft.cpp.o"
+  "CMakeFiles/chet_math.dir/Fft.cpp.o.d"
+  "CMakeFiles/chet_math.dir/Ntt.cpp.o"
+  "CMakeFiles/chet_math.dir/Ntt.cpp.o.d"
+  "CMakeFiles/chet_math.dir/PrimeGen.cpp.o"
+  "CMakeFiles/chet_math.dir/PrimeGen.cpp.o.d"
+  "CMakeFiles/chet_math.dir/UIntArith.cpp.o"
+  "CMakeFiles/chet_math.dir/UIntArith.cpp.o.d"
+  "libchet_math.a"
+  "libchet_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_nn.dir/Networks.cpp.o"
+  "CMakeFiles/chet_nn.dir/Networks.cpp.o.d"
+  "libchet_nn.a"
+  "libchet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_runtime.dir/Layout.cpp.o"
+  "CMakeFiles/chet_runtime.dir/Layout.cpp.o.d"
+  "CMakeFiles/chet_runtime.dir/ReferenceOps.cpp.o"
+  "CMakeFiles/chet_runtime.dir/ReferenceOps.cpp.o.d"
+  "libchet_runtime.a"
+  "libchet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chet_support.dir/Prng.cpp.o"
+  "CMakeFiles/chet_support.dir/Prng.cpp.o.d"
+  "libchet_support.a"
+  "libchet_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chet_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

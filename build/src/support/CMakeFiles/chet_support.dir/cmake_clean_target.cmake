@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchet_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_big_ckks.dir/test_big_ckks.cpp.o"
+  "CMakeFiles/test_big_ckks.dir/test_big_ckks.cpp.o.d"
+  "test_big_ckks"
+  "test_big_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_big_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crt.dir/test_crt.cpp.o"
+  "CMakeFiles/test_crt.dir/test_crt.cpp.o.d"
+  "test_crt"
+  "test_crt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

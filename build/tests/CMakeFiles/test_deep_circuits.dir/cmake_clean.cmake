@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_circuits.dir/test_deep_circuits.cpp.o"
+  "CMakeFiles/test_deep_circuits.dir/test_deep_circuits.cpp.o.d"
+  "test_deep_circuits"
+  "test_deep_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hisa_properties.dir/test_hisa_properties.cpp.o"
+  "CMakeFiles/test_hisa_properties.dir/test_hisa_properties.cpp.o.d"
+  "test_hisa_properties"
+  "test_hisa_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hisa_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_encrypted.dir/test_kernels_encrypted.cpp.o"
+  "CMakeFiles/test_kernels_encrypted.dir/test_kernels_encrypted.cpp.o.d"
+  "test_kernels_encrypted"
+  "test_kernels_encrypted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_encrypted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

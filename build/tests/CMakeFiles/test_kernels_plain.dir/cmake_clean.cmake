@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_plain.dir/test_kernels_plain.cpp.o"
+  "CMakeFiles/test_kernels_plain.dir/test_kernels_plain.cpp.o.d"
+  "test_kernels_plain"
+  "test_kernels_plain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_plain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

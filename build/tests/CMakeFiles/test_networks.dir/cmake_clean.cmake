@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_networks.dir/test_networks.cpp.o"
+  "CMakeFiles/test_networks.dir/test_networks.cpp.o.d"
+  "test_networks"
+  "test_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

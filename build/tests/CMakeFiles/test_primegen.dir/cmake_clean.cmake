@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primegen.dir/test_primegen.cpp.o"
+  "CMakeFiles/test_primegen.dir/test_primegen.cpp.o.d"
+  "test_primegen"
+  "test_primegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns_ckks.dir/test_rns_ckks.cpp.o"
+  "CMakeFiles/test_rns_ckks.dir/test_rns_ckks.cpp.o.d"
+  "test_rns_ckks"
+  "test_rns_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rns_ckks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_table.dir/test_security_table.cpp.o"
+  "CMakeFiles/test_security_table.dir/test_security_table.cpp.o.d"
+  "test_security_table"
+  "test_security_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

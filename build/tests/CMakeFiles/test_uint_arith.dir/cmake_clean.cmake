@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uint_arith.dir/test_uint_arith.cpp.o"
+  "CMakeFiles/test_uint_arith.dir/test_uint_arith.cpp.o.d"
+  "test_uint_arith"
+  "test_uint_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uint_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
