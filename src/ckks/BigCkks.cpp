@@ -7,6 +7,7 @@
 #include "ckks/BigCkks.h"
 
 #include "math/PrimeGen.h"
+#include "support/Error.h"
 
 #include <cassert>
 #include <cmath>
@@ -119,11 +120,17 @@ BigCkksBackend::BigCkksBackend(const BigCkksParams &ParamsIn)
     : Params(ParamsIn), LogN(ParamsIn.LogN),
       Degree(size_t(1) << ParamsIn.LogN), Encoder(ParamsIn.LogN),
       Ring(ParamsIn.LogN), Rng(ParamsIn.Seed) {
-  assert(Params.LogQ >= 30 && "modulus too small");
-  assert(Params.logQP() + LogN + 4 < 64 * BigInt::MaxLimbs &&
-         "modulus exceeds BigInt capacity");
-  assert(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security) &&
-         "parameters violate the requested security level");
+  CHET_CHECK(Params.LogQ >= 30, InvalidArgument,
+             "CKKS modulus too small: LogQ = ", Params.LogQ, " < 30");
+  CHET_CHECK(Params.logQP() + LogN + 4 < 64 * BigInt::MaxLimbs,
+             InvalidArgument, "CKKS modulus exceeds BigInt capacity: logQP = ",
+             Params.logQP(), " at LogN = ", LogN);
+  CHET_CHECK(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security),
+             SecurityBudgetExceeded,
+             "parameters violate the requested security level: logQP = ",
+             Params.logQP(), " bits exceeds the ",
+             maxLogQForSecurity(LogN, Params.Security),
+             "-bit budget at LogN = ", LogN);
 
   int LogPQ = Params.logQP();
   Secret = sampleTernary();
@@ -215,9 +222,12 @@ BigCkksBackend::makeEvalKey(const std::vector<BigInt> &Target) {
 }
 
 void BigCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
+  int Slots = static_cast<int>(slotCount());
   for (int Step : Steps) {
-    if (Step == 0)
+    int Norm = ((Step % Slots) + Slots) % Slots;
+    if (Norm == 0)
       continue;
+    RotationSteps.insert(Norm);
     uint64_t Elt = Encoder.galoisElement(Step);
     if (GaloisKeys.count(Elt))
       continue;
@@ -227,7 +237,10 @@ void BigCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
   }
 }
 
-void BigCkksBackend::clearRotationKeys() { GaloisKeys.clear(); }
+void BigCkksBackend::clearRotationKeys() {
+  GaloisKeys.clear();
+  RotationSteps.clear();
+}
 
 bool BigCkksBackend::hasRotationKey(int Steps) const {
   return GaloisKeys.count(Encoder.galoisElement(Steps)) != 0;
@@ -301,6 +314,12 @@ BigCkksBackend::Ct BigCkksBackend::encrypt(const Pt &P) {
 }
 
 BigCkksBackend::Pt BigCkksBackend::decrypt(const Ct &C) {
+  CHET_CHECK(C.C0.size() == Degree && C.C1.size() == Degree &&
+                 C.LogQ >= 1 && C.LogQ <= Params.LogQ && C.Scale > 0,
+             MalformedCiphertext,
+             "ciphertext structure does not match the parameters: ",
+             C.C0.size(), "/", C.C1.size(), " coefficients, LogQ ", C.LogQ,
+             ", scale ", C.Scale);
   std::vector<BigInt> T(Degree);
   Ring.multiply(C.C1.data(), Secret.data(), T.data(), C.LogQ + LogN + 3);
   Pt P;
@@ -342,7 +361,8 @@ static bool scalesMatchBig(double A, double B) {
 }
 
 void BigCkksBackend::addAssign(Ct &C, const Ct &Other) const {
-  assert(scalesMatchBig(C.Scale, Other.Scale) && "addition scale mismatch");
+  CHET_CHECK(scalesMatchBig(C.Scale, Other.Scale), ScaleMismatch,
+             "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
   for (size_t K = 0; K < Degree; ++K) {
     C.C0[K] += Other.C0[K];
@@ -354,8 +374,8 @@ void BigCkksBackend::addAssign(Ct &C, const Ct &Other) const {
 }
 
 void BigCkksBackend::subAssign(Ct &C, const Ct &Other) const {
-  assert(scalesMatchBig(C.Scale, Other.Scale) &&
-         "subtraction scale mismatch");
+  CHET_CHECK(scalesMatchBig(C.Scale, Other.Scale), ScaleMismatch,
+             "subtraction scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
   for (size_t K = 0; K < Degree; ++K) {
     C.C0[K] -= Other.C0[K];
@@ -367,7 +387,8 @@ void BigCkksBackend::subAssign(Ct &C, const Ct &Other) const {
 }
 
 void BigCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
-  assert(scalesMatchBig(C.Scale, P.Scale) && "addPlain scale mismatch");
+  CHET_CHECK(scalesMatchBig(C.Scale, P.Scale), ScaleMismatch,
+             "addPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   const std::vector<BigInt> &M = plainBig(P);
   for (size_t K = 0; K < Degree; ++K) {
     C.C0[K] += M[K];
@@ -376,7 +397,8 @@ void BigCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
 }
 
 void BigCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
-  assert(scalesMatchBig(C.Scale, P.Scale) && "subPlain scale mismatch");
+  CHET_CHECK(scalesMatchBig(C.Scale, P.Scale), ScaleMismatch,
+             "subPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   const std::vector<BigInt> &M = plainBig(P);
   for (size_t K = 0; K < Degree; ++K) {
     C.C0[K] -= M[K];
@@ -392,7 +414,8 @@ void BigCkksBackend::addScalarAssign(Ct &C, double X) const {
 
 void BigCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
   double Rounded = std::nearbyint(X * static_cast<double>(Scale));
-  assert(std::fabs(Rounded) < 9.2e18 && "scalar exceeds word range");
+  CHET_CHECK(std::fabs(Rounded) < 9.2e18, EncodingOverflow,
+             "scalar exceeds word range: ", X, " at scale ", Scale);
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
   for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
@@ -569,8 +592,12 @@ void BigCkksBackend::rotLeftAssign(Ct &C, int Steps) {
     int Step = Direction * (1 << Bit);
     uint64_t E = Encoder.galoisElement(Step);
     auto KeyIt = GaloisKeys.find(E);
-    assert(KeyIt != GaloisKeys.end() &&
-           "power-of-two rotation key missing; cannot rotate");
+    if (KeyIt == GaloisKeys.end())
+      throw MissingRotationKeyError(formatError(
+          "no Galois key for rotation by ", Steps,
+          " (power-of-two decomposition needs step ", Step,
+          "); available rotation steps: ",
+          describeRotationSteps(RotationSteps)));
     rotateByElement(C, E, KeyIt->second);
   }
 }
@@ -594,12 +621,14 @@ uint64_t BigCkksBackend::maxRescale(const Ct &C, uint64_t UpperBound) const {
 }
 
 void BigCkksBackend::rescaleAssign(Ct &C, uint64_t Divisor) const {
-  assert(Divisor != 0 && (Divisor & (Divisor - 1)) == 0 &&
-         "CKKS rescale divisor must be a power of two");
+  CHET_CHECK(Divisor != 0 && (Divisor & (Divisor - 1)) == 0, InvalidArgument,
+             "CKKS rescale divisor must be a power of two, got ", Divisor);
   if (Divisor == 1)
     return;
   int Bits = __builtin_ctzll(Divisor);
-  assert(Bits < C.LogQ && "rescale would eliminate the modulus");
+  CHET_CHECK(Bits < C.LogQ, LevelExhausted,
+             "rescale by 2^", Bits, " would eliminate the 2^", C.LogQ,
+             " ciphertext modulus");
   for (size_t K = 0; K < Degree; ++K) {
     C.C0[K].shiftRightRound(Bits);
     C.C1[K].shiftRightRound(Bits);

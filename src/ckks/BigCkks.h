@@ -34,6 +34,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace chet {
@@ -167,6 +168,12 @@ public:
   bool hasRotationKey(int Steps) const;
   size_t rotationKeyCount() const { return GaloisKeys.size(); }
 
+  /// The left-rotation steps (normalized to [1, slots-1]) a key exists
+  /// for; reported by MissingRotationKey diagnostics.
+  const std::set<int> &availableRotationSteps() const {
+    return RotationSteps;
+  }
+
   const BigCkksParams &params() const { return Params; }
   const CkksEncoder &encoder() const { return Encoder; }
   int logQOf(const Ct &C) const { return C.LogQ; }
@@ -212,6 +219,7 @@ private:
   std::vector<BigInt> PkB, PkA;
   EvalKey RelinKey;
   std::map<uint64_t, EvalKey> GaloisKeys;
+  std::set<int> RotationSteps; ///< normalized steps with a key, for errors.
 };
 
 /// Applies the automorphism X -> X^{Elt} to a BigInt coefficient vector.

@@ -6,6 +6,8 @@
 
 #include "ckks/Encoder.h"
 
+#include "support/Error.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -13,7 +15,9 @@ using namespace chet;
 
 CkksEncoder::CkksEncoder(int LogNIn)
     : LogN(LogNIn), N(size_t(1) << LogNIn), Transform(LogNIn) {
-  assert(LogN >= 2 && LogN <= 17 && "ring dimension out of range");
+  CHET_CHECK(LogN >= 2 && LogN <= 17, InvalidArgument,
+             "ring dimension out of range: LogN = ", LogN,
+             " is not in [2, 17]");
   size_t Slots = N / 2;
   SlotToFreq.resize(Slots);
   uint64_t TwoN = 2 * N;
@@ -33,8 +37,10 @@ CkksEncoder::CkksEncoder(int LogNIn)
 std::vector<double>
 CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
                           double Scale) const {
-  assert(Values.size() <= N / 2 && "too many values for slot count");
-  assert(Scale > 0 && "scale must be positive");
+  CHET_CHECK(Values.size() <= N / 2, InvalidArgument,
+             "too many values for slot count: ", Values.size(), " > ", N / 2);
+  CHET_CHECK(Scale > 0, InvalidArgument, "scale must be positive, got ",
+             Scale);
   std::vector<std::complex<double>> Spectrum(N, 0.0);
   for (size_t J = 0; J < Values.size(); ++J) {
     uint32_t T = SlotToFreq[J];
@@ -48,8 +54,9 @@ CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
   for (size_t J = 0; J < N; ++J) {
     double Real = (Spectrum[J] * std::conj(Zeta[J])).real() * InvN;
     double Rounded = std::nearbyint(Real * Scale);
-    assert(std::fabs(Rounded) < 4.6e18 &&
-           "encoded coefficient exceeds 62-bit embedding limit");
+    CHET_CHECK(std::fabs(Rounded) < 4.6e18, EncodingOverflow,
+               "encoded coefficient exceeds 62-bit embedding limit at scale ",
+               Scale);
     Coeffs[J] = Rounded;
   }
   return Coeffs;
@@ -58,7 +65,9 @@ CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
 std::vector<double>
 CkksEncoder::decodeValues(const std::vector<double> &Coeffs,
                           double Scale) const {
-  assert(Coeffs.size() == N && "coefficient count must equal ring degree");
+  CHET_CHECK(Coeffs.size() == N, InvalidArgument,
+             "coefficient count must equal ring degree: ", Coeffs.size(),
+             " != ", N);
   std::vector<std::complex<double>> A(N);
   double Inv = 1.0 / Scale;
   for (size_t J = 0; J < N; ++J)

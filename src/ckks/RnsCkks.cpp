@@ -7,6 +7,7 @@
 #include "ckks/RnsCkks.h"
 
 #include "math/PrimeGen.h"
+#include "support/Error.h"
 
 #include <cassert>
 #include <cmath>
@@ -72,10 +73,16 @@ RnsCkksBackend::RnsCkksBackend(const RnsCkksParams &ParamsIn)
     : Params(ParamsIn), LogN(ParamsIn.LogN), Degree(size_t(1) << ParamsIn.LogN),
       ChainLen(ParamsIn.ChainPrimes.size()), Encoder(ParamsIn.LogN),
       Rng(ParamsIn.Seed) {
-  assert(ChainLen >= 1 && "need at least one chain prime");
-  assert(Params.SpecialPrime != 0 && "missing special prime");
-  assert(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security) &&
-         "parameters violate the requested security level");
+  CHET_CHECK(ChainLen >= 1, InvalidArgument,
+             "RNS-CKKS parameters need at least one chain prime");
+  CHET_CHECK(Params.SpecialPrime != 0, InvalidArgument,
+             "RNS-CKKS parameters are missing the special prime");
+  CHET_CHECK(Params.logQP() <= maxLogQForSecurity(LogN, Params.Security),
+             SecurityBudgetExceeded,
+             "parameters violate the requested security level: logQP = ",
+             Params.logQP(), " bits exceeds the ", maxLogQForSecurity(
+                 LogN, Params.Security),
+             "-bit budget at LogN = ", LogN);
 
   for (uint64_t Q : Params.ChainPrimes) {
     ChainMods.emplace_back(Q);
@@ -211,9 +218,12 @@ RnsCkksBackend::KSwitchKey RnsCkksBackend::makeKSwitchKey(
 }
 
 void RnsCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
+  int Slots = static_cast<int>(slotCount());
   for (int Step : Steps) {
-    if (Step == 0)
+    int Norm = ((Step % Slots) + Slots) % Slots;
+    if (Norm == 0)
       continue;
+    RotationSteps.insert(Norm);
     uint64_t Elt = Encoder.galoisElement(Step);
     if (GaloisKeys.count(Elt))
       continue;
@@ -236,7 +246,10 @@ void RnsCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
   }
 }
 
-void RnsCkksBackend::clearRotationKeys() { GaloisKeys.clear(); }
+void RnsCkksBackend::clearRotationKeys() {
+  GaloisKeys.clear();
+  RotationSteps.clear();
+}
 
 bool RnsCkksBackend::hasRotationKey(int Steps) const {
   return GaloisKeys.count(Encoder.galoisElement(Steps)) != 0;
@@ -320,6 +333,12 @@ const CrtBasis &RnsCkksBackend::crtForLevel(int Level) const {
 
 RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
   int L = C.Level;
+  CHET_CHECK(L >= 0 && L < static_cast<int>(ChainLen) &&
+                 C.C0.size() == (L + 1) * Degree &&
+                 C.C1.size() == (L + 1) * Degree && C.Scale > 0,
+             MalformedCiphertext,
+             "ciphertext structure does not match the parameters: level ", L,
+             ", ", C.C0.size(), "/", C.C1.size(), " words, scale ", C.Scale);
   std::vector<std::vector<uint64_t>> Residues(L + 1);
   for (int J = 0; J <= L; ++J) {
     const Modulus &Q = ChainMods[J];
@@ -381,7 +400,8 @@ static bool scalesMatch(double A, double B) {
 }
 
 void RnsCkksBackend::addAssign(Ct &C, const Ct &Other) const {
-  assert(scalesMatch(C.Scale, Other.Scale) && "addition scale mismatch");
+  CHET_CHECK(scalesMatch(C.Scale, Other.Scale), ScaleMismatch,
+             "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int L = C.Level < Other.Level ? C.Level : Other.Level;
   modSwitchTo(C, L);
   for (int J = 0; J <= L; ++J) {
@@ -398,7 +418,8 @@ void RnsCkksBackend::addAssign(Ct &C, const Ct &Other) const {
 }
 
 void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
-  assert(scalesMatch(C.Scale, Other.Scale) && "subtraction scale mismatch");
+  CHET_CHECK(scalesMatch(C.Scale, Other.Scale), ScaleMismatch,
+             "subtraction scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int L = C.Level < Other.Level ? C.Level : Other.Level;
   modSwitchTo(C, L);
   for (int J = 0; J <= L; ++J) {
@@ -415,7 +436,8 @@ void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
 }
 
 void RnsCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
-  assert(scalesMatch(C.Scale, P.Scale) && "addPlain scale mismatch");
+  CHET_CHECK(scalesMatch(C.Scale, P.Scale), ScaleMismatch,
+             "addPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   for (int J = 0; J <= C.Level; ++J) {
     const Modulus &Q = ChainMods[J];
     const std::vector<uint64_t> &M = plainNtt(P, J);
@@ -426,7 +448,8 @@ void RnsCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
 }
 
 void RnsCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
-  assert(scalesMatch(C.Scale, P.Scale) && "subPlain scale mismatch");
+  CHET_CHECK(scalesMatch(C.Scale, P.Scale), ScaleMismatch,
+             "subPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   for (int J = 0; J <= C.Level; ++J) {
     const Modulus &Q = ChainMods[J];
     const std::vector<uint64_t> &M = plainNtt(P, J);
@@ -441,7 +464,8 @@ void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
   // polynomial round(x * scale), whose NTT form is that constant in every
   // slot.
   double Rounded = std::nearbyint(X * C.Scale);
-  assert(std::fabs(Rounded) < 4.6e18 && "scalar exceeds embedding range");
+  CHET_CHECK(std::fabs(Rounded) < 4.6e18, EncodingOverflow,
+             "scalar exceeds embedding range: ", X, " at scale ", C.Scale);
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
   for (int J = 0; J <= C.Level; ++J) {
@@ -457,7 +481,8 @@ void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
 
 void RnsCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
   double Rounded = std::nearbyint(X * static_cast<double>(Scale));
-  assert(std::fabs(Rounded) < 4.6e18 && "scalar exceeds embedding range");
+  CHET_CHECK(std::fabs(Rounded) < 4.6e18, EncodingOverflow,
+             "scalar exceeds embedding range: ", X, " at scale ", Scale);
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
   for (int J = 0; J <= C.Level; ++J) {
@@ -663,8 +688,12 @@ void RnsCkksBackend::rotLeftAssign(Ct &C, int Steps) {
     int Step = Direction * (1 << Bit);
     uint64_t E = Encoder.galoisElement(Step);
     auto KeyIt = GaloisKeys.find(E);
-    assert(KeyIt != GaloisKeys.end() &&
-           "power-of-two rotation key missing; cannot rotate");
+    if (KeyIt == GaloisKeys.end())
+      throw MissingRotationKeyError(formatError(
+          "no Galois key for rotation by ", Steps,
+          " (power-of-two decomposition needs step ", Step,
+          "); available rotation steps: ",
+          describeRotationSteps(RotationSteps)));
     rotateByElement(C, E, KeyIt->second);
   }
 }
@@ -721,10 +750,14 @@ void RnsCkksBackend::dropLastPrime(Ct &C) const {
 
 void RnsCkksBackend::rescaleAssign(Ct &C, uint64_t Divisor) const {
   while (Divisor > 1) {
-    assert(C.Level >= 1 && "rescale exceeds available moduli");
+    CHET_CHECK(C.Level >= 1, LevelExhausted,
+               "rescale exceeds available moduli: divisor ", Divisor,
+               " remains but the ciphertext is at the base level");
     uint64_t QLast = Params.ChainPrimes[C.Level];
-    assert(Divisor % QLast == 0 &&
-           "divisor was not produced by maxRescale");
+    CHET_CHECK(Divisor % QLast == 0, InvalidArgument,
+               "rescale divisor ", Divisor,
+               " was not produced by maxRescale (next chain prime is ",
+               QLast, ")");
     dropLastPrime(C);
     Divisor /= QLast;
   }

@@ -40,6 +40,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace chet {
@@ -158,6 +159,12 @@ public:
   /// Number of rotation keys currently held.
   size_t rotationKeyCount() const { return GaloisKeys.size(); }
 
+  /// The left-rotation steps (normalized to [1, slots-1]) a key exists
+  /// for; reported by MissingRotationKey diagnostics.
+  const std::set<int> &availableRotationSteps() const {
+    return RotationSteps;
+  }
+
   const RnsCkksParams &params() const { return Params; }
   const CkksEncoder &encoder() const { return Encoder; }
   int maxLevel() const { return static_cast<int>(ChainLen) - 1; }
@@ -232,6 +239,7 @@ private:
   std::vector<std::vector<uint64_t>> PkB, PkA;  ///< per chain prime, NTT.
   KSwitchKey RelinKey;
   std::map<uint64_t, KSwitchKey> GaloisKeys; ///< keyed by Galois element.
+  std::set<int> RotationSteps; ///< normalized steps with a key, for errors.
 
   std::vector<uint64_t> SpecialInvModChain;      ///< p^{-1} mod q_j.
   std::vector<uint64_t> SpecialModChain;         ///< p mod q_j.

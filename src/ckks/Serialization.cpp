@@ -6,6 +6,9 @@
 
 #include "ckks/Serialization.h"
 
+#include "support/Error.h"
+
+#include <cmath>
 #include <cstring>
 
 using namespace chet;
@@ -49,14 +52,21 @@ public:
     uint64_t Count = 0;
     if (!u64(Count) || Count > MaxCount)
       return false;
+    // Check the payload actually exists before allocating: a forged size
+    // field on a truncated buffer must not trigger a huge allocation.
+    if (Count * sizeof(uint64_t) > remaining())
+      return false;
     V.resize(Count);
     return raw(V.data(), Count * sizeof(uint64_t));
   }
+  size_t remaining() const { return Bytes.size() - Pos; }
   bool done() const { return Pos == Bytes.size(); }
 
 private:
   bool raw(void *Data, size_t Len) {
-    if (Pos + Len > Bytes.size())
+    // Overflow-safe: Pos <= Bytes.size() is an invariant, so comparing
+    // against the remaining byte count cannot wrap.
+    if (Len > Bytes.size() - Pos)
       return false;
     std::memcpy(Data, Bytes.data() + Pos, Len);
     Pos += Len;
@@ -119,7 +129,7 @@ bool chet::deserialize(const ByteBuffer &Bytes, RnsCkksBackend::Ct &Ct) {
     return false;
   if (!R.i32(Ct.Level) || Ct.Level < 0 || Ct.Level > 255)
     return false;
-  if (!R.f64(Ct.Scale) || !(Ct.Scale > 0))
+  if (!R.f64(Ct.Scale) || !std::isfinite(Ct.Scale) || !(Ct.Scale > 0))
     return false;
   constexpr uint64_t MaxWords = uint64_t(256) << 17;
   if (!R.u64s(Ct.C0, MaxWords) || !R.u64s(Ct.C1, MaxWords) || !R.done())
@@ -175,6 +185,10 @@ static bool readBigPoly(Reader &R, std::vector<BigInt> &Poly) {
   uint64_t Size = 0;
   if (!R.u64(Size) || Size > (uint64_t(1) << 17))
     return false;
+  // Each coefficient occupies at least its 4-byte limb count; reject
+  // size fields the buffer cannot possibly back before allocating.
+  if (Size * sizeof(int32_t) > R.remaining())
+    return false;
   Poly.resize(Size);
   uint64_t Limbs[BigInt::MaxLimbs];
   for (uint64_t K = 0; K < Size; ++K) {
@@ -209,9 +223,41 @@ bool chet::deserialize(const ByteBuffer &Bytes, BigCkksBackend::Ct &Ct) {
     return false;
   if (!R.i32(Ct.LogQ) || Ct.LogQ <= 0 || Ct.LogQ > 64 * BigInt::MaxLimbs)
     return false;
-  if (!R.f64(Ct.Scale) || !(Ct.Scale > 0))
+  if (!R.f64(Ct.Scale) || !std::isfinite(Ct.Scale) || !(Ct.Scale > 0))
     return false;
   if (!readBigPoly(R, Ct.C0) || !readBigPoly(R, Ct.C1) || !R.done())
     return false;
   return Ct.C0.size() == Ct.C1.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Throwing forms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename T>
+void deserializeChecked(const ByteBuffer &Bytes, T &Out, const char *What) {
+  CHET_CHECK(deserialize(Bytes, Out), MalformedCiphertext,
+             "malformed or truncated ", What, " (", Bytes.size(), " bytes)");
+}
+
+} // namespace
+
+void chet::deserializeOrThrow(const ByteBuffer &Bytes, RnsCkksParams &Params) {
+  deserializeChecked(Bytes, Params, "RNS-CKKS parameter blob");
+}
+
+void chet::deserializeOrThrow(const ByteBuffer &Bytes,
+                              RnsCkksBackend::Ct &Ct) {
+  deserializeChecked(Bytes, Ct, "RNS-CKKS ciphertext");
+}
+
+void chet::deserializeOrThrow(const ByteBuffer &Bytes, BigCkksParams &Params) {
+  deserializeChecked(Bytes, Params, "CKKS parameter blob");
+}
+
+void chet::deserializeOrThrow(const ByteBuffer &Bytes,
+                              BigCkksBackend::Ct &Ct) {
+  deserializeChecked(Bytes, Ct, "CKKS ciphertext");
 }

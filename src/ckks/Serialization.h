@@ -46,6 +46,15 @@ bool deserialize(const ByteBuffer &Bytes, BigCkksParams &Params);
 ByteBuffer serialize(const BigCkksBackend::Ct &Ct);
 bool deserialize(const ByteBuffer &Bytes, BigCkksBackend::Ct &Ct);
 
+/// Throwing forms of the deserializers: raise
+/// ChetError(MalformedCiphertext) instead of returning false, for call
+/// sites that treat malformed input as an error path rather than a
+/// boolean outcome.
+void deserializeOrThrow(const ByteBuffer &Bytes, RnsCkksParams &Params);
+void deserializeOrThrow(const ByteBuffer &Bytes, RnsCkksBackend::Ct &Ct);
+void deserializeOrThrow(const ByteBuffer &Bytes, BigCkksParams &Params);
+void deserializeOrThrow(const ByteBuffer &Bytes, BigCkksBackend::Ct &Ct);
+
 } // namespace chet
 
 #endif // CHET_CKKS_SERIALIZATION_H

@@ -7,6 +7,7 @@
 #include "core/Analysis.h"
 
 #include "hisa/Hisa.h"
+#include "support/Error.h"
 
 #include <cassert>
 #include <cmath>
@@ -19,8 +20,8 @@ static_assert(HisaBackend<AnalysisBackend>,
 AnalysisBackend::AnalysisBackend(const AnalysisConfig &ConfigIn)
     : Config(ConfigIn), Slots(size_t(1) << (ConfigIn.LogN - 1)) {
   if (Config.Scheme == SchemeKind::RnsCkks)
-    assert(!Config.ScalePrimeCandidates.empty() &&
-           "RNS analysis needs the candidate modulus list");
+    CHET_CHECK(!Config.ScalePrimeCandidates.empty(), InvalidArgument,
+               "RNS analysis needs the candidate modulus list");
 }
 
 void AnalysisBackend::charge(const std::string &Op, double Cost) {
@@ -92,8 +93,9 @@ static bool analysisScalesMatch(double A, double B) {
 }
 
 void AnalysisBackend::addAssign(Ct &C, const Ct &Other) {
-  assert(analysisScalesMatch(C.Scale, Other.Scale) &&
-         "addition scale mismatch detected during analysis");
+  CHET_CHECK(analysisScalesMatch(C.Scale, Other.Scale), ScaleMismatch,
+             "addition scale mismatch detected during analysis: ", C.Scale,
+             " vs ", Other.Scale);
   // Level alignment: the deeper history dominates.
   if (Other.ConsumedPrimes > C.ConsumedPrimes)
     C.ConsumedPrimes = Other.ConsumedPrimes;
@@ -103,8 +105,9 @@ void AnalysisBackend::addAssign(Ct &C, const Ct &Other) {
 }
 
 void AnalysisBackend::addPlainAssign(Ct &C, const Pt &P) {
-  assert(analysisScalesMatch(C.Scale, P.Scale) &&
-         "addPlain scale mismatch detected during analysis");
+  CHET_CHECK(analysisScalesMatch(C.Scale, P.Scale), ScaleMismatch,
+             "addPlain scale mismatch detected during analysis: ", C.Scale,
+             " vs ", P.Scale);
   charge("addPlain", Config.Cost ? Config.Cost->add(modulusState(C)) : 0);
 }
 

@@ -6,7 +6,9 @@
 
 #include "core/Compiler.h"
 
+#include "core/Validate.h"
 #include "runtime/ReferenceOps.h"
+#include "support/Error.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,31 +16,10 @@
 #include <cmath>
 
 using namespace chet;
+using chet::detail::minLogNForData;
+using chet::detail::scalePrimeBits;
 
 namespace {
-
-/// Smallest LogN whose slot count fits the padded input image (and hence
-/// every later tensor: spatial dims only shrink and the FC outputs are
-/// vectors).
-int minLogNForData(const TensorCircuit &Circ) {
-  const OpNode &In = Circ.ops().front();
-  int Pad = Circ.padPhysNeeded();
-  long Phys = static_cast<long>(In.H + 2 * Pad) * (In.W + 2 * Pad);
-  int LogSlots = 0;
-  while ((1L << LogSlots) < Phys)
-    ++LogSlots;
-  int LogN = LogSlots + 1;
-  return std::max(LogN, 11);
-}
-
-int scalePrimeBits(const ScaleConfig &S) {
-  int Bits = static_cast<int>(std::lround(std::log2(S.Image)));
-  // Floor of 29: the candidate primes must satisfy q = 1 mod 2^17 (valid
-  // at every ring dimension up to 2^16), and the list needs dozens of
-  // distinct primes of the chosen size -- below 2^29 the congruence
-  // class holds too few primes.
-  return std::clamp(Bits, 29, 55);
-}
 
 struct PolicyRun {
   PolicyAnalysis Info;
@@ -86,8 +67,15 @@ PolicyRun analyzePolicy(const TensorCircuit &Circ,
       Run.ExtraPrimes = 0;
       while (Reserve < Need) {
         size_t Index = Run.ConsumedPrimes + Run.ExtraPrimes;
-        assert(Index < ScaleCandidates.size() &&
-               "candidate modulus list exhausted");
+        if (Index >= ScaleCandidates.size()) {
+          // The global candidate modulus list cannot cover this policy's
+          // rescale chain plus output headroom; validateCircuit reports
+          // the details if every policy ends up infeasible.
+          Run.Feasible = false;
+          Run.Info.LogN = LogN;
+          Run.Info.EstimatedCost = std::numeric_limits<double>::infinity();
+          return Run;
+        }
         Reserve += std::log2(static_cast<double>(ScaleCandidates[Index]));
         ++Run.ExtraPrimes;
       }
@@ -178,8 +166,15 @@ CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
     if (!Best || Run.Info.EstimatedCost < Best->Info.EstimatedCost)
       Best = std::move(Run);
   }
-  assert(Best && "no layout policy fits any tabulated ring dimension at "
-                 "the requested security level");
+  if (!Best) {
+    // Re-run the analyses in diagnostic mode so the error lists every
+    // violation of every candidate policy, not just "compilation failed".
+    ValidationReport Report = validateCircuit(Circ, Options);
+    throw InfeasibleCircuitError(formatError(
+        "no layout policy fits any tabulated ring dimension at the "
+        "requested security level; ",
+        Report.str()));
+  }
 
   Result.Policy = Best->Info.Policy;
   Result.LogN = Best->Info.LogN;
@@ -220,7 +215,8 @@ CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
 
 RnsCkksBackend chet::makeRnsBackend(const CompiledCircuit &Compiled,
                                     uint64_t Seed) {
-  assert(Compiled.Rns && "compiled circuit does not target RNS-CKKS");
+  CHET_CHECK(Compiled.Rns.has_value(), InvalidArgument,
+             "compiled circuit does not target RNS-CKKS");
   RnsCkksParams P = *Compiled.Rns;
   P.Seed = Seed;
   RnsCkksBackend Backend(P);
@@ -231,7 +227,8 @@ RnsCkksBackend chet::makeRnsBackend(const CompiledCircuit &Compiled,
 
 BigCkksBackend chet::makeBigBackend(const CompiledCircuit &Compiled,
                                     uint64_t Seed) {
-  assert(Compiled.Big && "compiled circuit does not target big-CKKS");
+  CHET_CHECK(Compiled.Big.has_value(), InvalidArgument,
+             "compiled circuit does not target big-CKKS");
   BigCkksParams P = *Compiled.Big;
   P.Seed = Seed;
   BigCkksBackend Backend(P);
@@ -273,7 +270,8 @@ ScaleSearchResult chet::selectScales(const TensorCircuit &Circ,
                                      const CompilerOptions &Options,
                                      const std::vector<Tensor3> &TestInputs,
                                      const ScaleSearchOptions &Search) {
-  assert(!TestInputs.empty() && "scale search needs test inputs");
+  CHET_CHECK(!TestInputs.empty(), InvalidArgument,
+             "scale search needs at least one test input");
   CompilerOptions Current = Options;
   ScaleSearchResult Result;
 

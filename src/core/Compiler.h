@@ -89,8 +89,10 @@ struct CompiledCircuit {
   std::vector<PolicyAnalysis> PerPolicy;
 };
 
-/// Runs passes 1-3. Aborts (assert) if no tabulated ring dimension can
-/// hold the circuit at the requested security level.
+/// Runs passes 1-3. Throws ChetError(InfeasibleCircuit) -- whose message
+/// lists every per-policy violation from the validation pass (Validate.h)
+/// -- if no tabulated ring dimension can hold the circuit at the
+/// requested security level.
 CompiledCircuit compileCircuit(const TensorCircuit &Circ,
                                const CompilerOptions &Options);
 

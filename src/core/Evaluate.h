@@ -20,6 +20,7 @@
 
 #include "core/Ir.h"
 #include "runtime/Kernels.h"
+#include "support/Error.h"
 
 #include <optional>
 
@@ -165,8 +166,7 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
     }
   }
   // A well-formed circuit ends in an Output node.
-  assert(false && "circuit has no output node");
-  return std::move(*Vals.back());
+  throw InvalidArgumentError("circuit has no output node");
 }
 
 /// Convenience wrapper: encrypt, evaluate, decrypt (used by tests, the
@@ -181,6 +181,42 @@ Tensor3 runEncryptedInference(B &Backend, const TensorCircuit &Circ,
   CipherTensor<B> Out =
       evaluateCircuit(Backend, Circ, Enc, S, Policy, FcAlg);
   return decryptTensor(Backend, Out);
+}
+
+/// Bounded-retry policy for transient backend faults (dropped network
+/// packets, injected TransientBackendFault, ...).
+struct RetryPolicy {
+  /// Total attempts, including the first; must be >= 1.
+  int MaxAttempts = 3;
+};
+
+/// Like runEncryptedInference, but retries the whole encrypt -> evaluate
+/// -> decrypt round trip when the backend raises a *transient* ChetError
+/// (ChetError::isTransient()). Each attempt re-encrypts the input from
+/// scratch, so a corrupted ciphertext never survives into the retry.
+/// Non-transient errors and exhaustion of the attempt budget rethrow the
+/// last error to the caller.
+template <HisaBackend B>
+Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
+                                       const Tensor3 &Image,
+                                       const ScaleConfig &S,
+                                       LayoutPolicy Policy,
+                                       const RetryPolicy &Retry = {},
+                                       FcAlgorithm FcAlg = FcAlgorithm::Auto,
+                                       int *AttemptsOut = nullptr) {
+  CHET_CHECK(Retry.MaxAttempts >= 1, InvalidArgument,
+             "retry policy needs at least one attempt, got ",
+             Retry.MaxAttempts);
+  for (int Attempt = 1;; ++Attempt) {
+    if (AttemptsOut)
+      *AttemptsOut = Attempt;
+    try {
+      return runEncryptedInference(Backend, Circ, Image, S, Policy, FcAlg);
+    } catch (const ChetError &E) {
+      if (!E.isTransient() || Attempt >= Retry.MaxAttempts)
+        throw;
+    }
+  }
 }
 
 } // namespace chet

@@ -1,0 +1,220 @@
+//===- Validate.cpp - Compile-time circuit validation ----------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace chet;
+
+int chet::detail::minLogNForData(const TensorCircuit &Circ) {
+  const OpNode &In = Circ.ops().front();
+  int Pad = Circ.padPhysNeeded();
+  long Phys = static_cast<long>(In.H + 2 * Pad) * (In.W + 2 * Pad);
+  int LogSlots = 0;
+  while ((1L << LogSlots) < Phys)
+    ++LogSlots;
+  int LogN = LogSlots + 1;
+  return std::max(LogN, 11);
+}
+
+int chet::detail::scalePrimeBits(const ScaleConfig &S) {
+  int Bits = static_cast<int>(std::lround(std::log2(S.Image)));
+  // Floor of 29: the candidate primes must satisfy q = 1 mod 2^17 (valid
+  // at every ring dimension up to 2^16), and the list needs dozens of
+  // distinct primes of the chosen size -- below 2^29 the congruence
+  // class holds too few primes.
+  return std::clamp(Bits, 29, 55);
+}
+
+std::string ValidationReport::str() const {
+  std::ostringstream OS;
+  OS << "circuit validation found " << Diagnostics.size() << " violation"
+     << (Diagnostics.size() == 1 ? "" : "s") << " across " << PoliciesChecked
+     << (PoliciesChecked == 1 ? " policy" : " policies") << " ("
+     << FeasiblePolicies << " feasible):";
+  int N = 0;
+  for (const CircuitDiagnostic &D : Diagnostics)
+    OS << "\n  " << ++N << ". [" << layoutPolicyName(D.Policy) << "] "
+       << errorCodeName(D.Code) << ": " << D.Message;
+  return OS.str();
+}
+
+std::vector<int> chet::missingRotationSteps(const std::set<int> &Required,
+                                            const std::set<int> &Available,
+                                            size_t Slots) {
+  std::vector<int> Missing;
+  for (int Step : Required) {
+    int64_t S = Step % static_cast<int64_t>(Slots);
+    if (S < 0)
+      S += Slots;
+    if (S == 0 || Available.count(static_cast<int>(S)))
+      continue;
+    // Power-of-two fallback over the shorter direction, exactly as the
+    // backends decompose (Section 2.4).
+    int64_t Remaining = S <= static_cast<int64_t>(Slots / 2)
+                            ? S
+                            : S - static_cast<int64_t>(Slots);
+    int Direction = Remaining >= 0 ? 1 : -1;
+    uint64_t Mag =
+        static_cast<uint64_t>(Remaining >= 0 ? Remaining : -Remaining);
+    bool Covered = true;
+    for (int Bit = 0; Mag != 0; ++Bit, Mag >>= 1) {
+      if (!(Mag & 1))
+        continue;
+      int64_t Hop = static_cast<int64_t>(Direction) * (int64_t(1) << Bit);
+      int64_t Norm = ((Hop % static_cast<int64_t>(Slots)) +
+                      static_cast<int64_t>(Slots)) %
+                     static_cast<int64_t>(Slots);
+      if (!Available.count(static_cast<int>(Norm))) {
+        Covered = false;
+        break;
+      }
+    }
+    if (!Covered)
+      Missing.push_back(Step);
+  }
+  return Missing;
+}
+
+namespace {
+
+/// Per-policy feasibility replay of the compiler's phase-1 analysis.
+/// Appends every violation it can attribute to this policy.
+void validatePolicy(const TensorCircuit &Circ, const CompilerOptions &Options,
+                    LayoutPolicy Policy,
+                    const std::vector<uint64_t> &ScaleCandidates,
+                    std::vector<CircuitDiagnostic> &Out) {
+  auto Diag = [&](ErrorCode Code, const std::string &Message) {
+    Out.push_back({Code, Policy, Message});
+  };
+
+  // Hard ring-dimension ceiling: the encoder tops out at LogN = 17 and
+  // the security table at LogN = 16; MaxLogN may be tighter still.
+  int LogNCeil = std::min(Options.MaxLogN, 16);
+
+  int DataLogN = detail::minLogNForData(Circ);
+  if (DataLogN > LogNCeil) {
+    Diag(ErrorCode::LayoutMismatch,
+         formatError("the padded input image needs LogN >= ", DataLogN,
+                     " to fit one ciphertext, but the ring-dimension bound "
+                     "is ",
+                     LogNCeil));
+    return; // nothing below can run without a workable ring
+  }
+
+  const OpNode &In = Circ.ops().front();
+  Tensor3 Dummy(In.C, In.H, In.W);
+
+  int LogN = DataLogN;
+  for (;;) {
+    AnalysisConfig C1;
+    C1.Scheme = Options.Scheme;
+    C1.LogN = LogN;
+    C1.ScalePrimeCandidates = ScaleCandidates;
+    AnalysisBackend B1(C1);
+
+    double Need = 0, LogQP = 0;
+    try {
+      TensorLayout L = circuitInputLayout(Circ, Policy, B1.slotCount());
+      auto Enc = encryptTensor(B1, Dummy, L, Options.Scales);
+      auto Output = evaluateCircuit(B1, Circ, Enc, Options.Scales, Policy);
+      Need = std::log2(Output.scale(B1)) + Options.OutputPrecisionBits;
+    } catch (const ChetError &E) {
+      // Structural misuse a kernel rejected (shape/layout) -- a
+      // compile-time fact, since the analysis touches no real data.
+      Diag(E.code(), E.what());
+      return;
+    }
+
+    if (Options.Scheme == SchemeKind::RnsCkks) {
+      int Consumed = B1.maxConsumedPrimes();
+      double ConsumedBits = 0;
+      for (int I = 0; I < Consumed; ++I)
+        ConsumedBits += std::log2(static_cast<double>(ScaleCandidates[I]));
+      double Reserve = Options.FirstPrimeBits;
+      int Extra = 0;
+      bool Exhausted = false;
+      while (Reserve < Need) {
+        size_t Index = static_cast<size_t>(Consumed) + Extra;
+        if (Index >= ScaleCandidates.size()) {
+          Diag(ErrorCode::LevelExhausted,
+               formatError("the rescale chain consumes ", Consumed,
+                           " scaling primes and the output headroom needs ",
+                           Extra + 1,
+                           " more, but the global candidate modulus list "
+                           "holds only ",
+                           ScaleCandidates.size(), " primes"));
+          Exhausted = true;
+          break;
+        }
+        Reserve += std::log2(static_cast<double>(ScaleCandidates[Index]));
+        ++Extra;
+      }
+      if (Exhausted)
+        return;
+      LogQP = ConsumedBits + Reserve + Options.FirstPrimeBits;
+    } else {
+      LogQP = 2 * std::ceil(B1.maxLogConsumed() + Need);
+    }
+
+    int SecLogN = minLogNForLogQ(static_cast<int>(std::ceil(LogQP)),
+                                 Options.Security);
+    if (SecLogN == -1 || std::max(LogN, SecLogN) > LogNCeil) {
+      Diag(ErrorCode::SecurityBudgetExceeded,
+           formatError(
+               "the circuit needs logQP = ",
+               static_cast<int>(std::ceil(LogQP)),
+               " bits of modulus, but the security table allows at most ",
+               maxLogQForSecurity(LogNCeil, Options.Security),
+               " bits at the largest permissible ring dimension LogN = ",
+               LogNCeil));
+      return;
+    }
+    int NewLogN = std::max(LogN, SecLogN);
+    if (NewLogN == LogN)
+      return; // feasible: fixpoint reached with no violations
+    LogN = NewLogN;
+  }
+}
+
+} // namespace
+
+ValidationReport chet::validateCircuit(const TensorCircuit &Circ,
+                                       const CompilerOptions &Options) {
+  ValidationReport Report;
+  if (Circ.ops().empty()) {
+    Report.PoliciesChecked = 1;
+    Report.Diagnostics.push_back({ErrorCode::InvalidArgument,
+                                  Options.FixedPolicy,
+                                  "circuit has no operations"});
+    return Report;
+  }
+
+  int ScaleBits = detail::scalePrimeBits(Options.Scales);
+  std::vector<uint64_t> Chain =
+      RnsCkksParams::candidateChain(65, Options.FirstPrimeBits, ScaleBits);
+  std::vector<uint64_t> ScaleCandidates(Chain.begin() + 1, Chain.end());
+
+  std::vector<LayoutPolicy> Policies;
+  if (Options.SearchLayouts)
+    Policies.assign(std::begin(kAllLayoutPolicies),
+                    std::end(kAllLayoutPolicies));
+  else
+    Policies.push_back(Options.FixedPolicy);
+
+  for (LayoutPolicy Policy : Policies) {
+    ++Report.PoliciesChecked;
+    size_t Before = Report.Diagnostics.size();
+    validatePolicy(Circ, Options, Policy, ScaleCandidates,
+                   Report.Diagnostics);
+    if (Report.Diagnostics.size() == Before)
+      ++Report.FeasiblePolicies;
+  }
+  return Report;
+}

@@ -1,0 +1,243 @@
+//===- FaultInjectionBackend.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A HISA backend adapter that wraps any other backend and, driven by a
+/// seeded Prng, deterministically injects the failure modes an FHE
+/// deployment actually sees:
+///
+///   - BitFlip            -- corrupts a ciphertext in a representation-
+///                           aware way (storage / transmission faults);
+///   - DroppedRescale     -- silently skips a rescale, leaving the scale
+///                           inflated so downstream scale checks fire
+///                           (a lost modulus-management step);
+///   - TransientOpFailure -- throws TransientBackendFault from a
+///                           homomorphic op (a flaky accelerator or RPC),
+///                           recoverable by runEncryptedInferenceWithRetry.
+///
+/// Because the adapter satisfies the HisaBackend concept, the unmodified
+/// tensor kernels and the circuit evaluator run under fault injection with
+/// no changes -- the same re-interpretation trick the analysis backends
+/// use (Section 5.1), applied to robustness testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_HISA_FAULTINJECTIONBACKEND_H
+#define CHET_HISA_FAULTINJECTIONBACKEND_H
+
+#include "hisa/Hisa.h"
+#include "support/Error.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+/// The failure modes the adapter can inject.
+enum class FaultKind { BitFlip, DroppedRescale, TransientOpFailure };
+
+/// Deterministic fault schedule: every rate is a per-operation
+/// probability drawn from the seeded stream, so a (Seed, circuit) pair
+/// always produces the same fault sites.
+struct FaultPlan {
+  uint64_t Seed = 0xfa017;
+  /// Probability that a homomorphic op's result ciphertext is corrupted.
+  double BitFlipRate = 0.0;
+  /// Probability that a rescaleAssign is silently skipped.
+  double DropRescaleRate = 0.0;
+  /// Probability that a homomorphic op throws TransientBackendFault.
+  double TransientRate = 0.0;
+  /// Total transient faults to inject before the backend heals; a finite
+  /// cap lets retry-with-reencrypt succeed deterministically.
+  int MaxTransientFaults = std::numeric_limits<int>::max();
+};
+
+/// Counters of the faults actually delivered.
+struct FaultStats {
+  long BitFlips = 0;
+  long DroppedRescales = 0;
+  long TransientFaults = 0;
+};
+
+/// HISA adapter injecting faults per a FaultPlan. Holds the wrapped
+/// backend by reference; keys and parameters stay with the inner backend.
+template <typename B> class FaultInjectionBackend {
+public:
+  using Ct = typename B::Ct;
+  using Pt = typename B::Pt;
+
+  FaultInjectionBackend(B &InnerIn, const FaultPlan &PlanIn)
+      : Inner(InnerIn), Plan(PlanIn), Rng(PlanIn.Seed) {}
+
+  const FaultStats &stats() const { return Stats; }
+  B &inner() { return Inner; }
+
+  size_t slotCount() const { return Inner.slotCount(); }
+
+  Pt encode(const std::vector<double> &Values, double Scale) {
+    return Inner.encode(Values, Scale);
+  }
+
+  std::vector<double> decode(const Pt &P) const { return Inner.decode(P); }
+
+  Ct encrypt(const Pt &P) {
+    Ct C = Inner.encrypt(P);
+    maybeCorrupt(C);
+    return C;
+  }
+
+  Pt decrypt(const Ct &C) const { return Inner.decrypt(C); }
+
+  Ct copy(const Ct &C) const { return Inner.copy(C); }
+
+  void freeCt(Ct &C) { Inner.freeCt(C); }
+
+  void rotLeftAssign(Ct &C, int Steps) {
+    maybeTransient("rotLeft");
+    Inner.rotLeftAssign(C, Steps);
+    maybeCorrupt(C);
+  }
+
+  void rotRightAssign(Ct &C, int Steps) {
+    maybeTransient("rotRight");
+    Inner.rotRightAssign(C, Steps);
+    maybeCorrupt(C);
+  }
+
+  void addAssign(Ct &C, const Ct &Other) {
+    maybeTransient("add");
+    Inner.addAssign(C, Other);
+    maybeCorrupt(C);
+  }
+
+  void subAssign(Ct &C, const Ct &Other) {
+    maybeTransient("sub");
+    Inner.subAssign(C, Other);
+    maybeCorrupt(C);
+  }
+
+  void addPlainAssign(Ct &C, const Pt &P) {
+    maybeTransient("addPlain");
+    Inner.addPlainAssign(C, P);
+    maybeCorrupt(C);
+  }
+
+  void subPlainAssign(Ct &C, const Pt &P) {
+    maybeTransient("subPlain");
+    Inner.subPlainAssign(C, P);
+    maybeCorrupt(C);
+  }
+
+  void addScalarAssign(Ct &C, double X) {
+    maybeTransient("addScalar");
+    Inner.addScalarAssign(C, X);
+    maybeCorrupt(C);
+  }
+
+  void subScalarAssign(Ct &C, double X) {
+    maybeTransient("subScalar");
+    Inner.subScalarAssign(C, X);
+    maybeCorrupt(C);
+  }
+
+  void mulAssign(Ct &C, const Ct &Other) {
+    maybeTransient("mul");
+    Inner.mulAssign(C, Other);
+    maybeCorrupt(C);
+  }
+
+  void mulPlainAssign(Ct &C, const Pt &P) {
+    maybeTransient("mulPlain");
+    Inner.mulPlainAssign(C, P);
+    maybeCorrupt(C);
+  }
+
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) {
+    maybeTransient("mulScalar");
+    Inner.mulScalarAssign(C, X, Scale);
+    maybeCorrupt(C);
+  }
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
+    return Inner.maxRescale(C, UpperBound);
+  }
+
+  void rescaleAssign(Ct &C, uint64_t Divisor) {
+    maybeTransient("rescale");
+    if (Plan.DropRescaleRate > 0 && Rng.nextDouble() < Plan.DropRescaleRate) {
+      // The scale stays inflated; the next scale-checked addition raises
+      // ScaleMismatch, turning a silent omission into a typed error.
+      ++Stats.DroppedRescales;
+      return;
+    }
+    Inner.rescaleAssign(C, Divisor);
+    maybeCorrupt(C);
+  }
+
+  double scaleOf(const Ct &C) const { return Inner.scaleOf(C); }
+
+private:
+  void maybeTransient(const char *Op) {
+    if (Plan.TransientRate <= 0 ||
+        Stats.TransientFaults >= Plan.MaxTransientFaults)
+      return;
+    if (Rng.nextDouble() < Plan.TransientRate) {
+      ++Stats.TransientFaults;
+      throw TransientBackendFaultError(
+          formatError("injected transient fault #", Stats.TransientFaults,
+                      " in ", Op));
+    }
+  }
+
+  void maybeCorrupt(Ct &C) {
+    if (Plan.BitFlipRate <= 0 || Rng.nextDouble() >= Plan.BitFlipRate)
+      return;
+    if (corrupt(C))
+      ++Stats.BitFlips;
+  }
+
+  /// Representation-aware corruption, resolved at compile time from the
+  /// wrapped backend's ciphertext layout.
+  bool corrupt(Ct &C) {
+    if constexpr (requires(Ct &X) { X.C0[0] ^= uint64_t(1); }) {
+      // RNS-CKKS: word-packed polynomials; flip one random bit.
+      auto &Poly = Rng.next() & 1 ? C.C0 : C.C1;
+      if (Poly.empty())
+        return false;
+      Poly[Rng.nextBounded(Poly.size())] ^= uint64_t(1)
+                                            << Rng.nextBounded(64);
+      return true;
+    } else if constexpr (requires(Ct &X) { X.C0[0].negate(); }) {
+      // Big-integer CKKS: negate one random coefficient.
+      auto &Poly = Rng.next() & 1 ? C.C0 : C.C1;
+      if (Poly.empty())
+        return false;
+      Poly[Rng.nextBounded(Poly.size())].negate();
+      return true;
+    } else if constexpr (requires(Ct &X) { X.Values[0] += 1.0; }) {
+      // Plain reference: slam one slot far outside the data range.
+      if (C.Values.empty())
+        return false;
+      C.Values[Rng.nextBounded(C.Values.size())] += 1e9;
+      return true;
+    } else {
+      // Metadata-only ciphertexts (analysis backends) have no payload.
+      return false;
+    }
+  }
+
+  B &Inner;
+  FaultPlan Plan;
+  Prng Rng;
+  FaultStats Stats;
+};
+
+} // namespace chet
+
+#endif // CHET_HISA_FAULTINJECTIONBACKEND_H

@@ -20,6 +20,8 @@
 #ifndef CHET_HISA_PLAINBACKEND_H
 #define CHET_HISA_PLAINBACKEND_H
 
+#include "support/Error.h"
+
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -48,7 +50,9 @@ public:
   size_t slotCount() const { return Slots; }
 
   Pt encode(const std::vector<double> &Values, double Scale) const {
-    assert(Values.size() <= Slots && "too many values for slot count");
+    CHET_CHECK(Values.size() <= Slots, InvalidArgument,
+               "too many values for slot count: ", Values.size(), " > ",
+               Slots);
     Pt P;
     P.Values = Values;
     P.Values.resize(Slots, 0.0);
@@ -75,25 +79,29 @@ public:
   }
 
   void addAssign(Ct &C, const Ct &Other) const {
-    assert(sameScale(C.Scale, Other.Scale) && "addition scale mismatch");
+    CHET_CHECK(sameScale(C.Scale, Other.Scale), ScaleMismatch,
+               "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);
     for (size_t I = 0; I < Slots; ++I)
       C.Values[I] += Other.Values[I];
   }
 
   void subAssign(Ct &C, const Ct &Other) const {
-    assert(sameScale(C.Scale, Other.Scale) && "subtraction scale mismatch");
+    CHET_CHECK(sameScale(C.Scale, Other.Scale), ScaleMismatch,
+               "subtraction scale mismatch: ", C.Scale, " vs ", Other.Scale);
     for (size_t I = 0; I < Slots; ++I)
       C.Values[I] -= Other.Values[I];
   }
 
   void addPlainAssign(Ct &C, const Pt &P) const {
-    assert(sameScale(C.Scale, P.Scale) && "addPlain scale mismatch");
+    CHET_CHECK(sameScale(C.Scale, P.Scale), ScaleMismatch,
+               "addPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
     for (size_t I = 0; I < Slots; ++I)
       C.Values[I] += P.Values[I];
   }
 
   void subPlainAssign(Ct &C, const Pt &P) const {
-    assert(sameScale(C.Scale, P.Scale) && "subPlain scale mismatch");
+    CHET_CHECK(sameScale(C.Scale, P.Scale), ScaleMismatch,
+               "subPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
     for (size_t I = 0; I < Slots; ++I)
       C.Values[I] -= P.Values[I];
   }

@@ -31,6 +31,7 @@
 #define CHET_RUNTIME_KERNELS_H
 
 #include "runtime/CipherTensor.h"
+#include "support/Error.h"
 
 #include <cassert>
 #include <cmath>
@@ -110,7 +111,9 @@ void addBias(B &Backend, CipherTensor<B> &T, const std::vector<double> &Bias,
 template <HisaBackend B>
 CipherTensor<B> encryptTensor(B &Backend, const Tensor3 &T,
                               const TensorLayout &L, const ScaleConfig &S) {
-  assert(L.Slots == Backend.slotCount() && "layout/backend slot mismatch");
+  CHET_CHECK(L.Slots == Backend.slotCount(), LayoutMismatch,
+             "layout/backend slot mismatch: layout has ", L.Slots,
+             " slots, backend has ", Backend.slotCount());
   CipherTensor<B> Out;
   Out.L = L;
   for (auto &Slots : packTensor(T, L))
@@ -159,10 +162,15 @@ template <HisaBackend B>
 CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
                          const ConvWeights &Wt, int Stride, int Pad,
                          const ScaleConfig &S, bool MaskOutput) {
-  assert(In.L.Kind == LayoutKind::HW && "conv2dHW requires HW layout");
-  assert(In.L.C == Wt.Cin && "channel mismatch");
-  assert(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX &&
-         "insufficient zero margin for the requested padding");
+  CHET_CHECK(In.L.Kind == LayoutKind::HW, LayoutMismatch,
+             "conv2dHW requires HW layout");
+  CHET_CHECK(In.L.C == Wt.Cin, LayoutMismatch,
+             "conv channel mismatch: input has ", In.L.C,
+             " channels, weights expect ", Wt.Cin);
+  CHET_CHECK(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX,
+             LayoutMismatch,
+             "insufficient zero margin for the requested padding: offsets (",
+             In.L.OffY, ", ", In.L.OffX, ") cannot absorb pad ", Pad);
   int OutH, OutW;
   convOutputDims(In.L.H, In.L.W, Wt.Kh, Wt.Kw, Stride, Pad, OutH, OutW);
   CipherTensor<B> Out;
@@ -212,12 +220,19 @@ template <HisaBackend B>
 CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
                           const ConvWeights &Wt, int Stride, int Pad,
                           const ScaleConfig &S, bool MaskOutput) {
-  assert(In.L.Kind == LayoutKind::CHW && "conv2dCHW requires CHW layout");
-  assert(In.L.C == Wt.Cin && "channel mismatch");
-  assert(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX &&
-         "insufficient zero margin for the requested padding");
-  assert(static_cast<size_t>(In.L.ChPerCt) * In.L.ChStride == In.L.Slots &&
-         "CHW channel blocks must tile the ciphertext for cyclic diagonals");
+  CHET_CHECK(In.L.Kind == LayoutKind::CHW, LayoutMismatch,
+             "conv2dCHW requires CHW layout");
+  CHET_CHECK(In.L.C == Wt.Cin, LayoutMismatch,
+             "conv channel mismatch: input has ", In.L.C,
+             " channels, weights expect ", Wt.Cin);
+  CHET_CHECK(In.L.OffY >= Pad * In.L.SY && In.L.OffX >= Pad * In.L.SX,
+             LayoutMismatch,
+             "insufficient zero margin for the requested padding: offsets (",
+             In.L.OffY, ", ", In.L.OffX, ") cannot absorb pad ", Pad);
+  CHET_CHECK(static_cast<size_t>(In.L.ChPerCt) * In.L.ChStride == In.L.Slots,
+             LayoutMismatch,
+             "CHW channel blocks must tile the ciphertext for cyclic "
+             "diagonals");
   int OutH, OutW;
   convOutputDims(In.L.H, In.L.W, Wt.Kh, Wt.Kw, Stride, Pad, OutH, OutW);
   CipherTensor<B> Out;
@@ -292,7 +307,9 @@ template <HisaBackend B>
 CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
                             int Stride, const ScaleConfig &S,
                             bool MaskOutput = true) {
-  assert(K >= 1 && Stride >= 1);
+  CHET_CHECK(K >= 1 && Stride >= 1, InvalidArgument,
+             "averagePool needs K >= 1 and Stride >= 1, got K = ", K,
+             ", Stride = ", Stride);
   int OutH, OutW;
   convOutputDims(In.L.H, In.L.W, K, K, Stride, /*Pad=*/0, OutH, OutW);
   CipherTensor<B> Out;
@@ -322,7 +339,8 @@ template <HisaBackend B>
 CipherTensor<B> globalAveragePool(B &Backend, const CipherTensor<B> &In,
                                   const ScaleConfig &S,
                                   bool MaskOutput = true) {
-  assert(In.L.H == In.L.W && "global pool expects square maps");
+  CHET_CHECK(In.L.H == In.L.W, LayoutMismatch,
+             "global pool expects square maps, got ", In.L.H, " x ", In.L.W);
   return averagePool(Backend, In, In.L.H, In.L.H, S, MaskOutput);
 }
 
@@ -385,9 +403,12 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
                                         const FcWeights &Wt,
                                         const ScaleConfig &S,
                                         LayoutKind OutKind = LayoutKind::CHW) {
-  assert(Wt.In == In.L.C * In.L.H * In.L.W && "FC feature count mismatch");
+  CHET_CHECK(Wt.In == In.L.C * In.L.H * In.L.W, LayoutMismatch,
+             "FC feature count mismatch: weights expect ", Wt.In,
+             " features, input provides ", In.L.C * In.L.H * In.L.W);
   size_t Slots = In.L.Slots;
-  assert(static_cast<size_t>(Wt.Out) <= Slots && "too many outputs");
+  CHET_CHECK(static_cast<size_t>(Wt.Out) <= Slots, LayoutMismatch,
+             "too many outputs: ", Wt.Out, " > ", Slots, " slots");
   CipherTensor<B> Out;
   Out.L = OutKind == LayoutKind::CHW
               ? makeDenseVectorLayout(Wt.Out, Slots)
@@ -452,9 +473,12 @@ template <HisaBackend B>
 CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
                                    const FcWeights &Wt,
                                    const ScaleConfig &S) {
-  assert(In.L.ctCount() == 1 && "BSGS FC requires a single-ciphertext input");
+  CHET_CHECK(In.L.ctCount() == 1, LayoutMismatch,
+             "BSGS FC requires a single-ciphertext input, got ",
+             In.L.ctCount(), " ciphertexts");
   size_t Slots = In.L.Slots;
-  assert(static_cast<size_t>(Wt.Out) <= Slots && "too many outputs");
+  CHET_CHECK(static_cast<size_t>(Wt.Out) <= Slots, LayoutMismatch,
+             "too many outputs: ", Wt.Out, " > ", Slots, " slots");
   int G = fcGiantStep(Slots);
   auto Plains = buildFcBsgsPlains(In.L, Wt, G);
 
@@ -537,11 +561,11 @@ template <HisaBackend B>
 CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
                                const CipherTensor<B> &Bt,
                                const ScaleConfig &S) {
-  assert(A.L.Kind == Bt.L.Kind && A.L.PhysH == Bt.L.PhysH &&
-         A.L.PhysW == Bt.L.PhysW && A.L.OffY == Bt.L.OffY &&
-         A.L.OffX == Bt.L.OffX && A.L.SY == Bt.L.SY && A.L.SX == Bt.L.SX &&
-         A.L.H == Bt.L.H && A.L.W == Bt.L.W &&
-         "concat requires identical geometry");
+  CHET_CHECK(A.L.Kind == Bt.L.Kind && A.L.PhysH == Bt.L.PhysH &&
+                 A.L.PhysW == Bt.L.PhysW && A.L.OffY == Bt.L.OffY &&
+                 A.L.OffX == Bt.L.OffX && A.L.SY == Bt.L.SY &&
+                 A.L.SX == Bt.L.SX && A.L.H == Bt.L.H && A.L.W == Bt.L.W,
+             LayoutMismatch, "concat requires identical geometry");
   CipherTensor<B> Out;
   Out.L = A.L;
   Out.L.C = A.L.C + Bt.L.C;
@@ -561,8 +585,8 @@ CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
   // General CHW path: assemble each output ciphertext channel by channel
   // with rotations and single-block masks (everything masked so all
   // contributions share one scale).
-  assert(A.L.ChStride == Bt.L.ChStride && A.L.ChPerCt == Bt.L.ChPerCt &&
-         "concat requires matching channel blocking");
+  CHET_CHECK(A.L.ChStride == Bt.L.ChStride && A.L.ChPerCt == Bt.L.ChPerCt,
+             LayoutMismatch, "concat requires matching channel blocking");
   int Block = Out.L.ChPerCt;
   std::vector<std::optional<typename B::Ct>> Acc(Out.L.ctCount());
   for (int C = 0; C < Out.L.C; ++C) {

@@ -6,6 +6,8 @@
 
 #include "runtime/Layout.h"
 
+#include "support/Error.h"
+
 #include <cassert>
 
 using namespace chet;
@@ -19,7 +21,9 @@ static int pow2Ceil(int X) {
 
 TensorLayout chet::makeInputLayout(LayoutKind Kind, int C, int H, int W,
                                    int PadPhys, size_t Slots) {
-  assert(C > 0 && H > 0 && W > 0 && PadPhys >= 0);
+  CHET_CHECK(C > 0 && H > 0 && W > 0 && PadPhys >= 0, InvalidArgument,
+             "invalid tensor shape ", C, " x ", H, " x ", W,
+             " with physical pad ", PadPhys);
   TensorLayout L;
   L.Kind = Kind;
   L.C = C;
@@ -33,7 +37,9 @@ TensorLayout chet::makeInputLayout(LayoutKind Kind, int C, int H, int W,
   L.SX = 1;
   L.Slots = Slots;
   size_t Image = static_cast<size_t>(L.PhysH) * L.PhysW;
-  assert(Image <= Slots && "padded image does not fit in one ciphertext");
+  CHET_CHECK(Image <= Slots, LayoutMismatch,
+             "padded image does not fit in one ciphertext: ", L.PhysH, " x ",
+             L.PhysW, " = ", Image, " > ", Slots, " slots");
   if (Kind == LayoutKind::HW) {
     L.ChPerCt = 1;
     L.ChStride = 0;
@@ -48,8 +54,8 @@ TensorLayout chet::makeInputLayout(LayoutKind Kind, int C, int H, int W,
 }
 
 TensorLayout chet::makeDenseVectorLayout(int C, size_t Slots) {
-  assert(C > 0 && static_cast<size_t>(C) <= Slots &&
-         "dense vector exceeds slot count");
+  CHET_CHECK(C > 0 && static_cast<size_t>(C) <= Slots, LayoutMismatch,
+             "dense vector exceeds slot count: ", C, " > ", Slots);
   TensorLayout L;
   L.Kind = LayoutKind::CHW;
   L.C = C;
@@ -69,7 +75,9 @@ TensorLayout chet::makeDenseVectorLayout(int C, size_t Slots) {
 
 std::vector<std::vector<double>> chet::packTensor(const Tensor3 &T,
                                                   const TensorLayout &L) {
-  assert(T.C == L.C && T.H == L.H && T.W == L.W && "shape mismatch");
+  CHET_CHECK(T.C == L.C && T.H == L.H && T.W == L.W, LayoutMismatch,
+             "tensor/layout shape mismatch: tensor ", T.C, " x ", T.H, " x ",
+             T.W, " vs layout ", L.C, " x ", L.H, " x ", L.W);
   std::vector<std::vector<double>> Out(L.ctCount(),
                                        std::vector<double>(L.Slots, 0.0));
   for (int C = 0; C < L.C; ++C)
@@ -83,7 +91,9 @@ std::vector<std::vector<double>> chet::packTensor(const Tensor3 &T,
 
 Tensor3 chet::unpackTensor(const std::vector<std::vector<double>> &Slots,
                            const TensorLayout &L) {
-  assert(static_cast<int>(Slots.size()) == L.ctCount() && "ct count mismatch");
+  CHET_CHECK(static_cast<int>(Slots.size()) == L.ctCount(), LayoutMismatch,
+             "ciphertext count mismatch: got ", Slots.size(), ", layout needs ",
+             L.ctCount());
   Tensor3 T(L.C, L.H, L.W);
   for (int C = 0; C < L.C; ++C)
     for (int Y = 0; Y < L.H; ++Y)
@@ -105,7 +115,9 @@ std::vector<double> chet::buildValidMask(const TensorLayout &L,
 
 std::vector<double> chet::buildBiasVector(const TensorLayout &L, int CtIndex,
                                           const std::vector<double> &Bias) {
-  assert(static_cast<int>(Bias.size()) == L.C && "bias size mismatch");
+  CHET_CHECK(static_cast<int>(Bias.size()) == L.C, LayoutMismatch,
+             "bias size mismatch: ", Bias.size(), " biases for ", L.C,
+             " channels");
   std::vector<double> Out(L.Slots, 0.0);
   for (int C = CtIndex * L.ChPerCt;
        C < (CtIndex + 1) * L.ChPerCt && C < L.C; ++C)
@@ -177,7 +189,8 @@ std::vector<double> chet::buildFcRow(const TensorLayout &In,
 
 std::vector<double> chet::buildSlotMask(size_t Slots, size_t Slot) {
   std::vector<double> Mask(Slots, 0.0);
-  assert(Slot < Slots && "selector slot out of range");
+  CHET_CHECK(Slot < Slots, InvalidArgument,
+             "selector slot out of range: ", Slot, " >= ", Slots);
   Mask[Slot] = 1.0;
   return Mask;
 }

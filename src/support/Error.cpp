@@ -1,0 +1,85 @@
+//===- Error.cpp - Structured diagnostics for the CHET stack --------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+namespace chet {
+
+const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::InvalidArgument:
+    return "InvalidArgument";
+  case ErrorCode::ScaleMismatch:
+    return "ScaleMismatch";
+  case ErrorCode::LevelExhausted:
+    return "LevelExhausted";
+  case ErrorCode::MissingRotationKey:
+    return "MissingRotationKey";
+  case ErrorCode::SecurityBudgetExceeded:
+    return "SecurityBudgetExceeded";
+  case ErrorCode::MalformedCiphertext:
+    return "MalformedCiphertext";
+  case ErrorCode::EncodingOverflow:
+    return "EncodingOverflow";
+  case ErrorCode::LayoutMismatch:
+    return "LayoutMismatch";
+  case ErrorCode::InfeasibleCircuit:
+    return "InfeasibleCircuit";
+  case ErrorCode::TransientBackendFault:
+    return "TransientBackendFault";
+  }
+  return "Unknown";
+}
+
+ChetError::ChetError(ErrorCode Code, const std::string &Message)
+    : std::runtime_error(std::string(errorCodeName(Code)) + ": " + Message),
+      Code(Code) {}
+
+std::string describeRotationSteps(const std::set<int> &Steps) {
+  if (Steps.empty())
+    return "{} (no rotation keys generated)";
+  std::ostringstream OS;
+  OS << "{";
+  int Printed = 0;
+  for (int Step : Steps) {
+    if (Printed == 16) {
+      OS << ", ... " << Steps.size() - Printed << " more";
+      break;
+    }
+    OS << (Printed ? ", " : "") << Step;
+    ++Printed;
+  }
+  OS << "}";
+  return OS.str();
+}
+
+void throwChetError(ErrorCode Code, const std::string &Message) {
+  switch (Code) {
+  case ErrorCode::InvalidArgument:
+    throw InvalidArgumentError(Message);
+  case ErrorCode::ScaleMismatch:
+    throw ScaleMismatchError(Message);
+  case ErrorCode::LevelExhausted:
+    throw LevelExhaustedError(Message);
+  case ErrorCode::MissingRotationKey:
+    throw MissingRotationKeyError(Message);
+  case ErrorCode::SecurityBudgetExceeded:
+    throw SecurityBudgetError(Message);
+  case ErrorCode::MalformedCiphertext:
+    throw MalformedCiphertextError(Message);
+  case ErrorCode::EncodingOverflow:
+    throw EncodingOverflowError(Message);
+  case ErrorCode::LayoutMismatch:
+    throw LayoutMismatchError(Message);
+  case ErrorCode::InfeasibleCircuit:
+    throw InfeasibleCircuitError(Message);
+  case ErrorCode::TransientBackendFault:
+    throw TransientBackendFaultError(Message);
+  }
+  throw ChetError(Code, Message);
+}
+
+} // namespace chet

@@ -1,0 +1,153 @@
+//===- Error.h - Structured diagnostics for the CHET stack ------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error contract of the stack. Every user-reachable misuse -- a scale
+/// mismatch, an exhausted modulus chain, a rotation without a matching
+/// Galois key, parameters that blow the security budget, a corrupted
+/// serialized ciphertext -- raises a ChetError carrying a machine-readable
+/// ErrorCode plus a formatted human-readable context string. These checks
+/// are always on: they survive NDEBUG builds, unlike `assert`, which this
+/// codebase reserves for true internal invariants (conditions no sequence
+/// of public API calls can violate).
+///
+/// Catch by code for programmatic handling:
+///
+/// \code
+///   try { backend.rotLeftAssign(C, 3); }
+///   catch (const ChetError &E) {
+///     if (E.code() == ErrorCode::MissingRotationKey) regenerateKeys();
+///   }
+/// \endcode
+///
+/// or by derived type (`MissingRotationKeyError`, `ScaleMismatchError`,
+/// ...) when a single code is expected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_SUPPORT_ERROR_H
+#define CHET_SUPPORT_ERROR_H
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chet {
+
+/// Machine-readable classification of every error the stack can raise.
+enum class ErrorCode {
+  /// A precondition on a public API was violated (bad shape, bad option,
+  /// out-of-range argument) and no more specific code applies.
+  InvalidArgument,
+  /// Two operands of an additive HISA op carry different scales.
+  ScaleMismatch,
+  /// The modulus chain has no room left for a requested rescale, or an
+  /// operation needs more levels than the parameters provide.
+  LevelExhausted,
+  /// A rotation was requested for which no Galois key (and no power-of-two
+  /// decomposition of keys) is available.
+  MissingRotationKey,
+  /// The ring dimension / modulus width combination violates the requested
+  /// security level per the HE-standard table.
+  SecurityBudgetExceeded,
+  /// A serialized ciphertext / parameter blob is truncated, corrupted, or
+  /// structurally inconsistent.
+  MalformedCiphertext,
+  /// A value cannot be represented by the encoder at the requested scale
+  /// (coefficient exceeds the embedding range).
+  EncodingOverflow,
+  /// A tensor does not fit the layout / backend it was paired with.
+  LayoutMismatch,
+  /// The compiler found no feasible (layout, parameter) assignment; the
+  /// message lists every violation across all candidate policies.
+  InfeasibleCircuit,
+  /// A backend operation failed transiently (fault injection or a real
+  /// backend hiccup); retrying the computation may succeed.
+  TransientBackendFault,
+};
+
+/// Stable identifier string for an ErrorCode ("ScaleMismatch", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// Base class of every exception thrown by the CHET stack.
+class ChetError : public std::runtime_error {
+public:
+  ChetError(ErrorCode Code, const std::string &Message);
+
+  ErrorCode code() const { return Code; }
+
+  /// True for faults where retrying the computation (with fresh
+  /// ciphertexts) can succeed; false for deterministic misuse.
+  bool isTransient() const { return Code == ErrorCode::TransientBackendFault; }
+
+private:
+  ErrorCode Code;
+};
+
+namespace detail {
+inline void formatInto(std::ostringstream &OS) { (void)OS; }
+template <typename T, typename... Ts>
+void formatInto(std::ostringstream &OS, const T &Head, const Ts &...Tail) {
+  OS << Head;
+  formatInto(OS, Tail...);
+}
+} // namespace detail
+
+/// Builds a message by streaming every argument; usable from header
+/// templates (Kernels.h) without pulling in a formatting library.
+template <typename... Ts> std::string formatError(const Ts &...Parts) {
+  std::ostringstream OS;
+  detail::formatInto(OS, Parts...);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// One thin derived class per major code, so call sites can catch a
+// specific failure by type and tests can assert the exact class.
+//===----------------------------------------------------------------------===//
+
+#define CHET_DEFINE_ERROR_CLASS(NAME, CODE)                                    \
+  class NAME : public ChetError {                                              \
+  public:                                                                      \
+    explicit NAME(const std::string &Message)                                  \
+        : ChetError(ErrorCode::CODE, Message) {}                               \
+  }
+
+CHET_DEFINE_ERROR_CLASS(InvalidArgumentError, InvalidArgument);
+CHET_DEFINE_ERROR_CLASS(ScaleMismatchError, ScaleMismatch);
+CHET_DEFINE_ERROR_CLASS(LevelExhaustedError, LevelExhausted);
+CHET_DEFINE_ERROR_CLASS(MissingRotationKeyError, MissingRotationKey);
+CHET_DEFINE_ERROR_CLASS(SecurityBudgetError, SecurityBudgetExceeded);
+CHET_DEFINE_ERROR_CLASS(MalformedCiphertextError, MalformedCiphertext);
+CHET_DEFINE_ERROR_CLASS(EncodingOverflowError, EncodingOverflow);
+CHET_DEFINE_ERROR_CLASS(LayoutMismatchError, LayoutMismatch);
+CHET_DEFINE_ERROR_CLASS(InfeasibleCircuitError, InfeasibleCircuit);
+CHET_DEFINE_ERROR_CLASS(TransientBackendFaultError, TransientBackendFault);
+
+#undef CHET_DEFINE_ERROR_CLASS
+
+/// Maps a code to the matching derived class and throws it, so generic
+/// checking code still produces catchable-by-type exceptions.
+[[noreturn]] void throwChetError(ErrorCode Code, const std::string &Message);
+
+/// Renders a rotation-step key set as "{1, 2, 4, ...}" for
+/// MissingRotationKey diagnostics; large sets are elided past 16 entries.
+std::string describeRotationSteps(const std::set<int> &Steps);
+
+/// Always-on precondition guard: unlike assert() this survives NDEBUG.
+/// Extra arguments are streamed into the message after the failed
+/// condition text.
+#define CHET_CHECK(COND, CODE, ...)                                            \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::chet::throwChetError(::chet::ErrorCode::CODE,                          \
+                             ::chet::formatError(__VA_ARGS__));                \
+  } while (false)
+
+} // namespace chet
+
+#endif // CHET_SUPPORT_ERROR_H

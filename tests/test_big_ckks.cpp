@@ -7,6 +7,7 @@
 #include "ckks/BigCkks.h"
 
 #include "hisa/Hisa.h"
+#include "support/Error.h"
 #include "support/Prng.h"
 
 #include <gtest/gtest.h>
@@ -193,7 +194,7 @@ TEST_F(BigCkksTest, SecurityCheckRejectsOversizedModulus) {
   P.LogN = 11;
   P.LogQ = 150;
   P.Security = SecurityLevel::Classical128;
-  EXPECT_DEATH(BigCkksBackend{P}, "security");
+  EXPECT_THROW(BigCkksBackend{P}, SecurityBudgetError);
 }
 
 TEST_F(BigCkksTest, DeterministicUnderSeed) {

@@ -8,8 +8,8 @@
 /// Exercises the failure modes a privacy-preserving deployment cares
 /// about: decryption under the wrong key yields no information, tampered
 /// ciphertexts do not silently produce near-correct results, and the
-/// library's invariant checks fire (as aborts) instead of computing
-/// garbage when misused.
+/// library's misuse guards raise typed ChetErrors -- in every build type,
+/// including Release with NDEBUG -- instead of computing garbage.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,15 +17,40 @@
 
 #include "ckks/BigCkks.h"
 #include "hisa/Hisa.h"
+#include "support/Error.h"
 #include "support/Prng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 using namespace chet;
 
 namespace {
+
+/// Asserts that \p F throws a ChetError with exactly \p Code and a
+/// message containing \p Substr.
+template <typename Fn>
+::testing::AssertionResult throwsChetError(Fn &&F, ErrorCode Code,
+                                           const std::string &Substr) {
+  try {
+    F();
+  } catch (const ChetError &E) {
+    if (E.code() != Code)
+      return ::testing::AssertionFailure()
+             << "wrong error code: got " << errorCodeName(E.code())
+             << ", want " << errorCodeName(Code) << " (" << E.what() << ")";
+    if (std::string(E.what()).find(Substr) == std::string::npos)
+      return ::testing::AssertionFailure()
+             << "message \"" << E.what() << "\" lacks \"" << Substr << "\"";
+    return ::testing::AssertionSuccess();
+  } catch (const std::exception &E) {
+    return ::testing::AssertionFailure()
+           << "non-ChetError exception: " << E.what();
+  }
+  return ::testing::AssertionFailure() << "no exception thrown";
+}
 
 RnsCkksParams smallParams(uint64_t Seed) {
   RnsCkksParams P = RnsCkksParams::create(11, 3);
@@ -88,14 +113,33 @@ TEST(FailureInjection, EncryptionIsNonDeterministic) {
   EXPECT_LT(Same, C1.C0.size() / 100);
 }
 
-TEST(FailureInjection, RotationWithoutAnyKeysAborts) {
+TEST(FailureInjection, RotationWithoutAnyKeysThrows) {
   RnsCkksBackend Backend(smallParams(9)); // StockPow2Keys = false
   auto Ct = Backend.encrypt(
       Backend.encode(values(Backend.slotCount(), 10), 1LL << 40));
-  EXPECT_DEATH(Backend.rotLeftAssign(Ct, 3), "rotation key");
+  // The error names the requested amount and the (empty) key set.
+  EXPECT_TRUE(throwsChetError([&] { Backend.rotLeftAssign(Ct, 3); },
+                              ErrorCode::MissingRotationKey,
+                              "no Galois key for rotation by 3"));
+  EXPECT_TRUE(throwsChetError([&] { Backend.rotLeftAssign(Ct, 3); },
+                              ErrorCode::MissingRotationKey,
+                              "no rotation keys generated"));
 }
 
-TEST(FailureInjection, RescalePastBasePrimeAborts) {
+TEST(FailureInjection, RotationErrorListsAvailableKeySet) {
+  RnsCkksParams P = smallParams(25);
+  RnsCkksBackend Backend(P);
+  Backend.generateRotationKeys({1, 4});
+  auto Ct = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 26), 1LL << 40));
+  // 3 decomposes into hops 1 + 2; the key for 2 is missing.
+  EXPECT_TRUE(throwsChetError([&] { Backend.rotLeftAssign(Ct, 3); },
+                              ErrorCode::MissingRotationKey, "{1, 4}"));
+  // The listed keys themselves still work.
+  EXPECT_NO_THROW(Backend.rotLeftAssign(Ct, 4));
+}
+
+TEST(FailureInjection, RescalePastBasePrimeThrows) {
   RnsCkksBackend Backend(smallParams(11));
   auto Ct = Backend.encrypt(
       Backend.encode(values(Backend.slotCount(), 12), 1LL << 40));
@@ -108,16 +152,18 @@ TEST(FailureInjection, RescalePastBasePrimeAborts) {
   }
   // ...then one more rescale must refuse rather than corrupt.
   EXPECT_EQ(Backend.maxRescale(Ct, UINT64_MAX), 1u);
-  EXPECT_DEATH(Backend.rescaleAssign(Ct, 2), "rescale");
+  EXPECT_TRUE(throwsChetError([&] { Backend.rescaleAssign(Ct, 2); },
+                              ErrorCode::LevelExhausted, "rescale"));
 }
 
-TEST(FailureInjection, MismatchedAdditionScalesAbort) {
+TEST(FailureInjection, MismatchedAdditionScalesThrow) {
   RnsCkksBackend Backend(smallParams(13));
   auto A = Backend.encrypt(
       Backend.encode(values(Backend.slotCount(), 14), 1LL << 40));
   auto B = Backend.encrypt(
       Backend.encode(values(Backend.slotCount(), 15), 1LL << 30));
-  EXPECT_DEATH(Backend.addAssign(A, B), "scale mismatch");
+  EXPECT_TRUE(throwsChetError([&] { Backend.addAssign(A, B); },
+                              ErrorCode::ScaleMismatch, "scale mismatch"));
 }
 
 TEST(FailureInjection, BigCkksWrongKeyDecryptsToNoise) {
@@ -139,12 +185,38 @@ TEST(FailureInjection, BigCkksWrongKeyDecryptsToNoise) {
   EXPECT_GT(MaxMagnitude, 1e3);
 }
 
-TEST(FailureInjection, OversizedEncodeAborts) {
+TEST(FailureInjection, OversizedEncodeThrows) {
   RnsCkksBackend Backend(smallParams(24));
   std::vector<double> Huge(Backend.slotCount(), 1.0);
   // Scale * value overflows the 62-bit coefficient embedding.
-  EXPECT_DEATH((void)Backend.encode(Huge, std::ldexp(1.0, 63)),
-               "62-bit embedding");
+  EXPECT_TRUE(
+      throwsChetError([&] { (void)Backend.encode(Huge, std::ldexp(1.0, 63)); },
+                      ErrorCode::EncodingOverflow, "62-bit embedding"));
+}
+
+TEST(FailureInjection, MalformedCiphertextRejectedAtDecrypt) {
+  RnsCkksBackend Backend(smallParams(27));
+  auto Ct = Backend.encrypt(
+      Backend.encode(values(Backend.slotCount(), 28), 1LL << 40));
+  auto Truncated = Ct;
+  Truncated.C0.resize(Truncated.C0.size() / 2);
+  EXPECT_TRUE(throwsChetError([&] { (void)Backend.decrypt(Truncated); },
+                              ErrorCode::MalformedCiphertext,
+                              "does not match the parameters"));
+  auto BadLevel = Ct;
+  BadLevel.Level = 99;
+  EXPECT_TRUE(throwsChetError([&] { (void)Backend.decrypt(BadLevel); },
+                              ErrorCode::MalformedCiphertext,
+                              "does not match the parameters"));
+}
+
+TEST(FailureInjection, InsecureParametersRejected) {
+  // LogN = 11 cannot hold a 3-prime 60-bit chain at 128-bit security.
+  RnsCkksParams P = RnsCkksParams::create(11, 3);
+  P.Security = SecurityLevel::Classical128;
+  EXPECT_TRUE(throwsChetError([&] { RnsCkksBackend Backend(P); },
+                              ErrorCode::SecurityBudgetExceeded,
+                              "security level"));
 }
 
 } // namespace

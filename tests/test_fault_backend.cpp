@@ -1,0 +1,217 @@
+//===- test_fault_backend.cpp - Fault-injection backend tests --------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs real tensor kernels (conv, pooling, fully connected) under the
+/// FaultInjectionBackend and checks that every fault kind surfaces as the
+/// right typed error or as detectable corruption -- never as a crash --
+/// and that the bounded retry wrapper recovers from transient faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hisa/FaultInjectionBackend.h"
+
+#include "ckks/RnsCkks.h"
+#include "core/Evaluate.h"
+#include "hisa/PlainBackend.h"
+#include "nn/Networks.h"
+#include "runtime/ReferenceOps.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace chet;
+
+static_assert(HisaBackend<FaultInjectionBackend<PlainBackend>>,
+              "the fault adapter must satisfy the HISA concept");
+static_assert(HisaBackend<FaultInjectionBackend<RnsCkksBackend>>,
+              "the fault adapter must wrap real CKKS backends too");
+
+namespace {
+
+TensorCircuit lenet() { return makeLeNet5Small(/*Reduction=*/2); }
+
+TEST(FaultBackend, ZeroRatesAreTransparent) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 31);
+  PlainBackend Inner(12);
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, FaultPlan{});
+  ScaleConfig S;
+  Tensor3 Got = runEncryptedInference(Faulty, Circ, Image, S,
+                                      LayoutPolicy::AllHW);
+  Tensor3 Want = Circ.evaluatePlain(Image);
+  EXPECT_LT(maxAbsDiff(Got, Want), 1e-9);
+  EXPECT_EQ(Faulty.stats().BitFlips, 0);
+  EXPECT_EQ(Faulty.stats().DroppedRescales, 0);
+  EXPECT_EQ(Faulty.stats().TransientFaults, 0);
+}
+
+TEST(FaultBackend, BitFlipsCorruptWithoutCrashing) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 32);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 77;
+  Plan.BitFlipRate = 0.01;
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  Tensor3 Got = runEncryptedInference(Faulty, Circ, Image, S,
+                                      LayoutPolicy::AllCHW);
+  Tensor3 Want = Circ.evaluatePlain(Image);
+  EXPECT_GT(Faulty.stats().BitFlips, 0);
+  // The corruption must be loud: a flipped slot is off by ~1e9, nothing
+  // resembling the reference output.
+  EXPECT_GT(maxAbsDiff(Got, Want), 1.0);
+}
+
+TEST(FaultBackend, FaultSitesAreDeterministicUnderSeed) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 33);
+  ScaleConfig S;
+  FaultPlan Plan;
+  Plan.Seed = 78;
+  Plan.BitFlipRate = 0.01;
+  Tensor3 Runs[2];
+  long Flips[2];
+  for (int I = 0; I < 2; ++I) {
+    PlainBackend Inner(12);
+    FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+    Runs[I] = runEncryptedInference(Faulty, Circ, Image, S,
+                                    LayoutPolicy::AllHW);
+    Flips[I] = Faulty.stats().BitFlips;
+  }
+  EXPECT_GT(Flips[0], 0);
+  EXPECT_EQ(Flips[0], Flips[1]);
+  EXPECT_LT(maxAbsDiff(Runs[0], Runs[1]), 1e-12);
+}
+
+TEST(FaultBackend, DroppedRescaleSurfacesAsScaleMismatch) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 34);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 79;
+  Plan.DropRescaleRate = 1.0;
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  // The omitted rescale leaves the scale inflated; the next scale-checked
+  // addition reports it as a typed error instead of computing garbage.
+  try {
+    runEncryptedInference(Faulty, Circ, Image, S, LayoutPolicy::AllHW);
+    FAIL() << "expected a ChetError from the inflated scale";
+  } catch (const ChetError &E) {
+    EXPECT_EQ(E.code(), ErrorCode::ScaleMismatch) << E.what();
+  }
+  EXPECT_GT(Faulty.stats().DroppedRescales, 0);
+}
+
+TEST(FaultBackend, TransientFaultIsTypedAndTransient) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 35);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 80;
+  Plan.TransientRate = 1.0;
+  Plan.MaxTransientFaults = 1;
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  try {
+    runEncryptedInference(Faulty, Circ, Image, S, LayoutPolicy::AllHW);
+    FAIL() << "expected an injected transient fault";
+  } catch (const ChetError &E) {
+    EXPECT_EQ(E.code(), ErrorCode::TransientBackendFault);
+    EXPECT_TRUE(E.isTransient());
+  }
+  EXPECT_EQ(Faulty.stats().TransientFaults, 1);
+}
+
+TEST(FaultBackend, RetryRecoversOnceFaultsAreExhausted) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 36);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 81;
+  Plan.TransientRate = 1.0;
+  Plan.MaxTransientFaults = 2; // first two attempts fail, third is clean
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  RetryPolicy Retry;
+  Retry.MaxAttempts = 3;
+  int Attempts = 0;
+  Tensor3 Got = runEncryptedInferenceWithRetry(
+      Faulty, Circ, Image, S, LayoutPolicy::AllHW, Retry,
+      FcAlgorithm::Auto, &Attempts);
+  EXPECT_EQ(Attempts, 3);
+  EXPECT_EQ(Faulty.stats().TransientFaults, 2);
+  Tensor3 Want = Circ.evaluatePlain(Image);
+  EXPECT_LT(maxAbsDiff(Got, Want), 1e-9);
+}
+
+TEST(FaultBackend, RetryGivesUpAfterTheAttemptBudget) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 37);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 82;
+  Plan.TransientRate = 1.0; // unbounded faults: never heals
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  RetryPolicy Retry;
+  Retry.MaxAttempts = 2;
+  EXPECT_THROW(runEncryptedInferenceWithRetry(Faulty, Circ, Image, S,
+                                              LayoutPolicy::AllHW, Retry),
+               TransientBackendFaultError);
+  EXPECT_EQ(Faulty.stats().TransientFaults, 2);
+}
+
+TEST(FaultBackend, RetryDoesNotSwallowPermanentErrors) {
+  TensorCircuit Circ = lenet();
+  Tensor3 Image = randomImageFor(Circ, 38);
+  PlainBackend Inner(12);
+  FaultPlan Plan;
+  Plan.Seed = 83;
+  Plan.DropRescaleRate = 1.0; // yields ScaleMismatch: not transient
+  FaultInjectionBackend<PlainBackend> Faulty(Inner, Plan);
+  ScaleConfig S;
+  RetryPolicy Retry;
+  Retry.MaxAttempts = 5;
+  int Attempts = 0;
+  EXPECT_THROW(runEncryptedInferenceWithRetry(Faulty, Circ, Image, S,
+                                              LayoutPolicy::AllHW, Retry,
+                                              FcAlgorithm::Auto, &Attempts),
+               ScaleMismatchError);
+  EXPECT_EQ(Attempts, 1); // no retry on a non-transient error
+}
+
+TEST(FaultBackend, RealCkksCiphertextBitFlipIsLoudNotFatal) {
+  RnsCkksParams P = RnsCkksParams::create(11, 3);
+  P.Security = SecurityLevel::None;
+  RnsCkksBackend Inner(P);
+  FaultPlan Plan;
+  Plan.Seed = 84;
+  Plan.BitFlipRate = 1.0;
+  FaultInjectionBackend<RnsCkksBackend> Faulty(Inner, Plan);
+
+  Prng Rng(85);
+  std::vector<double> V(Faulty.slotCount());
+  for (double &X : V)
+    X = Rng.nextDouble(-4, 4);
+  auto A = Faulty.encrypt(Faulty.encode(V, 1LL << 40)); // corrupted here
+  auto B = Faulty.encrypt(Faulty.encode(V, 1LL << 40));
+  Faulty.addAssign(A, B);
+  auto Back = Faulty.decode(Faulty.decrypt(A));
+  EXPECT_GT(Faulty.stats().BitFlips, 0);
+  int SlotsOff = 0;
+  for (size_t I = 0; I < V.size(); ++I)
+    SlotsOff += std::fabs(Back[I] - 2 * V[I]) > 1.0;
+  // A flipped NTT word smears over every slot: corruption is detectable,
+  // and decryption neither crashes nor silently yields the true result.
+  EXPECT_GT(SlotsOff, static_cast<int>(V.size()) / 2);
+}
+
+} // namespace

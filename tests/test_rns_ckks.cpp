@@ -7,6 +7,7 @@
 #include "ckks/RnsCkks.h"
 
 #include "hisa/Hisa.h"
+#include "support/Error.h"
 #include "support/Prng.h"
 
 #include <gtest/gtest.h>
@@ -231,7 +232,7 @@ TEST_F(RnsCkksTest, CandidateChainIsDisjointFromSpecial) {
 TEST_F(RnsCkksTest, SecurityCheckRejectsOversizedModulus) {
   RnsCkksParams P = RnsCkksParams::create(/*LogN=*/11, /*Levels=*/3);
   P.Security = SecurityLevel::Classical128; // budget is 54 bits at LogN=11
-  EXPECT_DEATH(RnsCkksBackend{P}, "security");
+  EXPECT_THROW(RnsCkksBackend{P}, SecurityBudgetError);
 }
 
 TEST_F(RnsCkksTest, FreeReleasesStorage) {

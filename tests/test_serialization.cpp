@@ -6,9 +6,14 @@
 
 #include "ckks/Serialization.h"
 
+#include "support/Error.h"
 #include "support/Prng.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
 
 using namespace chet;
 
@@ -147,6 +152,92 @@ TEST(Serialization, RejectsCorruptScale) {
     Wire[8 + I] = 0;
   RnsCkksBackend::Ct Out;
   EXPECT_FALSE(deserialize(Wire, Out));
+}
+
+TEST(Serialization, RejectsNonFiniteScale) {
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 5), 1LL << 40));
+  for (double Bad : {std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    Ct.Scale = Bad;
+    ByteBuffer Wire = serialize(Ct);
+    RnsCkksBackend::Ct Out;
+    EXPECT_FALSE(deserialize(Wire, Out));
+  }
+}
+
+TEST(Serialization, EveryTruncationFailsCleanly) {
+  // Exhaustive truncation: no prefix of a valid ciphertext may crash or
+  // deserialize successfully.
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 6), 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    ByteBuffer Truncated(Wire.begin(), Wire.begin() + Cut);
+    RnsCkksBackend::Ct Out;
+    ASSERT_FALSE(deserialize(Truncated, Out)) << "cut at " << Cut;
+  }
+}
+
+TEST(Serialization, BitFlippedHeadersNeverCrash) {
+  // Flip every bit of the header region (tag, level, scale, first size
+  // field) one at a time: deserialization must either reject the buffer
+  // or produce a ciphertext that the backend's decrypt guard still
+  // validates -- never crash.
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 7), 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  const size_t HeaderBytes = 4 + 4 + 8 + 8;
+  for (size_t Bit = 0; Bit < HeaderBytes * 8; ++Bit) {
+    ByteBuffer Mutated = Wire;
+    Mutated[Bit / 8] ^= uint8_t(1) << (Bit % 8);
+    RnsCkksBackend::Ct Out;
+    if (!deserialize(Mutated, Out))
+      continue; // rejected: fine
+    try {
+      (void)Backend.decrypt(Out);
+    } catch (const ChetError &E) {
+      EXPECT_EQ(E.code(), ErrorCode::MalformedCiphertext);
+    }
+  }
+}
+
+TEST(Serialization, ForgedSizeFieldRejectedBeforeAllocating) {
+  // A size field claiming 2^25 words on a tiny buffer must be rejected
+  // by the remaining-bytes check, not by attempting a 256 MB resize.
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 8), 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  uint64_t Huge = uint64_t(1) << 25;
+  std::memcpy(Wire.data() + 16, &Huge, sizeof Huge); // C0's word count
+  RnsCkksBackend::Ct Out;
+  EXPECT_FALSE(deserialize(Wire, Out));
+}
+
+TEST(Serialization, ThrowingFormRaisesMalformedCiphertext) {
+  ByteBuffer Junk = {1, 2, 3};
+  RnsCkksBackend::Ct Rns;
+  EXPECT_THROW(deserializeOrThrow(Junk, Rns), MalformedCiphertextError);
+  BigCkksBackend::Ct Big;
+  EXPECT_THROW(deserializeOrThrow(Junk, Big), MalformedCiphertextError);
+  RnsCkksParams PR;
+  EXPECT_THROW(deserializeOrThrow(Junk, PR), MalformedCiphertextError);
+  BigCkksParams PB;
+  EXPECT_THROW(deserializeOrThrow(Junk, PB), MalformedCiphertextError);
+
+  // And the throwing form accepts what the boolean form accepts.
+  RnsCkksParams P = testRnsParams();
+  ByteBuffer Good = serialize(P);
+  EXPECT_NO_THROW(deserializeOrThrow(Good, PR));
+  EXPECT_EQ(PR.LogN, P.LogN);
 }
 
 } // namespace

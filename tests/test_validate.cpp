@@ -1,0 +1,144 @@
+//===- test_validate.cpp - Compile-time circuit validation tests -----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the validation pass of Validate.h: feasible circuits come back
+/// clean, infeasible ones produce one diagnostic per failing layout
+/// policy (all reported at once, not fail-fast), and compileCircuit
+/// surfaces the full report in its InfeasibleCircuit error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Validate.h"
+
+#include "nn/Networks.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace chet;
+
+namespace {
+
+TensorCircuit tinyCircuit(uint64_t Seed = 50) {
+  Prng Rng(Seed);
+  TensorCircuit Circ("tiny");
+  ConvWeights Conv(2, 1, 3, 3);
+  for (double &V : Conv.W)
+    V = Rng.nextDouble(-0.5, 0.5);
+  FcWeights Fc(4, 2 * 4 * 4);
+  for (double &V : Fc.W)
+    V = Rng.nextDouble(-0.3, 0.3);
+  int X = Circ.input(1, 8, 8);
+  X = Circ.conv2d(X, Conv, 1, 1);
+  X = Circ.polyActivation(X, 0.25, 0.5);
+  X = Circ.averagePool(X, 2, 2);
+  X = Circ.fullyConnected(X, Fc);
+  Circ.output(X);
+  return Circ;
+}
+
+/// A circuit too deep for any ring dimension the security table covers:
+/// every activation costs a squaring level, and dozens of them push the
+/// modulus far past the 128-bit budget at LogN = 16.
+TensorCircuit abyssCircuit(int Depth) {
+  TensorCircuit Circ("abyss");
+  int X = Circ.input(1, 8, 8);
+  for (int I = 0; I < Depth; ++I)
+    X = Circ.polyActivation(X, 0.25, 0.5);
+  Circ.output(X);
+  return Circ;
+}
+
+CompilerOptions baseOptions(SchemeKind Scheme) {
+  CompilerOptions O;
+  O.Scheme = Scheme;
+  O.Security = SecurityLevel::Classical128;
+  O.Scales = ScaleConfig::fromExponents(30, 30, 30, 16);
+  return O;
+}
+
+TEST(Validate, FeasibleCircuitComesBackClean) {
+  for (SchemeKind Scheme : {SchemeKind::RnsCkks, SchemeKind::BigCkks}) {
+    ValidationReport R = validateCircuit(tinyCircuit(), baseOptions(Scheme));
+    EXPECT_TRUE(R.ok());
+    EXPECT_EQ(R.PoliciesChecked, 4);
+    EXPECT_EQ(R.FeasiblePolicies, 4);
+    EXPECT_TRUE(R.Diagnostics.empty());
+  }
+}
+
+TEST(Validate, InfeasibleCircuitReportsEveryPolicy) {
+  ValidationReport R =
+      validateCircuit(abyssCircuit(60), baseOptions(SchemeKind::RnsCkks));
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.PoliciesChecked, 4);
+  EXPECT_EQ(R.FeasiblePolicies, 0);
+  // Every policy contributes its own diagnostic -- the pass reports all
+  // infeasibilities at once instead of stopping at the first.
+  ASSERT_EQ(R.Diagnostics.size(), 4u);
+  for (const CircuitDiagnostic &D : R.Diagnostics)
+    EXPECT_TRUE(D.Code == ErrorCode::SecurityBudgetExceeded ||
+                D.Code == ErrorCode::LevelExhausted)
+        << errorCodeName(D.Code) << ": " << D.Message;
+  std::string Text = R.str();
+  EXPECT_NE(Text.find("4 violations"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("(0 feasible)"), std::string::npos) << Text;
+}
+
+TEST(Validate, CkksSchemeAlsoDiagnosesDepth) {
+  ValidationReport R =
+      validateCircuit(abyssCircuit(60), baseOptions(SchemeKind::BigCkks));
+  EXPECT_FALSE(R.ok());
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_EQ(R.Diagnostics.front().Code, ErrorCode::SecurityBudgetExceeded);
+  EXPECT_NE(R.Diagnostics.front().Message.find("security table"),
+            std::string::npos);
+}
+
+TEST(Validate, EmptyCircuitIsInvalid) {
+  TensorCircuit Circ("empty");
+  ValidationReport R =
+      validateCircuit(Circ, baseOptions(SchemeKind::RnsCkks));
+  EXPECT_FALSE(R.ok());
+  ASSERT_EQ(R.Diagnostics.size(), 1u);
+  EXPECT_EQ(R.Diagnostics.front().Code, ErrorCode::InvalidArgument);
+}
+
+TEST(Validate, CompileCircuitThrowsWithFullReport) {
+  try {
+    compileCircuit(abyssCircuit(60), baseOptions(SchemeKind::RnsCkks));
+    FAIL() << "expected InfeasibleCircuitError";
+  } catch (const ChetError &E) {
+    EXPECT_EQ(E.code(), ErrorCode::InfeasibleCircuit);
+    std::string Msg = E.what();
+    // The error carries the per-policy breakdown from the validator.
+    EXPECT_NE(Msg.find("circuit validation found"), std::string::npos) << Msg;
+    for (LayoutPolicy P : kAllLayoutPolicies)
+      EXPECT_NE(Msg.find(layoutPolicyName(P)), std::string::npos) << Msg;
+  }
+}
+
+TEST(Validate, MissingRotationStepsHonorsPow2Fallback) {
+  const size_t Slots = 16;
+  // 3 = 1 + 2 decomposes over the available keys.
+  EXPECT_TRUE(missingRotationSteps({3}, {1, 2}, Slots).empty());
+  // A dedicated key needs no decomposition.
+  EXPECT_TRUE(missingRotationSteps({5}, {5}, Slots).empty());
+  // 5 = 1 + 4 with no key for 4.
+  auto Missing = missingRotationSteps({5}, {1}, Slots);
+  ASSERT_EQ(Missing.size(), 1u);
+  EXPECT_EQ(Missing.front(), 5);
+  // -1 normalizes to 15; the short direction is one right-hop, i.e. the
+  // normalized step 15 itself.
+  EXPECT_TRUE(missingRotationSteps({-1}, {15}, Slots).empty());
+  // Full-cycle rotations need no key at all.
+  EXPECT_TRUE(missingRotationSteps({0, 16, -16}, {}, Slots).empty());
+}
+
+} // namespace
