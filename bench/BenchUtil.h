@@ -18,11 +18,14 @@
 #include "core/Compiler.h"
 #include "nn/Networks.h"
 #include "runtime/ReferenceOps.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace chet {
@@ -81,6 +84,63 @@ inline std::vector<NetChoice> chooseNetworks(int Argc, char **Argv,
     }
   }
   return Out;
+}
+
+/// Strips a `--threads N` (or `--threads=N`) flag out of (Argc, Argv) and
+/// resizes the global pool accordingly (0 / absent keeps the
+/// CHET_NUM_THREADS / hardware default). Returns the active lane count.
+/// Call before handing the arguments to any other parser.
+inline unsigned applyThreadsFlag(int &Argc, char **Argv) {
+  unsigned Requested = 0;
+  int W = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
+      Requested = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+      ++I;
+      continue;
+    }
+    if (!std::strncmp(Argv[I], "--threads=", 10)) {
+      Requested = static_cast<unsigned>(std::atoi(Argv[I] + 10));
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  Argc = W;
+  setGlobalThreadCount(Requested);
+  return globalThreadCount();
+}
+
+/// Strips `--json FILE` (or `--json=FILE`) out of (Argc, Argv); returns
+/// the file path or "" when absent.
+inline std::string stripJsonFlag(int &Argc, char **Argv) {
+  std::string Path;
+  int W = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
+      Path = Argv[I + 1];
+      ++I;
+      continue;
+    }
+    if (!std::strncmp(Argv[I], "--json=", 7)) {
+      Path = Argv[I] + 7;
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  Argc = W;
+  return Path;
+}
+
+/// Appends one line to \p Path (no-op on an empty path). Benches emit
+/// their measurements as JSON lines so trajectories accumulate across
+/// runs with different --threads values.
+inline void appendLine(const std::string &Path, const std::string &Line) {
+  if (Path.empty())
+    return;
+  if (std::FILE *F = std::fopen(Path.c_str(), "a")) {
+    std::fprintf(F, "%s\n", Line.c_str());
+    std::fclose(F);
+  }
 }
 
 /// Fast-mode fixed-point scales: small enough to keep ring dimensions

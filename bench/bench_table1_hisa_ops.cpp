@@ -20,6 +20,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "ckks/BigCkks.h"
 #include "ckks/RnsCkks.h"
 
@@ -214,4 +216,15 @@ BENCHMARK(CKKS_Rescale) CKKS_ARGS;
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but strips the CHET-specific `--threads N` flag
+// (which sizes the global pool the HISA ops' limb loops run on) before
+// google-benchmark sees — and would reject — the unknown argument.
+int main(int Argc, char **Argv) {
+  chet::bench::applyThreadsFlag(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,9 +16,17 @@
 /// prediction agreement measured across the other benches (trained MNIST /
 /// CIFAR weights are not available offline; see DESIGN.md).
 ///
+/// Additionally measures end-to-end encrypted-inference latency on the
+/// selected networks (default: the LeNet-5-small variant) at the thread
+/// count given by `--threads N` (default: CHET_NUM_THREADS / hardware),
+/// emitting one JSON line per run to the `--json FILE` trajectory so a
+/// threads=1,2,4,8 sweep accumulates a speedup curve.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+
+#include <sstream>
 
 using namespace chet;
 using namespace chet::bench;
@@ -39,7 +47,10 @@ constexpr PaperRow kPaper[] = {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Threads = applyThreadsFlag(Argc, Argv);
+  std::string JsonPath = stripJsonFlag(Argc, Argv);
+
   printHeader("Table 3: deep neural networks used in the evaluation");
   std::printf("%-20s | %4s %4s %4s %12s | paper: %4s %4s %4s %12s %6s\n",
               "network", "conv", "fc", "act", "#FP ops", "conv", "fc",
@@ -59,5 +70,35 @@ int main() {
     std::printf("%s=%d  ", Entry.Name.c_str(),
                 Entry.Build(1).ctMultiplicativeDepth());
   std::printf("\n");
+
+  // Encrypted-inference latency at the requested thread count.
+  std::vector<NetChoice> Nets =
+      chooseNetworks(Argc, Argv, {"LeNet-5-small"});
+  unsigned HostCores = std::thread::hardware_concurrency();
+  printHeader("Encrypted-inference latency (RNS-CKKS)");
+  std::printf("threads=%u  host_cores=%u\n", Threads, HostCores);
+  for (const NetChoice &Net : Nets) {
+    TensorCircuit Circ = Net.build();
+    CompilerOptions Options;
+    Options.Scheme = SchemeKind::RnsCkks;
+    Options.Security = SecurityLevel::None;
+    Options.Scales = benchScales();
+    RunResult R = runOnce(Circ, Options);
+    std::printf("%-24s compile=%.2fs keygen=%.2fs infer=%.3fs maxErr=%.2g "
+                "agree=%d\n",
+                Net.label().c_str(), R.CompileSec, R.KeygenSec, R.InferSec,
+                R.MaxErr, R.PredictionAgrees);
+    std::ostringstream JS;
+    JS << "{\"bench\":\"table3_latency\",\"network\":\"" << Net.label()
+       << "\",\"threads\":" << Threads << ",\"host_cores\":" << HostCores
+       << ",\"compile_sec\":" << R.CompileSec
+       << ",\"keygen_sec\":" << R.KeygenSec
+       << ",\"infer_sec\":" << R.InferSec << ",\"max_err\":" << R.MaxErr
+       << ",\"prediction_agrees\":" << (R.PredictionAgrees ? "true" : "false")
+       << "}";
+    appendLine(JsonPath, JS.str());
+    if (!JsonPath.empty())
+      std::printf("    appended JSON line to %s\n", JsonPath.c_str());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "math/PrimeGen.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -19,9 +20,19 @@ using namespace chet;
 //===----------------------------------------------------------------------===//
 
 BigPolyRing::BigPolyRing(int LogNIn)
-    : LogN(LogNIn), N(size_t(1) << LogNIn) {}
+    : LogN(LogNIn), N(size_t(1) << LogNIn) {
+  // Upper bound on the basis size: products are capped by BigInt capacity
+  // (multiply asserts ProductBits fits), so reserving here guarantees the
+  // lazy growth in ensurePrimes never reallocates Mods/Tables while a
+  // parallel region holds references into them.
+  size_t MaxCount = size_t(primesForBits(64 * BigInt::MaxLimbs)) + 2;
+  PrimeValues.reserve(MaxCount);
+  Mods.reserve(MaxCount);
+  Tables.reserve(MaxCount);
+}
 
 void BigPolyRing::ensurePrimes(int Count) {
+  std::lock_guard<std::mutex> Lock(*RingMu);
   if (static_cast<int>(PrimeValues.size()) >= Count)
     return;
   PrimeValues = generateNttPrimes(59, LogN, Count);
@@ -32,10 +43,11 @@ void BigPolyRing::ensurePrimes(int Count) {
 }
 
 const CrtBasis &BigPolyRing::basisFor(int Count) {
+  ensurePrimes(Count);
+  std::lock_guard<std::mutex> Lock(*RingMu);
   auto It = BasisByCount.find(Count);
   if (It != BasisByCount.end())
     return *It->second;
-  ensurePrimes(Count);
   std::vector<uint64_t> Primes(PrimeValues.begin(),
                                PrimeValues.begin() + Count);
   auto Inserted =
@@ -47,26 +59,28 @@ void BigPolyRing::decomposeNtt(const BigInt *Poly, int Count,
                                std::vector<std::vector<uint64_t>> &Out) {
   ensurePrimes(Count);
   Out.resize(Count);
-  for (int I = 0; I < Count; ++I) {
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
     Out[I].resize(N);
     const Modulus &Q = Mods[I];
     for (size_t K = 0; K < N; ++K)
       Out[I][K] = Poly[K].modPrime(Q);
     Tables[I]->forward(Out[I].data());
-  }
+  });
 }
 
 void BigPolyRing::reconstruct(std::vector<std::vector<uint64_t>> &Rns,
                               int Count, BigInt *Out) {
   const CrtBasis &Basis = basisFor(Count);
-  for (int I = 0; I < Count; ++I)
-    Tables[I]->inverse(Rns[I].data());
-  std::vector<uint64_t> PerCoeff(Count);
-  for (size_t K = 0; K < N; ++K) {
-    for (int I = 0; I < Count; ++I)
-      PerCoeff[I] = Rns[I][K];
-    Out[K] = Basis.reconstructCentered(PerCoeff.data());
-  }
+  parallelFor(0, size_t(Count), 1,
+              [&](size_t I) { Tables[I]->inverse(Rns[I].data()); });
+  globalThreadPool().parallelForBlocks(0, N, 128, [&](size_t Lo, size_t Hi) {
+    std::vector<uint64_t> PerCoeff(Count);
+    for (size_t K = Lo; K < Hi; ++K) {
+      for (int I = 0; I < Count; ++I)
+        PerCoeff[I] = Rns[I][K];
+      Out[K] = Basis.reconstructCentered(PerCoeff.data());
+    }
+  });
 }
 
 void BigPolyRing::multiply(const BigInt *A, const BigInt *B, BigInt *Out,
@@ -75,11 +89,11 @@ void BigPolyRing::multiply(const BigInt *A, const BigInt *B, BigInt *Out,
   std::vector<std::vector<uint64_t>> ARns, BRns;
   decomposeNtt(A, Count, ARns);
   decomposeNtt(B, Count, BRns);
-  for (int I = 0; I < Count; ++I) {
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Mods[I];
     for (size_t K = 0; K < N; ++K)
       ARns[I][K] = Q.mulMod(ARns[I][K], BRns[I][K]);
-  }
+  });
   reconstruct(ARns, Count, Out);
 }
 
@@ -89,11 +103,11 @@ void BigPolyRing::mulAcc(const std::vector<std::vector<uint64_t>> &X,
                          std::vector<std::vector<uint64_t>> &Acc) {
   if (Acc.empty())
     Acc.assign(Count, std::vector<uint64_t>(N, 0));
-  for (int I = 0; I < Count; ++I) {
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Mods[I];
     for (size_t K = 0; K < N; ++K)
       Acc[I][K] = Q.addMod(Acc[I][K], Q.mulMod(X[I][K], Y[I][K]));
-  }
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -142,11 +156,11 @@ BigCkksBackend::BigCkksBackend(const BigCkksParams &ParamsIn)
     PkB.resize(Degree);
     Ring.multiply(PkA.data(), Secret.data(), PkB.data(),
                   Params.LogQ + LogN + 3);
-    for (size_t K = 0; K < Degree; ++K) {
+    parallelFor(0, Degree, 256, [&](size_t K) {
       PkB[K].negate();
       PkB[K] += E[K];
       PkB[K].centerMod2k(Params.LogQ);
-    }
+    });
   }
 
   // Relinearization key for target s^2 modulo 2^LogPQ.
@@ -203,7 +217,7 @@ BigCkksBackend::makeEvalKey(const std::vector<BigInt> &Target) {
   std::vector<BigInt> B(Degree);
   Ring.multiply(A.data(), Secret.data(), B.data(), LogPQ + LogN + 3);
   std::vector<BigInt> E = sampleError();
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     B[K].negate();
     B[K] += E[K];
     // + P * target
@@ -211,7 +225,7 @@ BigCkksBackend::makeEvalKey(const std::vector<BigInt> &Target) {
     T.shiftLeft(LogP);
     B[K] += T;
     B[K].centerMod2k(LogPQ);
-  }
+  });
   EvalKey Key;
   // Worst-case key-switch product: |d| < 2^LogQ/2, |key| < 2^LogPQ/2,
   // times N terms.
@@ -265,27 +279,37 @@ std::vector<double> BigCkksBackend::decode(const Pt &P) const {
 
 const std::vector<BigInt> &BigCkksBackend::plainBig(const Pt &P) const {
   assert(P.C && "plaintext was not produced by encode()");
-  if (P.C->Big.empty()) {
-    P.C->Big.resize(Degree);
-    int MaxBits = 1;
-    for (size_t K = 0; K < Degree; ++K) {
-      P.C->Big[K] = BigInt::fromDouble(P.Coeffs[K]);
-      MaxBits = std::max(MaxBits, P.C->Big[K].bitLength());
-    }
-    P.C->MaxCoeffBits = MaxBits;
+  Pt::Cache &Cache = *P.C;
+  // Double-checked publication, mirroring the RNS backend's plainNtt.
+  if (Cache.BigReady.load(std::memory_order_acquire))
+    return Cache.Big;
+  std::lock_guard<std::mutex> Lock(Cache.FillMu);
+  if (Cache.BigReady.load(std::memory_order_relaxed))
+    return Cache.Big;
+  Cache.Big.resize(Degree);
+  int MaxBits = 1;
+  for (size_t K = 0; K < Degree; ++K) {
+    Cache.Big[K] = BigInt::fromDouble(P.Coeffs[K]);
+    MaxBits = std::max(MaxBits, Cache.Big[K].bitLength());
   }
-  return P.C->Big;
+  Cache.MaxCoeffBits = MaxBits;
+  Cache.BigReady.store(true, std::memory_order_release);
+  return Cache.Big;
 }
 
 const std::vector<std::vector<uint64_t>> &
 BigCkksBackend::plainRns(const Pt &P, int Count) {
   plainBig(P); // ensure Big is filled
-  auto It = P.C->RnsByCount.find(Count);
-  if (It != P.C->RnsByCount.end())
+  Pt::Cache &Cache = *P.C;
+  // Map nodes are stable, so the returned reference outlives the lock;
+  // entries are immutable once inserted.
+  std::lock_guard<std::mutex> Lock(Cache.FillMu);
+  auto It = Cache.RnsByCount.find(Count);
+  if (It != Cache.RnsByCount.end())
     return It->second;
   std::vector<std::vector<uint64_t>> Rns;
-  Ring.decomposeNtt(P.C->Big.data(), Count, Rns);
-  auto Inserted = P.C->RnsByCount.emplace(Count, std::move(Rns));
+  Ring.decomposeNtt(Cache.Big.data(), Count, Rns);
+  auto Inserted = Cache.RnsByCount.emplace(Count, std::move(Rns));
   return Inserted.first->second;
 }
 
@@ -303,13 +327,13 @@ BigCkksBackend::Ct BigCkksBackend::encrypt(const Pt &P) {
   int Bits = Params.LogQ + LogN + 3;
   Ring.multiply(PkB.data(), V.data(), C.C0.data(), Bits);
   Ring.multiply(PkA.data(), V.data(), C.C1.data(), Bits);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] += E0[K];
     C.C0[K] += M[K];
     C.C0[K].centerMod2k(C.LogQ);
     C.C1[K] += E1[K];
     C.C1[K].centerMod2k(C.LogQ);
-  }
+  });
   return C;
 }
 
@@ -325,11 +349,11 @@ BigCkksBackend::Pt BigCkksBackend::decrypt(const Ct &C) {
   Pt P;
   P.Scale = C.Scale;
   P.Coeffs.resize(Degree);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     T[K] += C.C0[K];
     T[K].centerMod2k(C.LogQ);
     P.Coeffs[K] = T[K].toDouble();
-  }
+  });
   return P;
 }
 
@@ -348,10 +372,10 @@ void BigCkksBackend::reduceTo(Ct &C, int LogQ) const {
   assert(LogQ <= C.LogQ && "cannot raise a ciphertext's modulus");
   if (LogQ == C.LogQ)
     return;
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K].centerMod2k(LogQ);
     C.C1[K].centerMod2k(LogQ);
-  }
+  });
   C.LogQ = LogQ;
 }
 
@@ -364,12 +388,12 @@ void BigCkksBackend::addAssign(Ct &C, const Ct &Other) const {
   CHET_CHECK(scalesMatchBig(C.Scale, Other.Scale), ScaleMismatch,
              "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] += Other.C0[K];
     C.C0[K].centerMod2k(LogQ);
     C.C1[K] += Other.C1[K];
     C.C1[K].centerMod2k(LogQ);
-  }
+  });
   C.LogQ = LogQ;
 }
 
@@ -377,12 +401,12 @@ void BigCkksBackend::subAssign(Ct &C, const Ct &Other) const {
   CHET_CHECK(scalesMatchBig(C.Scale, Other.Scale), ScaleMismatch,
              "subtraction scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int LogQ = C.LogQ < Other.LogQ ? C.LogQ : Other.LogQ;
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] -= Other.C0[K];
     C.C0[K].centerMod2k(LogQ);
     C.C1[K] -= Other.C1[K];
     C.C1[K].centerMod2k(LogQ);
-  }
+  });
   C.LogQ = LogQ;
 }
 
@@ -390,20 +414,20 @@ void BigCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
   CHET_CHECK(scalesMatchBig(C.Scale, P.Scale), ScaleMismatch,
              "addPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   const std::vector<BigInt> &M = plainBig(P);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] += M[K];
     C.C0[K].centerMod2k(C.LogQ);
-  }
+  });
 }
 
 void BigCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
   CHET_CHECK(scalesMatchBig(C.Scale, P.Scale), ScaleMismatch,
              "subPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
   const std::vector<BigInt> &M = plainBig(P);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] -= M[K];
     C.C0[K].centerMod2k(C.LogQ);
-  }
+  });
 }
 
 void BigCkksBackend::addScalarAssign(Ct &C, double X) const {
@@ -419,13 +443,13 @@ void BigCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
   for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
-    for (size_t K = 0; K < Degree; ++K) {
+    parallelFor(0, Degree, 256, [&](size_t K) {
       BigInt &V = (*Poly)[K];
       V.mulU64(Mag);
       if (Negative)
         V.negate();
       V.centerMod2k(C.LogQ);
-    }
+    });
   }
   C.Scale *= static_cast<double>(Scale);
 }
@@ -445,7 +469,7 @@ void BigCkksBackend::keySwitch(const std::vector<BigInt> &D, int CtLogQ,
   std::vector<std::vector<uint64_t>> DRns;
   Ring.decomposeNtt(D.data(), Count, DRns);
   std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
-  for (int I = 0; I < Count; ++I) {
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Ring.prime(I);
     AccB[I].resize(Degree);
     AccA[I].resize(Degree);
@@ -453,17 +477,17 @@ void BigCkksBackend::keySwitch(const std::vector<BigInt> &D, int CtLogQ,
       AccB[I][K] = Q.mulMod(DRns[I][K], Key.B[I][K]);
       AccA[I][K] = Q.mulMod(DRns[I][K], Key.A[I][K]);
     }
-  }
+  });
   OutB.resize(Degree);
   OutA.resize(Degree);
   Ring.reconstruct(AccB, Count, OutB.data());
   Ring.reconstruct(AccA, Count, OutA.data());
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     OutB[K].shiftRightRound(LogP);
     OutB[K].centerMod2k(CtLogQ);
     OutA[K].shiftRightRound(LogP);
     OutA[K].centerMod2k(CtLogQ);
-  }
+  });
 }
 
 void BigCkksBackend::mulAssign(Ct &C, const Ct &Other) {
@@ -494,7 +518,7 @@ void BigCkksBackend::mulAssign(Ct &C, const Ct &Other) {
 
   std::vector<std::vector<uint64_t>> D0Rns(Count), D1Rns(Count),
       D2Rns(Count);
-  for (int I = 0; I < Count; ++I) {
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Ring.prime(I);
     D0Rns[I].resize(Degree);
     D1Rns[I].resize(Degree);
@@ -505,27 +529,27 @@ void BigCkksBackend::mulAssign(Ct &C, const Ct &Other) {
                              Q.mulMod(A1[I][K], B0[I][K]));
       D2Rns[I][K] = Q.mulMod(A1[I][K], B1[I][K]);
     }
-  }
+  });
   std::vector<BigInt> D0(Degree), D1(Degree), D2(Degree);
   Ring.reconstruct(D0Rns, Count, D0.data());
   Ring.reconstruct(D1Rns, Count, D1.data());
   Ring.reconstruct(D2Rns, Count, D2.data());
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     D0[K].centerMod2k(LogQ);
     D1[K].centerMod2k(LogQ);
     D2[K].centerMod2k(LogQ);
-  }
+  });
 
   std::vector<BigInt> KB, KA;
   keySwitch(D2, LogQ, RelinKey, KB, KA);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] = D0[K];
     C.C0[K] += KB[K];
     C.C0[K].centerMod2k(LogQ);
     C.C1[K] = D1[K];
     C.C1[K] += KA[K];
     C.C1[K].centerMod2k(LogQ);
-  }
+  });
   C.Scale *= Other.Scale;
 }
 
@@ -539,14 +563,14 @@ void BigCkksBackend::mulPlainAssign(Ct &C, const Pt &P) {
   for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
     std::vector<std::vector<uint64_t>> CRns;
     Ring.decomposeNtt(Poly->data(), Count, CRns);
-    for (int I = 0; I < Count; ++I) {
+    parallelFor(0, size_t(Count), 1, [&](size_t I) {
       const Modulus &Q = Ring.prime(I);
       for (size_t K = 0; K < Degree; ++K)
         CRns[I][K] = Q.mulMod(CRns[I][K], MRns[I][K]);
-    }
+    });
     Ring.reconstruct(CRns, Count, Poly->data());
-    for (size_t K = 0; K < Degree; ++K)
-      (*Poly)[K].centerMod2k(C.LogQ);
+    parallelFor(0, Degree, 256,
+                [&](size_t K) { (*Poly)[K].centerMod2k(C.LogQ); });
   }
   C.Scale *= P.Scale;
 }
@@ -558,12 +582,12 @@ void BigCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
   applyAutomorphismBig(C.C1.data(), Sigma1.data(), Degree, Elt);
   std::vector<BigInt> KB, KA;
   keySwitch(Sigma1, C.LogQ, Key, KB, KA);
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K] = Sigma0[K];
     C.C0[K] += KB[K];
     C.C0[K].centerMod2k(C.LogQ);
     C.C1[K] = KA[K];
-  }
+  });
 }
 
 void BigCkksBackend::rotLeftAssign(Ct &C, int Steps) {
@@ -629,10 +653,10 @@ void BigCkksBackend::rescaleAssign(Ct &C, uint64_t Divisor) const {
   CHET_CHECK(Bits < C.LogQ, LevelExhausted,
              "rescale by 2^", Bits, " would eliminate the 2^", C.LogQ,
              " ciphertext modulus");
-  for (size_t K = 0; K < Degree; ++K) {
+  parallelFor(0, Degree, 256, [&](size_t K) {
     C.C0[K].shiftRightRound(Bits);
     C.C1[K].shiftRightRound(Bits);
-  }
+  });
   C.LogQ -= Bits;
   C.Scale /= static_cast<double>(Divisor);
 }

@@ -27,13 +27,16 @@
 
 #include "ckks/Encoder.h"
 #include "ckks/SecurityTable.h"
+#include "hisa/Hisa.h"
 #include "math/BigInt.h"
 #include "math/Crt.h"
 #include "math/Ntt.h"
 #include "support/Prng.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -98,9 +101,15 @@ private:
   int LogN;
   size_t N;
   std::vector<uint64_t> PrimeValues;
+  /// Mods/Tables are reserved to the maximum possible prime count at
+  /// construction so lazy growth under RingMu never reallocates while a
+  /// concurrent reader holds a reference into them.
   std::vector<Modulus> Mods;
   std::vector<std::unique_ptr<NttTables>> Tables;
   std::map<int, std::unique_ptr<CrtBasis>> BasisByCount;
+  /// Guards lazy prime/table/basis generation. Heap-held so the owning
+  /// backend stays movable (factories return it by value).
+  std::unique_ptr<std::mutex> RingMu = std::make_unique<std::mutex>();
 };
 
 /// The CKKS scheme with power-of-two modulus, exposed through the HISA.
@@ -123,6 +132,11 @@ public:
       std::vector<BigInt> Big;
       int MaxCoeffBits = 0;
       std::map<int, std::vector<std::vector<uint64_t>>> RnsByCount;
+      /// Publication flag for Big/MaxCoeffBits (acquire-checked before
+      /// use); FillMu serializes fills of Big and RnsByCount when ops
+      /// sharing one Pt run on the pool.
+      std::atomic<bool> BigReady{false};
+      std::mutex FillMu;
     };
     std::shared_ptr<Cache> C;
   };
@@ -225,6 +239,12 @@ private:
 /// Applies the automorphism X -> X^{Elt} to a BigInt coefficient vector.
 void applyAutomorphismBig(const BigInt *In, BigInt *Out, size_t N,
                           uint64_t Elt);
+
+/// HISA ops on distinct ciphertexts are thread-safe: lazy ring growth is
+/// guarded by BigPolyRing::RingMu (with reallocation-proof reservations)
+/// and the plaintext caches by Pt::Cache::FillMu.
+template <>
+inline constexpr bool BackendSupportsParallelKernels<BigCkksBackend> = true;
 
 } // namespace chet
 

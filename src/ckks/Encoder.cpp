@@ -7,6 +7,7 @@
 #include "ckks/Encoder.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -51,14 +52,16 @@ CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
   Transform.forward(Spectrum.data());
   std::vector<double> Coeffs(N);
   double InvN = 1.0 / static_cast<double>(N);
-  for (size_t J = 0; J < N; ++J) {
+  // Each coefficient is an independent pure-FP computation; the overflow
+  // check's exception propagates through the pool to the caller.
+  parallelFor(0, N, 512, [&](size_t J) {
     double Real = (Spectrum[J] * std::conj(Zeta[J])).real() * InvN;
     double Rounded = std::nearbyint(Real * Scale);
     CHET_CHECK(std::fabs(Rounded) < 4.6e18, EncodingOverflow,
                "encoded coefficient exceeds 62-bit embedding limit at scale ",
                Scale);
     Coeffs[J] = Rounded;
-  }
+  });
   return Coeffs;
 }
 
@@ -70,13 +73,14 @@ CkksEncoder::decodeValues(const std::vector<double> &Coeffs,
              " != ", N);
   std::vector<std::complex<double>> A(N);
   double Inv = 1.0 / Scale;
-  for (size_t J = 0; J < N; ++J)
-    A[J] = Coeffs[J] * Inv * Zeta[J];
+  parallelFor(0, N, 512,
+              [&](size_t J) { A[J] = Coeffs[J] * Inv * Zeta[J]; });
   // v_t = sum_j a_j e^{2 pi i j t / N} = N * inverseDFT(a)_t.
   Transform.inverse(A.data());
   std::vector<double> Values(N / 2);
-  for (size_t J = 0; J < N / 2; ++J)
+  parallelFor(0, N / 2, 512, [&](size_t J) {
     Values[J] = A[SlotToFreq[J]].real() * static_cast<double>(N);
+  });
   return Values;
 }
 

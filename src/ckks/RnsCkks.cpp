@@ -8,6 +8,7 @@
 
 #include "math/PrimeGen.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -104,33 +105,36 @@ RnsCkksBackend::RnsCkksBackend(const RnsCkksParams &ParamsIn)
   SecretNtt.resize(ChainLen + 1);
   {
     std::vector<int64_t> Wide(SecretTernary.begin(), SecretTernary.end());
-    for (size_t J = 0; J <= ChainLen; ++J)
-      SecretNtt[J] = smallToNtt(Wide, J);
+    parallelFor(0, ChainLen + 1, 1,
+                [&](size_t J) { SecretNtt[J] = smallToNtt(Wide, J); });
   }
 
   // Public key (b, a) = (-(a s) + e, a) over the chain primes only;
-  // fresh ciphertexts never touch the special prime.
+  // fresh ciphertexts never touch the special prime. All Rng draws happen
+  // sequentially (in the original order) before the parallel compute so
+  // the key material is identical at every thread count.
   PkB.resize(ChainLen);
   PkA.resize(ChainLen);
   std::vector<int64_t> E = sampleErrorCoeffs();
-  for (size_t J = 0; J < ChainLen; ++J) {
+  for (size_t J = 0; J < ChainLen; ++J)
     PkA[J] = uniformNtt(J);
+  parallelFor(0, ChainLen, 1, [&](size_t J) {
     std::vector<uint64_t> ENtt = smallToNtt(E, J);
     const Modulus &Q = ChainMods[J];
     PkB[J].resize(Degree);
     for (size_t K = 0; K < Degree; ++K)
       PkB[J][K] =
           Q.addMod(Q.negMod(Q.mulMod(PkA[J][K], SecretNtt[J][K])), ENtt[K]);
-  }
+  });
 
   // Relinearization key: target s^2 over every modulus.
   std::vector<std::vector<uint64_t>> SquareTarget(ChainLen + 1);
-  for (size_t J = 0; J <= ChainLen; ++J) {
+  parallelFor(0, ChainLen + 1, 1, [&](size_t J) {
     const Modulus &Q = modAt(J);
     SquareTarget[J].resize(Degree);
     for (size_t K = 0; K < Degree; ++K)
       SquareTarget[J][K] = Q.mulMod(SecretNtt[J][K], SecretNtt[J][K]);
-  }
+  });
   RelinKey = makeKSwitchKey(SquareTarget);
 
   // Stock rotation keys for the power-of-two steps, left and right
@@ -191,29 +195,40 @@ RnsCkksBackend::KSwitchKey RnsCkksBackend::makeKSwitchKey(
   KSwitchKey Key;
   Key.B.resize(ChainLen);
   Key.A.resize(ChainLen);
+  // Draw every random sample first, in the exact order the sequential
+  // code consumed them (per digit i: E_i, then A_{i,0..ChainLen}), so the
+  // generated key is identical at every thread count; the NTT/arithmetic
+  // work then fans out over (digit, modulus) pairs.
+  std::vector<std::vector<int64_t>> E(ChainLen);
+  std::vector<std::vector<std::vector<uint64_t>>> A(ChainLen);
   for (size_t I = 0; I < ChainLen; ++I) {
     Key.B[I].resize((ChainLen + 1) * Degree);
     Key.A[I].resize((ChainLen + 1) * Degree);
-    std::vector<int64_t> E = sampleErrorCoeffs();
-    for (size_t J = 0; J <= ChainLen; ++J) {
-      const Modulus &Q = modAt(J);
-      std::vector<uint64_t> A = uniformNtt(J);
-      std::vector<uint64_t> ENtt = smallToNtt(E, J);
-      uint64_t *BOut = Key.B[I].data() + J * Degree;
-      uint64_t *AOut = Key.A[I].data() + J * Degree;
-      for (size_t K = 0; K < Degree; ++K) {
-        uint64_t V = Q.addMod(
-            Q.negMod(Q.mulMod(A[K], SecretNtt[J][K])), ENtt[K]);
-        if (J == I) {
-          // Add p * T_i * target; T_i is 1 mod q_i and 0 elsewhere, and
-          // p * T_i vanishes modulo the special prime itself.
-          V = Q.addMod(V, Q.mulMod(SpecialModChain[J], Target[J][K]));
-        }
-        BOut[K] = V;
-        AOut[K] = A[K];
-      }
-    }
+    E[I] = sampleErrorCoeffs();
+    A[I].resize(ChainLen + 1);
+    for (size_t J = 0; J <= ChainLen; ++J)
+      A[I][J] = uniformNtt(J);
   }
+  parallelFor(0, ChainLen * (ChainLen + 1), 1, [&](size_t Flat) {
+    size_t I = Flat / (ChainLen + 1);
+    size_t J = Flat % (ChainLen + 1);
+    const Modulus &Q = modAt(J);
+    std::vector<uint64_t> ENtt = smallToNtt(E[I], J);
+    const std::vector<uint64_t> &AIJ = A[I][J];
+    uint64_t *BOut = Key.B[I].data() + J * Degree;
+    uint64_t *AOut = Key.A[I].data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      uint64_t V = Q.addMod(
+          Q.negMod(Q.mulMod(AIJ[K], SecretNtt[J][K])), ENtt[K]);
+      if (J == I) {
+        // Add p * T_i * target; T_i is 1 mod q_i and 0 elsewhere, and
+        // p * T_i vanishes modulo the special prime itself.
+        V = Q.addMod(V, Q.mulMod(SpecialModChain[J], Target[J][K]));
+      }
+      BOut[K] = V;
+      AOut[K] = AIJ[K];
+    }
+  });
   return Key;
 }
 
@@ -240,8 +255,8 @@ void RnsCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
       Rotated[Index] = V;
     }
     std::vector<std::vector<uint64_t>> Target(ChainLen + 1);
-    for (size_t J = 0; J <= ChainLen; ++J)
-      Target[J] = smallToNtt(Rotated, J);
+    parallelFor(0, ChainLen + 1, 1,
+                [&](size_t J) { Target[J] = smallToNtt(Rotated, J); });
     GaloisKeys.emplace(Elt, makeKSwitchKey(Target));
   }
 }
@@ -266,6 +281,9 @@ RnsCkksBackend::Pt RnsCkksBackend::encode(const std::vector<double> &Values,
   P.Scale = Scale;
   P.NttCache = std::make_shared<Pt::Cache>();
   P.NttCache->PerPrime.resize(ChainLen);
+  P.NttCache->Ready = std::make_unique<std::atomic<bool>[]>(ChainLen);
+  for (size_t J = 0; J < ChainLen; ++J)
+    P.NttCache->Ready[J].store(false, std::memory_order_relaxed);
   return P;
 }
 
@@ -277,8 +295,14 @@ std::vector<double> RnsCkksBackend::decode(const Pt &P) const {
 const std::vector<uint64_t> &RnsCkksBackend::plainNtt(const Pt &P,
                                                       size_t J) const {
   assert(P.NttCache && "plaintext was not produced by encode()");
-  std::vector<uint64_t> &Slot = P.NttCache->PerPrime[J];
-  if (!Slot.empty())
+  Pt::Cache &Cache = *P.NttCache;
+  std::vector<uint64_t> &Slot = Cache.PerPrime[J];
+  // Double-checked publication: ops sharing one Pt may race to fill the
+  // same prime's slot when kernels run on the pool.
+  if (Cache.Ready[J].load(std::memory_order_acquire))
+    return Slot;
+  std::lock_guard<std::mutex> Lock(Cache.FillMu);
+  if (Cache.Ready[J].load(std::memory_order_relaxed))
     return Slot;
   const Modulus &Q = ChainMods[J];
   Slot.resize(Degree);
@@ -288,6 +312,7 @@ const std::vector<uint64_t> &RnsCkksBackend::plainNtt(const Pt &P,
     Slot[K] = C >= 0 ? Q.reduce(Mag) : Q.negMod(Q.reduce(Mag));
   }
   ChainNtt[J]->forward(Slot.data());
+  Cache.Ready[J].store(true, std::memory_order_release);
   return Slot;
 }
 
@@ -304,7 +329,9 @@ RnsCkksBackend::Ct RnsCkksBackend::encrypt(const Pt &P) {
   std::vector<int64_t> E0 = sampleErrorCoeffs();
   std::vector<int64_t> E1 = sampleErrorCoeffs();
 
-  for (size_t J = 0; J < ChainLen; ++J) {
+  // All Rng draws (U, E0, E1) happened above; the per-prime work is pure
+  // compute and fans out over the chain.
+  parallelFor(0, ChainLen, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     std::vector<uint64_t> UNtt = smallToNtt(U, J);
     std::vector<uint64_t> E0Ntt = smallToNtt(E0, J);
@@ -317,12 +344,13 @@ RnsCkksBackend::Ct RnsCkksBackend::encrypt(const Pt &P) {
                        M[K]);
       C1[K] = Q.addMod(Q.mulMod(PkA[J][K], UNtt[K]), E1Ntt[K]);
     }
-  }
+  });
   return C;
 }
 
 const CrtBasis &RnsCkksBackend::crtForLevel(int Level) const {
   assert(Level >= 0 && Level < static_cast<int>(ChainLen));
+  std::lock_guard<std::mutex> Lock(*CrtMu);
   if (!CrtByLevel[Level]) {
     std::vector<uint64_t> Primes(Params.ChainPrimes.begin(),
                                  Params.ChainPrimes.begin() + Level + 1);
@@ -340,7 +368,7 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
              "ciphertext structure does not match the parameters: level ", L,
              ", ", C.C0.size(), "/", C.C1.size(), " words, scale ", C.Scale);
   std::vector<std::vector<uint64_t>> Residues(L + 1);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     Residues[J].resize(Degree);
     const uint64_t *C0 = C.C0.data() + J * Degree;
@@ -349,7 +377,7 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
       Residues[J][K] =
           Q.addMod(C0[K], Q.mulMod(C1[K], SecretNtt[J][K]));
     ChainNtt[J]->inverse(Residues[J].data());
-  }
+  });
 
   Pt P;
   P.Scale = C.Scale;
@@ -363,12 +391,16 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
     }
   } else {
     const CrtBasis &Basis = crtForLevel(L);
-    std::vector<uint64_t> PerCoeff(L + 1);
-    for (size_t K = 0; K < Degree; ++K) {
-      for (int J = 0; J <= L; ++J)
-        PerCoeff[J] = Residues[J][K];
-      P.Coeffs[K] = Basis.reconstructCentered(PerCoeff.data()).toDouble();
-    }
+    globalThreadPool().parallelForBlocks(
+        0, Degree, 256, [&](size_t Lo, size_t Hi) {
+          std::vector<uint64_t> PerCoeff(L + 1);
+          for (size_t K = Lo; K < Hi; ++K) {
+            for (int J = 0; J <= L; ++J)
+              PerCoeff[J] = Residues[J][K];
+            P.Coeffs[K] =
+                Basis.reconstructCentered(PerCoeff.data()).toDouble();
+          }
+        });
   }
   return P;
 }
@@ -404,7 +436,7 @@ void RnsCkksBackend::addAssign(Ct &C, const Ct &Other) const {
              "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int L = C.Level < Other.Level ? C.Level : Other.Level;
   modSwitchTo(C, L);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
     uint64_t *Dst1 = C.C1.data() + J * Degree;
@@ -414,7 +446,7 @@ void RnsCkksBackend::addAssign(Ct &C, const Ct &Other) const {
       Dst0[K] = Q.addMod(Dst0[K], Src0[K]);
       Dst1[K] = Q.addMod(Dst1[K], Src1[K]);
     }
-  }
+  });
 }
 
 void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
@@ -422,7 +454,7 @@ void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
              "subtraction scale mismatch: ", C.Scale, " vs ", Other.Scale);
   int L = C.Level < Other.Level ? C.Level : Other.Level;
   modSwitchTo(C, L);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
     uint64_t *Dst1 = C.C1.data() + J * Degree;
@@ -432,31 +464,31 @@ void RnsCkksBackend::subAssign(Ct &C, const Ct &Other) const {
       Dst0[K] = Q.subMod(Dst0[K], Src0[K]);
       Dst1[K] = Q.subMod(Dst1[K], Src1[K]);
     }
-  }
+  });
 }
 
 void RnsCkksBackend::addPlainAssign(Ct &C, const Pt &P) const {
   CHET_CHECK(scalesMatch(C.Scale, P.Scale), ScaleMismatch,
              "addPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
-  for (int J = 0; J <= C.Level; ++J) {
+  parallelFor(0, size_t(C.Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     const std::vector<uint64_t> &M = plainNtt(P, J);
     uint64_t *Dst = C.C0.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K)
       Dst[K] = Q.addMod(Dst[K], M[K]);
-  }
+  });
 }
 
 void RnsCkksBackend::subPlainAssign(Ct &C, const Pt &P) const {
   CHET_CHECK(scalesMatch(C.Scale, P.Scale), ScaleMismatch,
              "subPlain scale mismatch: ", C.Scale, " vs ", P.Scale);
-  for (int J = 0; J <= C.Level; ++J) {
+  parallelFor(0, size_t(C.Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     const std::vector<uint64_t> &M = plainNtt(P, J);
     uint64_t *Dst = C.C0.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K)
       Dst[K] = Q.subMod(Dst[K], M[K]);
-  }
+  });
 }
 
 void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
@@ -468,7 +500,7 @@ void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
              "scalar exceeds embedding range: ", X, " at scale ", C.Scale);
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
-  for (int J = 0; J <= C.Level; ++J) {
+  parallelFor(0, size_t(C.Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t V = Q.reduce(Mag);
     if (Negative)
@@ -476,7 +508,7 @@ void RnsCkksBackend::addScalarAssign(Ct &C, double X) const {
     uint64_t *Dst = C.C0.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K)
       Dst[K] = Q.addMod(Dst[K], V);
-  }
+  });
 }
 
 void RnsCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
@@ -485,7 +517,7 @@ void RnsCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
              "scalar exceeds embedding range: ", X, " at scale ", Scale);
   bool Negative = Rounded < 0;
   uint64_t Mag = static_cast<uint64_t>(std::fabs(Rounded));
-  for (int J = 0; J <= C.Level; ++J) {
+  parallelFor(0, size_t(C.Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t V = Q.reduce(Mag);
     if (Negative)
@@ -497,12 +529,12 @@ void RnsCkksBackend::mulScalarAssign(Ct &C, double X, uint64_t Scale) const {
       Dst0[K] = shoupMulMod(Dst0[K], V, VShoup, Q.value());
       Dst1[K] = shoupMulMod(Dst1[K], V, VShoup, Q.value());
     }
-  }
+  });
   C.Scale *= static_cast<double>(Scale);
 }
 
 void RnsCkksBackend::mulPlainAssign(Ct &C, const Pt &P) const {
-  for (int J = 0; J <= C.Level; ++J) {
+  parallelFor(0, size_t(C.Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     const std::vector<uint64_t> &M = plainNtt(P, J);
     uint64_t *Dst0 = C.C0.data() + J * Degree;
@@ -511,7 +543,7 @@ void RnsCkksBackend::mulPlainAssign(Ct &C, const Pt &P) const {
       Dst0[K] = Q.mulMod(Dst0[K], M[K]);
       Dst1[K] = Q.mulMod(Dst1[K], M[K]);
     }
-  }
+  });
   C.Scale *= P.Scale;
 }
 
@@ -527,13 +559,22 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
   OutB.assign(Components * Degree, 0);
   OutA.assign(Components * Degree, 0);
   std::vector<uint64_t> AccBSp(Degree, 0), AccASp(Degree, 0);
-  std::vector<uint64_t> Tmp(Degree);
 
-  for (size_t I = 0; I < Components; ++I) {
-    const std::vector<uint64_t> &Digit = Digits[I];
-    for (size_t J = 0; J <= Components; ++J) {
-      size_t ModIndex = J < Components ? J : ChainLen; // special last
-      const Modulus &Q = modAt(ModIndex);
+  // Loop interchange vs. the textbook order: the outer (parallel) loop
+  // walks the output moduli, each of which owns a disjoint accumulator;
+  // the inner loop walks the digits sequentially in the original order,
+  // so every output element sees the same addition order as a sequential
+  // run and results stay bit-identical.
+  parallelFor(0, Components + 1, 1, [&](size_t J) {
+    size_t ModIndex = J < Components ? J : ChainLen; // special last
+    const Modulus &Q = modAt(ModIndex);
+    std::vector<uint64_t> Tmp(Degree);
+    uint64_t *DstB =
+        ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
+    uint64_t *DstA =
+        ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
+    for (size_t I = 0; I < Components; ++I) {
+      const std::vector<uint64_t> &Digit = Digits[I];
       if (ModIndex == I) {
         std::memcpy(Tmp.data(), Digit.data(), Degree * sizeof(uint64_t));
       } else {
@@ -543,16 +584,12 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
       nttAt(ModIndex).forward(Tmp.data());
       const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
       const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
-      uint64_t *DstB =
-          ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
-      uint64_t *DstA =
-          ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
       for (size_t K = 0; K < Degree; ++K) {
         DstB[K] = Q.addMod(DstB[K], Q.mulMod(Tmp[K], KeyB[K]));
         DstA[K] = Q.addMod(DstA[K], Q.mulMod(Tmp[K], KeyA[K]));
       }
     }
-  }
+  });
   divideBySpecial(OutB, AccBSp, Level);
   divideBySpecial(OutA, AccASp, Level);
 }
@@ -563,9 +600,9 @@ void RnsCkksBackend::divideBySpecial(std::vector<uint64_t> &AccChain,
   SpecialNtt->inverse(AccSpecial.data());
   uint64_t P = SpecialMod.value();
   uint64_t HalfP = P >> 1;
-  std::vector<uint64_t> Corr(Degree);
-  for (int J = 0; J <= Level; ++J) {
+  parallelFor(0, size_t(Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
+    std::vector<uint64_t> Corr(Degree);
     for (size_t K = 0; K < Degree; ++K) {
       uint64_t T = AccSpecial[K];
       // Centered representative of T mod p, reduced into Z_q.
@@ -578,7 +615,7 @@ void RnsCkksBackend::divideBySpecial(std::vector<uint64_t> &AccChain,
     for (size_t K = 0; K < Degree; ++K)
       Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
                            Q.value());
-  }
+  });
 }
 
 void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
@@ -587,7 +624,7 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
 
   std::vector<uint64_t> D0((L + 1) * Degree), D1((L + 1) * Degree);
   std::vector<std::vector<uint64_t>> D2(L + 1);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     const uint64_t *A0 = C.C0.data() + J * Degree;
     const uint64_t *A1 = C.C1.data() + J * Degree;
@@ -602,11 +639,11 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
       D2[J][K] = Q.mulMod(A1[K], B1[K]);
     }
     ChainNtt[J]->inverse(D2[J].data()); // digits must be coefficient form
-  }
+  });
 
   std::vector<uint64_t> KB, KA;
   keySwitch(D2, L, RelinKey, KB, KA);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
     uint64_t *Dst1 = C.C1.data() + J * Degree;
@@ -618,7 +655,7 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
       Dst0[K] = Q.addMod(S0[K], K0[K]);
       Dst1[K] = Q.addMod(S1[K], K1[K]);
     }
-  }
+  });
   C.Scale *= Other.Scale;
 }
 
@@ -626,9 +663,9 @@ void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
                                      const KSwitchKey &Key) {
   int L = C.Level;
   std::vector<std::vector<uint64_t>> Sigma1(L + 1);
-  std::vector<uint64_t> Coeff(Degree), SigmaCoeff(Degree);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
+    std::vector<uint64_t> Coeff(Degree), SigmaCoeff(Degree);
     // sigma(c1) in coefficient form: these are the key-switch digits.
     std::memcpy(Coeff.data(), C.C1.data() + J * Degree,
                 Degree * sizeof(uint64_t));
@@ -645,17 +682,17 @@ void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
     ChainNtt[J]->forward(SigmaCoeff.data());
     std::memcpy(C.C0.data() + J * Degree, SigmaCoeff.data(),
                 Degree * sizeof(uint64_t));
-  }
+  });
 
   std::vector<uint64_t> KB, KA;
   keySwitch(Sigma1, L, Key, KB, KA);
-  for (int J = 0; J <= L; ++J) {
+  parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
     const uint64_t *K0 = KB.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K)
       Dst0[K] = Q.addMod(Dst0[K], K0[K]);
-  }
+  });
   std::memcpy(C.C1.data(), KA.data(), (L + 1) * Degree * sizeof(uint64_t));
 }
 
@@ -722,13 +759,14 @@ void RnsCkksBackend::dropLastPrime(Ct &C) const {
   assert(L >= 1 && "cannot rescale past the base prime");
   uint64_t QLast = Params.ChainPrimes[L];
   uint64_t Half = QLast >> 1;
-  std::vector<uint64_t> Last(Degree), Corr(Degree);
+  std::vector<uint64_t> Last(Degree);
   for (std::vector<uint64_t> *Poly : {&C.C0, &C.C1}) {
     std::memcpy(Last.data(), Poly->data() + L * Degree,
                 Degree * sizeof(uint64_t));
     ChainNtt[L]->inverse(Last.data());
-    for (int J = 0; J < L; ++J) {
+    parallelFor(0, size_t(L), 1, [&](size_t J) {
       const Modulus &Q = ChainMods[J];
+      std::vector<uint64_t> Corr(Degree);
       for (size_t K = 0; K < Degree; ++K) {
         uint64_t T = Last[K];
         Corr[K] = T > Half ? Q.negMod(Q.reduce(QLast - T)) : Q.reduce(T);
@@ -740,7 +778,7 @@ void RnsCkksBackend::dropLastPrime(Ct &C) const {
       for (size_t K = 0; K < Degree; ++K)
         Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
                              Q.value());
-    }
+    });
   }
   C.C0.resize(L * Degree);
   C.C1.resize(L * Degree);

@@ -34,12 +34,15 @@
 
 #include "ckks/Encoder.h"
 #include "ckks/SecurityTable.h"
+#include "hisa/Hisa.h"
 #include "math/Crt.h"
 #include "math/Ntt.h"
 #include "support/Prng.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -106,6 +109,11 @@ public:
     double Scale = 1.0;
     struct Cache {
       std::vector<std::vector<uint64_t>> PerPrime;
+      /// Per-prime publication flags: readers check Ready[J] (acquire)
+      /// before touching PerPrime[J]; fillers serialize on FillMu. Keeps
+      /// the lazy fill safe when ops sharing one Pt run on the pool.
+      std::unique_ptr<std::atomic<bool>[]> Ready;
+      std::mutex FillMu;
     };
     std::shared_ptr<Cache> NttCache;
   };
@@ -244,8 +252,17 @@ private:
   std::vector<uint64_t> SpecialInvModChain;      ///< p^{-1} mod q_j.
   std::vector<uint64_t> SpecialModChain;         ///< p mod q_j.
   mutable std::vector<std::unique_ptr<CrtBasis>> CrtByLevel;
+  /// Guards the lazy CrtByLevel fill. Heap-held so the backend stays
+  /// movable (factories return it by value).
+  mutable std::unique_ptr<std::mutex> CrtMu =
+      std::make_unique<std::mutex>();
 };
 
+/// HISA ops on distinct ciphertexts are thread-safe: key material is
+/// immutable after keygen and the lazy plaintext-NTT / CRT caches are
+/// internally synchronized (Pt::Cache, CrtMu).
+template <>
+inline constexpr bool BackendSupportsParallelKernels<RnsCkksBackend> = true;
 
 } // namespace chet
 

@@ -239,27 +239,39 @@ BigCkksBackend chet::makeBigBackend(const CompiledCircuit &Compiled,
 
 namespace {
 
+/// Encoded-plaintext caches held across the trials of one scale search.
+/// Backend instances are rebuilt per trial, but the encodings (and their
+/// per-prime NTT forms) only depend on the scale configuration and the
+/// compiled parameters, which only change when the scales do -- and
+/// evaluateCircuit's noteScales hook drops the caches exactly then.
+struct ScaleSearchCaches {
+  EncodedPlaintextCache<RnsCkksBackend> Rns;
+  EncodedPlaintextCache<BigCkksBackend> Big;
+};
+
 /// Largest output error of encrypted inference vs the plain reference
 /// over the test inputs, for one candidate scale configuration.
 double maxOutputError(const TensorCircuit &Circ,
                       const CompilerOptions &Options,
-                      const std::vector<Tensor3> &Inputs) {
+                      const std::vector<Tensor3> &Inputs,
+                      ScaleSearchCaches *Caches = nullptr) {
   CompiledCircuit Compiled = compileCircuit(Circ, Options);
   double MaxErr = 0;
-  auto RunAll = [&](auto &Backend) {
+  auto RunAll = [&](auto &Backend, auto *PtCache) {
     for (const Tensor3 &Image : Inputs) {
       Tensor3 Got = runEncryptedInference(Backend, Circ, Image,
-                                          Options.Scales, Compiled.Policy);
+                                          Options.Scales, Compiled.Policy,
+                                          FcAlgorithm::Auto, PtCache);
       Tensor3 Want = Circ.evaluatePlain(Image);
       MaxErr = std::max(MaxErr, maxAbsDiff(Got, Want));
     }
   };
   if (Options.Scheme == SchemeKind::RnsCkks) {
     RnsCkksBackend Backend = makeRnsBackend(Compiled);
-    RunAll(Backend);
+    RunAll(Backend, Caches ? &Caches->Rns : nullptr);
   } else {
     BigCkksBackend Backend = makeBigBackend(Compiled);
-    RunAll(Backend);
+    RunAll(Backend, Caches ? &Caches->Big : nullptr);
   }
   return MaxErr;
 }
@@ -274,10 +286,12 @@ ScaleSearchResult chet::selectScales(const TensorCircuit &Circ,
              "scale search needs at least one test input");
   CompilerOptions Current = Options;
   ScaleSearchResult Result;
+  ScaleSearchCaches Caches; // shared across trials, see above
 
   auto Acceptable = [&](const CompilerOptions &Cand) {
     ++Result.Trials;
-    return maxOutputError(Circ, Cand, TestInputs) <= Search.Tolerance;
+    return maxOutputError(Circ, Cand, TestInputs, &Caches) <=
+           Search.Tolerance;
   };
 
   // The starting point must itself be acceptable; otherwise report the

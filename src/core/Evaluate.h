@@ -101,17 +101,23 @@ inline std::vector<bool> computeMaskNeeds(const TensorCircuit &Circ,
 
 /// Evaluates \p Circ on the encrypted \p Input (packed per
 /// circuitInputLayout for the same policy). Returns the encrypted output
-/// tensor.
+/// tensor. When \p PtCache is non-null, every weight/mask/bias encoding
+/// goes through it keyed by the producing node's id, so repeated
+/// inferences of the same circuit encode each plaintext once.
 template <HisaBackend B>
 CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
                                 const CipherTensor<B> &Input,
                                 const ScaleConfig &S, LayoutPolicy Policy,
-                                FcAlgorithm FcAlg = FcAlgorithm::Auto) {
+                                FcAlgorithm FcAlg = FcAlgorithm::Auto,
+                                EncodedPlaintextCache<B> *PtCache = nullptr) {
   const auto &Ops = Circ.ops();
   std::vector<bool> NeedsMask = detail::computeMaskNeeds(Circ, Policy);
   std::vector<std::optional<CipherTensor<B>>> Vals(Ops.size());
+  if (PtCache)
+    PtCache->noteScales(S);
 
   for (const OpNode &Node : Ops) {
+    KernelCache<B> KC{PtCache, static_cast<uint64_t>(Node.Id)};
     switch (Node.Kind) {
     case OpKind::Input: {
       CipherTensor<B> V;
@@ -126,15 +132,15 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
       if (Policy == LayoutPolicy::ConvHW &&
           Src.L.Kind != LayoutKind::HW) {
         CipherTensor<B> AsHw =
-            convertLayout(Backend, Src, LayoutKind::HW, S);
+            convertLayout(Backend, Src, LayoutKind::HW, S, KC);
         CipherTensor<B> Conv = conv2d(Backend, AsHw, Node.Conv, Node.Stride,
-                                      Node.Pad, S, NeedsMask[Node.Id]);
-        Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S);
+                                      Node.Pad, S, NeedsMask[Node.Id], KC);
+        Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
       } else {
         CipherTensor<B> Conv = conv2d(Backend, Src, Node.Conv, Node.Stride,
-                                      Node.Pad, S, NeedsMask[Node.Id]);
+                                      Node.Pad, S, NeedsMask[Node.Id], KC);
         if (Policy == LayoutPolicy::ConvHW)
-          Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S);
+          Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
         else
           Vals[Node.Id] = std::move(Conv);
       }
@@ -144,7 +150,7 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
     case OpKind::GlobalAveragePool:
       Vals[Node.Id] =
           averagePool(Backend, *Vals[Node.Inputs[0]], Node.PoolK,
-                      Node.PoolStride, S, NeedsMask[Node.Id]);
+                      Node.PoolStride, S, NeedsMask[Node.Id], KC);
       break;
     case OpKind::PolyActivation:
       Vals[Node.Id] = polyActivation(Backend, *Vals[Node.Inputs[0]],
@@ -154,12 +160,12 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
       LayoutKind OutKind = Policy == LayoutPolicy::AllHW ? LayoutKind::HW
                                                          : LayoutKind::CHW;
       Vals[Node.Id] = fullyConnected(Backend, *Vals[Node.Inputs[0]],
-                                     Node.Fc, S, OutKind, FcAlg);
+                                     Node.Fc, S, OutKind, FcAlg, KC);
       break;
     }
     case OpKind::ConcatChannels:
       Vals[Node.Id] = concatChannels(Backend, *Vals[Node.Inputs[0]],
-                                     *Vals[Node.Inputs[1]], S);
+                                     *Vals[Node.Inputs[1]], S, KC);
       break;
     case OpKind::Output:
       return std::move(*Vals[Node.Inputs[0]]);
@@ -175,11 +181,12 @@ template <HisaBackend B>
 Tensor3 runEncryptedInference(B &Backend, const TensorCircuit &Circ,
                               const Tensor3 &Image, const ScaleConfig &S,
                               LayoutPolicy Policy,
-                              FcAlgorithm FcAlg = FcAlgorithm::Auto) {
+                              FcAlgorithm FcAlg = FcAlgorithm::Auto,
+                              EncodedPlaintextCache<B> *PtCache = nullptr) {
   TensorLayout L = circuitInputLayout(Circ, Policy, Backend.slotCount());
   CipherTensor<B> Enc = encryptTensor(Backend, Image, L, S);
   CipherTensor<B> Out =
-      evaluateCircuit(Backend, Circ, Enc, S, Policy, FcAlg);
+      evaluateCircuit(Backend, Circ, Enc, S, Policy, FcAlg, PtCache);
   return decryptTensor(Backend, Out);
 }
 
@@ -203,7 +210,9 @@ Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
                                        LayoutPolicy Policy,
                                        const RetryPolicy &Retry = {},
                                        FcAlgorithm FcAlg = FcAlgorithm::Auto,
-                                       int *AttemptsOut = nullptr) {
+                                       int *AttemptsOut = nullptr,
+                                       EncodedPlaintextCache<B> *PtCache =
+                                           nullptr) {
   CHET_CHECK(Retry.MaxAttempts >= 1, InvalidArgument,
              "retry policy needs at least one attempt, got ",
              Retry.MaxAttempts);
@@ -211,7 +220,8 @@ Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
     if (AttemptsOut)
       *AttemptsOut = Attempt;
     try {
-      return runEncryptedInference(Backend, Circ, Image, S, Policy, FcAlg);
+      return runEncryptedInference(Backend, Circ, Image, S, Policy, FcAlg,
+                                   PtCache);
     } catch (const ChetError &E) {
       if (!E.isTransient() || Attempt >= Retry.MaxAttempts)
         throw;

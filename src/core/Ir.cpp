@@ -29,9 +29,19 @@ int TensorCircuit::input(int C, int H, int W) {
   return Node.Id;
 }
 
+namespace {
+/// Dimensions of a source node, snapshotted by value. Every builder below
+/// captures these *before* append(): push_back can reallocate Ops, which
+/// would leave a `const OpNode &Src = Ops[In]` reference dangling.
+struct SrcDims {
+  int C, H, W;
+  SrcDims(const OpNode &N) : C(N.C), H(N.H), W(N.W) {}
+};
+} // namespace
+
 int TensorCircuit::conv2d(int In, ConvWeights Wt, int Stride, int Pad) {
   assert(In >= 0 && In < static_cast<int>(Ops.size()) && "bad input id");
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   assert(Src.C == Wt.Cin && "convolution channel mismatch");
   OpNode &Node = append(OpKind::Conv2d);
   Node.Inputs = {In};
@@ -45,7 +55,7 @@ int TensorCircuit::conv2d(int In, ConvWeights Wt, int Stride, int Pad) {
 }
 
 int TensorCircuit::averagePool(int In, int K, int Stride) {
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   OpNode &Node = append(OpKind::AveragePool);
   Node.Inputs = {In};
   Node.PoolK = K;
@@ -57,7 +67,7 @@ int TensorCircuit::averagePool(int In, int K, int Stride) {
 }
 
 int TensorCircuit::globalAveragePool(int In) {
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   assert(Src.H == Src.W && "global pool expects square maps");
   OpNode &Node = append(OpKind::GlobalAveragePool);
   Node.Inputs = {In};
@@ -70,7 +80,7 @@ int TensorCircuit::globalAveragePool(int In) {
 }
 
 int TensorCircuit::polyActivation(int In, double A2, double A1) {
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   OpNode &Node = append(OpKind::PolyActivation);
   Node.Inputs = {In};
   Node.A2 = A2;
@@ -82,7 +92,7 @@ int TensorCircuit::polyActivation(int In, double A2, double A1) {
 }
 
 int TensorCircuit::fullyConnected(int In, FcWeights Wt) {
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   assert(Wt.In == Src.C * Src.H * Src.W && "FC feature mismatch");
   OpNode &Node = append(OpKind::FullyConnected);
   Node.Inputs = {In};
@@ -94,8 +104,7 @@ int TensorCircuit::fullyConnected(int In, FcWeights Wt) {
 }
 
 int TensorCircuit::concatChannels(int A, int B) {
-  const OpNode &SrcA = Ops[A];
-  const OpNode &SrcB = Ops[B];
+  const SrcDims SrcA(Ops[A]), SrcB(Ops[B]);
   assert(SrcA.H == SrcB.H && SrcA.W == SrcB.W &&
          "concat requires matching spatial dims");
   OpNode &Node = append(OpKind::ConcatChannels);
@@ -107,7 +116,7 @@ int TensorCircuit::concatChannels(int A, int B) {
 }
 
 int TensorCircuit::output(int In) {
-  const OpNode &Src = Ops[In];
+  const SrcDims Src(Ops[In]);
   OpNode &Node = append(OpKind::Output);
   Node.Inputs = {In};
   Node.C = Src.C;

@@ -82,6 +82,16 @@ concept HisaBackend = requires(B Backend, typename B::Ct C,
   { Backend.scaleOf(CC) } -> std::convertible_to<double>;
 };
 
+/// Whether a backend's HISA instructions may be issued concurrently from
+/// the thread pool's workers (on distinct ciphertexts). Defaults to
+/// false: analysis backends accumulate per-op statistics and the fault
+/// injector must see ops in a deterministic order, so only backends that
+/// opt in here (the two real CKKS schemes and the plain reference) get
+/// op-level kernel parallelism. The per-element loops *inside* a backend
+/// op parallelize regardless -- this trait only gates the kernel layer.
+template <typename B>
+inline constexpr bool BackendSupportsParallelKernels = false;
+
 /// Non-destructive convenience forms of the assign instructions (the
 /// rotLeft/add/sub/mul/... rows of Table 2). Copies are explicit so that
 /// kernels can see and minimize them.

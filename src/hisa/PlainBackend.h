@@ -20,6 +20,7 @@
 #ifndef CHET_HISA_PLAINBACKEND_H
 #define CHET_HISA_PLAINBACKEND_H
 
+#include "hisa/Hisa.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -165,6 +166,11 @@ private:
 
   size_t Slots;
 };
+
+/// Every op is const and touches only its operands -- safe to issue from
+/// pool threads.
+template <>
+inline constexpr bool BackendSupportsParallelKernels<PlainBackend> = true;
 
 } // namespace chet
 

@@ -1,0 +1,258 @@
+//===- ProfilingBackend.h - Per-op timing HISA adapter ---------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A HISA adapter that forwards every instruction to an inner backend
+/// while recording per-op invocation counts and wall-clock totals. Wrap
+/// any backend to see where an inference spends its time, broken down by
+/// HISA instruction (the granularity of the paper's Table 1 cost model):
+///
+///   ProfilingBackend Prof(Backend);
+///   runEncryptedInference(Prof, Circ, Image, S, Policy);
+///   Prof.printReport(std::cout);
+///
+/// Counters are per-op atomics (nanosecond totals), so profiling composes
+/// with the kernel-level parallelism of the wrapped backend: the adapter
+/// inherits the inner backend's BackendSupportsParallelKernels setting.
+/// Timing individual ops from concurrent lanes measures per-lane time;
+/// the sum over ops can exceed wall-clock when lanes overlap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_HISA_PROFILINGBACKEND_H
+#define CHET_HISA_PROFILINGBACKEND_H
+
+#include "hisa/Hisa.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace chet {
+
+namespace detail {
+/// Indices of the profiled HISA instructions.
+enum ProfiledOp : int {
+  PoEncode,
+  PoDecode,
+  PoEncrypt,
+  PoDecrypt,
+  PoCopy,
+  PoFreeCt,
+  PoRotLeft,
+  PoRotRight,
+  PoAdd,
+  PoSub,
+  PoAddPlain,
+  PoSubPlain,
+  PoAddScalar,
+  PoSubScalar,
+  PoMul,
+  PoMulPlain,
+  PoMulScalar,
+  PoMaxRescale,
+  PoRescale,
+  PoNumOps
+};
+
+inline const char *profiledOpName(int Op) {
+  static const char *Names[PoNumOps] = {
+      "encode",    "decode",    "encrypt",  "decrypt",   "copy",
+      "freeCt",    "rotLeft",   "rotRight", "add",       "sub",
+      "addPlain",  "subPlain",  "addScalar", "subScalar", "mul",
+      "mulPlain",  "mulScalar", "maxRescale", "rescale"};
+  return Names[Op];
+}
+} // namespace detail
+
+/// Forwards every HISA instruction to \p Inner, timing it. See file
+/// comment.
+template <HisaBackend B> class ProfilingBackend {
+public:
+  using Ct = typename B::Ct;
+  using Pt = typename B::Pt;
+
+  explicit ProfilingBackend(B &Inner) : Inner(Inner) {}
+
+  //===--------------------------------------------------------------===//
+  // HISA instructions: time and forward.
+  //===--------------------------------------------------------------===//
+
+  size_t slotCount() const { return Inner.slotCount(); }
+
+  Pt encode(const std::vector<double> &Values, double Scale) const {
+    return timed(detail::PoEncode, [&] { return Inner.encode(Values, Scale); });
+  }
+  std::vector<double> decode(const Pt &P) const {
+    return timed(detail::PoDecode, [&] { return Inner.decode(P); });
+  }
+  Ct encrypt(const Pt &P) {
+    return timed(detail::PoEncrypt, [&] { return Inner.encrypt(P); });
+  }
+  Pt decrypt(const Ct &C) {
+    return timed(detail::PoDecrypt, [&] { return Inner.decrypt(C); });
+  }
+  Ct copy(const Ct &C) const {
+    return timed(detail::PoCopy, [&] { return Inner.copy(C); });
+  }
+  void freeCt(Ct &C) const {
+    timed(detail::PoFreeCt, [&] { Inner.freeCt(C); });
+  }
+
+  void rotLeftAssign(Ct &C, int Steps) {
+    timed(detail::PoRotLeft, [&] { Inner.rotLeftAssign(C, Steps); });
+  }
+  void rotRightAssign(Ct &C, int Steps) {
+    timed(detail::PoRotRight, [&] { Inner.rotRightAssign(C, Steps); });
+  }
+  void addAssign(Ct &C, const Ct &O) {
+    timed(detail::PoAdd, [&] { Inner.addAssign(C, O); });
+  }
+  void subAssign(Ct &C, const Ct &O) {
+    timed(detail::PoSub, [&] { Inner.subAssign(C, O); });
+  }
+  void addPlainAssign(Ct &C, const Pt &P) {
+    timed(detail::PoAddPlain, [&] { Inner.addPlainAssign(C, P); });
+  }
+  void subPlainAssign(Ct &C, const Pt &P) {
+    timed(detail::PoSubPlain, [&] { Inner.subPlainAssign(C, P); });
+  }
+  void addScalarAssign(Ct &C, double X) {
+    timed(detail::PoAddScalar, [&] { Inner.addScalarAssign(C, X); });
+  }
+  void subScalarAssign(Ct &C, double X) {
+    timed(detail::PoSubScalar, [&] { Inner.subScalarAssign(C, X); });
+  }
+  void mulAssign(Ct &C, const Ct &O) {
+    timed(detail::PoMul, [&] { Inner.mulAssign(C, O); });
+  }
+  void mulPlainAssign(Ct &C, const Pt &P) {
+    timed(detail::PoMulPlain, [&] { Inner.mulPlainAssign(C, P); });
+  }
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) {
+    timed(detail::PoMulScalar, [&] { Inner.mulScalarAssign(C, X, Scale); });
+  }
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
+    return timed(detail::PoMaxRescale,
+                 [&] { return Inner.maxRescale(C, UpperBound); });
+  }
+  void rescaleAssign(Ct &C, uint64_t Divisor) {
+    timed(detail::PoRescale, [&] { Inner.rescaleAssign(C, Divisor); });
+  }
+  double scaleOf(const Ct &C) const { return Inner.scaleOf(C); }
+
+  //===--------------------------------------------------------------===//
+  // Reporting.
+  //===--------------------------------------------------------------===//
+
+  struct OpStats {
+    std::string Name;
+    uint64_t Count = 0;
+    double Seconds = 0;
+  };
+
+  /// Snapshot of every op with at least one invocation, ordered by total
+  /// time descending.
+  std::vector<OpStats> stats() const {
+    std::vector<OpStats> Out;
+    for (int Op = 0; Op < detail::PoNumOps; ++Op) {
+      uint64_t N = Counts[Op].load(std::memory_order_relaxed);
+      if (N == 0)
+        continue;
+      Out.push_back({detail::profiledOpName(Op), N,
+                     double(Nanos[Op].load(std::memory_order_relaxed)) *
+                         1e-9});
+    }
+    std::sort(Out.begin(), Out.end(), [](const OpStats &A, const OpStats &X) {
+      return A.Seconds > X.Seconds;
+    });
+    return Out;
+  }
+
+  uint64_t totalOps() const {
+    uint64_t N = 0;
+    for (int Op = 0; Op < detail::PoNumOps; ++Op)
+      N += Counts[Op].load(std::memory_order_relaxed);
+    return N;
+  }
+
+  void reset() {
+    for (int Op = 0; Op < detail::PoNumOps; ++Op) {
+      Counts[Op].store(0, std::memory_order_relaxed);
+      Nanos[Op].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Renders the op-count / total-time table.
+  std::string report() const {
+    std::ostringstream OS;
+    OS << std::left << std::setw(12) << "op" << std::right << std::setw(10)
+       << "count" << std::setw(14) << "total(ms)" << std::setw(12)
+       << "avg(us)" << "\n";
+    double Total = 0;
+    uint64_t Ops = 0;
+    for (const OpStats &S : stats()) {
+      OS << std::left << std::setw(12) << S.Name << std::right
+         << std::setw(10) << S.Count << std::setw(14) << std::fixed
+         << std::setprecision(3) << S.Seconds * 1e3 << std::setw(12)
+         << std::setprecision(3) << S.Seconds * 1e6 / double(S.Count)
+         << "\n";
+      Total += S.Seconds;
+      Ops += S.Count;
+    }
+    OS << std::left << std::setw(12) << "total" << std::right
+       << std::setw(10) << Ops << std::setw(14) << std::fixed
+       << std::setprecision(3) << Total * 1e3 << "\n";
+    return OS.str();
+  }
+
+  void printReport(std::ostream &OS) const { OS << report(); }
+
+  B &inner() { return Inner; }
+
+private:
+  template <typename F> auto timed(int Op, F &&Fn) const {
+    auto T0 = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(Fn())>) {
+      Fn();
+      record(Op, T0);
+    } else {
+      auto R = Fn();
+      record(Op, T0);
+      return R;
+    }
+  }
+
+  void record(int Op, std::chrono::steady_clock::time_point T0) const {
+    auto Dt = std::chrono::steady_clock::now() - T0;
+    Counts[Op].fetch_add(1, std::memory_order_relaxed);
+    Nanos[Op].fetch_add(
+        uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Dt).count()),
+        std::memory_order_relaxed);
+  }
+
+  B &Inner;
+  mutable std::atomic<uint64_t> Counts[detail::PoNumOps] = {};
+  mutable std::atomic<uint64_t> Nanos[detail::PoNumOps] = {};
+};
+
+/// Profiling is transparent to threading: counters are atomics, so the
+/// adapter is exactly as parallel-safe as the backend it wraps.
+template <HisaBackend B>
+inline constexpr bool BackendSupportsParallelKernels<ProfilingBackend<B>> =
+    BackendSupportsParallelKernels<B>;
+
+} // namespace chet
+
+#endif // CHET_HISA_PROFILINGBACKEND_H

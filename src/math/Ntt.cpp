@@ -41,16 +41,25 @@ NttTables::NttTables(int LogNIn, const Modulus &QIn)
 
   NInv = invMod(static_cast<uint64_t>(N) % Q.value(), Q);
   NInvShoup = shoupPrecompute(NInv, Q.value());
+  // The inverse transform's last stage (M == 2) uses the single twiddle
+  // InvRootPowers[1]; composing it with the N^{-1} scaling lets that
+  // stage produce fully reduced, scaled outputs directly.
+  WNInv = Q.mulMod(InvRootPowers[1], NInv);
+  WNInvShoup = shoupPrecompute(WNInv, Q.value());
 }
 
 void NttTables::forward(uint64_t *Data) const {
   // Longa-Naehrig Algorithm 1 (Cooley-Tukey, decimation in time), with lazy
-  // butterflies keeping values below 4q; a final pass fully reduces.
+  // butterflies keeping values below 4q. The final full reduction is fused
+  // into the last butterfly stage (M = N/2, T = 1) instead of running as a
+  // separate pass over Data; outputs are identical to the two-pass form.
   const uint64_t QVal = Q.value();
   const uint64_t TwoQ = 2 * QVal;
   size_t T = N;
   for (size_t M = 1; M < N; M <<= 1) {
     T >>= 1;
+    if (T == 1)
+      break; // last stage handled below with fused reduction
     for (size_t I = 0; I < M; ++I) {
       size_t J1 = 2 * I * T;
       size_t J2 = J1 + T;
@@ -66,22 +75,38 @@ void NttTables::forward(uint64_t *Data) const {
       }
     }
   }
-  for (size_t J = 0; J < N; ++J) {
-    uint64_t X = Data[J];
-    if (X >= TwoQ)
-      X -= TwoQ;
-    if (X >= QVal)
-      X -= QVal;
-    Data[J] = X;
+  const size_t HalfN = N >> 1;
+  for (size_t I = 0; I < HalfN; ++I) {
+    uint64_t W = RootPowers[HalfN + I];
+    uint64_t WShoup = RootPowersShoup[HalfN + I];
+    uint64_t U = Data[2 * I];
+    if (U >= TwoQ)
+      U -= TwoQ;
+    uint64_t V = shoupMulModLazy(Data[2 * I + 1], W, WShoup, QVal);
+    uint64_t X0 = U + V;
+    if (X0 >= TwoQ)
+      X0 -= TwoQ;
+    if (X0 >= QVal)
+      X0 -= QVal;
+    uint64_t X1 = U + TwoQ - V;
+    if (X1 >= TwoQ)
+      X1 -= TwoQ;
+    if (X1 >= QVal)
+      X1 -= QVal;
+    Data[2 * I] = X0;
+    Data[2 * I + 1] = X1;
   }
 }
 
 void NttTables::inverse(uint64_t *Data) const {
   // Longa-Naehrig Algorithm 2 (Gentleman-Sande, decimation in frequency).
+  // The N^{-1} scaling / full-reduction pass is fused into the last stage
+  // (M = 2), whose single twiddle InvRootPowers[1] is precomposed with
+  // N^{-1} as WNInv; outputs are identical to the two-pass form.
   const uint64_t QVal = Q.value();
   const uint64_t TwoQ = 2 * QVal;
   size_t T = 1;
-  for (size_t M = N; M > 1; M >>= 1) {
+  for (size_t M = N; M > 2; M >>= 1) {
     size_t J1 = 0;
     size_t H = M >> 1;
     for (size_t I = 0; I < H; ++I) {
@@ -101,8 +126,12 @@ void NttTables::inverse(uint64_t *Data) const {
     }
     T <<= 1;
   }
-  for (size_t J = 0; J < N; ++J) {
-    uint64_t X = shoupMulMod(Q.reduce(Data[J]), NInv, NInvShoup, QVal);
-    Data[J] = X;
+  const size_t HalfN = N >> 1; // == T after the loop
+  for (size_t J = 0; J < HalfN; ++J) {
+    uint64_t U = Data[J];
+    uint64_t V = Data[J + HalfN];
+    Data[J] = shoupMulMod(Q.reduce(U + V), NInv, NInvShoup, QVal);
+    Data[J + HalfN] =
+        shoupMulMod(Q.reduce(U + TwoQ - V), WNInv, WNInvShoup, QVal);
   }
 }

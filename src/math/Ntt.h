@@ -63,6 +63,8 @@ private:
   uint64_t Psi;
   uint64_t NInv;       ///< N^{-1} mod q.
   uint64_t NInvShoup;
+  uint64_t WNInv;      ///< InvRootPowers[1] * N^{-1} mod q (fused last stage).
+  uint64_t WNInvShoup;
   std::vector<uint64_t> RootPowers;      ///< psi^{bitrev(i)}.
   std::vector<uint64_t> RootPowersShoup;
   std::vector<uint64_t> InvRootPowers;   ///< psi^{-bitrev(i)}.

@@ -25,37 +25,34 @@
 /// Fixed-point scales follow the paper's four roles (Section 5.5): image
 /// (Pc), plaintext-vector weights (Pw), scalar weights (Pu), masks (Pm).
 ///
+/// Parallelism. Backends that set BackendSupportsParallelKernels (the two
+/// real CKKS schemes and the plain reference) additionally get op-level
+/// parallelism: independent per-ciphertext work runs on the global thread
+/// pool, and accumulations go through parallelReduce, which maps terms in
+/// parallel but folds them in a fixed index order -- results are
+/// bit-identical to the sequential path for every thread count. Backends
+/// that accumulate per-op statistics (analysis, fault injection) keep the
+/// exact sequential instruction order. Weight/mask/bias encodings go
+/// through an optional EncodedPlaintextCache (PlaintextCache.h) threaded
+/// in as a KernelCache handle.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHET_RUNTIME_KERNELS_H
 #define CHET_RUNTIME_KERNELS_H
 
 #include "runtime/CipherTensor.h"
+#include "runtime/PlaintextCache.h"
+#include "runtime/ScaleConfig.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <optional>
 
 namespace chet {
-
-/// The four fixed-point scale roles of Section 5.5. All must be powers of
-/// two.
-struct ScaleConfig {
-  double Image = 1099511627776.0;  ///< Pc = 2^40.
-  double Weight = 1099511627776.0; ///< Pw = 2^40.
-  double Scalar = 1099511627776.0; ///< Pu = 2^40.
-  double Mask = 1073741824.0;      ///< Pm = 2^30.
-
-  static ScaleConfig fromExponents(int Pc, int Pw, int Pu, int Pm) {
-    ScaleConfig S;
-    S.Image = std::ldexp(1.0, Pc);
-    S.Weight = std::ldexp(1.0, Pw);
-    S.Scalar = std::ldexp(1.0, Pu);
-    S.Mask = std::ldexp(1.0, Pm);
-    return S;
-  }
-};
 
 namespace detail {
 
@@ -69,36 +66,88 @@ void accumulate(B &Backend, std::optional<typename B::Ct> &Acc,
     Backend.addAssign(*Acc, Term);
 }
 
+/// Runs Fn(I) for I in [0, Count): on the pool for backends that allow
+/// op-level parallelism, as a plain ordered loop otherwise. Fn must only
+/// touch index-I state when the backend is parallel-capable.
+template <HisaBackend B, typename F> void forEachIndex(size_t Count, F &&Fn) {
+  if constexpr (BackendSupportsParallelKernels<B>) {
+    parallelFor(0, Count, 1, Fn);
+  } else {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+  }
+}
+
+/// Number of map results parallelReduce materializes at once: enough to
+/// keep every lane busy while bounding live ciphertexts.
+inline size_t reduceWindow() {
+  return std::max<size_t>(1, size_t(4) * globalThreadCount());
+}
+
+/// Parallel map + sequential fixed-order fold. Map(I) returns
+/// std::optional<Ct> (nullopt contributes nothing); terms fold into Acc
+/// strictly in ascending index order, so the accumulated ciphertext is
+/// bit-identical to the sequential loop under any thread count. Terms are
+/// produced in windows of reduceWindow() to bound peak memory. Backends
+/// without kernel-level parallelism run the literal sequential loop
+/// (preserving their op issue order).
+template <HisaBackend B, typename MapFn>
+void parallelReduce(B &Backend, std::optional<typename B::Ct> &Acc,
+                    size_t Count, MapFn &&Map) {
+  if constexpr (!BackendSupportsParallelKernels<B>) {
+    for (size_t I = 0; I < Count; ++I) {
+      std::optional<typename B::Ct> T = Map(I);
+      if (T)
+        accumulate(Backend, Acc, std::move(*T));
+    }
+  } else {
+    size_t Window = reduceWindow();
+    std::vector<std::optional<typename B::Ct>> Terms;
+    for (size_t Base = 0; Base < Count; Base += Window) {
+      size_t Hi = std::min(Count, Base + Window);
+      Terms.assign(Hi - Base, std::nullopt);
+      parallelFor(Base, Hi, 1, [&](size_t I) { Terms[I - Base] = Map(I); });
+      for (auto &T : Terms)
+        if (T)
+          accumulate(Backend, Acc, std::move(*T));
+    }
+  }
+}
+
 /// Multiplies every ciphertext by its valid-position mask (scale Pm).
 template <HisaBackend B>
-void applyValidMask(B &Backend, CipherTensor<B> &T, const ScaleConfig &S) {
-  for (int I = 0; I < T.L.ctCount(); ++I) {
-    auto Mask = Backend.encode(buildValidMask(T.L, I), S.Mask);
+void applyValidMask(B &Backend, CipherTensor<B> &T, const ScaleConfig &S,
+                    const KernelCache<B> &KC = {}) {
+  forEachIndex<B>(size_t(T.L.ctCount()), [&](size_t I) {
+    auto Mask = cachedEncode(Backend, KC, kSubMask | I, T.L, S.Mask,
+                             [&] { return buildValidMask(T.L, int(I)); });
     Backend.mulPlainAssign(T.Cts[I], Mask);
-  }
+  });
 }
 
 /// Rescales every ciphertext back toward the working (image) scale.
 template <HisaBackend B>
 void rescaleTensor(B &Backend, CipherTensor<B> &T, const ScaleConfig &S) {
-  for (auto &Ct : T.Cts)
-    rescaleToFloor(Backend, Ct, S.Image);
+  forEachIndex<B>(T.Cts.size(), [&](size_t I) {
+    rescaleToFloor(Backend, T.Cts[I], S.Image);
+  });
 }
 
 /// Adds the per-channel bias at exactly the tensor's current scale.
 template <HisaBackend B>
 void addBias(B &Backend, CipherTensor<B> &T, const std::vector<double> &Bias,
-             const ScaleConfig &S) {
+             const ScaleConfig &S, const KernelCache<B> &KC = {}) {
   bool AnyNonZero = false;
   for (double V : Bias)
     AnyNonZero |= V != 0.0;
   if (!AnyNonZero)
     return;
-  for (int I = 0; I < T.L.ctCount(); ++I) {
-    auto P = Backend.encode(buildBiasVector(T.L, I, Bias),
-                            Backend.scaleOf(T.Cts[I]));
+  forEachIndex<B>(size_t(T.L.ctCount()), [&](size_t I) {
+    auto P =
+        cachedEncode(Backend, KC, kSubBias | I, T.L, Backend.scaleOf(T.Cts[I]),
+                     [&] { return buildBiasVector(T.L, int(I), Bias); });
     Backend.addPlainAssign(T.Cts[I], P);
-  }
+  });
 }
 
 } // namespace detail
@@ -107,7 +156,10 @@ void addBias(B &Backend, CipherTensor<B> &T, const std::vector<double> &Bias,
 // Packing (encryptor side)
 //===----------------------------------------------------------------------===//
 
-/// Encrypts tensor \p T under layout \p L at the image scale.
+/// Encrypts tensor \p T under layout \p L at the image scale. Stays
+/// sequential under every backend: encryption consumes the backend's
+/// deterministic randomness stream, whose draw order must not depend on
+/// the thread count.
 template <HisaBackend B>
 CipherTensor<B> encryptTensor(B &Backend, const Tensor3 &T,
                               const TensorLayout &L, const ScaleConfig &S) {
@@ -124,9 +176,10 @@ CipherTensor<B> encryptTensor(B &Backend, const Tensor3 &T,
 /// Decrypts a CipherTensor back to a plain tensor (decryptor side).
 template <HisaBackend B>
 Tensor3 decryptTensor(B &Backend, const CipherTensor<B> &T) {
-  std::vector<std::vector<double>> Slots;
-  for (const auto &Ct : T.Cts)
-    Slots.push_back(Backend.decode(Backend.decrypt(Ct)));
+  std::vector<std::vector<double>> Slots(T.Cts.size());
+  detail::forEachIndex<B>(T.Cts.size(), [&](size_t I) {
+    Slots[I] = Backend.decode(Backend.decrypt(T.Cts[I]));
+  });
   return unpackTensor(Slots, T.L);
 }
 
@@ -158,10 +211,17 @@ inline TensorLayout stridedOutputLayout(const TensorLayout &In, int OutC,
 /// (input channel, filter tap), one scalar multiplication per
 /// (output channel, input channel, tap), masking the junk entries of each
 /// output ciphertext afterwards.
+///
+/// Parallel path: taps are processed in windows -- all rotations of a
+/// window computed concurrently, then every output channel folds the
+/// window's terms concurrently (distinct accumulators, taps in original
+/// order), matching the sequential per-channel accumulation order
+/// exactly.
 template <HisaBackend B>
 CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
                          const ConvWeights &Wt, int Stride, int Pad,
-                         const ScaleConfig &S, bool MaskOutput) {
+                         const ScaleConfig &S, bool MaskOutput,
+                         const KernelCache<B> &KC = {}) {
   CHET_CHECK(In.L.Kind == LayoutKind::HW, LayoutMismatch,
              "conv2dHW requires HW layout");
   CHET_CHECK(In.L.C == Wt.Cin, LayoutMismatch,
@@ -177,23 +237,61 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
   Out.L = stridedOutputLayout(In.L, Wt.Cout, OutH, OutW, Stride);
 
   std::vector<std::optional<typename B::Ct>> Acc(Wt.Cout);
-  for (int Ci = 0; Ci < Wt.Cin; ++Ci) {
-    for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
-      for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
-        bool AnyWeight = false;
-        for (int Co = 0; Co < Wt.Cout; ++Co)
-          AnyWeight |= Wt.at(Co, Ci, Dy, Dx) != 0.0;
-        if (!AnyWeight)
-          continue;
-        int Rot = In.L.rotationFor(Dy - Pad, Dx - Pad);
-        typename B::Ct Rotated = rotLeft(Backend, In.Cts[Ci], Rot);
-        for (int Co = 0; Co < Wt.Cout; ++Co) {
-          double Weight = Wt.at(Co, Ci, Dy, Dx);
+  if constexpr (BackendSupportsParallelKernels<B>) {
+    struct Tap {
+      int Ci, Dy, Dx;
+    };
+    std::vector<Tap> Taps;
+    for (int Ci = 0; Ci < Wt.Cin; ++Ci)
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy)
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+          bool AnyWeight = false;
+          for (int Co = 0; Co < Wt.Cout; ++Co)
+            AnyWeight |= Wt.at(Co, Ci, Dy, Dx) != 0.0;
+          if (AnyWeight)
+            Taps.push_back({Ci, Dy, Dx});
+        }
+    size_t Window = detail::reduceWindow();
+    std::vector<typename B::Ct> Rotated;
+    for (size_t Base = 0; Base < Taps.size(); Base += Window) {
+      size_t Cnt = std::min(Window, Taps.size() - Base);
+      Rotated.resize(Cnt);
+      parallelFor(0, Cnt, 1, [&](size_t K) {
+        const Tap &T = Taps[Base + K];
+        Rotated[K] = rotLeft(Backend, In.Cts[T.Ci],
+                             In.L.rotationFor(T.Dy - Pad, T.Dx - Pad));
+      });
+      parallelFor(0, size_t(Wt.Cout), 1, [&](size_t Co) {
+        for (size_t K = 0; K < Cnt; ++K) {
+          const Tap &T = Taps[Base + K];
+          double Weight = Wt.at(int(Co), T.Ci, T.Dy, T.Dx);
           if (Weight == 0.0)
             continue;
           detail::accumulate(Backend, Acc[Co],
-                             mulScalar(Backend, Rotated, Weight,
+                             mulScalar(Backend, Rotated[K], Weight,
                                        static_cast<uint64_t>(S.Scalar)));
+        }
+      });
+    }
+  } else {
+    for (int Ci = 0; Ci < Wt.Cin; ++Ci) {
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+          bool AnyWeight = false;
+          for (int Co = 0; Co < Wt.Cout; ++Co)
+            AnyWeight |= Wt.at(Co, Ci, Dy, Dx) != 0.0;
+          if (!AnyWeight)
+            continue;
+          int Rot = In.L.rotationFor(Dy - Pad, Dx - Pad);
+          typename B::Ct Rotated = rotLeft(Backend, In.Cts[Ci], Rot);
+          for (int Co = 0; Co < Wt.Cout; ++Co) {
+            double Weight = Wt.at(Co, Ci, Dy, Dx);
+            if (Weight == 0.0)
+              continue;
+            detail::accumulate(Backend, Acc[Co],
+                               mulScalar(Backend, Rotated, Weight,
+                                         static_cast<uint64_t>(S.Scalar)));
+          }
         }
       }
     }
@@ -205,9 +303,9 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
     Out.Cts.push_back(std::move(*Acc[Co]));
   }
   if (MaskOutput)
-    detail::applyValidMask(Backend, Out, S);
+    detail::applyValidMask(Backend, Out, S, KC);
   detail::rescaleTensor(Backend, Out, S);
-  detail::addBias(Backend, Out, Wt.Bias, S);
+  detail::addBias(Backend, Out, Wt.Bias, S, KC);
   return Out;
 }
 
@@ -216,10 +314,16 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
 /// (output block, input block, diagonal, tap) -- the mulPlain-heavy
 /// variant whose relative cost against mulScalar drives the HW-vs-CHW
 /// tradeoff of Table 1 and Section 4.2.
+///
+/// Parallel path: per tap, the diagonal weight vectors are built
+/// concurrently, the needed diagonal rotations are computed concurrently,
+/// and each output block folds its (diagonal) terms concurrently --
+/// per-block accumulation order matches the sequential path exactly.
 template <HisaBackend B>
 CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
                           const ConvWeights &Wt, int Stride, int Pad,
-                          const ScaleConfig &S, bool MaskOutput) {
+                          const ScaleConfig &S, bool MaskOutput,
+                          const KernelCache<B> &KC = {}) {
   CHET_CHECK(In.L.Kind == LayoutKind::CHW, LayoutMismatch,
              "conv2dCHW requires CHW layout");
   CHET_CHECK(In.L.C == Wt.Cin, LayoutMismatch,
@@ -243,28 +347,85 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
   int OutBlocks = Out.L.ctCount();
   std::vector<std::optional<typename B::Ct>> Acc(OutBlocks);
 
-  for (int Ib = 0; Ib < InBlocks; ++Ib) {
-    for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
-      for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
-        std::optional<typename B::Ct> Spatial; // built lazily
-        for (int D = 0; D < Block; ++D) {
-          std::optional<typename B::Ct> Diagonal;
-          for (int Ob = 0; Ob < OutBlocks; ++Ob) {
-            std::vector<double> Plain = buildChwConvPlain(
-                In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
-            if (Plain.empty())
-              continue;
-            if (!Spatial)
-              Spatial = rotLeft(Backend, In.Cts[Ib],
-                                In.L.rotationFor(Dy - Pad, Dx - Pad));
-            if (!Diagonal)
-              Diagonal = D == 0 ? Backend.copy(*Spatial)
-                                : rotLeft(Backend, *Spatial,
-                                          D * In.L.ChStride);
-            detail::accumulate(
-                Backend, Acc[Ob],
-                mulPlain(Backend, *Diagonal,
-                         Backend.encode(Plain, S.Weight)));
+  // Cache sub-key of the (Ob, Ib, D, Dy, Dx) weight plaintext.
+  auto SubOf = [&](int Ob, int Ib, int D, int Dy, int Dx) {
+    uint64_t Idx = uint64_t(Ob);
+    Idx = Idx * InBlocks + Ib;
+    Idx = Idx * Block + D;
+    Idx = Idx * Wt.Kh + Dy;
+    Idx = Idx * Wt.Kw + Dx;
+    return kSubWeight | Idx;
+  };
+
+  if constexpr (BackendSupportsParallelKernels<B>) {
+    std::vector<std::vector<double>> Plains(size_t(Block) * OutBlocks);
+    std::vector<std::optional<typename B::Ct>> Diag(Block);
+    for (int Ib = 0; Ib < InBlocks; ++Ib) {
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+          parallelFor(0, Plains.size(), 1, [&](size_t Idx) {
+            int D = int(Idx) / OutBlocks, Ob = int(Idx) % OutBlocks;
+            Plains[Idx] =
+                buildChwConvPlain(In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
+          });
+          std::vector<size_t> NeededD;
+          for (int D = 0; D < Block; ++D)
+            for (int Ob = 0; Ob < OutBlocks; ++Ob)
+              if (!Plains[size_t(D) * OutBlocks + Ob].empty()) {
+                NeededD.push_back(size_t(D));
+                break;
+              }
+          if (NeededD.empty())
+            continue;
+          typename B::Ct Spatial = rotLeft(
+              Backend, In.Cts[Ib], In.L.rotationFor(Dy - Pad, Dx - Pad));
+          std::fill(Diag.begin(), Diag.end(), std::nullopt);
+          parallelFor(0, NeededD.size(), 1, [&](size_t K) {
+            size_t D = NeededD[K];
+            Diag[D] = D == 0 ? Backend.copy(Spatial)
+                             : rotLeft(Backend, Spatial,
+                                       int(D) * In.L.ChStride);
+          });
+          parallelFor(0, size_t(OutBlocks), 1, [&](size_t Ob) {
+            for (int D = 0; D < Block; ++D) {
+              std::vector<double> &Plain = Plains[size_t(D) * OutBlocks + Ob];
+              if (Plain.empty())
+                continue;
+              auto P = cachedEncode(Backend, KC,
+                                    SubOf(int(Ob), Ib, D, Dy, Dx), In.L,
+                                    S.Weight, [&] { return std::move(Plain); });
+              detail::accumulate(Backend, Acc[Ob],
+                                 mulPlain(Backend, *Diag[D], P));
+            }
+          });
+        }
+      }
+    }
+  } else {
+    for (int Ib = 0; Ib < InBlocks; ++Ib) {
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
+          std::optional<typename B::Ct> Spatial; // built lazily
+          for (int D = 0; D < Block; ++D) {
+            std::optional<typename B::Ct> Diagonal;
+            for (int Ob = 0; Ob < OutBlocks; ++Ob) {
+              std::vector<double> Plain = buildChwConvPlain(
+                  In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
+              if (Plain.empty())
+                continue;
+              if (!Spatial)
+                Spatial = rotLeft(Backend, In.Cts[Ib],
+                                  In.L.rotationFor(Dy - Pad, Dx - Pad));
+              if (!Diagonal)
+                Diagonal = D == 0 ? Backend.copy(*Spatial)
+                                  : rotLeft(Backend, *Spatial,
+                                            D * In.L.ChStride);
+              auto P = cachedEncode(Backend, KC, SubOf(Ob, Ib, D, Dy, Dx),
+                                    In.L, S.Weight,
+                                    [&] { return std::move(Plain); });
+              detail::accumulate(Backend, Acc[Ob],
+                                 mulPlain(Backend, *Diagonal, P));
+            }
           }
         }
       }
@@ -272,9 +433,11 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
   }
   for (int Ob = 0; Ob < OutBlocks; ++Ob) {
     if (!Acc[Ob])
-      Acc[Ob] = mulPlain(Backend, In.Cts[0],
-                         Backend.encode(std::vector<double>(In.L.Slots, 0.0),
-                                        S.Weight));
+      Acc[Ob] = mulPlain(
+          Backend, In.Cts[0],
+          cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+            return std::vector<double>(In.L.Slots, 0.0);
+          }));
     Out.Cts.push_back(std::move(*Acc[Ob]));
   }
   // No masking required: the weight plaintexts are zero at every
@@ -282,7 +445,7 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
   // construction -- one of CHW's structural advantages.
   (void)MaskOutput;
   detail::rescaleTensor(Backend, Out, S);
-  detail::addBias(Backend, Out, Wt.Bias, S);
+  detail::addBias(Backend, Out, Wt.Bias, S, KC);
   return Out;
 }
 
@@ -290,10 +453,11 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
 template <HisaBackend B>
 CipherTensor<B> conv2d(B &Backend, const CipherTensor<B> &In,
                        const ConvWeights &Wt, int Stride, int Pad,
-                       const ScaleConfig &S, bool MaskOutput = true) {
+                       const ScaleConfig &S, bool MaskOutput = true,
+                       const KernelCache<B> &KC = {}) {
   return In.L.Kind == LayoutKind::HW
-             ? conv2dHW(Backend, In, Wt, Stride, Pad, S, MaskOutput)
-             : conv2dCHW(Backend, In, Wt, Stride, Pad, S, MaskOutput);
+             ? conv2dHW(Backend, In, Wt, Stride, Pad, S, MaskOutput, KC)
+             : conv2dCHW(Backend, In, Wt, Stride, Pad, S, MaskOutput, KC);
 }
 
 //===----------------------------------------------------------------------===//
@@ -302,11 +466,13 @@ CipherTensor<B> conv2d(B &Backend, const CipherTensor<B> &In,
 
 /// K x K average pooling with the given stride (the HE-compatible
 /// replacement for max pooling; Section 6). Works identically for both
-/// layouts since it never crosses channels.
+/// layouts since it never crosses channels. Each source ciphertext's
+/// window sum is independent, so the per-ciphertext loop parallelizes.
 template <HisaBackend B>
 CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
                             int Stride, const ScaleConfig &S,
-                            bool MaskOutput = true) {
+                            bool MaskOutput = true,
+                            const KernelCache<B> &KC = {}) {
   CHET_CHECK(K >= 1 && Stride >= 1, InvalidArgument,
              "averagePool needs K >= 1 and Stride >= 1, got K = ", K,
              ", Stride = ", Stride);
@@ -315,7 +481,9 @@ CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
   CipherTensor<B> Out;
   Out.L = stridedOutputLayout(In.L, In.L.C, OutH, OutW, Stride);
 
-  for (const auto &Src : In.Cts) {
+  Out.Cts.resize(In.Cts.size());
+  detail::forEachIndex<B>(In.Cts.size(), [&](size_t Idx) {
+    const typename B::Ct &Src = In.Cts[Idx];
     // Separable window sum: rows first, then columns.
     typename B::Ct RowSum = Backend.copy(Src);
     for (int I = 1; I < K; ++I)
@@ -326,10 +494,10 @@ CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
                         rotLeft(Backend, RowSum, In.L.rotationFor(J, 0)));
     Backend.mulScalarAssign(Sum, 1.0 / (K * K),
                             static_cast<uint64_t>(S.Scalar));
-    Out.Cts.push_back(std::move(Sum));
-  }
+    Out.Cts[Idx] = std::move(Sum);
+  });
   if (MaskOutput)
-    detail::applyValidMask(Backend, Out, S);
+    detail::applyValidMask(Backend, Out, S, KC);
   detail::rescaleTensor(Backend, Out, S);
   return Out;
 }
@@ -338,10 +506,11 @@ CipherTensor<B> averagePool(B &Backend, const CipherTensor<B> &In, int K,
 template <HisaBackend B>
 CipherTensor<B> globalAveragePool(B &Backend, const CipherTensor<B> &In,
                                   const ScaleConfig &S,
-                                  bool MaskOutput = true) {
+                                  bool MaskOutput = true,
+                                  const KernelCache<B> &KC = {}) {
   CHET_CHECK(In.L.H == In.L.W, LayoutMismatch,
              "global pool expects square maps, got ", In.L.H, " x ", In.L.W);
-  return averagePool(Backend, In, In.L.H, In.L.H, S, MaskOutput);
+  return averagePool(Backend, In, In.L.H, In.L.H, S, MaskOutput, KC);
 }
 
 //===----------------------------------------------------------------------===//
@@ -352,18 +521,21 @@ CipherTensor<B> globalAveragePool(B &Backend, const CipherTensor<B> &In,
 /// Section 6, evaluated as x * (A2 * x + A1) -- one ciphertext
 /// multiplication of depth 2 total. Preserves the margin invariant
 /// without masking: margins hold x = 0 and 0 * (A2*0 + A1) = 0.
+/// Per-ciphertext work is independent, so the loop parallelizes.
 template <HisaBackend B>
 CipherTensor<B> polyActivation(B &Backend, const CipherTensor<B> &In,
                                double A2, double A1, const ScaleConfig &S) {
   CipherTensor<B> Out;
   Out.L = In.L;
-  for (const auto &Src : In.Cts) {
+  Out.Cts.resize(In.Cts.size());
+  detail::forEachIndex<B>(In.Cts.size(), [&](size_t Idx) {
+    const typename B::Ct &Src = In.Cts[Idx];
     if (A2 == 0.0) {
       typename B::Ct Lin =
           mulScalar(Backend, Src, A1, static_cast<uint64_t>(S.Scalar));
       rescaleToFloor(Backend, Lin, S.Image);
-      Out.Cts.push_back(std::move(Lin));
-      continue;
+      Out.Cts[Idx] = std::move(Lin);
+      return;
     }
     typename B::Ct U =
         mulScalar(Backend, Src, A2, static_cast<uint64_t>(S.Scalar));
@@ -371,8 +543,8 @@ CipherTensor<B> polyActivation(B &Backend, const CipherTensor<B> &In,
     Backend.addScalarAssign(U, A1);
     typename B::Ct Res = mul(Backend, Src, U);
     rescaleToFloor(Backend, Res, S.Image);
-    Out.Cts.push_back(std::move(Res));
-  }
+    Out.Cts[Idx] = std::move(Res);
+  });
   return Out;
 }
 
@@ -398,11 +570,15 @@ enum class FcAlgorithm { Auto, Replicate, Bsgs };
 /// faster when the output is in CHW" case); HW keeps the literal HW
 /// discipline of one ciphertext per channel, i.e. one ciphertext per
 /// neuron, which makes everything downstream pay per-neuron costs.
+///
+/// Rows are independent up to the final neuron accumulation, so the
+/// parallel path maps rows concurrently and folds them in row order.
 template <HisaBackend B>
 CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
                                         const FcWeights &Wt,
                                         const ScaleConfig &S,
-                                        LayoutKind OutKind = LayoutKind::CHW) {
+                                        LayoutKind OutKind = LayoutKind::CHW,
+                                        const KernelCache<B> &KC = {}) {
   CHET_CHECK(Wt.In == In.L.C * In.L.H * In.L.W, LayoutMismatch,
              "FC feature count mismatch: weights expect ", Wt.In,
              " features, input provides ", In.L.C * In.L.H * In.L.W);
@@ -414,8 +590,8 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
               ? makeDenseVectorLayout(Wt.Out, Slots)
               : makeInputLayout(LayoutKind::HW, Wt.Out, 1, 1, 0, Slots);
 
-  std::optional<typename B::Ct> Acc;
-  for (int Row = 0; Row < Wt.Out; ++Row) {
+  // One output neuron: dot product, replicate into all slots, select.
+  auto RowDot = [&](int Row) -> typename B::Ct {
     std::optional<typename B::Ct> Dot;
     for (int CtIdx = 0; CtIdx < In.L.ctCount(); ++CtIdx) {
       std::vector<double> RowVec = buildFcRow(In.L, Wt, Row, CtIdx);
@@ -424,31 +600,45 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
         AnyWeight |= V != 0.0;
       if (!AnyWeight)
         continue;
-      detail::accumulate(Backend, Dot,
-                         mulPlain(Backend, In.Cts[CtIdx],
-                                  Backend.encode(RowVec, S.Weight)));
+      auto P = cachedEncode(
+          Backend, KC,
+          kSubWeight | (uint64_t(Row) * In.L.ctCount() + uint64_t(CtIdx)),
+          In.L, S.Weight, [&] { return std::move(RowVec); });
+      detail::accumulate(Backend, Dot, mulPlain(Backend, In.Cts[CtIdx], P));
     }
     if (!Dot)
       Dot = mulPlain(Backend, In.Cts[0],
-                     Backend.encode(std::vector<double>(Slots, 0.0),
-                                    S.Weight));
+                     cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+                       return std::vector<double>(Slots, 0.0);
+                     }));
     // Replicate the total into every slot: log2(slots) rotations, all by
     // powers of two (covered by the stock key set).
     for (size_t Step = 1; Step < Slots; Step <<= 1)
       Backend.addAssign(*Dot, rotLeft(Backend, *Dot,
                                       static_cast<int>(Step)));
-    size_t TargetSlot = OutKind == LayoutKind::CHW ? Row : 0;
+    size_t TargetSlot = OutKind == LayoutKind::CHW ? size_t(Row) : 0;
     Backend.mulPlainAssign(
-        *Dot, Backend.encode(buildSlotMask(Slots, TargetSlot), S.Mask));
+        *Dot,
+        cachedEncode(Backend, KC, kSubSlotMask | uint64_t(Row), In.L, S.Mask,
+                     [&] { return buildSlotMask(Slots, TargetSlot); }));
     rescaleToFloor(Backend, *Dot, S.Image);
-    if (OutKind == LayoutKind::CHW)
-      detail::accumulate(Backend, Acc, std::move(*Dot));
-    else
-      Out.Cts.push_back(std::move(*Dot));
-  }
-  if (OutKind == LayoutKind::CHW)
+    return std::move(*Dot);
+  };
+
+  if (OutKind == LayoutKind::CHW) {
+    std::optional<typename B::Ct> Acc;
+    detail::parallelReduce(Backend, Acc, size_t(Wt.Out),
+                           [&](size_t Row) -> std::optional<typename B::Ct> {
+                             return RowDot(int(Row));
+                           });
     Out.Cts.push_back(std::move(*Acc));
-  detail::addBias(Backend, Out, Wt.Bias, S);
+  } else {
+    Out.Cts.resize(size_t(Wt.Out));
+    detail::forEachIndex<B>(size_t(Wt.Out), [&](size_t Row) {
+      Out.Cts[Row] = RowDot(int(Row));
+    });
+  }
+  detail::addBias(Backend, Out, Wt.Bias, S, KC);
   return Out;
 }
 
@@ -469,10 +659,15 @@ inline int fcGiantStep(size_t Slots) {
 /// strided inputs via generalized diagonals (the matrix is indexed by
 /// physical slot), produces the dense CHW vector directly, and needs no
 /// masking: rows >= Out are identically zero in every diagonal.
+///
+/// Parallel path: the needed baby rotations are computed concurrently up
+/// front, then each giant's per-diagonal mulPlain terms map concurrently
+/// and fold in diagonal order (giants stay in K order).
 template <HisaBackend B>
 CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
                                    const FcWeights &Wt,
-                                   const ScaleConfig &S) {
+                                   const ScaleConfig &S,
+                                   const KernelCache<B> &KC = {}) {
   CHET_CHECK(In.L.ctCount() == 1, LayoutMismatch,
              "BSGS FC requires a single-ciphertext input, got ",
              In.L.ctCount(), " ciphertexts");
@@ -482,38 +677,82 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
   int G = fcGiantStep(Slots);
   auto Plains = buildFcBsgsPlains(In.L, Wt, G);
 
-  // Baby rotations, built on demand and shared across all giants.
-  std::vector<std::optional<typename B::Ct>> Baby(G);
-  auto babyOf = [&](int Step) -> const typename B::Ct & {
-    if (!Baby[Step])
-      Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
-                             : rotLeft(Backend, In.Cts[0], Step);
-    return *Baby[Step];
+  auto DiagSub = [&](int K, int Step) {
+    return kSubWeight | (uint64_t(K) * uint64_t(G) + uint64_t(Step));
   };
 
   std::optional<typename B::Ct> Acc;
-  auto It = Plains.begin();
-  while (It != Plains.end()) {
-    int K = It->first.first;
-    std::optional<typename B::Ct> Giant;
-    for (; It != Plains.end() && It->first.first == K; ++It) {
-      detail::accumulate(Backend, Giant,
-                         mulPlain(Backend, babyOf(It->first.second),
-                                  Backend.encode(It->second, S.Weight)));
+  if constexpr (BackendSupportsParallelKernels<B>) {
+    // Pre-build every needed baby rotation concurrently.
+    std::vector<std::optional<typename B::Ct>> Baby(G);
+    std::vector<size_t> NeededSteps;
+    {
+      std::vector<bool> Used(G, false);
+      for (const auto &E : Plains)
+        Used[E.first.second] = true;
+      for (int Step = 0; Step < G; ++Step)
+        if (Used[Step])
+          NeededSteps.push_back(size_t(Step));
     }
-    if (K != 0)
-      Backend.rotLeftAssign(*Giant, K * G);
-    detail::accumulate(Backend, Acc, std::move(*Giant));
+    parallelFor(0, NeededSteps.size(), 1, [&](size_t I) {
+      size_t Step = NeededSteps[I];
+      Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
+                             : rotLeft(Backend, In.Cts[0], int(Step));
+    });
+    auto It = Plains.begin();
+    while (It != Plains.end()) {
+      int K = It->first.first;
+      std::vector<decltype(It)> Group;
+      for (; It != Plains.end() && It->first.first == K; ++It)
+        Group.push_back(It);
+      std::optional<typename B::Ct> Giant;
+      detail::parallelReduce(
+          Backend, Giant, Group.size(),
+          [&](size_t I) -> std::optional<typename B::Ct> {
+            auto GIt = Group[I];
+            auto P = cachedEncode(Backend, KC,
+                                  DiagSub(K, GIt->first.second), In.L,
+                                  S.Weight, [&] { return GIt->second; });
+            return mulPlain(Backend, *Baby[GIt->first.second], P);
+          });
+      if (K != 0)
+        Backend.rotLeftAssign(*Giant, K * G);
+      detail::accumulate(Backend, Acc, std::move(*Giant));
+    }
+  } else {
+    // Baby rotations, built on demand and shared across all giants.
+    std::vector<std::optional<typename B::Ct>> Baby(G);
+    auto babyOf = [&](int Step) -> const typename B::Ct & {
+      if (!Baby[Step])
+        Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
+                               : rotLeft(Backend, In.Cts[0], Step);
+      return *Baby[Step];
+    };
+    auto It = Plains.begin();
+    while (It != Plains.end()) {
+      int K = It->first.first;
+      std::optional<typename B::Ct> Giant;
+      for (; It != Plains.end() && It->first.first == K; ++It) {
+        auto P = cachedEncode(Backend, KC, DiagSub(K, It->first.second),
+                              In.L, S.Weight, [&] { return It->second; });
+        detail::accumulate(Backend, Giant,
+                           mulPlain(Backend, babyOf(It->first.second), P));
+      }
+      if (K != 0)
+        Backend.rotLeftAssign(*Giant, K * G);
+      detail::accumulate(Backend, Acc, std::move(*Giant));
+    }
   }
   if (!Acc)
     Acc = mulPlain(Backend, In.Cts[0],
-                   Backend.encode(std::vector<double>(Slots, 0.0),
-                                  S.Weight));
+                   cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+                     return std::vector<double>(Slots, 0.0);
+                   }));
   CipherTensor<B> Out;
   Out.L = makeDenseVectorLayout(Wt.Out, Slots);
   rescaleToFloor(Backend, *Acc, S.Image);
   Out.Cts.push_back(std::move(*Acc));
-  detail::addBias(Backend, Out, Wt.Bias, S);
+  detail::addBias(Backend, Out, Wt.Bias, S, KC);
   return Out;
 }
 
@@ -541,12 +780,13 @@ template <HisaBackend B>
 CipherTensor<B> fullyConnected(B &Backend, const CipherTensor<B> &In,
                                const FcWeights &Wt, const ScaleConfig &S,
                                LayoutKind OutKind = LayoutKind::CHW,
-                               FcAlgorithm Alg = FcAlgorithm::Auto) {
+                               FcAlgorithm Alg = FcAlgorithm::Auto,
+                               const KernelCache<B> &KC = {}) {
   if (Alg == FcAlgorithm::Auto)
     Alg = fcAlgorithmFor(In.L, Wt, OutKind);
   if (Alg == FcAlgorithm::Bsgs)
-    return fullyConnectedBsgs(Backend, In, Wt, S);
-  return fullyConnectedReplicate(Backend, In, Wt, S, OutKind);
+    return fullyConnectedBsgs(Backend, In, Wt, S, KC);
+  return fullyConnectedReplicate(Backend, In, Wt, S, OutKind, KC);
 }
 
 //===----------------------------------------------------------------------===//
@@ -556,11 +796,14 @@ CipherTensor<B> fullyConnected(B &Backend, const CipherTensor<B> &In,
 /// Concatenates two tensors along the channel dimension (SqueezeNet Fire
 /// modules). HW layout is free (ciphertext lists concatenate); CHW is
 /// free when the first tensor fills whole ciphertexts, and otherwise
-/// extracts channels by rotation + masking (one extra level).
+/// extracts channels by rotation + masking (one extra level). The general
+/// path parallelizes per output block: channels within a block fold in
+/// channel order.
 template <HisaBackend B>
 CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
                                const CipherTensor<B> &Bt,
-                               const ScaleConfig &S) {
+                               const ScaleConfig &S,
+                               const KernelCache<B> &KC = {}) {
   CHET_CHECK(A.L.Kind == Bt.L.Kind && A.L.PhysH == Bt.L.PhysH &&
                  A.L.PhysW == Bt.L.PhysW && A.L.OffY == Bt.L.OffY &&
                  A.L.OffX == Bt.L.OffX && A.L.SY == Bt.L.SY &&
@@ -588,19 +831,33 @@ CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
   CHET_CHECK(A.L.ChStride == Bt.L.ChStride && A.L.ChPerCt == Bt.L.ChPerCt,
              LayoutMismatch, "concat requires matching channel blocking");
   int Block = Out.L.ChPerCt;
-  std::vector<std::optional<typename B::Ct>> Acc(Out.L.ctCount());
-  for (int C = 0; C < Out.L.C; ++C) {
+  auto ChannelTerm = [&](int C) {
     const CipherTensor<B> &Src = C < A.L.C ? A : Bt;
     int SrcC = C < A.L.C ? C : C - A.L.C;
     int Delta = (SrcC % Block - C % Block) * Out.L.ChStride;
     typename B::Ct T = rotLeft(Backend, Src.Cts[Src.L.ctOf(SrcC)], Delta);
     // Mask just this channel's block (its valid positions).
-    std::vector<double> Mask(Out.L.Slots, 0.0);
-    for (int Y = 0; Y < Out.L.H; ++Y)
-      for (int X = 0; X < Out.L.W; ++X)
-        Mask[Out.L.slotOf(C, Y, X)] = 1.0;
-    Backend.mulPlainAssign(T, Backend.encode(Mask, S.Mask));
-    detail::accumulate(Backend, Acc[C / Block], std::move(T));
+    auto Mask = cachedEncode(Backend, KC, kSubConcatMask | uint64_t(C),
+                             Out.L, S.Mask, [&] {
+                               std::vector<double> M(Out.L.Slots, 0.0);
+                               for (int Y = 0; Y < Out.L.H; ++Y)
+                                 for (int X = 0; X < Out.L.W; ++X)
+                                   M[Out.L.slotOf(C, Y, X)] = 1.0;
+                               return M;
+                             });
+    Backend.mulPlainAssign(T, Mask);
+    return T;
+  };
+  std::vector<std::optional<typename B::Ct>> Acc(Out.L.ctCount());
+  if constexpr (BackendSupportsParallelKernels<B>) {
+    parallelFor(0, Acc.size(), 1, [&](size_t Blk) {
+      int Hi = std::min(Out.L.C, int(Blk + 1) * Block);
+      for (int C = int(Blk) * Block; C < Hi; ++C)
+        detail::accumulate(Backend, Acc[Blk], ChannelTerm(C));
+    });
+  } else {
+    for (int C = 0; C < Out.L.C; ++C)
+      detail::accumulate(Backend, Acc[C / Block], ChannelTerm(C));
   }
   for (auto &AccCt : Acc) {
     rescaleToFloor(Backend, *AccCt, S.Image);
@@ -619,7 +876,8 @@ CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
 /// multiplicative level).
 template <HisaBackend B>
 CipherTensor<B> convertLayout(B &Backend, const CipherTensor<B> &In,
-                              LayoutKind Target, const ScaleConfig &S) {
+                              LayoutKind Target, const ScaleConfig &S,
+                              const KernelCache<B> &KC = {}) {
   if (In.L.Kind == Target) {
     CipherTensor<B> Out;
     Out.L = In.L;
@@ -642,12 +900,25 @@ CipherTensor<B> convertLayout(B &Backend, const CipherTensor<B> &In,
     L.ChPerCt = static_cast<int>(L.Slots / ChStride);
     Out.L = L;
     std::vector<std::optional<typename B::Ct>> Acc(L.ctCount());
-    for (int C = 0; C < L.C; ++C) {
-      int Block = C % L.ChPerCt;
-      detail::accumulate(
-          Backend, Acc[L.ctOf(C)],
-          Block == 0 ? Backend.copy(In.Cts[C])
-                     : rotRight(Backend, In.Cts[C], Block * ChStride));
+    if constexpr (BackendSupportsParallelKernels<B>) {
+      parallelFor(0, Acc.size(), 1, [&](size_t Blk) {
+        int Hi = std::min(L.C, int(Blk + 1) * L.ChPerCt);
+        for (int C = int(Blk) * L.ChPerCt; C < Hi; ++C) {
+          int Block = C % L.ChPerCt;
+          detail::accumulate(
+              Backend, Acc[Blk],
+              Block == 0 ? Backend.copy(In.Cts[C])
+                         : rotRight(Backend, In.Cts[C], Block * ChStride));
+        }
+      });
+    } else {
+      for (int C = 0; C < L.C; ++C) {
+        int Block = C % L.ChPerCt;
+        detail::accumulate(
+            Backend, Acc[L.ctOf(C)],
+            Block == 0 ? Backend.copy(In.Cts[C])
+                       : rotRight(Backend, In.Cts[C], Block * ChStride));
+      }
     }
     for (auto &A : Acc)
       Out.Cts.push_back(std::move(*A));
@@ -661,17 +932,20 @@ CipherTensor<B> convertLayout(B &Backend, const CipherTensor<B> &In,
   L.ChStride = 0;
   L.ChPerCt = 1;
   Out.L = L;
-  for (int C = 0; C < L.C; ++C) {
+  Out.Cts.resize(size_t(L.C));
+  detail::forEachIndex<B>(size_t(L.C), [&](size_t CIdx) {
+    int C = int(CIdx);
     int Block = C % In.L.ChPerCt;
     typename B::Ct T =
         Block == 0 ? Backend.copy(In.Cts[In.L.ctOf(C)])
                    : rotLeft(Backend, In.Cts[In.L.ctOf(C)],
                              Block * ChStride);
-    Backend.mulPlainAssign(T,
-                           Backend.encode(buildValidMask(L, C), S.Mask));
+    Backend.mulPlainAssign(
+        T, cachedEncode(Backend, KC, kSubMask | uint64_t(C), L, S.Mask,
+                        [&] { return buildValidMask(L, C); }));
     rescaleToFloor(Backend, T, S.Image);
-    Out.Cts.push_back(std::move(T));
-  }
+    Out.Cts[CIdx] = std::move(T);
+  });
   return Out;
 }
 

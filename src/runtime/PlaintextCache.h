@@ -1,0 +1,201 @@
+//===- PlaintextCache.h - Encoded-plaintext caching ------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache of encoded weight/mask/bias plaintexts, shared across repeated
+/// inferences of one compiled circuit. Section 3.2 of the paper keeps
+/// model weights unencrypted on the server, so their encodings (and the
+/// per-prime NTT transforms the backends attach to them lazily) are pure
+/// functions of (weight tensor, scale, level, layout) -- encoding them once
+/// per circuit instead of once per inference removes the dominant
+/// plaintext-side cost of the conv/FC kernels.
+///
+/// Entries are keyed by
+///   - the producing op's tensor id (OpNode::Id -- unique per circuit),
+///   - a kernel-local sub-key distinguishing the encode sites inside one
+///     op (tap/diagonal/row/mask indices, tagged by role),
+///   - a fingerprint of the operand TensorLayout (layout policy changes
+///     and stride/offset changes re-key automatically),
+///   - the fixed-point scale and the target level.
+///
+/// The compiler's profile-guided scale search (Section 5.5) perturbs the
+/// scale exponents between trials; it calls noteScales() so a changed
+/// ScaleConfig drops every entry (the scale is part of the key, but a
+/// changed config can also change the *modulus chain* the backend was
+/// built with, under which cached per-prime NTT forms would be silently
+/// wrong -- see RnsCkksBackend::Pt::Cache).
+///
+/// Thread safety: kernels issue lookups from pool threads, so the table is
+/// guarded by a shared_mutex (shared for hits, exclusive for inserts).
+/// Builders run outside the lock; a racing duplicate build is discarded in
+/// favor of the first inserted entry, keeping results deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_PLAINTEXTCACHE_H
+#define CHET_RUNTIME_PLAINTEXTCACHE_H
+
+#include "hisa/Hisa.h"
+#include "runtime/Layout.h"
+#include "runtime/ScaleConfig.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <tuple>
+
+namespace chet {
+
+/// FNV-1a fingerprint of every layout field that affects an encoded
+/// plaintext's slot contents.
+inline uint64_t layoutFingerprint(const TensorLayout &L) {
+  uint64_t H = 14695981039346656037ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(static_cast<uint64_t>(L.Kind));
+  Mix(static_cast<uint64_t>(L.C));
+  Mix(static_cast<uint64_t>(L.H));
+  Mix(static_cast<uint64_t>(L.W));
+  Mix(static_cast<uint64_t>(L.PhysH));
+  Mix(static_cast<uint64_t>(L.PhysW));
+  Mix(static_cast<uint64_t>(L.OffY));
+  Mix(static_cast<uint64_t>(L.OffX));
+  Mix(static_cast<uint64_t>(L.SY));
+  Mix(static_cast<uint64_t>(L.SX));
+  Mix(static_cast<uint64_t>(L.ChStride));
+  Mix(static_cast<uint64_t>(L.ChPerCt));
+  Mix(static_cast<uint64_t>(L.Slots));
+  return H;
+}
+
+/// Role tags composed into the kernel-local sub-key (high byte), so the
+/// same index under different roles never collides.
+inline constexpr uint64_t kSubWeight = uint64_t(1) << 56;
+inline constexpr uint64_t kSubMask = uint64_t(2) << 56;
+inline constexpr uint64_t kSubBias = uint64_t(3) << 56;
+inline constexpr uint64_t kSubSlotMask = uint64_t(4) << 56;
+inline constexpr uint64_t kSubConcatMask = uint64_t(5) << 56;
+inline constexpr uint64_t kSubZero = uint64_t(6) << 56;
+
+/// Cache of encoded plaintexts for one backend instance. Pt values are
+/// returned by value: both CKKS backends attach their lazily filled
+/// NTT/RNS caches through a shared_ptr, so copies share the expensive
+/// transform state (a cache hit skips the encode *and* reuses any NTT
+/// forms an earlier inference already computed).
+template <HisaBackend B> class EncodedPlaintextCache {
+public:
+  struct Key {
+    uint64_t TensorId = 0;  ///< Producing op (OpNode::Id).
+    uint64_t Sub = 0;       ///< Encode site within the op (role-tagged).
+    uint64_t LayoutFp = 0;  ///< layoutFingerprint of the operand layout.
+    double Scale = 1.0;     ///< Fixed-point scale of the encoding.
+    int Level = 0;          ///< Target level (0 for the level-agnostic
+                            ///< Pt representations of both CKKS backends).
+
+    auto tie() const {
+      return std::make_tuple(TensorId, Sub, LayoutFp, Scale, Level);
+    }
+    bool operator<(const Key &O) const { return tie() < O.tie(); }
+  };
+
+  /// Returns the plaintext for \p K, invoking \p Build on a miss. Build
+  /// runs outside the table lock; when two threads race on the same key
+  /// the first insert wins and the loser's build is discarded, so every
+  /// caller observes one canonical entry.
+  template <typename BuildFn>
+  typename B::Pt get(const Key &K, BuildFn &&Build) {
+    {
+      std::shared_lock Lock(Mu);
+      auto It = Table.find(K);
+      if (It != Table.end()) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return It->second;
+      }
+    }
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    typename B::Pt Built = Build();
+    std::unique_lock Lock(Mu);
+    auto [It, Inserted] = Table.emplace(K, std::move(Built));
+    return It->second;
+  }
+
+  /// Drops every entry (manual invalidation).
+  void invalidate() {
+    std::unique_lock Lock(Mu);
+    Table.clear();
+    Invalidations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Compiler hook: called before each scale-search trial (and by the
+  /// evaluator before each inference). A changed ScaleConfig invalidates
+  /// the whole cache (see file comment). The first call merely records
+  /// the configuration -- unless entries of unknown provenance already
+  /// exist, which are conservatively dropped.
+  void noteScales(const ScaleConfig &S) {
+    std::unique_lock Lock(Mu);
+    bool Changed = LastScales && !sameScales(*LastScales, S);
+    bool Unknown = !LastScales && !Table.empty();
+    if (Changed || Unknown) {
+      Table.clear();
+      Invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+    LastScales = S;
+  }
+
+  size_t size() const {
+    std::shared_lock Lock(Mu);
+    return Table.size();
+  }
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t invalidations() const {
+    return Invalidations.load(std::memory_order_relaxed);
+  }
+
+private:
+  static bool sameScales(const ScaleConfig &A, const ScaleConfig &Bc) {
+    return A.Image == Bc.Image && A.Weight == Bc.Weight &&
+           A.Scalar == Bc.Scalar && A.Mask == Bc.Mask;
+  }
+
+  mutable std::shared_mutex Mu;
+  std::map<Key, typename B::Pt> Table;
+  std::optional<ScaleConfig> LastScales;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Invalidations{0};
+};
+
+/// The cache handle the evaluator threads through the kernel entry
+/// points: a (possibly null) cache plus the current op's tensor id. A
+/// default-constructed handle disables caching, so kernels are callable
+/// unchanged outside circuit evaluation.
+template <HisaBackend B> struct KernelCache {
+  EncodedPlaintextCache<B> *Cache = nullptr;
+  uint64_t TensorId = 0;
+};
+
+/// Encodes \p Build() at \p Scale, consulting the cache when one is
+/// attached. \p Sub identifies the encode site inside the op (compose the
+/// kSub* role tags with site indices); \p L is the layout the slot vector
+/// was built against.
+template <HisaBackend B, typename BuildFn>
+typename B::Pt cachedEncode(B &Backend, const KernelCache<B> &KC,
+                            uint64_t Sub, const TensorLayout &L, double Scale,
+                            BuildFn &&Build) {
+  if (!KC.Cache)
+    return Backend.encode(Build(), Scale);
+  return KC.Cache->get(
+      {KC.TensorId, Sub, layoutFingerprint(L), Scale, /*Level=*/0},
+      [&] { return Backend.encode(Build(), Scale); });
+}
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_PLAINTEXTCACHE_H

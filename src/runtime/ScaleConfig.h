@@ -1,0 +1,41 @@
+//===- ScaleConfig.h - Fixed-point scale roles -----------------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four fixed-point scale roles of Section 5.5 of the paper, shared by
+/// the kernels, the encoded-plaintext cache, and the compiler's
+/// profile-guided scale search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_RUNTIME_SCALECONFIG_H
+#define CHET_RUNTIME_SCALECONFIG_H
+
+#include <cmath>
+
+namespace chet {
+
+/// The four fixed-point scale roles of Section 5.5. All must be powers of
+/// two.
+struct ScaleConfig {
+  double Image = 1099511627776.0;  ///< Pc = 2^40.
+  double Weight = 1099511627776.0; ///< Pw = 2^40.
+  double Scalar = 1099511627776.0; ///< Pu = 2^40.
+  double Mask = 1073741824.0;      ///< Pm = 2^30.
+
+  static ScaleConfig fromExponents(int Pc, int Pw, int Pu, int Pm) {
+    ScaleConfig S;
+    S.Image = std::ldexp(1.0, Pc);
+    S.Weight = std::ldexp(1.0, Pw);
+    S.Scalar = std::ldexp(1.0, Pu);
+    S.Mask = std::ldexp(1.0, Pm);
+    return S;
+  }
+};
+
+} // namespace chet
+
+#endif // CHET_RUNTIME_SCALECONFIG_H

@@ -1,0 +1,162 @@
+//===- ThreadPool.cpp - Deterministic-partition thread pool ---------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace chet {
+
+namespace {
+thread_local bool IsPoolWorker = false;
+/// True while the current (non-worker) thread is executing its own block
+/// of an in-flight parallelFor. A nested call from inside that block must
+/// run inline: re-entering the dispatch path would clobber the pool's
+/// current-task state while workers are still consuming it.
+thread_local bool InCallerBlock = false;
+
+unsigned defaultThreadCount() {
+  if (const char *Env = std::getenv("CHET_NUM_THREADS")) {
+    char *EndPtr = nullptr;
+    long Parsed = std::strtol(Env, &EndPtr, 10);
+    if (EndPtr != Env && *EndPtr == '\0' && Parsed >= 1 && Parsed <= 1024)
+      return unsigned(Parsed);
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : Hw;
+}
+} // namespace
+
+bool ThreadPool::onWorkerThread() { return IsPoolWorker; }
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads - 1);
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runBlock(size_t BlockIndex) {
+  size_t Lo = Begin + BlockIndex * BlockSize;
+  size_t Hi = std::min(End, Lo + BlockSize);
+  try {
+    (*Fn)(Lo, Hi);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  IsPoolWorker = true;
+  while (true) {
+    size_t BlockIndex = 0;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkReady.wait(Lock,
+                     [&] { return Stopping || NextBlock < NumBlocks; });
+      if (Stopping)
+        return;
+      BlockIndex = NextBlock++;
+    }
+    runBlock(BlockIndex);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Completed;
+      if (Completed == NumBlocks)
+        WorkDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelForBlocks(
+    size_t BeginArg, size_t EndArg, size_t Grain,
+    const std::function<void(size_t, size_t)> &FnArg) {
+  if (EndArg <= BeginArg)
+    return;
+  size_t Range = EndArg - BeginArg;
+  if (Grain == 0)
+    Grain = 1;
+  unsigned Lanes = numThreads();
+  size_t MaxBlocks = std::min<size_t>(Lanes, (Range + Grain - 1) / Grain);
+  // Sequential short-circuits: single lane, a range too small to split,
+  // or a nested call from inside an in-flight region (worker lane or the
+  // caller's own block) -- the pool is busy above us.
+  if (Lanes == 1 || MaxBlocks <= 1 || onWorkerThread() || InCallerBlock) {
+    FnArg(BeginArg, EndArg);
+    return;
+  }
+
+  // Deterministic partition: contiguous blocks of equal size (the last
+  // one short). Boundaries depend only on (Range, Grain, Lanes).
+  size_t Blocks = MaxBlocks;
+  size_t Size = (Range + Blocks - 1) / Blocks;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Fn = &FnArg;
+    Begin = BeginArg;
+    End = EndArg;
+    BlockSize = Size;
+    NumBlocks = Blocks;
+    NextBlock = 1; // block 0 belongs to the caller
+    Completed = 0;
+    FirstError = nullptr;
+    ++Generation;
+  }
+  WorkReady.notify_all();
+
+  InCallerBlock = true;
+  runBlock(0);
+  InCallerBlock = false;
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  ++Completed;
+  WorkDone.wait(Lock, [&] { return Completed == NumBlocks; });
+  Fn = nullptr;
+  std::exception_ptr Err = FirstError;
+  FirstError = nullptr;
+  Lock.unlock();
+  if (Err)
+    std::rethrow_exception(Err);
+}
+
+namespace {
+std::mutex GlobalPoolMu;
+std::unique_ptr<ThreadPool> GlobalPool;
+} // namespace
+
+ThreadPool &globalThreadPool() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMu);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<ThreadPool>(defaultThreadCount());
+  return *GlobalPool;
+}
+
+void setGlobalThreadCount(unsigned Threads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMu);
+  GlobalPool.reset(); // join old workers before spawning replacements
+  GlobalPool = std::make_unique<ThreadPool>(
+      Threads == 0 ? defaultThreadCount() : Threads);
+}
+
+unsigned globalThreadCount() { return globalThreadPool().numThreads(); }
+
+} // namespace chet

@@ -1,0 +1,123 @@
+//===- ThreadPool.h - Deterministic-partition thread pool -------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, work-stealing-free thread pool with a `parallelFor` primitive.
+/// The iteration space is split into contiguous blocks using a static,
+/// deterministic partition (block boundaries depend only on the range, the
+/// grain, and the configured thread count — never on runtime timing).
+/// Every iteration computes the same value and writes to the same disjoint
+/// location regardless of which worker executes its block, so encrypted
+/// results are bit-identical to a sequential run (see the "Threading
+/// model" section of DESIGN.md for the full determinism contract).
+///
+/// Sizing: `CHET_NUM_THREADS` in the environment, read on first use;
+/// unset or invalid falls back to `std::thread::hardware_concurrency()`.
+/// A count of 1 short-circuits every `parallelFor` onto the calling
+/// thread with no pool machinery at all — the exact sequential path.
+///
+/// Nested parallelism: a `parallelFor` issued from inside an in-flight
+/// parallel region — on a worker lane or on the caller's own block — runs
+/// inline on that thread. Limb-level loops in the CKKS backends therefore
+/// collapse to sequential execution when a kernel-level loop above them
+/// already occupies the pool, instead of deadlocking, oversubscribing, or
+/// corrupting the pool's task state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_SUPPORT_THREADPOOL_H
+#define CHET_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chet {
+
+class ThreadPool {
+public:
+  /// Spawns `Threads - 1` workers; the caller of parallelFor always
+  /// participates as the remaining lane. `Threads == 1` spawns nothing.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total number of execution lanes (workers + the calling thread).
+  unsigned numThreads() const { return unsigned(Workers.size()) + 1; }
+
+  /// Runs `Fn(Lo, Hi)` over a deterministic partition of [Begin, End)
+  /// into contiguous blocks of at least `Grain` iterations. Blocks on
+  /// completion. The first exception thrown by any block is rethrown on
+  /// the calling thread after all blocks finish.
+  void parallelForBlocks(size_t Begin, size_t End, size_t Grain,
+                         const std::function<void(size_t, size_t)> &Fn);
+
+  /// Element-wise convenience wrapper: `Fn(I)` for every I in [Begin, End).
+  template <typename F>
+  void parallelFor(size_t Begin, size_t End, size_t Grain, F &&Fn) {
+    parallelForBlocks(Begin, End, Grain, [&Fn](size_t Lo, size_t Hi) {
+      for (size_t I = Lo; I < Hi; ++I)
+        Fn(I);
+    });
+  }
+
+  /// True when the current thread is one of this process's pool workers
+  /// (used to run nested parallel regions inline).
+  static bool onWorkerThread();
+
+private:
+  void workerLoop();
+  void runBlock(size_t BlockIndex);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+
+  // Current task, guarded by Mu. Block 0 always runs on the caller;
+  // blocks [1, NumBlocks) are claimed by workers in index order.
+  const std::function<void(size_t, size_t)> *Fn = nullptr;
+  size_t Begin = 0;
+  size_t End = 0;
+  size_t BlockSize = 0;
+  size_t NumBlocks = 0;
+  size_t NextBlock = 0; ///< Next unclaimed worker block.
+  size_t Completed = 0; ///< Blocks finished (including the caller's).
+  uint64_t Generation = 0;
+  bool Stopping = false;
+
+  std::exception_ptr FirstError;
+};
+
+/// The process-wide pool shared by the CKKS backends and the runtime
+/// kernels. Constructed on first use from `CHET_NUM_THREADS`.
+ThreadPool &globalThreadPool();
+
+/// Replaces the global pool with one of `Threads` lanes (0 restores the
+/// CHET_NUM_THREADS / hardware default). Must not be called while
+/// parallel work is in flight; intended for benchmarks (`--threads`) and
+/// the determinism tests.
+void setGlobalThreadCount(unsigned Threads);
+
+/// Lane count of the global pool (constructs it if needed).
+unsigned globalThreadCount();
+
+/// `globalThreadPool().parallelFor(...)` shorthand used across the stack.
+template <typename F>
+inline void parallelFor(size_t Begin, size_t End, size_t Grain, F &&Fn) {
+  globalThreadPool().parallelFor(Begin, End, Grain, std::forward<F>(Fn));
+}
+
+} // namespace chet
+
+#endif // CHET_SUPPORT_THREADPOOL_H
