@@ -26,6 +26,8 @@
 
 #include "BenchUtil.h"
 
+#include "core/Verifier.h"
+
 #include <sstream>
 
 using namespace chet;
@@ -88,12 +90,40 @@ int main(int Argc, char **Argv) {
                 "agree=%d\n",
                 Net.label().c_str(), R.CompileSec, R.KeygenSec, R.InferSec,
                 R.MaxErr, R.PredictionAgrees);
+
+    // Static-verifier overhead guard: re-running the abstract interpreter
+    // over the compiled artifact must stay under 5% of compile time (the
+    // budget the post-compile pass is allowed to add). Best of three: the
+    // first call after a multi-second inference pays a one-time allocator
+    // warmup that is not the verifier's steady-state cost.
+    double VerifySec = 0;
+    VerificationReport VR;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      Timer VT;
+      VR = verifyCircuit(Circ, R.Compiled);
+      double Sec = VT.seconds();
+      if (Rep == 0 || Sec < VerifySec)
+        VerifySec = Sec;
+    }
+    std::printf("    verify=%.3fs (%.1f%% of compile, %zu diagnostics)\n",
+                VerifySec, 100.0 * VerifySec / R.CompileSec,
+                VR.Diagnostics.size());
+    std::printf("%s", VR.depthTableStr().c_str());
+    if (VerifySec >= 0.05 * R.CompileSec) {
+      std::fprintf(stderr,
+                   "FAIL: verification took %.3fs, >= 5%% of the %.3fs "
+                   "compile time\n",
+                   VerifySec, R.CompileSec);
+      return 1;
+    }
+
     std::ostringstream JS;
     JS << "{\"bench\":\"table3_latency\",\"network\":\"" << Net.label()
        << "\",\"threads\":" << Threads << ",\"host_cores\":" << HostCores
        << ",\"compile_sec\":" << R.CompileSec
        << ",\"keygen_sec\":" << R.KeygenSec
-       << ",\"infer_sec\":" << R.InferSec << ",\"max_err\":" << R.MaxErr
+       << ",\"infer_sec\":" << R.InferSec
+       << ",\"verify_sec\":" << VerifySec << ",\"max_err\":" << R.MaxErr
        << ",\"prediction_agrees\":" << (R.PredictionAgrees ? "true" : "false")
        << "}";
     appendLine(JsonPath, JS.str());

@@ -33,6 +33,7 @@
 #define CHET_CORE_ANALYSIS_H
 
 #include "core/CostModel.h"
+#include "hisa/Hisa.h"
 
 #include <cstdint>
 #include <map>
@@ -143,6 +144,11 @@ private:
   double TotalCost = 0;
   std::map<std::string, uint64_t> OpCounts;
 };
+
+/// The analysis interpreter tracks scales and levels only; its encode()
+/// discards the slot vector (see BackendEncodeIsValueAgnostic).
+template <>
+inline constexpr bool BackendEncodeIsValueAgnostic<AnalysisBackend> = true;
 
 } // namespace chet
 

@@ -7,6 +7,7 @@
 #include "core/Compiler.h"
 
 #include "core/Validate.h"
+#include "core/Verifier.h"
 #include "runtime/ReferenceOps.h"
 #include "support/Error.h"
 
@@ -50,10 +51,22 @@ PolicyRun analyzePolicy(const TensorCircuit &Circ,
     C1.LogN = LogN;
     C1.ScalePrimeCandidates = ScaleCandidates;
     AnalysisBackend B1(C1);
-    TensorLayout L = circuitInputLayout(Circ, Policy, B1.slotCount());
-    auto Enc = encryptTensor(B1, Dummy, L, Options.Scales);
-    auto Out = evaluateCircuit(B1, Circ, Enc, Options.Scales, Policy);
-    double OutScaleLog = std::log2(Out.scale(B1));
+    double OutScaleLog = 0;
+    try {
+      TensorLayout L = circuitInputLayout(Circ, Policy, B1.slotCount());
+      auto Enc = encryptTensor(B1, Dummy, L, Options.Scales);
+      auto Out = evaluateCircuit(B1, Circ, Enc, Options.Scales, Policy);
+      OutScaleLog = std::log2(Out.scale(B1));
+    } catch (const ChetError &) {
+      // A kernel rejected the circuit under this policy (scale or
+      // layout misuse the analysis can detect without data). Mark the
+      // policy infeasible; validateCircuit re-derives the details when
+      // every policy fails.
+      Run.Feasible = false;
+      Run.Info.LogN = LogN;
+      Run.Info.EstimatedCost = std::numeric_limits<double>::infinity();
+      return Run;
+    }
     double Need = OutScaleLog + Options.OutputPrecisionBits;
 
     if (Options.Scheme == SchemeKind::RnsCkks) {
@@ -209,6 +222,16 @@ CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
     P.Security = Options.Security;
     P.StockPow2Keys = !Options.SelectRotationKeys;
     Result.Big = std::move(P);
+  }
+
+  if (Options.PostCompileVerify) {
+    VerifierOptions VOpts;
+    VerificationReport VR = verifyCircuit(Circ, Result, VOpts);
+    if (!VR.ok())
+      throw InfeasibleCircuitError(
+          formatError("post-compile verification failed; ", VR.str()));
+    for (VerifierDiagnostic &D : VR.Diagnostics)
+      Result.Warnings.push_back(std::move(D));
   }
   return Result;
 }

@@ -34,6 +34,7 @@
 #include "core/Analysis.h"
 #include "core/Evaluate.h"
 #include "core/Ir.h"
+#include "support/Error.h"
 
 #include <optional>
 #include <set>
@@ -59,6 +60,10 @@ struct CompilerOptions {
   LayoutPolicy FixedPolicy = LayoutPolicy::AllHW;
   /// Ring-dimension search bound.
   int MaxLogN = 16;
+  /// Run the static verifier (Verifier.h) over the compiled artifact:
+  /// errors abort through the InfeasibleCircuit path, warnings and notes
+  /// land on CompiledCircuit::Warnings.
+  bool PostCompileVerify = true;
 };
 
 /// Per-policy analysis record, kept for reporting (Tables 5/6, Figure 6).
@@ -70,6 +75,18 @@ struct PolicyAnalysis {
   int ChainPrimes = 0; ///< RNS only.
   double EstimatedCost = 0;
   std::set<int> RotationSteps;
+};
+
+/// One finding of the static verifier, with full provenance: the HISA
+/// instruction that tripped the check, the tensor-circuit node whose
+/// kernel issued it, and that node's network-layer label.
+struct VerifierDiagnostic {
+  Severity Sev = Severity::Warning;
+  ErrorCode Code = ErrorCode::InvalidArgument;
+  std::string HisaOp;
+  int NodeId = -1;
+  std::string Layer;
+  std::string Message;
 };
 
 /// The compiler's output artifact.
@@ -87,6 +104,9 @@ struct CompiledCircuit {
   std::vector<int> RotationKeys;
   /// The full four-policy analysis for reporting.
   std::vector<PolicyAnalysis> PerPolicy;
+  /// Non-fatal findings of the post-compile verification pass (empty
+  /// when CompilerOptions::PostCompileVerify is off).
+  std::vector<VerifierDiagnostic> Warnings;
 };
 
 /// Runs passes 1-3. Throws ChetError(InfeasibleCircuit) -- whose message

@@ -117,6 +117,8 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
     PtCache->noteScales(S);
 
   for (const OpNode &Node : Ops) {
+    if constexpr (HisaProvenanceSink<B>)
+      Backend.beginNode(Node.Id, Node.Label);
     KernelCache<B> KC{PtCache, static_cast<uint64_t>(Node.Id)};
     switch (Node.Kind) {
     case OpKind::Input: {

@@ -12,10 +12,56 @@
 
 using namespace chet;
 
+namespace {
+
+/// Default layer names: one counter per user-facing layer family (the
+/// two pooling kinds share "pool"), so LeNet-style chains read conv1,
+/// act1, pool1, ... without any explicit labeling.
+std::string defaultLabel(OpKind Kind, const std::vector<OpNode> &Ops) {
+  auto Count = [&Ops](auto Member) {
+    int N = 0;
+    for (const OpNode &Node : Ops)
+      N += Member(Node.Kind);
+    return N + 1;
+  };
+  switch (Kind) {
+  case OpKind::Input:
+    return "input";
+  case OpKind::Output:
+    return "output";
+  case OpKind::Conv2d:
+    return "conv" + std::to_string(Count([](OpKind K) {
+             return K == OpKind::Conv2d;
+           }));
+  case OpKind::AveragePool:
+  case OpKind::GlobalAveragePool:
+    return "pool" + std::to_string(Count([](OpKind K) {
+             return K == OpKind::AveragePool ||
+                    K == OpKind::GlobalAveragePool;
+           }));
+  case OpKind::PolyActivation:
+    return "act" + std::to_string(Count([](OpKind K) {
+             return K == OpKind::PolyActivation;
+           }));
+  case OpKind::FullyConnected:
+    return "fc" + std::to_string(Count([](OpKind K) {
+             return K == OpKind::FullyConnected;
+           }));
+  case OpKind::ConcatChannels:
+    return "concat" + std::to_string(Count([](OpKind K) {
+             return K == OpKind::ConcatChannels;
+           }));
+  }
+  return "op";
+}
+
+} // namespace
+
 OpNode &TensorCircuit::append(OpKind Kind) {
   OpNode Node;
   Node.Kind = Kind;
   Node.Id = static_cast<int>(Ops.size());
+  Node.Label = defaultLabel(Kind, Ops);
   Ops.push_back(std::move(Node));
   return Ops.back();
 }

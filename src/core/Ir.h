@@ -42,6 +42,11 @@ enum class OpKind {
 struct OpNode {
   OpKind Kind = OpKind::Input;
   int Id = -1;
+  /// Human-readable layer name ("conv1", "fire2/squeeze1x1", ...). The
+  /// builder assigns a default per kind; network constructors override it
+  /// with the model's own naming. Verifier diagnostics and per-layer
+  /// reports attribute findings to this label.
+  std::string Label;
   std::vector<int> Inputs;
 
   // Inferred output shape.
@@ -88,6 +93,13 @@ public:
 
   /// Marks \p In as the circuit output (call exactly once, last).
   int output(int In);
+
+  /// Layer name of node \p Id (auto-assigned by the builder, overridable).
+  const std::string &label(int Id) const { return Ops[Id].Label; }
+  /// Overrides the auto-assigned layer name of node \p Id.
+  void setLabel(int Id, std::string Label) {
+    Ops[Id].Label = std::move(Label);
+  }
 
   int outputId() const { return static_cast<int>(Ops.size()) - 1; }
 

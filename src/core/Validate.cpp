@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <utility>
 
 using namespace chet;
 
@@ -38,10 +40,33 @@ std::string ValidationReport::str() const {
      << (Diagnostics.size() == 1 ? "" : "s") << " across " << PoliciesChecked
      << (PoliciesChecked == 1 ? " policy" : " policies") << " ("
      << FeasiblePolicies << " feasible):";
+  // Policies often fail identically (the same modulus overrun under every
+  // layout); render each distinct (code, message) once, tagged with every
+  // policy that produced it, in first-appearance order.
+  std::vector<size_t> Order;
+  std::map<std::pair<int, std::string>, std::vector<LayoutPolicy>> Groups;
+  for (const CircuitDiagnostic &D : Diagnostics) {
+    auto Key = std::make_pair(static_cast<int>(D.Code), D.Message);
+    auto It = Groups.find(Key);
+    if (It == Groups.end()) {
+      Order.push_back(static_cast<size_t>(&D - Diagnostics.data()));
+      Groups.emplace(std::move(Key), std::vector<LayoutPolicy>{D.Policy});
+    } else {
+      It->second.push_back(D.Policy);
+    }
+  }
   int N = 0;
-  for (const CircuitDiagnostic &D : Diagnostics)
-    OS << "\n  " << ++N << ". [" << layoutPolicyName(D.Policy) << "] "
-       << errorCodeName(D.Code) << ": " << D.Message;
+  for (size_t Index : Order) {
+    const CircuitDiagnostic &D = Diagnostics[Index];
+    const auto &Policies =
+        Groups[{static_cast<int>(D.Code), D.Message}];
+    OS << "\n  " << ++N << ". [";
+    for (size_t I = 0; I < Policies.size(); ++I)
+      OS << (I ? ", " : "") << layoutPolicyName(Policies[I]);
+    OS << "] " << errorCodeName(D.Code) << ": " << D.Message;
+    if (Policies.size() > 1)
+      OS << " (" << Policies.size() << " policies)";
+  }
   return OS.str();
 }
 

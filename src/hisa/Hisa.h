@@ -44,6 +44,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace chet {
@@ -81,6 +82,26 @@ concept HisaBackend = requires(B Backend, typename B::Ct C,
   Backend.rescaleAssign(C, Divisor);
   { Backend.scaleOf(CC) } -> std::convertible_to<double>;
 };
+
+/// Optional backend extension: a provenance sink is told which tensor-
+/// circuit node the subsequent HISA instructions belong to. The evaluator
+/// calls beginNode(id, label) before emitting each node's kernel, letting
+/// diagnostic backends (VerifierBackend) attribute every instruction to a
+/// network layer without the kernels knowing anything about provenance.
+template <typename B>
+concept HisaProvenanceSink =
+    requires(B Backend, int NodeId, const std::string &Label) {
+      Backend.beginNode(NodeId, Label);
+    };
+
+/// Whether a backend's Pt representation depends only on the encoding
+/// scale, never on the slot contents. True of the abstract interpreters
+/// (analysis, verification), whose encode() ignores the value vector;
+/// the plaintext-cache layer then skips materializing weight/mask slot
+/// vectors entirely -- the dominant cost of an abstract evaluation pass.
+/// Real schemes must leave this false.
+template <typename B>
+inline constexpr bool BackendEncodeIsValueAgnostic = false;
 
 /// Whether a backend's HISA instructions may be issued concurrently from
 /// the thread pool's workers (on distinct ciphertexts). Defaults to

@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 using namespace chet;
 
@@ -99,6 +100,7 @@ TensorCircuit chet::makeIndustrial(int Reduction, uint64_t Seed) {
   TensorCircuit Circ("Industrial");
   int X = Circ.input(1, 32, 32);
 
+  int BnIndex = 0;
   auto BnConv = [&](int Cout, int Cin, int K, int Stride, int Pad,
                     int In) {
     ConvWeights Wt = heConv(Rng, Cout, Cin, K);
@@ -111,7 +113,9 @@ TensorCircuit chet::makeIndustrial(int Reduction, uint64_t Seed) {
       Var[I] = 0.8 + 0.4 * Rng.nextDouble();
     }
     foldBatchNormIntoConv(Wt, Gamma, Beta, Mean, Var);
-    return Circ.conv2d(In, std::move(Wt), Stride, Pad);
+    int Id = Circ.conv2d(In, std::move(Wt), Stride, Pad);
+    Circ.setLabel(Id, "bnconv" + std::to_string(++BnIndex));
+    return Id;
   };
 
   X = BnConv(C1, 1, 3, 1, 1, X);
@@ -139,13 +143,19 @@ TensorCircuit chet::makeSqueezeNetCifar(int Reduction, uint64_t Seed) {
   // Stem.
   int Stem = reduced(32, Reduction);
   X = Circ.conv2d(X, heConv(Rng, Stem, 3, 3), /*Stride=*/2, /*Pad=*/1);
+  Circ.setLabel(X, "stem");
   X = Circ.polyActivation(X, kActA2, kActA1); // 16x16
+  Circ.setLabel(X, "stem/act");
 
   // A Fire module: squeeze 1x1 then fused expand (1x1 branch zero-padded
   // into the 3x3 filter bank -- exactly concat(conv1x1, conv3x3)).
+  int FireIndex = 1; // SqueezeNet numbering starts at fire2, after the stem
   auto Fire = [&](int In, int InC, int Squeeze, int ExpandEach) {
+    std::string Prefix = "fire" + std::to_string(++FireIndex);
     int Sq = Circ.conv2d(In, heConv(Rng, Squeeze, InC, 1), 1, 0);
+    Circ.setLabel(Sq, Prefix + "/squeeze1x1");
     Sq = Circ.polyActivation(Sq, kActA2, kActA1);
+    Circ.setLabel(Sq, Prefix + "/squeeze_act");
     ConvWeights Expand(2 * ExpandEach, Squeeze, 3, 3);
     ConvWeights E1 = heConv(Rng, ExpandEach, Squeeze, 1);
     ConvWeights E3 = heConv(Rng, ExpandEach, Squeeze, 3);
@@ -160,7 +170,10 @@ TensorCircuit chet::makeSqueezeNetCifar(int Reduction, uint64_t Seed) {
       Expand.Bias[ExpandEach + Co] = E3.Bias[Co];
     }
     int Ex = Circ.conv2d(Sq, std::move(Expand), 1, 1);
-    return Circ.polyActivation(Ex, kActA2, kActA1);
+    Circ.setLabel(Ex, Prefix + "/expand");
+    Ex = Circ.polyActivation(Ex, kActA2, kActA1);
+    Circ.setLabel(Ex, Prefix + "/expand_act");
+    return Ex;
   };
 
   int S1 = reduced(16, Reduction), E1 = reduced(32, Reduction);
@@ -172,7 +185,9 @@ TensorCircuit chet::makeSqueezeNetCifar(int Reduction, uint64_t Seed) {
   X = Fire(X, 2 * E2, S2, E2);      // -> 2*E2, 8x8
   // Classifier: 1x1 conv to 10 maps, then global average pooling.
   X = Circ.conv2d(X, heConv(Rng, 10, 2 * E2, 1), 1, 0);
+  Circ.setLabel(X, "classifier");
   X = Circ.globalAveragePool(X);
+  Circ.setLabel(X, "classifier/pool");
   Circ.output(X);
   return Circ;
 }

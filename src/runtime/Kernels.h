@@ -594,16 +594,12 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
   auto RowDot = [&](int Row) -> typename B::Ct {
     std::optional<typename B::Ct> Dot;
     for (int CtIdx = 0; CtIdx < In.L.ctCount(); ++CtIdx) {
-      std::vector<double> RowVec = buildFcRow(In.L, Wt, Row, CtIdx);
-      bool AnyWeight = false;
-      for (double V : RowVec)
-        AnyWeight |= V != 0.0;
-      if (!AnyWeight)
+      if (!fcRowBlockHasWeight(In.L, Wt, Row, CtIdx))
         continue;
       auto P = cachedEncode(
           Backend, KC,
           kSubWeight | (uint64_t(Row) * In.L.ctCount() + uint64_t(CtIdx)),
-          In.L, S.Weight, [&] { return std::move(RowVec); });
+          In.L, S.Weight, [&] { return buildFcRow(In.L, Wt, Row, CtIdx); });
       detail::accumulate(Backend, Dot, mulPlain(Backend, In.Cts[CtIdx], P));
     }
     if (!Dot)

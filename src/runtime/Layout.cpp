@@ -187,6 +187,18 @@ std::vector<double> chet::buildFcRow(const TensorLayout &In,
   return Vec;
 }
 
+bool chet::fcRowBlockHasWeight(const TensorLayout &In, const FcWeights &Wt,
+                               int Row, int CtIndex) {
+  assert(Wt.In == In.C * In.H * In.W && "FC input features mismatch");
+  for (int F = 0; F < Wt.In; ++F) {
+    if (In.ctOf(F / (In.H * In.W)) != CtIndex)
+      continue;
+    if (Wt.at(Row, F) != 0.0)
+      return true;
+  }
+  return false;
+}
+
 std::vector<double> chet::buildSlotMask(size_t Slots, size_t Slot) {
   std::vector<double> Mask(Slots, 0.0);
   CHET_CHECK(Slot < Slots, InvalidArgument,

@@ -134,6 +134,12 @@ std::vector<double> buildChwConvPlain(const TensorLayout &In,
 std::vector<double> buildFcRow(const TensorLayout &In, const FcWeights &Wt,
                                int Row, int CtIndex);
 
+/// Whether buildFcRow(In, Wt, Row, CtIndex) would be nonzero, decided by
+/// scanning the row's weights (feature count) instead of materializing
+/// and rescanning the slot vector (slot count, typically 20x larger).
+bool fcRowBlockHasWeight(const TensorLayout &In, const FcWeights &Wt, int Row,
+                         int CtIndex);
+
 /// Single-slot selector mask e_{Slot}.
 std::vector<double> buildSlotMask(size_t Slots, size_t Slot);
 

@@ -30,6 +30,12 @@ const char *errorCodeName(ErrorCode Code) {
     return "InfeasibleCircuit";
   case ErrorCode::TransientBackendFault:
     return "TransientBackendFault";
+  case ErrorCode::DeadCiphertext:
+    return "DeadCiphertext";
+  case ErrorCode::RedundantRotation:
+    return "RedundantRotation";
+  case ErrorCode::DepthHotspot:
+    return "DepthHotspot";
   }
   return "Unknown";
 }
@@ -78,6 +84,10 @@ void throwChetError(ErrorCode Code, const std::string &Message) {
     throw InfeasibleCircuitError(Message);
   case ErrorCode::TransientBackendFault:
     throw TransientBackendFaultError(Message);
+  case ErrorCode::DeadCiphertext:
+  case ErrorCode::RedundantRotation:
+  case ErrorCode::DepthHotspot:
+    break; // verifier lint codes have no dedicated exception class
   }
   throw ChetError(Code, Message);
 }

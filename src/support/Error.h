@@ -68,10 +68,42 @@ enum class ErrorCode {
   /// A backend operation failed transiently (fault injection or a real
   /// backend hiccup); retrying the computation may succeed.
   TransientBackendFault,
+
+  // Lint findings of the static verifier (Verifier.h). These classify
+  // diagnostics rather than thrown errors: no kernel raises them, but
+  // they share the ErrorCode namespace so reports, tests, and tooling
+  // handle compiler diagnostics and runtime errors uniformly.
+
+  /// A ciphertext is computed but never reaches the circuit output --
+  /// wasted FHE work.
+  DeadCiphertext,
+  /// Two back-to-back rotations whose intermediate has no other use;
+  /// they could be fused into a single rotation (one key-switch saved).
+  RedundantRotation,
+  /// A network layer consumes a disproportionate share of the modulus
+  /// chain (multiply-depth hotspot).
+  DepthHotspot,
 };
 
 /// Stable identifier string for an ErrorCode ("ScaleMismatch", ...).
 const char *errorCodeName(ErrorCode Code);
+
+/// Severity of a verifier diagnostic: errors abort compilation through
+/// the InfeasibleCircuit path, warnings and notes ride along on the
+/// CompiledCircuit for the caller to inspect.
+enum class Severity { Error, Warning, Note };
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "?";
+}
 
 /// Base class of every exception thrown by the CHET stack.
 class ChetError : public std::runtime_error {

@@ -124,6 +124,32 @@ TEST(Validate, CompileCircuitThrowsWithFullReport) {
   }
 }
 
+TEST(Validate, ReportDedupesIdenticalDiagnosticsAcrossPolicies) {
+  ValidationReport R;
+  R.PoliciesChecked = 4;
+  R.FeasiblePolicies = 0;
+  for (LayoutPolicy P : kAllLayoutPolicies)
+    R.Diagnostics.push_back(
+        {ErrorCode::LevelExhausted, P, "chain holds only 10 primes"});
+  R.Diagnostics.push_back(
+      {ErrorCode::SecurityBudgetExceeded, LayoutPolicy::AllHW,
+       "needs 900 bits"});
+
+  std::string Text = R.str();
+  // The header still counts raw diagnostics...
+  EXPECT_NE(Text.find("5 violations"), std::string::npos) << Text;
+  // ...but the identical message renders once, tagged with every policy.
+  EXPECT_EQ(Text.find("chain holds only 10 primes"),
+            Text.rfind("chain holds only 10 primes"))
+      << Text;
+  EXPECT_NE(Text.find("(4 policies)"), std::string::npos) << Text;
+  for (LayoutPolicy P : kAllLayoutPolicies)
+    EXPECT_NE(Text.find(layoutPolicyName(P)), std::string::npos) << Text;
+  // Two distinct messages -> exactly lines 1. and 2., no line 3.
+  EXPECT_NE(Text.find("\n  2. "), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("\n  3. "), std::string::npos) << Text;
+}
+
 TEST(Validate, MissingRotationStepsHonorsPow2Fallback) {
   const size_t Slots = 16;
   // 3 = 1 + 2 decomposes over the available keys.
