@@ -1,0 +1,211 @@
+//===- bench_rotation_hoisting.cpp - Hoisted vs naive rotation fan-out ---===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the hoisted key-switching path (rotLeftMany) against the
+/// naive per-rotation loop over the same Galois keys, sweeping the
+/// fan-out (number of rotation amounts sharing one input ciphertext).
+/// Hoisting decomposes and NTTs the input once per batch instead of once
+/// per amount, so the win grows with fan-out until the per-amount inner
+/// products dominate.
+///
+/// Before any timing runs, a correctness gate (in the spirit of
+/// bench_ntt_fused) asserts on both schemes that the hoisted outputs are
+/// byte-identical -- over serialized ciphertexts -- to per-rotation
+/// rotLeftAssign, across keyed, unkeyed (power-of-two fallback),
+/// duplicate, wrap-around, and zero amounts. Any mismatch aborts with a
+/// diagnostic instead of printing timings.
+///
+/// Usage: bench_rotation_hoisting [--threads N] [--json FILE]
+///                                [--check-only]
+///
+/// --check-only runs the correctness gate and exits (the CI Release job
+/// uses this; the timing sweep is not meaningful on a shared runner).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+#include "ckks/Serialization.h"
+#include "support/Prng.h"
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace chet;
+using namespace chet::bench;
+
+namespace {
+
+std::vector<double> randomSlots(size_t N, uint64_t Seed) {
+  std::vector<double> V(N);
+  Prng Rng(Seed);
+  for (double &X : V)
+    X = Rng.nextDouble(-1, 1);
+  return V;
+}
+
+[[noreturn]] void failCheck(const char *Scheme, int Amount, const char *What) {
+  std::fprintf(stderr,
+               "bench_rotation_hoisting: correctness check FAILED (%s, "
+               "amount %d: %s) -- refusing to benchmark a broken rotation "
+               "path\n",
+               Scheme, Amount, What);
+  std::exit(1);
+}
+
+/// Gate: hoisted rotLeftMany must be byte-identical to per-rotation
+/// rotLeftAssign on \p Backend, over a step list covering every branch of
+/// the batch partition (copy, hoisted, power-of-two fallback).
+template <class Backend>
+void verifyHoistedRotations(Backend &B, const char *Scheme) {
+  B.generateRotationKeys({1, 3, 5, 7, 11, 100});
+  int Slots = static_cast<int>(B.slotCount());
+  auto C = B.encrypt(B.encode(randomSlots(B.slotCount(), 13),
+                              std::ldexp(1.0, 30)));
+  // 0: copy; 3 twice: duplicate amounts share one batch; 9: no dedicated
+  // key, falls back to power-of-two hops; Slots-3: wrap-around, unkeyed.
+  std::vector<int> Steps = {0, 1, 3, 3, 5, 7, 9, 11, 100, Slots - 3};
+
+  B.setRotationHoisting(true);
+  auto Hoisted = B.rotLeftMany(C, Steps);
+  if (B.keySwitchNttStats().HoistedAmounts == 0)
+    failCheck(Scheme, -1, "hoisted path never engaged");
+  B.setRotationHoisting(false);
+  auto Naive = B.rotLeftMany(C, Steps);
+  B.setRotationHoisting(true);
+
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    auto Ref = B.copy(C);
+    B.rotLeftAssign(Ref, Steps[I]);
+    ByteBuffer Want = serialize(Ref);
+    if (serialize(Hoisted[I]) != Want)
+      failCheck(Scheme, Steps[I], "hoisted != rotLeftAssign");
+    if (serialize(Naive[I]) != Want)
+      failCheck(Scheme, Steps[I], "naive batch != rotLeftAssign");
+  }
+}
+
+struct SweepPoint {
+  int FanOut;
+  double NaiveSec;   ///< Per batch.
+  double HoistedSec; ///< Per batch.
+  uint64_t NaiveFwdNtts;
+  uint64_t HoistedFwdNtts;
+};
+
+/// Times one rotLeftMany batch of \p FanOut keyed amounts, hoisted and
+/// naive, on a fresh RNS backend. Batches repeat until >= MinSec of
+/// wall-clock per arm.
+SweepPoint runRnsSweep(int FanOut, double MinSec) {
+  RnsCkksParams P = RnsCkksParams::create(/*LogN=*/12, /*Levels=*/6,
+                                          /*FirstBits=*/60, /*ScaleBits=*/30);
+  P.Security = SecurityLevel::None;
+  P.Seed = 4242;
+  RnsCkksBackend B(P);
+  std::vector<int> Steps;
+  for (int I = 0; I < FanOut; ++I)
+    Steps.push_back(3 * I + 1); // keyed, mostly non-power-of-two
+  B.generateRotationKeys(Steps);
+  auto C = B.encrypt(B.encode(randomSlots(B.slotCount(), 17),
+                              std::ldexp(1.0, 30)));
+
+  SweepPoint Out;
+  Out.FanOut = FanOut;
+  for (bool Hoist : {false, true}) {
+    B.setRotationHoisting(Hoist);
+    // Warm the per-key caches outside the timed region.
+    (void)B.rotLeftMany(C, Steps);
+    B.resetKeySwitchNttStats();
+    Timer T;
+    int Batches = 0;
+    do {
+      auto R = B.rotLeftMany(C, Steps);
+      ++Batches;
+    } while (T.seconds() < MinSec || Batches < 3);
+    double Sec = T.seconds() / Batches;
+    uint64_t Fwd = B.keySwitchNttStats().ForwardNtts / Batches;
+    if (Hoist) {
+      Out.HoistedSec = Sec;
+      Out.HoistedFwdNtts = Fwd;
+    } else {
+      Out.NaiveSec = Sec;
+      Out.NaiveFwdNtts = Fwd;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Threads = applyThreadsFlag(Argc, Argv);
+  std::string JsonPath = stripJsonFlag(Argc, Argv);
+  bool CheckOnly = false;
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--check-only"))
+      CheckOnly = true;
+
+  {
+    RnsCkksParams P = RnsCkksParams::create(12, 6, 60, 30);
+    P.Security = SecurityLevel::None;
+    P.Seed = 4101;
+    RnsCkksBackend Rns(P);
+    verifyHoistedRotations(Rns, "rns-ckks");
+
+    BigCkksParams BP;
+    BP.LogN = 12;
+    BP.LogQ = 240;
+    BP.Seed = 4102;
+    BP.Security = SecurityLevel::None;
+    BigCkksBackend Big(BP);
+    verifyHoistedRotations(Big, "big-ckks");
+  }
+  std::printf("hoisted-rotation correctness checks passed (both schemes, "
+              "serialized-ciphertext compare)\n");
+  if (CheckOnly)
+    return 0;
+
+  printHeader("Hoisted vs naive rotation fan-out (RNS-CKKS, LogN=12, L=6)");
+  std::printf("threads=%u\n", Threads);
+  std::printf("%8s %14s %14s %9s %12s %12s %10s\n", "fan-out", "naive (ms)",
+              "hoisted (ms)", "speedup", "naive fNTT", "hoisted fNTT",
+              "fNTT ratio");
+  bool SawWin = false;
+  for (int FanOut : {2, 4, 8, 16, 32}) {
+    SweepPoint S = runRnsSweep(FanOut, /*MinSec=*/0.2);
+    double Speedup = S.NaiveSec / S.HoistedSec;
+    double NttRatio = static_cast<double>(S.NaiveFwdNtts) /
+                      static_cast<double>(S.HoistedFwdNtts);
+    if (FanOut >= 4 && Speedup > 1.0)
+      SawWin = true;
+    std::printf("%8d %14.3f %14.3f %8.2fx %12llu %12llu %9.2fx\n", FanOut,
+                1e3 * S.NaiveSec, 1e3 * S.HoistedSec, Speedup,
+                static_cast<unsigned long long>(S.NaiveFwdNtts),
+                static_cast<unsigned long long>(S.HoistedFwdNtts), NttRatio);
+    std::ostringstream JS;
+    JS << "{\"bench\":\"rotation_hoisting\",\"scheme\":\"rns-ckks\""
+       << ",\"log_n\":12,\"levels\":6,\"threads\":" << Threads
+       << ",\"fan_out\":" << FanOut << ",\"naive_ms\":" << 1e3 * S.NaiveSec
+       << ",\"hoisted_ms\":" << 1e3 * S.HoistedSec
+       << ",\"speedup\":" << Speedup
+       << ",\"naive_fwd_ntts\":" << S.NaiveFwdNtts
+       << ",\"hoisted_fwd_ntts\":" << S.HoistedFwdNtts << "}";
+    appendLine(JsonPath, JS.str());
+  }
+  if (!JsonPath.empty())
+    std::printf("appended JSON lines to %s\n", JsonPath.c_str());
+  if (!SawWin) {
+    std::fprintf(stderr, "FAIL: hoisting never beat the naive loop at "
+                         "fan-out >= 4\n");
+    return 1;
+  }
+  return 0;
+}

@@ -248,11 +248,13 @@ void BigCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
     std::vector<BigInt> Rotated(Degree);
     applyAutomorphismBig(Secret.data(), Rotated.data(), Degree, Elt);
     GaloisKeys.emplace(Elt, makeEvalKey(Rotated));
+    GaloisPerms.emplace(Elt, galoisNttPermutation(LogN, Elt));
   }
 }
 
 void BigCkksBackend::clearRotationKeys() {
   GaloisKeys.clear();
+  GaloisPerms.clear();
   RotationSteps.clear();
 }
 
@@ -468,6 +470,9 @@ void BigCkksBackend::keySwitch(const std::vector<BigInt> &D, int CtLogQ,
 
   std::vector<std::vector<uint64_t>> DRns;
   Ring.decomposeNtt(D.data(), Count, DRns);
+  KsStats->ForwardNtts.fetch_add(Count, std::memory_order_relaxed);
+  KsStats->InverseNtts.fetch_add(2 * size_t(Count),
+                                 std::memory_order_relaxed);
   std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
   parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Ring.prime(I);
@@ -577,6 +582,7 @@ void BigCkksBackend::mulPlainAssign(Ct &C, const Pt &P) {
 
 void BigCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
                                      const EvalKey &Key) {
+  KsStats->Rotations.fetch_add(1, std::memory_order_relaxed);
   std::vector<BigInt> Sigma0(Degree), Sigma1(Degree);
   applyAutomorphismBig(C.C0.data(), Sigma0.data(), Degree, Elt);
   applyAutomorphismBig(C.C1.data(), Sigma1.data(), Degree, Elt);
@@ -624,6 +630,118 @@ void BigCkksBackend::rotLeftAssign(Ct &C, int Steps) {
           describeRotationSteps(RotationSteps)));
     rotateByElement(C, E, KeyIt->second);
   }
+}
+
+std::vector<BigCkksBackend::Ct>
+BigCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
+  std::vector<Ct> Out(Steps.size());
+  const int64_t Slots = static_cast<int64_t>(slotCount());
+
+  struct HoistAmount {
+    size_t Idx;
+    uint64_t Elt;
+    const EvalKey *Key;
+    const std::vector<uint32_t> *Perm;
+  };
+  std::vector<HoistAmount> Hoist;
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    int64_t S = Steps[I] % Slots;
+    if (S < 0)
+      S += Slots;
+    if (S == 0) {
+      Out[I] = C;
+      continue;
+    }
+    uint64_t Elt = Encoder.galoisElement(static_cast<int>(S));
+    auto KeyIt = GaloisKeys.find(Elt);
+    auto PermIt = GaloisPerms.find(Elt);
+    if (Hoisting && KeyIt != GaloisKeys.end() &&
+        PermIt != GaloisPerms.end()) {
+      Hoist.push_back({I, Elt, &KeyIt->second, &PermIt->second});
+    } else {
+      Out[I] = C;
+      rotLeftAssign(Out[I], static_cast<int>(S));
+    }
+  }
+  if (Hoist.empty())
+    return Out;
+
+  // Shared half of the key switch: one RNS/NTT decomposition of c1,
+  // sized exactly as keySwitch would size it for this ciphertext.
+  int LogP = Params.effectiveLogSpecial();
+  int Bits = C.LogQ + Params.logQP() + LogN + 2;
+  int Count = Ring.primesForBits(Bits);
+  std::vector<std::vector<uint64_t>> DRns;
+  Ring.decomposeNtt(C.C1.data(), Count, DRns);
+  KsStats->ForwardNtts.fetch_add(Count, std::memory_order_relaxed);
+
+  for (const HoistAmount &H : Hoist) {
+    const EvalKey &Key = *H.Key;
+    assert(Count <= Key.PrimeCount && "evaluation key has too few primes");
+    const std::vector<uint32_t> &Perm = *H.Perm;
+    // Permute the shared decomposition in the NTT domain, fused with the
+    // per-key pointwise product.
+    std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
+    parallelFor(0, size_t(Count), 1, [&](size_t I) {
+      const Modulus &Q = Ring.prime(I);
+      const std::vector<uint64_t> &Src = DRns[I];
+      AccB[I].resize(Degree);
+      AccA[I].resize(Degree);
+      for (size_t K = 0; K < Degree; ++K) {
+        uint64_t V = Src[Perm[K]];
+        AccB[I][K] = Q.mulMod(V, Key.B[I][K]);
+        AccA[I][K] = Q.mulMod(V, Key.A[I][K]);
+      }
+    });
+    std::vector<BigInt> KB(Degree), KA(Degree);
+    Ring.reconstruct(AccB, Count, KB.data());
+    Ring.reconstruct(AccA, Count, KA.data());
+    KsStats->InverseNtts.fetch_add(2 * size_t(Count),
+                                   std::memory_order_relaxed);
+
+    Ct &O = Out[H.Idx];
+    O.LogQ = C.LogQ;
+    O.Scale = C.Scale;
+    O.C0.resize(Degree);
+    O.C1.resize(Degree);
+    // sigma(c0) costs only BigInt moves; the key-switch contribution is
+    // divided by P with rounding exactly as keySwitch does.
+    applyAutomorphismBig(C.C0.data(), O.C0.data(), Degree, H.Elt);
+    parallelFor(0, Degree, 256, [&](size_t K) {
+      KB[K].shiftRightRound(LogP);
+      KB[K].centerMod2k(C.LogQ);
+      KA[K].shiftRightRound(LogP);
+      KA[K].centerMod2k(C.LogQ);
+      O.C0[K] += KB[K];
+      O.C0[K].centerMod2k(C.LogQ);
+      O.C1[K] = KA[K];
+    });
+  }
+  KsStats->Rotations.fetch_add(Hoist.size(), std::memory_order_relaxed);
+  KsStats->HoistedBatches.fetch_add(1, std::memory_order_relaxed);
+  KsStats->HoistedAmounts.fetch_add(Hoist.size(),
+                                    std::memory_order_relaxed);
+  return Out;
+}
+
+BigCkksBackend::KeySwitchNttStats BigCkksBackend::keySwitchNttStats() const {
+  KeySwitchNttStats S;
+  S.ForwardNtts = KsStats->ForwardNtts.load(std::memory_order_relaxed);
+  S.InverseNtts = KsStats->InverseNtts.load(std::memory_order_relaxed);
+  S.Rotations = KsStats->Rotations.load(std::memory_order_relaxed);
+  S.HoistedBatches =
+      KsStats->HoistedBatches.load(std::memory_order_relaxed);
+  S.HoistedAmounts =
+      KsStats->HoistedAmounts.load(std::memory_order_relaxed);
+  return S;
+}
+
+void BigCkksBackend::resetKeySwitchNttStats() {
+  KsStats->ForwardNtts.store(0, std::memory_order_relaxed);
+  KsStats->InverseNtts.store(0, std::memory_order_relaxed);
+  KsStats->Rotations.store(0, std::memory_order_relaxed);
+  KsStats->HoistedBatches.store(0, std::memory_order_relaxed);
+  KsStats->HoistedAmounts.store(0, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

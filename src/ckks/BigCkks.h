@@ -158,6 +158,22 @@ public:
   void rotLeftAssign(Ct &C, int Steps);
   void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
 
+  /// Rotation fan-out (Halevi-Shoup hoisting): rotates \p C left by every
+  /// amount in \p Steps, returning one ciphertext per amount in order.
+  /// The RNS/NTT decomposition of c1 -- the expensive half of HEAAN's
+  /// key switch -- is computed once and shared; each amount permutes it
+  /// in the NTT domain (BigInt::modPrime is sign-correct, so the
+  /// permutation matches decomposing the rotated polynomial bit for
+  /// bit) and finishes with its key's pointwise product. Amounts of
+  /// zero return copies; amounts without a dedicated key fall back to
+  /// rotLeftAssign. Bit-identical to per-amount rotation at any thread
+  /// count.
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps);
+
+  /// Disables/enables hoisting inside rotLeftMany (on by default).
+  void setRotationHoisting(bool Enabled) { Hoisting = Enabled; }
+  bool rotationHoisting() const { return Hoisting; }
+
   void addAssign(Ct &C, const Ct &Other) const;
   void subAssign(Ct &C, const Ct &Other) const;
   void addPlainAssign(Ct &C, const Pt &P) const;
@@ -191,6 +207,20 @@ public:
   const BigCkksParams &params() const { return Params; }
   const CkksEncoder &encoder() const { return Encoder; }
   int logQOf(const Ct &C) const { return C.LogQ; }
+
+  /// Running tally of number-theoretic transforms executed inside
+  /// key-switching paths, plus rotation hoisting activity; counted
+  /// analytically at the call sites (see RnsCkksBackend for the RNS
+  /// twin of this interface).
+  struct KeySwitchNttStats {
+    uint64_t ForwardNtts = 0;
+    uint64_t InverseNtts = 0;
+    uint64_t Rotations = 0;
+    uint64_t HoistedBatches = 0;
+    uint64_t HoistedAmounts = 0;
+  };
+  KeySwitchNttStats keySwitchNttStats() const;
+  void resetKeySwitchNttStats();
 
 private:
   /// An evaluation key modulo P*Q, cached as its RNS/NTT decomposition
@@ -234,6 +264,23 @@ private:
   EvalKey RelinKey;
   std::map<uint64_t, EvalKey> GaloisKeys;
   std::set<int> RotationSteps; ///< normalized steps with a key, for errors.
+  /// NTT-domain index permutation realizing sigma_Elt per Galois element,
+  /// built alongside each key at keygen (single-threaded) so the hoisted
+  /// rotation path reads them without locking. Valid for every prime of
+  /// the ring's basis: the table depends only on (LogN, Elt).
+  std::map<uint64_t, std::vector<uint32_t>> GaloisPerms;
+  bool Hoisting = true;
+
+  struct KsCounters {
+    std::atomic<uint64_t> ForwardNtts{0};
+    std::atomic<uint64_t> InverseNtts{0};
+    std::atomic<uint64_t> Rotations{0};
+    std::atomic<uint64_t> HoistedBatches{0};
+    std::atomic<uint64_t> HoistedAmounts{0};
+  };
+  /// Heap-held (atomics are immovable) so the backend stays movable.
+  mutable std::unique_ptr<KsCounters> KsStats =
+      std::make_unique<KsCounters>();
 };
 
 /// Applies the automorphism X -> X^{Elt} to a BigInt coefficient vector.

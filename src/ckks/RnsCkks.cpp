@@ -258,11 +258,13 @@ void RnsCkksBackend::generateRotationKeys(const std::vector<int> &Steps) {
     parallelFor(0, ChainLen + 1, 1,
                 [&](size_t J) { Target[J] = smallToNtt(Rotated, J); });
     GaloisKeys.emplace(Elt, makeKSwitchKey(Target));
+    GaloisPerms.emplace(Elt, galoisNttPermutation(LogN, Elt));
   }
 }
 
 void RnsCkksBackend::clearRotationKeys() {
   GaloisKeys.clear();
+  GaloisPerms.clear();
   RotationSteps.clear();
 }
 
@@ -590,6 +592,53 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
       }
     }
   });
+  KsStats->ForwardNtts.fetch_add(Components * (Components + 1),
+                                 std::memory_order_relaxed);
+  divideBySpecial(OutB, AccBSp, Level);
+  divideBySpecial(OutA, AccASp, Level);
+}
+
+void RnsCkksBackend::keySwitchGalois(
+    const std::vector<std::vector<uint64_t>> &Digits, int Level,
+    uint64_t Elt, const KSwitchKey &Key, std::vector<uint64_t> &OutB,
+    std::vector<uint64_t> &OutA) const {
+  size_t Components = Level + 1;
+  OutB.assign(Components * Degree, 0);
+  OutA.assign(Components * Degree, 0);
+  std::vector<uint64_t> AccBSp(Degree, 0), AccASp(Degree, 0);
+
+  // Same loop interchange as keySwitch: the parallel loop owns disjoint
+  // per-modulus accumulators, the sequential digit loop fixes the fold
+  // order, so results are bit-identical at any thread count.
+  parallelFor(0, Components + 1, 1, [&](size_t J) {
+    size_t ModIndex = J < Components ? J : ChainLen; // special last
+    const Modulus &Q = modAt(ModIndex);
+    std::vector<uint64_t> Tmp(Degree), Sigma(Degree);
+    uint64_t *DstB =
+        ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
+    uint64_t *DstA =
+        ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
+    for (size_t I = 0; I < Components; ++I) {
+      const std::vector<uint64_t> &Digit = Digits[I];
+      if (ModIndex == I) {
+        std::memcpy(Tmp.data(), Digit.data(), Degree * sizeof(uint64_t));
+      } else {
+        for (size_t K = 0; K < Degree; ++K)
+          Tmp[K] = Q.reduce(Digit[K]);
+      }
+      applyAutomorphismRns(Tmp.data(), Sigma.data(), Degree, Elt,
+                           Q.value());
+      nttAt(ModIndex).forward(Sigma.data());
+      const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
+      const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
+        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+      }
+    }
+  });
+  KsStats->ForwardNtts.fetch_add(Components * (Components + 1),
+                                 std::memory_order_relaxed);
   divideBySpecial(OutB, AccBSp, Level);
   divideBySpecial(OutA, AccASp, Level);
 }
@@ -597,6 +646,9 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
 void RnsCkksBackend::divideBySpecial(std::vector<uint64_t> &AccChain,
                                      std::vector<uint64_t> &AccSpecial,
                                      int Level) const {
+  KsStats->ForwardNtts.fetch_add(size_t(Level) + 1,
+                                 std::memory_order_relaxed);
+  KsStats->InverseNtts.fetch_add(1, std::memory_order_relaxed);
   SpecialNtt->inverse(AccSpecial.data());
   uint64_t P = SpecialMod.value();
   uint64_t HalfP = P >> 1;
@@ -641,6 +693,7 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
     ChainNtt[J]->inverse(D2[J].data()); // digits must be coefficient form
   });
 
+  KsStats->InverseNtts.fetch_add(size_t(L) + 1, std::memory_order_relaxed);
   std::vector<uint64_t> KB, KA;
   keySwitch(D2, L, RelinKey, KB, KA);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
@@ -662,17 +715,18 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
 void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
                                      const KSwitchKey &Key) {
   int L = C.Level;
-  std::vector<std::vector<uint64_t>> Sigma1(L + 1);
+  // Key-switch digits are the *unrotated* c1 components in coefficient
+  // form; keySwitchGalois applies sigma_Elt after reducing each digit
+  // into its output modulus. This reduce-then-rotate order matches the
+  // lift the hoisted rotLeftMany path uses, keeping both bit-identical.
+  std::vector<std::vector<uint64_t>> Digits(L + 1);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     std::vector<uint64_t> Coeff(Degree), SigmaCoeff(Degree);
-    // sigma(c1) in coefficient form: these are the key-switch digits.
-    std::memcpy(Coeff.data(), C.C1.data() + J * Degree,
+    Digits[J].resize(Degree);
+    std::memcpy(Digits[J].data(), C.C1.data() + J * Degree,
                 Degree * sizeof(uint64_t));
-    ChainNtt[J]->inverse(Coeff.data());
-    Sigma1[J].resize(Degree);
-    applyAutomorphismRns(Coeff.data(), Sigma1[J].data(), Degree, Elt,
-                         Q.value());
+    ChainNtt[J]->inverse(Digits[J].data());
     // sigma(c0) goes straight back to NTT form.
     std::memcpy(Coeff.data(), C.C0.data() + J * Degree,
                 Degree * sizeof(uint64_t));
@@ -683,9 +737,13 @@ void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
     std::memcpy(C.C0.data() + J * Degree, SigmaCoeff.data(),
                 Degree * sizeof(uint64_t));
   });
+  KsStats->InverseNtts.fetch_add(2 * (size_t(L) + 1),
+                                 std::memory_order_relaxed);
+  KsStats->ForwardNtts.fetch_add(size_t(L) + 1, std::memory_order_relaxed);
+  KsStats->Rotations.fetch_add(1, std::memory_order_relaxed);
 
   std::vector<uint64_t> KB, KA;
-  keySwitch(Sigma1, L, Key, KB, KA);
+  keySwitchGalois(Digits, L, Elt, Key, KB, KA);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
@@ -733,6 +791,164 @@ void RnsCkksBackend::rotLeftAssign(Ct &C, int Steps) {
           describeRotationSteps(RotationSteps)));
     rotateByElement(C, E, KeyIt->second);
   }
+}
+
+std::vector<RnsCkksBackend::Ct>
+RnsCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
+  std::vector<Ct> Out(Steps.size());
+  const int64_t Slots = static_cast<int64_t>(slotCount());
+
+  // Partition the amounts: zero steps are copies, amounts with a
+  // dedicated Galois key (and its NTT-domain permutation) hoist, the
+  // rest run the per-rotation path (whose power-of-two hop chains cannot
+  // share one decomposition).
+  struct HoistAmount {
+    size_t Idx;
+    const KSwitchKey *Key;
+    const std::vector<uint32_t> *Perm;
+  };
+  std::vector<HoistAmount> Hoist;
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    int64_t S = Steps[I] % Slots;
+    if (S < 0)
+      S += Slots;
+    if (S == 0) {
+      Out[I] = C;
+      continue;
+    }
+    uint64_t Elt = Encoder.galoisElement(static_cast<int>(S));
+    auto KeyIt = GaloisKeys.find(Elt);
+    auto PermIt = GaloisPerms.find(Elt);
+    if (Hoisting && KeyIt != GaloisKeys.end() &&
+        PermIt != GaloisPerms.end()) {
+      Hoist.push_back({I, &KeyIt->second, &PermIt->second});
+    } else {
+      Out[I] = C;
+      rotLeftAssign(Out[I], static_cast<int>(S));
+    }
+  }
+  if (Hoist.empty())
+    return Out;
+
+  const int L = C.Level;
+  const size_t Components = size_t(L) + 1;
+
+  // Shared digit decomposition: DC[I] = invNTT_I(c1 limb I).
+  std::vector<std::vector<uint64_t>> DC(Components);
+  parallelFor(0, Components, 1, [&](size_t I) {
+    DC[I].resize(Degree);
+    std::memcpy(DC[I].data(), C.C1.data() + I * Degree,
+                Degree * sizeof(uint64_t));
+    ChainNtt[I]->inverse(DC[I].data());
+  });
+
+  // Shared base: Base[J] packs NTT_J(reduce_J(DC[I])) for every digit I,
+  // for each output modulus J (chain primes then the special prime).
+  // The diagonal J == I is the stored NTT-form limb itself: forward()
+  // and inverse() are exact mutual inverses on fully reduced vectors.
+  std::vector<std::vector<uint64_t>> Base(Components + 1);
+  for (auto &B : Base)
+    B.resize(Components * Degree);
+  parallelFor(0, (Components + 1) * Components, 1, [&](size_t Flat) {
+    size_t J = Flat / Components;
+    size_t I = Flat % Components;
+    size_t ModIndex = J < Components ? J : ChainLen; // special last
+    const Modulus &Q = modAt(ModIndex);
+    uint64_t *Dst = Base[J].data() + I * Degree;
+    if (ModIndex == I) {
+      std::memcpy(Dst, C.C1.data() + I * Degree, Degree * sizeof(uint64_t));
+    } else {
+      const std::vector<uint64_t> &Digit = DC[I];
+      for (size_t K = 0; K < Degree; ++K)
+        Dst[K] = Q.reduce(Digit[K]);
+      nttAt(ModIndex).forward(Dst);
+    }
+  });
+  KsStats->InverseNtts.fetch_add(Components, std::memory_order_relaxed);
+  KsStats->ForwardNtts.fetch_add(Components * Components,
+                                 std::memory_order_relaxed);
+
+  // Per-amount inner products against the shared base. The parallel loop
+  // fans out over (amount, output modulus) pairs with disjoint
+  // accumulators; the digit loop stays sequential in the original order,
+  // so results are bit-identical at any thread count.
+  const size_t Fan = Hoist.size();
+  std::vector<std::vector<uint64_t>> KB(Fan), KA(Fan), SpB(Fan), SpA(Fan);
+  for (size_t A = 0; A < Fan; ++A) {
+    KB[A].assign(Components * Degree, 0);
+    KA[A].assign(Components * Degree, 0);
+    SpB[A].assign(Degree, 0);
+    SpA[A].assign(Degree, 0);
+  }
+  parallelFor(0, Fan * (Components + 1), 1, [&](size_t Flat) {
+    size_t A = Flat / (Components + 1);
+    size_t J = Flat % (Components + 1);
+    size_t ModIndex = J < Components ? J : ChainLen;
+    const Modulus &Q = modAt(ModIndex);
+    const std::vector<uint32_t> &Perm = *Hoist[A].Perm;
+    const KSwitchKey &Key = *Hoist[A].Key;
+    uint64_t *DstB =
+        ModIndex == ChainLen ? SpB[A].data() : KB[A].data() + J * Degree;
+    uint64_t *DstA =
+        ModIndex == ChainLen ? SpA[A].data() : KA[A].data() + J * Degree;
+    std::vector<uint64_t> Sigma(Degree);
+    for (size_t I = 0; I < Components; ++I) {
+      const uint64_t *Src = Base[J].data() + I * Degree;
+      for (size_t K = 0; K < Degree; ++K)
+        Sigma[K] = Src[Perm[K]];
+      const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
+      const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
+        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+      }
+    }
+  });
+
+  for (size_t A = 0; A < Fan; ++A) {
+    divideBySpecial(KB[A], SpB[A], L);
+    divideBySpecial(KA[A], SpA[A], L);
+    Ct &O = Out[Hoist[A].Idx];
+    O.Level = L;
+    O.Scale = C.Scale;
+    O.C1 = std::move(KA[A]);
+    O.C0.resize(Components * Degree);
+    // sigma(c0) is a pure NTT-domain permutation of the stored limbs
+    // (the limbs are fully reduced, so no transforms are needed).
+    const std::vector<uint32_t> &Perm = *Hoist[A].Perm;
+    parallelFor(0, Components, 1, [&](size_t J) {
+      const Modulus &Q = ChainMods[J];
+      const uint64_t *Src = C.C0.data() + J * Degree;
+      const uint64_t *K0 = KB[A].data() + J * Degree;
+      uint64_t *Dst = O.C0.data() + J * Degree;
+      for (size_t K = 0; K < Degree; ++K)
+        Dst[K] = Q.addMod(Src[Perm[K]], K0[K]);
+    });
+  }
+  KsStats->Rotations.fetch_add(Fan, std::memory_order_relaxed);
+  KsStats->HoistedBatches.fetch_add(1, std::memory_order_relaxed);
+  KsStats->HoistedAmounts.fetch_add(Fan, std::memory_order_relaxed);
+  return Out;
+}
+
+RnsCkksBackend::KeySwitchNttStats RnsCkksBackend::keySwitchNttStats() const {
+  KeySwitchNttStats S;
+  S.ForwardNtts = KsStats->ForwardNtts.load(std::memory_order_relaxed);
+  S.InverseNtts = KsStats->InverseNtts.load(std::memory_order_relaxed);
+  S.Rotations = KsStats->Rotations.load(std::memory_order_relaxed);
+  S.HoistedBatches =
+      KsStats->HoistedBatches.load(std::memory_order_relaxed);
+  S.HoistedAmounts =
+      KsStats->HoistedAmounts.load(std::memory_order_relaxed);
+  return S;
+}
+
+void RnsCkksBackend::resetKeySwitchNttStats() {
+  KsStats->ForwardNtts.store(0, std::memory_order_relaxed);
+  KsStats->InverseNtts.store(0, std::memory_order_relaxed);
+  KsStats->Rotations.store(0, std::memory_order_relaxed);
+  KsStats->HoistedBatches.store(0, std::memory_order_relaxed);
+  KsStats->HoistedAmounts.store(0, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

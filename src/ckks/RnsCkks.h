@@ -135,6 +135,23 @@ public:
   void rotLeftAssign(Ct &C, int Steps);
   void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
 
+  /// Rotation fan-out (Halevi-Shoup hoisting): rotates \p C left by every
+  /// amount in \p Steps, returning one ciphertext per amount in order.
+  /// The key-switch digit decomposition and its per-modulus forward NTTs
+  /// are computed once and shared across all amounts with a dedicated
+  /// Galois key; each amount then only permutes the shared base in the
+  /// NTT domain and runs the per-key inner product. Amounts of zero
+  /// return copies; amounts without a dedicated key fall back to
+  /// rotLeftAssign (power-of-two hop chains cannot share a base).
+  /// Bit-identical to per-amount rotLeftAssign at any thread count.
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps);
+
+  /// Disables/enables hoisting inside rotLeftMany (on by default); when
+  /// off every amount runs the per-rotation path. Benchmarks use this to
+  /// compare the two implementations over identical call sites.
+  void setRotationHoisting(bool Enabled) { Hoisting = Enabled; }
+  bool rotationHoisting() const { return Hoisting; }
+
   void addAssign(Ct &C, const Ct &Other) const;
   void subAssign(Ct &C, const Ct &Other) const;
   void addPlainAssign(Ct &C, const Pt &P) const;
@@ -178,6 +195,21 @@ public:
   int maxLevel() const { return static_cast<int>(ChainLen) - 1; }
   int levelOf(const Ct &C) const { return C.Level; }
 
+  /// Running tally of number-theoretic transforms executed inside
+  /// key-switching paths (relinearization and rotation), plus rotation
+  /// hoisting activity. Profiling reads this to show where key-switch
+  /// work went; counts are derived analytically at the call sites, so
+  /// they cost nothing on the hot path.
+  struct KeySwitchNttStats {
+    uint64_t ForwardNtts = 0;
+    uint64_t InverseNtts = 0;
+    uint64_t Rotations = 0;      ///< single rotations served (incl. hops)
+    uint64_t HoistedBatches = 0; ///< rotLeftMany calls that shared a base
+    uint64_t HoistedAmounts = 0; ///< amounts served from a shared base
+  };
+  KeySwitchNttStats keySwitchNttStats() const;
+  void resetKeySwitchNttStats();
+
 private:
   struct KSwitchKey {
     /// B[i] and A[i] hold, for digit i, one N-word NTT polynomial per
@@ -210,6 +242,16 @@ private:
   void keySwitch(const std::vector<std::vector<uint64_t>> &Digits, int Level,
                  const KSwitchKey &Key, std::vector<uint64_t> &OutB,
                  std::vector<uint64_t> &OutA) const;
+
+  /// Galois-twisted key switch: like keySwitch, but applies sigma_Elt to
+  /// each digit after reduction into the output modulus and before the
+  /// forward NTT. Taking the *unrotated* digits keeps the per-modulus
+  /// lift identical to what rotLeftMany's hoisted base uses, so the two
+  /// rotation paths produce bit-identical ciphertexts.
+  void keySwitchGalois(const std::vector<std::vector<uint64_t>> &Digits,
+                       int Level, uint64_t Elt, const KSwitchKey &Key,
+                       std::vector<uint64_t> &OutB,
+                       std::vector<uint64_t> &OutA) const;
 
   /// Divides an accumulated (chain + special) value by the special prime
   /// with rounding; AccChain is NTT form, AccSpecial NTT form.
@@ -248,6 +290,22 @@ private:
   KSwitchKey RelinKey;
   std::map<uint64_t, KSwitchKey> GaloisKeys; ///< keyed by Galois element.
   std::set<int> RotationSteps; ///< normalized steps with a key, for errors.
+  /// NTT-domain index permutation realizing sigma_Elt, per Galois element;
+  /// built alongside each key at keygen (single-threaded) so the hoisted
+  /// rotation path reads them without locking.
+  std::map<uint64_t, std::vector<uint32_t>> GaloisPerms;
+  bool Hoisting = true;
+
+  struct KsCounters {
+    std::atomic<uint64_t> ForwardNtts{0};
+    std::atomic<uint64_t> InverseNtts{0};
+    std::atomic<uint64_t> Rotations{0};
+    std::atomic<uint64_t> HoistedBatches{0};
+    std::atomic<uint64_t> HoistedAmounts{0};
+  };
+  /// Heap-held (atomics are immovable) so the backend stays movable.
+  mutable std::unique_ptr<KsCounters> KsStats =
+      std::make_unique<KsCounters>();
 
   std::vector<uint64_t> SpecialInvModChain;      ///< p^{-1} mod q_j.
   std::vector<uint64_t> SpecialModChain;         ///< p mod q_j.

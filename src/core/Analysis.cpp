@@ -87,6 +87,41 @@ void AnalysisBackend::rotLeftAssign(Ct &C, int Steps) {
   OpCounts["rotateHops"] += Hops - 1;
 }
 
+std::vector<AnalysisBackend::Ct>
+AnalysisBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
+  std::vector<Ct> Out;
+  Out.reserve(Steps.size());
+  int NonZero = 0;
+  for (int Raw : Steps) {
+    int64_t S = Raw % static_cast<int64_t>(Slots);
+    if (S < 0)
+      S += Slots;
+    Out.push_back(C); // rotations change no dataflow facts
+    if (S == 0)
+      continue;
+    if (!Config.SelectedRotationKeys || !Config.HoistedRotationPricing) {
+      // Per-amount pricing: either no dedicated keys exist (the real
+      // backends fall back to power-of-two hops) or hoisted pricing is
+      // disabled (modelling a runtime with hoisting off). rotLeftAssign
+      // prices and collects exactly as the loop the runtime would run.
+      Ct Tmp = C;
+      rotLeftAssign(Tmp, Raw);
+      continue;
+    }
+    RotationSteps.insert(static_cast<int>(S));
+    ++NonZero;
+  }
+  if (NonZero > 0) {
+    charge("rotateHoistShared",
+           Config.Cost ? Config.Cost->rotateHoistShared(modulusState(C)) : 0);
+    for (int I = 0; I < NonZero; ++I)
+      charge("rotate", Config.Cost
+                           ? Config.Cost->rotateHoistPerAmount(modulusState(C))
+                           : 0);
+  }
+  return Out;
+}
+
 static bool analysisScalesMatch(double A, double B) {
   double Ratio = A / B;
   return Ratio > 1.0 - 1e-6 && Ratio < 1.0 + 1e-6;

@@ -62,6 +62,11 @@ struct AnalysisConfig {
   /// (false), in which case rotations cost one hop per set bit of the
   /// shorter direction (Section 2.4).
   bool SelectedRotationKeys = true;
+  /// Whether rotLeftMany batches are priced with the hoisted key-switch
+  /// term (one shared decomposition plus a marginal per-amount cost).
+  /// When false every amount is priced as a standalone rotation, which
+  /// models running the runtime with hoisting disabled.
+  bool HoistedRotationPricing = true;
 };
 
 /// HISA implementation over dataflow metadata. Satisfies the same
@@ -93,6 +98,12 @@ public:
 
   void rotLeftAssign(Ct &C, int Steps);
   void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
+  /// Rotation fan-out: collects every normalized amount into the
+  /// rotation-key set exactly once (std::set) and prices the batch as one
+  /// shared hoisted decomposition plus a marginal term per amount when
+  /// dedicated keys are assumed; under power-of-two fallback keys the
+  /// batch is priced as the per-amount hop loop the real backends run.
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps);
 
   void addAssign(Ct &C, const Ct &Other);
   void subAssign(Ct &C, const Ct &Other) { addAssign(C, Other); }

@@ -132,6 +132,7 @@ PolicyRun analyzePolicy(const TensorCircuit &Circ,
   C2.TotalChainPrimes = ChainPrimes;
   C2.TotalLogQ = LogQ;
   C2.SelectedRotationKeys = Options.SelectRotationKeys;
+  C2.HoistedRotationPricing = Options.HoistedRotationCost;
   AnalysisBackend B2(C2);
   TensorLayout L = circuitInputLayout(Circ, Policy, B2.slotCount());
   auto Enc = encryptTensor(B2, Dummy, L, Options.Scales);

@@ -55,6 +55,11 @@ struct CompilerOptions {
   /// Generate rotation keys for exactly the steps the circuit uses
   /// (Section 5.4) instead of relying on the power-of-two default.
   bool SelectRotationKeys = true;
+  /// Price rotation fan-outs (rotLeftMany) with the hoisted key-switch
+  /// term. Turn off to estimate the cost of running with hoisting
+  /// disabled (bench_fig6 uses this to check the layout ranking is
+  /// insensitive to the hoisting term).
+  bool HoistedRotationCost = true;
   /// Search all four layout policies; when false, FixedPolicy is used.
   bool SearchLayouts = true;
   LayoutPolicy FixedPolicy = LayoutPolicy::AllHW;

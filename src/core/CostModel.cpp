@@ -88,6 +88,41 @@ double CostModel::rotate(double ModulusState) const {
   return 4 * NpKs * PerPrime;
 }
 
+double CostModel::rotateHoistShared(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks) {
+    // Decompose once: (r+1) inverse NTTs of the input plus (r+1)^2
+    // forward NTTs materializing every digit in every output modulus --
+    // the same (r+1)(r+2) transforms a single naive rotation spends on
+    // its key switch.
+    double R = ModulusState;
+    return RnsNttButterfly * N * LogN * (R + 1) * (R + 2);
+  }
+  // One decomposeNtt of c1 at np ~ (logQ + logQP)/59 primes.
+  double NpKs = (ModulusState + LogQP) / 59.0 + 1;
+  double PerPrime =
+      BigNttButterfly * N * LogN +
+      BigCrtPerPrimeLimb * N * ((ModulusState + LogQP) / 96.0 + 1);
+  return NpKs * PerPrime;
+}
+
+double CostModel::rotateHoistPerAmount(double ModulusState) const {
+  if (Scheme == SchemeKind::RnsCkks) {
+    // Permuting the shared NTT-domain base costs no transforms; the
+    // special-modulus division is ~2(r+2) transforms per amount, plus
+    // the key inner product's elementwise multiply-accumulates.
+    double R = ModulusState;
+    return RnsNttButterfly * N * LogN * 2 * (R + 2) +
+           RnsAddPerElem * 6 * N * R;
+  }
+  // Pointwise key products plus two CRT reconstructions per amount
+  // (versus 4 np key-switch passes for a naive rotation).
+  double NpKs = (ModulusState + LogQP) / 59.0 + 1;
+  double PerPrime =
+      BigNttButterfly * N * LogN +
+      BigCrtPerPrimeLimb * N * ((ModulusState + LogQP) / 96.0 + 1);
+  return 3 * NpKs * PerPrime;
+}
+
 double CostModel::rescale(double ModulusState) const {
   if (Scheme == SchemeKind::RnsCkks)
     return RnsNttButterfly * 4 * N * LogN * ModulusState;

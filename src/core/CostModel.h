@@ -47,6 +47,12 @@ public:
   double mulPlain(double ModulusState) const;
   double mulCipher(double ModulusState) const;
   double rotate(double ModulusState) const;
+  /// Hoisted rotation fan-out (Halevi-Shoup): one-time cost of the shared
+  /// key-switch decomposition, paid once per rotLeftMany batch.
+  double rotateHoistShared(double ModulusState) const;
+  /// Marginal cost of each amount in a hoisted fan-out: automorphism of
+  /// the shared base, key inner product, and the special-modulus divide.
+  double rotateHoistPerAmount(double ModulusState) const;
   double rescale(double ModulusState) const;
   double encode() const;
 

@@ -110,6 +110,19 @@ public:
     maybeCorrupt(C);
   }
 
+  /// Rotation fan-out: one transient draw for the shared batch, then one
+  /// corruption draw per produced ciphertext, in step order -- the site
+  /// numbering stays deterministic for a fixed (Seed, circuit) pair.
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps)
+    requires BackendHasRotLeftMany<B>
+  {
+    maybeTransient("rotLeftMany");
+    std::vector<Ct> Out = Inner.rotLeftMany(C, Steps);
+    for (Ct &O : Out)
+      maybeCorrupt(O);
+    return Out;
+  }
+
   void addAssign(Ct &C, const Ct &Other) {
     maybeTransient("add");
     Inner.addAssign(C, Other);

@@ -94,6 +94,21 @@ concept HisaProvenanceSink =
       Backend.beginNode(NodeId, Label);
     };
 
+/// Optional HISA extension (a Table-2-style row): rotation fan-out.
+/// rotLeftMany(c, steps) returns one ciphertext per step, each equal to
+/// rotLeft(c, step) -- bit-identically so on the real schemes -- but a
+/// backend implementing the member may amortize the key-switch
+/// decomposition across all amounts (Halevi-Shoup hoisting). Backends
+/// without the member are served by the free rotLeftMany() below, which
+/// loops rotLeft.
+template <typename B>
+concept BackendHasRotLeftMany =
+    requires(B Backend, const typename B::Ct CC,
+             const std::vector<int> &Steps) {
+      { Backend.rotLeftMany(CC, Steps) } ->
+          std::same_as<std::vector<typename B::Ct>>;
+    };
+
 /// Whether a backend's Pt representation depends only on the encoding
 /// scale, never on the slot contents. True of the abstract interpreters
 /// (analysis, verification), whose encode() ignores the value vector;
@@ -128,6 +143,24 @@ typename B::Ct rotRight(B &Backend, const typename B::Ct &C, int Steps) {
   typename B::Ct R = Backend.copy(C);
   Backend.rotRightAssign(R, Steps);
   return R;
+}
+
+/// Rotation fan-out: one result per step, in step order. Dispatches to
+/// the backend's hoisted implementation when it has one; otherwise loops
+/// rotLeft so every backend -- including the analysis interpreters that
+/// only implement the member for bookkeeping -- sees the same semantics.
+template <typename B>
+std::vector<typename B::Ct> rotLeftMany(B &Backend, const typename B::Ct &C,
+                                        const std::vector<int> &Steps) {
+  if constexpr (BackendHasRotLeftMany<B>) {
+    return Backend.rotLeftMany(C, Steps);
+  } else {
+    std::vector<typename B::Ct> Out;
+    Out.reserve(Steps.size());
+    for (int S : Steps)
+      Out.push_back(rotLeft(Backend, C, S));
+    return Out;
+  }
 }
 
 template <typename B>

@@ -79,6 +79,19 @@ public:
     rotate(C, -Steps);
   }
 
+  /// Rotation fan-out: semantics of the generic fallback, implemented as
+  /// a member so the plain reference exercises the same instruction the
+  /// real schemes hoist.
+  std::vector<Ct> rotLeftMany(const Ct &C,
+                              const std::vector<int> &Steps) const {
+    std::vector<Ct> Out(Steps.size());
+    for (size_t I = 0; I < Steps.size(); ++I) {
+      Out[I] = C;
+      rotate(Out[I], Steps[I]);
+    }
+    return Out;
+  }
+
   void addAssign(Ct &C, const Ct &Other) const {
     CHET_CHECK(sameScale(C.Scale, Other.Scale), ScaleMismatch,
                "addition scale mismatch: ", C.Scale, " vs ", Other.Scale);

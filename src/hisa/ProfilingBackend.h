@@ -51,6 +51,7 @@ enum ProfiledOp : int {
   PoFreeCt,
   PoRotLeft,
   PoRotRight,
+  PoRotLeftMany,
   PoAdd,
   PoSub,
   PoAddPlain,
@@ -68,9 +69,9 @@ enum ProfiledOp : int {
 inline const char *profiledOpName(int Op) {
   static const char *Names[PoNumOps] = {
       "encode",    "decode",    "encrypt",  "decrypt",   "copy",
-      "freeCt",    "rotLeft",   "rotRight", "add",       "sub",
-      "addPlain",  "subPlain",  "addScalar", "subScalar", "mul",
-      "mulPlain",  "mulScalar", "maxRescale", "rescale"};
+      "freeCt",    "rotLeft",   "rotRight", "rotLeftMany", "add",
+      "sub",       "addPlain",  "subPlain", "addScalar", "subScalar",
+      "mul",       "mulPlain",  "mulScalar", "maxRescale", "rescale"};
   return Names[Op];
 }
 } // namespace detail
@@ -114,6 +115,16 @@ public:
   }
   void rotRightAssign(Ct &C, int Steps) {
     timed(detail::PoRotRight, [&] { Inner.rotRightAssign(C, Steps); });
+  }
+  /// Rotation fan-out, forwarded when the inner backend implements the
+  /// instruction (otherwise the free rotLeftMany() falls back to looping
+  /// rotLeft on this adapter, which the rotLeft row then accounts for).
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps)
+    requires BackendHasRotLeftMany<B>
+  {
+    RotManyAmounts.fetch_add(Steps.size(), std::memory_order_relaxed);
+    return timed(detail::PoRotLeftMany,
+                 [&] { return Inner.rotLeftMany(C, Steps); });
   }
   void addAssign(Ct &C, const Ct &O) {
     timed(detail::PoAdd, [&] { Inner.addAssign(C, O); });
@@ -191,6 +202,7 @@ public:
       Counts[Op].store(0, std::memory_order_relaxed);
       Nanos[Op].store(0, std::memory_order_relaxed);
     }
+    RotManyAmounts.store(0, std::memory_order_relaxed);
   }
 
   /// Renders the op-count / total-time table.
@@ -213,6 +225,32 @@ public:
     OS << std::left << std::setw(12) << "total" << std::right
        << std::setw(10) << Ops << std::setw(14) << std::fixed
        << std::setprecision(3) << Total * 1e3 << "\n";
+    uint64_t ManyCalls =
+        Counts[detail::PoRotLeftMany].load(std::memory_order_relaxed);
+    if (ManyCalls != 0) {
+      uint64_t Amounts = RotManyAmounts.load(std::memory_order_relaxed);
+      OS << "rotLeftMany fan-out: " << Amounts << " amounts over "
+         << ManyCalls << " calls (avg "
+         << std::setprecision(1) << double(Amounts) / double(ManyCalls)
+         << " per call)\n";
+    }
+    // Key-switch NTT amortization, when the wrapped scheme counts it:
+    // hoisted fan-outs share one decomposition, so forward NTTs per
+    // rotation fall well below the per-rotation (plain) cost.
+    if constexpr (requires(const B &Backend) {
+                    Backend.keySwitchNttStats();
+                  }) {
+      auto S = Inner.keySwitchNttStats();
+      if (S.Rotations != 0) {
+        OS << "key-switch NTTs: " << S.ForwardNtts << " forward, "
+           << S.InverseNtts << " inverse over " << S.Rotations
+           << " rotations (" << std::setprecision(1)
+           << double(S.ForwardNtts) / double(S.Rotations)
+           << " fwd NTTs/rotation; " << S.HoistedAmounts
+           << " rotations hoisted in " << S.HoistedBatches
+           << " shared-base batches)\n";
+      }
+    }
     return OS.str();
   }
 
@@ -245,6 +283,8 @@ private:
   B &Inner;
   mutable std::atomic<uint64_t> Counts[detail::PoNumOps] = {};
   mutable std::atomic<uint64_t> Nanos[detail::PoNumOps] = {};
+  /// Total amounts requested across rotLeftMany calls (the fan-out).
+  mutable std::atomic<uint64_t> RotManyAmounts{0};
 };
 
 /// Profiling is transparent to threading: counters are atomics, so the

@@ -190,6 +190,41 @@ public:
   }
   void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
 
+  /// Rotation fan-out: every amount is checked for key coverage and
+  /// counted as its own rotation event, so one hoisted batch over F
+  /// amounts looks to the audits exactly like F rotations of the shared
+  /// source -- each amount reads the source once (F uses total), which
+  /// also keeps the redundant-rotation scan from proposing to fuse
+  /// through a multiply-consumed intermediate.
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
+    std::vector<Ct> Out;
+    Out.reserve(Steps.size());
+    for (int Raw : Steps) {
+      int64_t S = Raw % static_cast<int64_t>(Slots);
+      if (S < 0)
+        S += static_cast<int64_t>(Slots);
+      Ct O = C;
+      if (S == 0) { // complete no-op amount, as in the real backends
+        Out.push_back(std::move(O));
+        continue;
+      }
+      if (!rotationServable(static_cast<int>(S)))
+        record(Severity::Error, ErrorCode::MissingRotationKey, "rotLeftMany",
+               formatError("hoisted rotation by ", S,
+                           " slots has no Galois key in the selected set ",
+                           describeRotationSteps(Config.AvailableRotationSteps),
+                           " and no power-of-two decomposition covers it"));
+      int Source = C.RotEvent;
+      useValue(C);
+      RotEvents.push_back({static_cast<int>(S), Source, 0, CurrentNode});
+      O.RotEvent = static_cast<int>(RotEvents.size()) - 1;
+      O.OriginNode = CurrentNode;
+      ++Stats.back().Rotations;
+      Out.push_back(std::move(O));
+    }
+    return Out;
+  }
+
   void addAssign(Ct &C, const Ct &Other) {
     checkAdditionScales("addAssign", C, Other.Scale, Other.OriginNode);
     consumeBinary(C, Other);

@@ -8,6 +8,23 @@
 
 using namespace chet;
 
+std::vector<uint32_t> chet::galoisNttPermutation(int LogN, uint64_t Elt) {
+  assert(LogN >= 1 && LogN <= 17 && "transform size out of range");
+  assert((Elt & 1) != 0 && "Galois element must be odd");
+  const uint32_t N = 1u << LogN;
+  const uint64_t TwoNMask = 2 * uint64_t(N) - 1;
+  std::vector<uint32_t> Perm(N);
+  for (uint32_t K = 0; K < N; ++K) {
+    // Slot K of forward() holds the evaluation at exponent EK = 2*rev(K)+1
+    // (odd, modulo 2N). sigma_Elt moves that slot's evaluation point to
+    // exponent EK*Elt, whose slot index inverts the same encoding.
+    uint64_t EK = 2 * uint64_t(reverseBits(K, LogN)) + 1;
+    uint64_t Src = (EK * Elt) & TwoNMask;
+    Perm[K] = reverseBits(static_cast<uint32_t>((Src - 1) >> 1), LogN);
+  }
+  return Perm;
+}
+
 NttTables::NttTables(int LogNIn, const Modulus &QIn)
     : LogN(LogNIn), N(size_t(1) << LogNIn), Q(QIn) {
   assert(LogN >= 1 && LogN <= 17 && "transform size out of range");

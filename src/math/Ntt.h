@@ -34,6 +34,17 @@ inline uint32_t reverseBits(uint32_t X, int Bits) {
   return R;
 }
 
+/// Builds the index permutation realizing the Galois automorphism
+/// X -> X^Elt directly on forward-NTT output, for transforms of size
+/// 2^\p LogN. forward() leaves slot K holding the evaluation at
+/// psi^(2*bitrev(K)+1), so sigma_Elt permutes evaluation points without
+/// touching values: Out[K] = In[Perm[K]]. The table depends only on
+/// (LogN, Elt) -- it is shared across all primes of an RNS chain -- and
+/// because forward() emits fully reduced words, applying the permutation
+/// is bit-exact against transforming sigma_Elt of the coefficient vector.
+/// \p Elt must be odd (a unit modulo 2N).
+std::vector<uint32_t> galoisNttPermutation(int LogN, uint64_t Elt);
+
 /// Precomputed twiddle tables for one (N, q) pair. Instances are immutable
 /// after construction and safe to share.
 class NttTables {

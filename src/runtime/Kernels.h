@@ -256,11 +256,25 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
     for (size_t Base = 0; Base < Taps.size(); Base += Window) {
       size_t Cnt = std::min(Window, Taps.size() - Base);
       Rotated.resize(Cnt);
-      parallelFor(0, Cnt, 1, [&](size_t K) {
-        const Tap &T = Taps[Base + K];
-        Rotated[K] = rotLeft(Backend, In.Cts[T.Ci],
-                             In.L.rotationFor(T.Dy - Pad, T.Dx - Pad));
-      });
+      // Taps are Ci-major, so each source ciphertext's taps form a
+      // contiguous run: hoist every run's tap window through one
+      // rotLeftMany (the backends amortize the key-switch decomposition
+      // across the whole window and parallelize internally).
+      for (size_t K = 0; K < Cnt;) {
+        size_t End = K + 1;
+        while (End < Cnt && Taps[Base + End].Ci == Taps[Base + K].Ci)
+          ++End;
+        std::vector<int> Steps;
+        Steps.reserve(End - K);
+        for (size_t J = K; J < End; ++J)
+          Steps.push_back(In.L.rotationFor(Taps[Base + J].Dy - Pad,
+                                           Taps[Base + J].Dx - Pad));
+        std::vector<typename B::Ct> Runs =
+            rotLeftMany(Backend, In.Cts[Taps[Base + K].Ci], Steps);
+        for (size_t J = K; J < End; ++J)
+          Rotated[J] = std::move(Runs[J - K]);
+        K = End;
+      }
       parallelFor(0, size_t(Wt.Cout), 1, [&](size_t Co) {
         for (size_t K = 0; K < Cnt; ++K) {
           const Tap &T = Taps[Base + K];
@@ -274,24 +288,38 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
       });
     }
   } else {
+    // Sequential path (analysis interpreters, fault injection): the same
+    // per-channel tap windows go through rotLeftMany, so every backend
+    // sees the hoisted instruction -- in particular the key-collection
+    // and cost analyses account the fan-out exactly once per window.
     for (int Ci = 0; Ci < Wt.Cin; ++Ci) {
-      for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
+      struct SeqTap {
+        int Dy, Dx;
+      };
+      std::vector<SeqTap> Taps;
+      std::vector<int> Steps;
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy)
         for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
           bool AnyWeight = false;
           for (int Co = 0; Co < Wt.Cout; ++Co)
             AnyWeight |= Wt.at(Co, Ci, Dy, Dx) != 0.0;
           if (!AnyWeight)
             continue;
-          int Rot = In.L.rotationFor(Dy - Pad, Dx - Pad);
-          typename B::Ct Rotated = rotLeft(Backend, In.Cts[Ci], Rot);
-          for (int Co = 0; Co < Wt.Cout; ++Co) {
-            double Weight = Wt.at(Co, Ci, Dy, Dx);
-            if (Weight == 0.0)
-              continue;
-            detail::accumulate(Backend, Acc[Co],
-                               mulScalar(Backend, Rotated, Weight,
-                                         static_cast<uint64_t>(S.Scalar)));
-          }
+          Taps.push_back({Dy, Dx});
+          Steps.push_back(In.L.rotationFor(Dy - Pad, Dx - Pad));
+        }
+      if (Taps.empty())
+        continue;
+      std::vector<typename B::Ct> Rotated =
+          rotLeftMany(Backend, In.Cts[Ci], Steps);
+      for (size_t K = 0; K < Taps.size(); ++K) {
+        for (int Co = 0; Co < Wt.Cout; ++Co) {
+          double Weight = Wt.at(Co, Ci, Taps[K].Dy, Taps[K].Dx);
+          if (Weight == 0.0)
+            continue;
+          detail::accumulate(Backend, Acc[Co],
+                             mulScalar(Backend, Rotated[K], Weight,
+                                       static_cast<uint64_t>(S.Scalar)));
         }
       }
     }
@@ -315,10 +343,12 @@ CipherTensor<B> conv2dHW(B &Backend, const CipherTensor<B> &In,
 /// variant whose relative cost against mulScalar drives the HW-vs-CHW
 /// tradeoff of Table 1 and Section 4.2.
 ///
-/// Parallel path: per tap, the diagonal weight vectors are built
-/// concurrently, the needed diagonal rotations are computed concurrently,
-/// and each output block folds its (diagonal) terms concurrently --
-/// per-block accumulation order matches the sequential path exactly.
+/// Parallel path: per input block, the Kh*Kw spatial tap rotations are
+/// hoisted in one rotation fan-out; per tap, the diagonal weight vectors
+/// are built concurrently and the needed channel diagonals come from a
+/// second hoisted fan-out; each output block folds its (diagonal) terms
+/// concurrently -- per-block accumulation order matches the sequential
+/// path exactly.
 template <HisaBackend B>
 CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
                           const ConvWeights &Wt, int Stride, int Pad,
@@ -361,6 +391,15 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
     std::vector<std::vector<double>> Plains(size_t(Block) * OutBlocks);
     std::vector<std::optional<typename B::Ct>> Diag(Block);
     for (int Ib = 0; Ib < InBlocks; ++Ib) {
+      // All taps rotate the same input block: hoist the Kh*Kw spatial
+      // rotations in one fan-out before walking the taps.
+      std::vector<int> SpatialSteps;
+      SpatialSteps.reserve(size_t(Wt.Kh) * Wt.Kw);
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy)
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx)
+          SpatialSteps.push_back(In.L.rotationFor(Dy - Pad, Dx - Pad));
+      std::vector<typename B::Ct> Spatials =
+          rotLeftMany(Backend, In.Cts[Ib], SpatialSteps);
       for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
         for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
           parallelFor(0, Plains.size(), 1, [&](size_t Idx) {
@@ -377,15 +416,19 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
               }
           if (NeededD.empty())
             continue;
-          typename B::Ct Spatial = rotLeft(
-              Backend, In.Cts[Ib], In.L.rotationFor(Dy - Pad, Dx - Pad));
+          const typename B::Ct &Spatial =
+              Spatials[size_t(Dy) * Wt.Kw + Dx];
           std::fill(Diag.begin(), Diag.end(), std::nullopt);
-          parallelFor(0, NeededD.size(), 1, [&](size_t K) {
-            size_t D = NeededD[K];
-            Diag[D] = D == 0 ? Backend.copy(Spatial)
-                             : rotLeft(Backend, Spatial,
-                                       int(D) * In.L.ChStride);
-          });
+          // One hoisted fan-out covers every needed channel diagonal of
+          // this tap (amount 0 degenerates to a copy inside the backend).
+          std::vector<int> DiagSteps;
+          DiagSteps.reserve(NeededD.size());
+          for (size_t D : NeededD)
+            DiagSteps.push_back(int(D) * In.L.ChStride);
+          std::vector<typename B::Ct> DiagR =
+              rotLeftMany(Backend, Spatial, DiagSteps);
+          for (size_t K = 0; K < NeededD.size(); ++K)
+            Diag[NeededD[K]] = std::move(DiagR[K]);
           parallelFor(0, size_t(OutBlocks), 1, [&](size_t Ob) {
             for (int D = 0; D < Block; ++D) {
               std::vector<double> &Plain = Plains[size_t(D) * OutBlocks + Ob];
@@ -402,29 +445,57 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
       }
     }
   } else {
+    // Sequential path: same tap structure as the parallel path -- the
+    // needed diagonals are discovered up front so a single rotLeftMany
+    // per tap covers them, and the per-(diagonal, block) accumulation
+    // order is identical.
+    std::vector<std::vector<double>> Plains(size_t(Block) * OutBlocks);
+    std::vector<std::optional<typename B::Ct>> Diag(Block);
     for (int Ib = 0; Ib < InBlocks; ++Ib) {
+      std::vector<int> SpatialSteps;
+      SpatialSteps.reserve(size_t(Wt.Kh) * Wt.Kw);
+      for (int Dy = 0; Dy < Wt.Kh; ++Dy)
+        for (int Dx = 0; Dx < Wt.Kw; ++Dx)
+          SpatialSteps.push_back(In.L.rotationFor(Dy - Pad, Dx - Pad));
+      std::vector<typename B::Ct> Spatials =
+          rotLeftMany(Backend, In.Cts[Ib], SpatialSteps);
       for (int Dy = 0; Dy < Wt.Kh; ++Dy) {
         for (int Dx = 0; Dx < Wt.Kw; ++Dx) {
-          std::optional<typename B::Ct> Spatial; // built lazily
+          for (size_t Idx = 0; Idx < Plains.size(); ++Idx) {
+            int D = int(Idx) / OutBlocks, Ob = int(Idx) % OutBlocks;
+            Plains[Idx] =
+                buildChwConvPlain(In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
+          }
+          std::vector<size_t> NeededD;
+          for (int D = 0; D < Block; ++D)
+            for (int Ob = 0; Ob < OutBlocks; ++Ob)
+              if (!Plains[size_t(D) * OutBlocks + Ob].empty()) {
+                NeededD.push_back(size_t(D));
+                break;
+              }
+          if (NeededD.empty())
+            continue;
+          const typename B::Ct &Spatial =
+              Spatials[size_t(Dy) * Wt.Kw + Dx];
+          std::fill(Diag.begin(), Diag.end(), std::nullopt);
+          std::vector<int> DiagSteps;
+          DiagSteps.reserve(NeededD.size());
+          for (size_t D : NeededD)
+            DiagSteps.push_back(int(D) * In.L.ChStride);
+          std::vector<typename B::Ct> DiagR =
+              rotLeftMany(Backend, Spatial, DiagSteps);
+          for (size_t K = 0; K < NeededD.size(); ++K)
+            Diag[NeededD[K]] = std::move(DiagR[K]);
           for (int D = 0; D < Block; ++D) {
-            std::optional<typename B::Ct> Diagonal;
             for (int Ob = 0; Ob < OutBlocks; ++Ob) {
-              std::vector<double> Plain = buildChwConvPlain(
-                  In.L, Out.L, Wt, Ob, Ib, D, Dy, Dx, Pad);
+              std::vector<double> &Plain = Plains[size_t(D) * OutBlocks + Ob];
               if (Plain.empty())
                 continue;
-              if (!Spatial)
-                Spatial = rotLeft(Backend, In.Cts[Ib],
-                                  In.L.rotationFor(Dy - Pad, Dx - Pad));
-              if (!Diagonal)
-                Diagonal = D == 0 ? Backend.copy(*Spatial)
-                                  : rotLeft(Backend, *Spatial,
-                                            D * In.L.ChStride);
               auto P = cachedEncode(Backend, KC, SubOf(Ob, Ib, D, Dy, Dx),
                                     In.L, S.Weight,
                                     [&] { return std::move(Plain); });
               detail::accumulate(Backend, Acc[Ob],
-                                 mulPlain(Backend, *Diagonal, P));
+                                 mulPlain(Backend, *Diag[D], P));
             }
           }
         }
@@ -690,11 +761,18 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
         if (Used[Step])
           NeededSteps.push_back(size_t(Step));
     }
-    parallelFor(0, NeededSteps.size(), 1, [&](size_t I) {
-      size_t Step = NeededSteps[I];
-      Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
-                             : rotLeft(Backend, In.Cts[0], int(Step));
-    });
+    // One hoisted fan-out produces every baby rotation (amount 0 is a
+    // copy inside the backend).
+    {
+      std::vector<int> BabySteps;
+      BabySteps.reserve(NeededSteps.size());
+      for (size_t Step : NeededSteps)
+        BabySteps.push_back(int(Step));
+      std::vector<typename B::Ct> R =
+          rotLeftMany(Backend, In.Cts[0], BabySteps);
+      for (size_t I = 0; I < NeededSteps.size(); ++I)
+        Baby[NeededSteps[I]] = std::move(R[I]);
+    }
     auto It = Plains.begin();
     while (It != Plains.end()) {
       int K = It->first.first;
@@ -716,14 +794,26 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
       detail::accumulate(Backend, Acc, std::move(*Giant));
     }
   } else {
-    // Baby rotations, built on demand and shared across all giants.
+    // Sequential path: the needed baby rotations are known from the
+    // diagonal table, so they hoist through one rotLeftMany exactly as
+    // in the parallel path, then every giant folds in diagonal order.
     std::vector<std::optional<typename B::Ct>> Baby(G);
-    auto babyOf = [&](int Step) -> const typename B::Ct & {
-      if (!Baby[Step])
-        Baby[Step] = Step == 0 ? Backend.copy(In.Cts[0])
-                               : rotLeft(Backend, In.Cts[0], Step);
-      return *Baby[Step];
-    };
+    {
+      std::vector<bool> Used(G, false);
+      for (const auto &E : Plains)
+        Used[E.first.second] = true;
+      std::vector<int> BabySteps;
+      std::vector<int> StepIds;
+      for (int Step = 0; Step < G; ++Step)
+        if (Used[Step]) {
+          BabySteps.push_back(Step);
+          StepIds.push_back(Step);
+        }
+      std::vector<typename B::Ct> R =
+          rotLeftMany(Backend, In.Cts[0], BabySteps);
+      for (size_t I = 0; I < StepIds.size(); ++I)
+        Baby[StepIds[I]] = std::move(R[I]);
+    }
     auto It = Plains.begin();
     while (It != Plains.end()) {
       int K = It->first.first;
@@ -732,7 +822,7 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
         auto P = cachedEncode(Backend, KC, DiagSub(K, It->first.second),
                               In.L, S.Weight, [&] { return It->second; });
         detail::accumulate(Backend, Giant,
-                           mulPlain(Backend, babyOf(It->first.second), P));
+                           mulPlain(Backend, *Baby[It->first.second], P));
       }
       if (K != 0)
         Backend.rotLeftAssign(*Giant, K * G);

@@ -98,6 +98,32 @@ TEST(Analysis, RotationStepsAreCollectedNormalized) {
   EXPECT_EQ(B.rotationSteps(), Expected);
 }
 
+TEST(Analysis, HoistedFanOutCollectsAmountsOnceAndPricesShared) {
+  AnalysisConfig Cfg = rnsConfig(12);
+  CostModel Model = CostModel::create(SchemeKind::RnsCkks, 12);
+  Cfg.Cost = &Model;
+  Cfg.TotalChainPrimes = 5;
+  AnalysisBackend B(Cfg);
+  auto C = B.encrypt(B.encode({}, 1024.0));
+  // Repeated, negative-equivalent, and no-op amounts: the rotation-key
+  // set collects each normalized amount exactly once.
+  auto Out = B.rotLeftMany(C, {5, 5, 2048 - 3, 0, 2048 + 7});
+  EXPECT_EQ(Out.size(), 5u);
+  std::set<int> Expected = {5, 2048 - 3, 7};
+  EXPECT_EQ(B.rotationSteps(), Expected);
+  // Pricing: one shared decomposition plus a marginal term per nonzero
+  // amount -- strictly cheaper than the four naive rotations.
+  double Hoisted = B.totalCost();
+  AnalysisBackend Naive(Cfg);
+  auto C2 = Naive.encrypt(Naive.encode({}, 1024.0));
+  for (int S : {5, 5, 2048 - 3, 2048 + 7})
+    Naive.rotLeftAssign(C2, S);
+  EXPECT_GT(Hoisted, 0.0);
+  EXPECT_LT(Hoisted, Naive.totalCost());
+  EXPECT_EQ(B.opCounts().at("rotateHoistShared"), 1u);
+  EXPECT_EQ(B.opCounts().at("rotate"), 4u);
+}
+
 TEST(Analysis, CostAccumulatesOnlyWithModel) {
   AnalysisConfig Cfg = rnsConfig();
   AnalysisBackend NoCost(Cfg);

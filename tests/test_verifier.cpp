@@ -147,9 +147,46 @@ TEST(Verifier, ReportsMissingRotationKey) {
   ASSERT_NE(D, nullptr) << R.str();
   EXPECT_GE(D->NodeId, 0);
   EXPECT_FALSE(D->Layer.empty());
-  EXPECT_EQ(D->HisaOp, "rotLeftAssign");
+  // Kernels issue rotations singly or through hoisted fan-outs; the
+  // missing key must be attributed to whichever instruction used it.
+  EXPECT_TRUE(D->HisaOp == "rotLeftAssign" || D->HisaOp == "rotLeftMany")
+      << D->HisaOp;
   EXPECT_NE(D->Message.find("no Galois key"), std::string::npos)
       << D->Message;
+}
+
+/// Hoisted fan-out with a missing key: issue a rotLeftMany directly at
+/// the verifier's abstract machine with one unservable amount. The
+/// diagnostic must carry the rotLeftMany op name, the current node, and
+/// an error per batch (deduplicated), while the servable amounts pass.
+TEST(Verifier, ReportsUnservableHoistedAmountWithProvenance) {
+  VerifierBackendConfig VC;
+  VC.Rns = true;
+  VC.LogN = 12;
+  VC.ScalePrimeCandidates = {uint64_t(1) << 30};
+  VC.AvailableRotationSteps = {1, 2, 3};
+  VC.StockPow2Keys = false;
+  VerifierBackend VB(VC);
+  VB.beginNode(7, "conv_taps");
+
+  VerifierBackend::Ct C;
+  C.Scale = double(uint64_t(1) << 30);
+  // Amounts 1..3 are keyed; 5 = 4+1 has no key for the 4-hop, so it is
+  // unservable by decomposition as well.
+  std::vector<VerifierBackend::Ct> Out = VB.rotLeftMany(C, {1, 2, 5, 3});
+  ASSERT_EQ(Out.size(), 4u);
+
+  ASSERT_EQ(VB.events().size(), 1u);
+  const VerifierEvent &E = VB.events()[0];
+  EXPECT_EQ(E.Sev, Severity::Error);
+  EXPECT_EQ(E.Code, ErrorCode::MissingRotationKey);
+  EXPECT_EQ(std::string(E.HisaOp), "rotLeftMany");
+  EXPECT_EQ(E.NodeId, 7);
+  EXPECT_NE(E.Message.find("hoisted rotation by 5"), std::string::npos)
+      << E.Message;
+  EXPECT_NE(E.Message.find("no Galois key"), std::string::npos) << E.Message;
+  // All four amounts count as rotations against the node's stats.
+  EXPECT_EQ(VB.nodeStats().back().Rotations, 4u);
 }
 
 /// Dead ciphertext: a branch that never reaches the output compiles
