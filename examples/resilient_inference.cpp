@@ -1,0 +1,161 @@
+//===- resilient_inference.cpp - Checkpointed inference under chaos -------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encrypted LeNet inference on a deliberately hostile "server": a fault
+/// injector drives transient op failures, ciphertext bit flips, and two
+/// simulated process crashes into the evaluation, while an
+/// InferenceSession (runtime/Session.h) checkpoints the live ciphertext
+/// frontier at layer boundaries, verifies limb checksums, retries
+/// transients with seeded backoff, rolls corruption back to the last
+/// clean checkpoint, and resumes after each crash from the checkpoint
+/// store -- the only state that survives a crash.
+///
+/// The run prints the session's structured report and then proves the
+/// point of the whole exercise: the recovered prediction matches the
+/// plaintext model exactly, because recovery replays the identical
+/// deterministic instruction stream.
+///
+/// Usage: ./build/examples/resilient_inference [reduction]
+///   reduction: LeNet channel reduction factor (default 4; 2 is the
+///   mnist_lenet default and takes a few minutes under chaos).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/Serialization.h"
+#include "core/Compiler.h"
+#include "hisa/FaultInjectionBackend.h"
+#include "hisa/IntegrityBackend.h"
+#include "nn/Networks.h"
+#include "runtime/ReferenceOps.h"
+#include "runtime/Session.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace chet;
+
+using Integ = IntegrityBackend<RnsCkksBackend>;
+using Chaos = FaultInjectionBackend<Integ>;
+
+/// CipherTensor is tagged by backend type; the input is encrypted through
+/// the integrity layer (it arrives over an integrity-protected wire and
+/// the fault injector only models server-side compute), then re-tagged
+/// for the chaos stack, which shares the same ciphertext type.
+static CipherTensor<Chaos> retagForChaos(CipherTensor<Integ> T) {
+  CipherTensor<Chaos> Out;
+  Out.L = T.L;
+  Out.Cts = std::move(T.Cts);
+  return Out;
+}
+
+int main(int Argc, char **Argv) {
+  int Reduction = Argc > 1 ? std::atoi(Argv[1]) : 4;
+  if (Reduction < 1)
+    Reduction = 4;
+
+  TensorCircuit Network = makeLeNet5Small(Reduction);
+  std::printf("network: %s (reduction %d, %d conv, %d fc)\n",
+              Network.name().c_str(), Reduction, Network.convLayerCount(),
+              Network.fcLayerCount());
+
+  CompilerOptions Options;
+  Options.Scheme = SchemeKind::RnsCkks;
+  Options.Security = SecurityLevel::Classical128;
+  Options.Scales = ScaleConfig::fromExponents(25, 25, 25, 12);
+
+  Timer T;
+  CompiledCircuit Compiled = compileCircuit(Network, Options);
+  std::printf("compile: %.2f s -> policy=%s, N=2^%d, logQ=%.0f\n",
+              T.seconds(), layoutPolicyName(Compiled.Policy), Compiled.LogN,
+              Compiled.LogQ);
+
+  T.reset();
+  RnsCkksBackend Raw = makeRnsBackend(Compiled);
+  std::printf("key generation: %.2f s\n", T.seconds());
+
+  Integ Protected(Raw);
+
+  // An aggressive seeded fault schedule: every class of failure the
+  // session knows how to survive, all in one run.
+  FaultPlan Plan;
+  Plan.Seed = 0xbad5eed;
+  Plan.TransientRate = 0.002;   // sporadic "backend hiccup" op failures
+  Plan.MaxTransientFaults = 4;
+  Plan.BitFlipRate = 0.001;     // silent ciphertext corruption
+  Plan.MaxBitFlips = 2;
+  Plan.CrashAtOps = {400, 2500}; // two simulated process deaths
+  Chaos Server(Protected, Plan);
+  std::printf("fault plan: transients<=%d @%.3f, bitflips<=%d @%.3f, "
+              "crashes at ops {%ld, %ld}\n",
+              Plan.MaxTransientFaults, Plan.TransientRate, Plan.MaxBitFlips,
+              Plan.BitFlipRate, Plan.CrashAtOps[0], Plan.CrashAtOps[1]);
+
+  // Session policy: checkpoint every other layer, verify the live
+  // frontier's checksums at every layer, give transients three retries.
+  MemoryCheckpointStore Store;
+  SessionConfig Cfg;
+  Cfg.Checkpoint = CheckpointPolicy::everyN(2);
+  Cfg.Store = &Store;
+  Cfg.IntegrityCheckEveryNodes = 1;
+  Cfg.Retry.MaxAttempts = 3;
+
+  TensorLayout Layout =
+      circuitInputLayout(Network, Compiled.Policy, Protected.slotCount());
+  Tensor3 Image = randomImageFor(Network, 2026);
+  auto Reference = encryptTensor(Protected, Image, Layout, Compiled.Scales);
+  auto Encrypted = retagForChaos(Reference);
+
+  // Fault-free reference evaluation on the same backend and input: the
+  // recovered run must reproduce these ciphertexts bit for bit.
+  T.reset();
+  auto CleanOut = evaluateCircuit(Protected, Network, Reference,
+                                  Compiled.Scales, Compiled.Policy);
+  std::printf("fault-free evaluation: %.2f s\n", T.seconds());
+
+  InferenceSession<Chaos> Session(Server, Network, Cfg);
+  T.reset();
+  Tensor3 Scores;
+  bool BitIdentical = false;
+  try {
+    auto Out = Session.run(Encrypted, Compiled.Scales, Compiled.Policy);
+    BitIdentical = Out.Cts.size() == CleanOut.Cts.size();
+    for (size_t I = 0; BitIdentical && I < Out.Cts.size(); ++I)
+      BitIdentical = serialize(Out.Cts[I]) == serialize(CleanOut.Cts[I]);
+    CipherTensor<Integ> ForDecrypt;
+    ForDecrypt.L = Out.L;
+    ForDecrypt.Cts = std::move(Out.Cts);
+    Scores = decryptTensor(Protected, ForDecrypt);
+  } catch (const ChetError &E) {
+    std::printf("session failed unrecoverably [%s/%s]: %s\n",
+                errorCodeName(E.code()), faultClassName(E.faultClass()),
+                E.what());
+    std::printf("%s\n", Session.report().str().c_str());
+    return 1;
+  }
+  double WallSec = T.seconds();
+
+  const FaultStats &Injected = Server.stats();
+  std::printf("\ninjected: %ld transients, %ld bit flips, %ld crashes "
+              "across %ld ops\n",
+              Injected.TransientFaults, Injected.BitFlips, Injected.Crashes,
+              Injected.OpsSeen);
+  for (const FaultSite &Site : Injected.Sites)
+    std::printf("  %-18s op %-6ld node %-3d layer '%s'\n",
+                faultKindName(Site.Kind), Site.OpOrdinal, Site.NodeId,
+                Site.Label.c_str());
+
+  std::printf("\n%s\n", Session.report().str().c_str());
+
+  Tensor3 Plain = Network.evaluatePlain(Image);
+  std::printf("\nrecovered inference: %.2f s wall clock, class=%d "
+              "(plain model says %d)\n",
+              WallSec, argmax(Scores), argmax(Plain));
+  std::printf("recovered ciphertexts %s the fault-free run\n",
+              BitIdentical ? "are BIT-IDENTICAL to" : "DIVERGE from");
+  return BitIdentical ? 0 : 1;
+}

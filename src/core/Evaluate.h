@@ -21,8 +21,11 @@
 #include "core/Ir.h"
 #include "runtime/Kernels.h"
 #include "support/Error.h"
+#include "support/Prng.h"
 
+#include <chrono>
 #include <optional>
+#include <thread>
 
 namespace chet {
 
@@ -97,6 +100,82 @@ inline std::vector<bool> computeMaskNeeds(const TensorCircuit &Circ,
   return Needs;
 }
 
+/// Evaluates one non-Output node of \p Circ into \p Vals, reading its
+/// operands from earlier entries. This is the single-step form of
+/// evaluateCircuit below, factored out so the InferenceSession layer
+/// (runtime/Session.h) can drive the node loop itself -- inserting
+/// checkpoint, integrity-check, retry, and deadline logic at node
+/// boundaries -- while the per-node kernel dispatch stays in exactly one
+/// place. Announces the node to provenance-sink backends, so injected
+/// faults and verifier diagnostics carry op -> node -> layer attribution.
+///
+/// Operands in \p Vals are never mutated (kernels copy before assigning),
+/// so a node whose evaluation throws can be retried in place: only
+/// Vals[Node.Id] is (re)assigned.
+template <HisaBackend B>
+void evaluateNode(B &Backend, const OpNode &Node,
+                  std::vector<std::optional<CipherTensor<B>>> &Vals,
+                  const std::vector<bool> &NeedsMask,
+                  const CipherTensor<B> &Input, const ScaleConfig &S,
+                  LayoutPolicy Policy, FcAlgorithm FcAlg = FcAlgorithm::Auto,
+                  EncodedPlaintextCache<B> *PtCache = nullptr) {
+  if constexpr (HisaProvenanceSink<B>)
+    Backend.beginNode(Node.Id, Node.Label);
+  KernelCache<B> KC{PtCache, static_cast<uint64_t>(Node.Id)};
+  switch (Node.Kind) {
+  case OpKind::Input: {
+    CipherTensor<B> V;
+    V.L = Input.L;
+    for (const auto &Ct : Input.Cts)
+      V.Cts.push_back(Backend.copy(Ct));
+    Vals[Node.Id] = std::move(V);
+    break;
+  }
+  case OpKind::Conv2d: {
+    const CipherTensor<B> &Src = *Vals[Node.Inputs[0]];
+    if (Policy == LayoutPolicy::ConvHW &&
+        Src.L.Kind != LayoutKind::HW) {
+      CipherTensor<B> AsHw =
+          convertLayout(Backend, Src, LayoutKind::HW, S, KC);
+      CipherTensor<B> Conv = conv2d(Backend, AsHw, Node.Conv, Node.Stride,
+                                    Node.Pad, S, NeedsMask[Node.Id], KC);
+      Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
+    } else {
+      CipherTensor<B> Conv = conv2d(Backend, Src, Node.Conv, Node.Stride,
+                                    Node.Pad, S, NeedsMask[Node.Id], KC);
+      if (Policy == LayoutPolicy::ConvHW)
+        Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
+      else
+        Vals[Node.Id] = std::move(Conv);
+    }
+    break;
+  }
+  case OpKind::AveragePool:
+  case OpKind::GlobalAveragePool:
+    Vals[Node.Id] =
+        averagePool(Backend, *Vals[Node.Inputs[0]], Node.PoolK,
+                    Node.PoolStride, S, NeedsMask[Node.Id], KC);
+    break;
+  case OpKind::PolyActivation:
+    Vals[Node.Id] = polyActivation(Backend, *Vals[Node.Inputs[0]],
+                                   Node.A2, Node.A1, S);
+    break;
+  case OpKind::FullyConnected: {
+    LayoutKind OutKind = Policy == LayoutPolicy::AllHW ? LayoutKind::HW
+                                                       : LayoutKind::CHW;
+    Vals[Node.Id] = fullyConnected(Backend, *Vals[Node.Inputs[0]],
+                                   Node.Fc, S, OutKind, FcAlg, KC);
+    break;
+  }
+  case OpKind::ConcatChannels:
+    Vals[Node.Id] = concatChannels(Backend, *Vals[Node.Inputs[0]],
+                                   *Vals[Node.Inputs[1]], S, KC);
+    break;
+  case OpKind::Output:
+    break; // handled by the caller (the value is Vals[Node.Inputs[0]])
+  }
+}
+
 } // namespace detail
 
 /// Evaluates \p Circ on the encrypted \p Input (packed per
@@ -104,6 +183,12 @@ inline std::vector<bool> computeMaskNeeds(const TensorCircuit &Circ,
 /// tensor. When \p PtCache is non-null, every weight/mask/bias encoding
 /// goes through it keyed by the producing node's id, so repeated
 /// inferences of the same circuit encode each plaintext once.
+///
+/// Honors a cooperative deadline (support/Deadline.h) installed on the
+/// calling thread: checked at every node boundary (and inside
+/// parallelReduce folds), aborting with DeadlineExceededError. With no
+/// deadline installed the check is a null-pointer load -- behavior is
+/// unchanged.
 template <HisaBackend B>
 CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
                                 const CipherTensor<B> &Input,
@@ -117,61 +202,14 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
     PtCache->noteScales(S);
 
   for (const OpNode &Node : Ops) {
-    if constexpr (HisaProvenanceSink<B>)
-      Backend.beginNode(Node.Id, Node.Label);
-    KernelCache<B> KC{PtCache, static_cast<uint64_t>(Node.Id)};
-    switch (Node.Kind) {
-    case OpKind::Input: {
-      CipherTensor<B> V;
-      V.L = Input.L;
-      for (const auto &Ct : Input.Cts)
-        V.Cts.push_back(Backend.copy(Ct));
-      Vals[Node.Id] = std::move(V);
-      break;
-    }
-    case OpKind::Conv2d: {
-      const CipherTensor<B> &Src = *Vals[Node.Inputs[0]];
-      if (Policy == LayoutPolicy::ConvHW &&
-          Src.L.Kind != LayoutKind::HW) {
-        CipherTensor<B> AsHw =
-            convertLayout(Backend, Src, LayoutKind::HW, S, KC);
-        CipherTensor<B> Conv = conv2d(Backend, AsHw, Node.Conv, Node.Stride,
-                                      Node.Pad, S, NeedsMask[Node.Id], KC);
-        Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
-      } else {
-        CipherTensor<B> Conv = conv2d(Backend, Src, Node.Conv, Node.Stride,
-                                      Node.Pad, S, NeedsMask[Node.Id], KC);
-        if (Policy == LayoutPolicy::ConvHW)
-          Vals[Node.Id] = convertLayout(Backend, Conv, LayoutKind::CHW, S, KC);
-        else
-          Vals[Node.Id] = std::move(Conv);
-      }
-      break;
-    }
-    case OpKind::AveragePool:
-    case OpKind::GlobalAveragePool:
-      Vals[Node.Id] =
-          averagePool(Backend, *Vals[Node.Inputs[0]], Node.PoolK,
-                      Node.PoolStride, S, NeedsMask[Node.Id], KC);
-      break;
-    case OpKind::PolyActivation:
-      Vals[Node.Id] = polyActivation(Backend, *Vals[Node.Inputs[0]],
-                                     Node.A2, Node.A1, S);
-      break;
-    case OpKind::FullyConnected: {
-      LayoutKind OutKind = Policy == LayoutPolicy::AllHW ? LayoutKind::HW
-                                                         : LayoutKind::CHW;
-      Vals[Node.Id] = fullyConnected(Backend, *Vals[Node.Inputs[0]],
-                                     Node.Fc, S, OutKind, FcAlg, KC);
-      break;
-    }
-    case OpKind::ConcatChannels:
-      Vals[Node.Id] = concatChannels(Backend, *Vals[Node.Inputs[0]],
-                                     *Vals[Node.Inputs[1]], S, KC);
-      break;
-    case OpKind::Output:
+    checkActiveDeadline("node boundary");
+    if (Node.Kind == OpKind::Output) {
+      if constexpr (HisaProvenanceSink<B>)
+        Backend.beginNode(Node.Id, Node.Label);
       return std::move(*Vals[Node.Inputs[0]]);
     }
+    detail::evaluateNode(Backend, Node, Vals, NeedsMask, Input, S, Policy,
+                         FcAlg, PtCache);
   }
   // A well-formed circuit ends in an Output node.
   throw InvalidArgumentError("circuit has no output node");
@@ -193,18 +231,45 @@ Tensor3 runEncryptedInference(B &Backend, const TensorCircuit &Circ,
 }
 
 /// Bounded-retry policy for transient backend faults (dropped network
-/// packets, injected TransientBackendFault, ...).
+/// packets, injected TransientBackendFault, ...). Attempt k > 1 is
+/// preceded by a backoff sleep of
+///   min(BackoffBaseSeconds * BackoffFactor^(k-2), BackoffMaxSeconds)
+/// scaled by (0.5 + 0.5 * jitter) with jitter drawn from a Prng seeded by
+/// JitterSeed -- exponential backoff that de-synchronizes retry storms
+/// while staying exactly reproducible. BackoffBaseSeconds = 0 restores
+/// the immediate-retry behavior.
 struct RetryPolicy {
   /// Total attempts, including the first; must be >= 1.
   int MaxAttempts = 3;
+  double BackoffBaseSeconds = 0.0005;
+  double BackoffFactor = 2.0;
+  double BackoffMaxSeconds = 0.05;
+  uint64_t JitterSeed = 0x5e551077;
 };
+
+namespace detail {
+/// Sleeps the deterministic jittered backoff before retry \p Attempt
+/// (the attempt that just failed). Shared by runEncryptedInferenceWithRetry
+/// and the InferenceSession layer.
+inline void retryBackoff(const RetryPolicy &Retry, int Attempt,
+                         Prng &Jitter) {
+  double D = Retry.BackoffBaseSeconds;
+  for (int I = 1; I < Attempt; ++I)
+    D *= Retry.BackoffFactor;
+  D = std::min(D, Retry.BackoffMaxSeconds);
+  D *= 0.5 + 0.5 * Jitter.nextDouble();
+  if (D > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(D));
+}
+} // namespace detail
 
 /// Like runEncryptedInference, but retries the whole encrypt -> evaluate
 /// -> decrypt round trip when the backend raises a *transient* ChetError
-/// (ChetError::isTransient()). Each attempt re-encrypts the input from
-/// scratch, so a corrupted ciphertext never survives into the retry.
-/// Non-transient errors and exhaustion of the attempt budget rethrow the
-/// last error to the caller.
+/// (ChetError::isTransient()), waiting out an exponentially growing,
+/// deterministically jittered backoff between attempts. Each attempt
+/// re-encrypts the input from scratch, so a corrupted ciphertext never
+/// survives into the retry. Non-transient errors and exhaustion of the
+/// attempt budget rethrow the last error to the caller.
 template <HisaBackend B>
 Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
                                        const Tensor3 &Image,
@@ -218,6 +283,7 @@ Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
   CHET_CHECK(Retry.MaxAttempts >= 1, InvalidArgument,
              "retry policy needs at least one attempt, got ",
              Retry.MaxAttempts);
+  Prng Jitter(Retry.JitterSeed);
   for (int Attempt = 1;; ++Attempt) {
     if (AttemptsOut)
       *AttemptsOut = Attempt;
@@ -227,6 +293,7 @@ Tensor3 runEncryptedInferenceWithRetry(B &Backend, const TensorCircuit &Circ,
     } catch (const ChetError &E) {
       if (!E.isTransient() || Attempt >= Retry.MaxAttempts)
         throw;
+      detail::retryBackoff(Retry, Attempt, Jitter);
     }
   }
 }

@@ -9,6 +9,7 @@
 #include "runtime/ReferenceOps.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace chet;
 
@@ -201,6 +202,84 @@ int TensorCircuit::padPhysNeeded() const {
     }
   }
   return Needed;
+}
+
+namespace {
+
+/// FNV-1a accumulator used by structuralHash. Doubles are hashed by bit
+/// pattern, so the hash distinguishes weights that differ below printing
+/// precision (and +0.0 from -0.0, which is fine: replay state from either
+/// is valid only for exactly the same circuit object graph).
+struct Fnv {
+  uint64_t H = 1469598103934665603ull;
+
+  void byte(uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void i32(int V) { u64(static_cast<uint64_t>(static_cast<uint32_t>(V))); }
+  void f64(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void doubles(const std::vector<double> &Vs) {
+    u64(Vs.size());
+    for (double V : Vs)
+      f64(V);
+  }
+};
+
+} // namespace
+
+uint64_t TensorCircuit::structuralHash() const {
+  Fnv H;
+  H.u64(Ops.size());
+  for (const OpNode &Node : Ops) {
+    H.i32(static_cast<int>(Node.Kind));
+    H.i32(Node.Id);
+    H.u64(Node.Inputs.size());
+    for (int In : Node.Inputs)
+      H.i32(In);
+    H.i32(Node.C);
+    H.i32(Node.H);
+    H.i32(Node.W);
+    switch (Node.Kind) {
+    case OpKind::Conv2d:
+      H.i32(Node.Conv.Cout);
+      H.i32(Node.Conv.Cin);
+      H.i32(Node.Conv.Kh);
+      H.i32(Node.Conv.Kw);
+      H.doubles(Node.Conv.W);
+      H.doubles(Node.Conv.Bias);
+      H.i32(Node.Stride);
+      H.i32(Node.Pad);
+      break;
+    case OpKind::AveragePool:
+    case OpKind::GlobalAveragePool:
+      H.i32(Node.PoolK);
+      H.i32(Node.PoolStride);
+      break;
+    case OpKind::PolyActivation:
+      H.f64(Node.A2);
+      H.f64(Node.A1);
+      break;
+    case OpKind::FullyConnected:
+      H.i32(Node.Fc.Out);
+      H.i32(Node.Fc.In);
+      H.doubles(Node.Fc.W);
+      H.doubles(Node.Fc.Bias);
+      break;
+    default:
+      break;
+    }
+  }
+  return H.H;
 }
 
 uint64_t TensorCircuit::fpOperationCount() const {

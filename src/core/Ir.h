@@ -109,6 +109,15 @@ public:
   /// metadata).
   int padPhysNeeded() const;
 
+  /// FNV-1a hash of the circuit's structure AND weights (op kinds, wiring,
+  /// shapes, hyper-parameters, weight/bias bit patterns). Two circuits
+  /// share a hash only if replaying one from the other's intermediate
+  /// state is meaningful, which is what lets a CheckpointStore key
+  /// checkpoints by (structuralHash, node id) and safely refuse stale
+  /// state after a model update. The circuit name is excluded: renaming a
+  /// network does not invalidate its checkpoints.
+  uint64_t structuralHash() const;
+
   /// Number of floating-point operations of one unencrypted inference
   /// (multiply and add counted separately), as reported in Table 3.
   uint64_t fpOperationCount() const;

@@ -16,12 +16,21 @@
 ///                           (a lost modulus-management step);
 ///   - TransientOpFailure -- throws TransientBackendFault from a
 ///                           homomorphic op (a flaky accelerator or RPC),
-///                           recoverable by runEncryptedInferenceWithRetry.
+///                           recoverable by bounded retry;
+///   - CrashAtOp          -- throws SimulatedCrash at scheduled global op
+///                           ordinals, modeling process death: the session
+///                           layer must treat all in-memory evaluator
+///                           state as lost and recover from its
+///                           CheckpointStore alone.
 ///
 /// Because the adapter satisfies the HisaBackend concept, the unmodified
 /// tensor kernels and the circuit evaluator run under fault injection with
 /// no changes -- the same re-interpretation trick the analysis backends
 /// use (Section 5.1), applied to robustness testing.
+///
+/// The adapter is also a provenance sink (beginNode), so every injected
+/// fault carries op -> node -> layer attribution: retry logs and
+/// SessionReports name the failing layer, not a bare op index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +41,7 @@
 #include "support/Error.h"
 #include "support/Prng.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -40,7 +50,21 @@
 namespace chet {
 
 /// The failure modes the adapter can inject.
-enum class FaultKind { BitFlip, DroppedRescale, TransientOpFailure };
+enum class FaultKind { BitFlip, DroppedRescale, TransientOpFailure, CrashAtOp };
+
+inline const char *faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::BitFlip:
+    return "BitFlip";
+  case FaultKind::DroppedRescale:
+    return "DroppedRescale";
+  case FaultKind::TransientOpFailure:
+    return "TransientOpFailure";
+  case FaultKind::CrashAtOp:
+    return "CrashAtOp";
+  }
+  return "?";
+}
 
 /// Deterministic fault schedule: every rate is a per-operation
 /// probability drawn from the seeded stream, so a (Seed, circuit) pair
@@ -54,15 +78,41 @@ struct FaultPlan {
   /// Probability that a homomorphic op throws TransientBackendFault.
   double TransientRate = 0.0;
   /// Total transient faults to inject before the backend heals; a finite
-  /// cap lets retry-with-reencrypt succeed deterministically.
+  /// cap lets bounded retry succeed deterministically.
   int MaxTransientFaults = std::numeric_limits<int>::max();
+  /// Total bit flips to inject before the backend heals; a finite cap
+  /// lets rollback-to-checkpoint converge deterministically.
+  int MaxBitFlips = std::numeric_limits<int>::max();
+  /// Global homomorphic-op ordinals (0-based, counted across the whole
+  /// run including replays) at which to throw SimulatedCrash. Each entry
+  /// fires at most once; order does not matter. Ordinal-based scheduling
+  /// keeps crash sites exactly reproducible at any thread count (kernels
+  /// stay sequential under this adapter).
+  std::vector<long> CrashAtOps;
 };
 
-/// Counters of the faults actually delivered.
+/// One delivered fault with its op -> node -> layer provenance.
+struct FaultSite {
+  FaultKind Kind = FaultKind::BitFlip;
+  std::string Op;    ///< HISA instruction ("mul", "rotLeftMany", ...).
+  long OpOrdinal = -1;
+  int NodeId = -1;
+  std::string Label; ///< Layer label from OpNode::Label ("conv1", ...).
+};
+
+/// Counters of the faults actually delivered, plus the first sites.
 struct FaultStats {
   long BitFlips = 0;
   long DroppedRescales = 0;
   long TransientFaults = 0;
+  long Crashes = 0;
+  /// Homomorphic ops observed (the ordinal domain of CrashAtOps).
+  long OpsSeen = 0;
+  /// Provenance of delivered faults, in delivery order (capped so a
+  /// high-rate soak cannot grow without bound).
+  std::vector<FaultSite> Sites;
+
+  static constexpr size_t MaxSites = 256;
 };
 
 /// HISA adapter injecting faults per a FaultPlan. Holds the wrapped
@@ -73,10 +123,30 @@ public:
   using Pt = typename B::Pt;
 
   FaultInjectionBackend(B &InnerIn, const FaultPlan &PlanIn)
-      : Inner(InnerIn), Plan(PlanIn), Rng(PlanIn.Seed) {}
+      : Inner(InnerIn), Plan(PlanIn), Rng(PlanIn.Seed) {
+    std::sort(Plan.CrashAtOps.begin(), Plan.CrashAtOps.end());
+  }
 
   const FaultStats &stats() const { return Stats; }
   B &inner() { return Inner; }
+
+  /// Provenance hook (HisaProvenanceSink): the evaluator tells us which
+  /// tensor-circuit node the following instructions implement, so
+  /// injected faults name the layer they hit.
+  void beginNode(int NodeId, const std::string &Label) {
+    CurNode = NodeId;
+    CurLabel = Label;
+    if constexpr (HisaProvenanceSink<B>)
+      Inner.beginNode(NodeId, Label);
+  }
+
+  /// Forwarded integrity probe, when the inner backend has one (the
+  /// chaos-soak stack puts IntegrityBackend inside this adapter).
+  void verifyCt(const Ct &C) const
+    requires requires(const B &Ib, const Ct &X) { Ib.verifyCt(X); }
+  {
+    Inner.verifyCt(C);
+  }
 
   size_t slotCount() const { return Inner.slotCount(); }
 
@@ -88,7 +158,7 @@ public:
 
   Ct encrypt(const Pt &P) {
     Ct C = Inner.encrypt(P);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "encrypt");
     return C;
   }
 
@@ -99,82 +169,83 @@ public:
   void freeCt(Ct &C) { Inner.freeCt(C); }
 
   void rotLeftAssign(Ct &C, int Steps) {
-    maybeTransient("rotLeft");
+    faultPoint("rotLeft");
     Inner.rotLeftAssign(C, Steps);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "rotLeft");
   }
 
   void rotRightAssign(Ct &C, int Steps) {
-    maybeTransient("rotRight");
+    faultPoint("rotRight");
     Inner.rotRightAssign(C, Steps);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "rotRight");
   }
 
-  /// Rotation fan-out: one transient draw for the shared batch, then one
-  /// corruption draw per produced ciphertext, in step order -- the site
-  /// numbering stays deterministic for a fixed (Seed, circuit) pair.
+  /// Rotation fan-out: one crash/transient draw for the shared batch,
+  /// then one corruption draw per produced ciphertext, in step order --
+  /// the site numbering stays deterministic for a fixed (Seed, circuit)
+  /// pair.
   std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps)
     requires BackendHasRotLeftMany<B>
   {
-    maybeTransient("rotLeftMany");
+    faultPoint("rotLeftMany");
     std::vector<Ct> Out = Inner.rotLeftMany(C, Steps);
     for (Ct &O : Out)
-      maybeCorrupt(O);
+      maybeCorrupt(O, "rotLeftMany");
     return Out;
   }
 
   void addAssign(Ct &C, const Ct &Other) {
-    maybeTransient("add");
+    faultPoint("add");
     Inner.addAssign(C, Other);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "add");
   }
 
   void subAssign(Ct &C, const Ct &Other) {
-    maybeTransient("sub");
+    faultPoint("sub");
     Inner.subAssign(C, Other);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "sub");
   }
 
   void addPlainAssign(Ct &C, const Pt &P) {
-    maybeTransient("addPlain");
+    faultPoint("addPlain");
     Inner.addPlainAssign(C, P);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "addPlain");
   }
 
   void subPlainAssign(Ct &C, const Pt &P) {
-    maybeTransient("subPlain");
+    faultPoint("subPlain");
     Inner.subPlainAssign(C, P);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "subPlain");
   }
 
   void addScalarAssign(Ct &C, double X) {
-    maybeTransient("addScalar");
+    faultPoint("addScalar");
     Inner.addScalarAssign(C, X);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "addScalar");
   }
 
   void subScalarAssign(Ct &C, double X) {
-    maybeTransient("subScalar");
+    faultPoint("subScalar");
     Inner.subScalarAssign(C, X);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "subScalar");
   }
 
   void mulAssign(Ct &C, const Ct &Other) {
-    maybeTransient("mul");
+    faultPoint("mul");
     Inner.mulAssign(C, Other);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "mul");
   }
 
   void mulPlainAssign(Ct &C, const Pt &P) {
-    maybeTransient("mulPlain");
+    faultPoint("mulPlain");
     Inner.mulPlainAssign(C, P);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "mulPlain");
   }
 
   void mulScalarAssign(Ct &C, double X, uint64_t Scale) {
-    maybeTransient("mulScalar");
+    faultPoint("mulScalar");
     Inner.mulScalarAssign(C, X, Scale);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "mulScalar");
   }
 
   uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
@@ -182,43 +253,74 @@ public:
   }
 
   void rescaleAssign(Ct &C, uint64_t Divisor) {
-    maybeTransient("rescale");
+    faultPoint("rescale");
     if (Plan.DropRescaleRate > 0 && Rng.nextDouble() < Plan.DropRescaleRate) {
       // The scale stays inflated; the next scale-checked addition raises
       // ScaleMismatch, turning a silent omission into a typed error.
       ++Stats.DroppedRescales;
+      recordSite(FaultKind::DroppedRescale, "rescale");
       return;
     }
     Inner.rescaleAssign(C, Divisor);
-    maybeCorrupt(C);
+    maybeCorrupt(C, "rescale");
   }
 
   double scaleOf(const Ct &C) const { return Inner.scaleOf(C); }
 
 private:
-  void maybeTransient(const char *Op) {
+  /// Crash then transient check, in that order, at the head of every
+  /// homomorphic op. Also advances the global op ordinal.
+  void faultPoint(const char *Op) {
+    long Ordinal = Stats.OpsSeen++;
+    if (NextCrash < Plan.CrashAtOps.size() &&
+        Plan.CrashAtOps[NextCrash] <= Ordinal) {
+      ++NextCrash;
+      ++Stats.Crashes;
+      recordSite(FaultKind::CrashAtOp, Op, Ordinal);
+      throw SimulatedCrashError(
+          formatError("injected crash #", Stats.Crashes, " at op ordinal ",
+                      Ordinal, " in ", Op, siteSuffix()));
+    }
+    maybeTransient(Op, Ordinal);
+  }
+
+  void maybeTransient(const char *Op, long Ordinal) {
     if (Plan.TransientRate <= 0 ||
         Stats.TransientFaults >= Plan.MaxTransientFaults)
       return;
     if (Rng.nextDouble() < Plan.TransientRate) {
       ++Stats.TransientFaults;
+      recordSite(FaultKind::TransientOpFailure, Op, Ordinal);
       throw TransientBackendFaultError(
           formatError("injected transient fault #", Stats.TransientFaults,
-                      " in ", Op));
+                      " in ", Op, siteSuffix()));
     }
   }
 
-  void maybeCorrupt(Ct &C) {
-    if (Plan.BitFlipRate <= 0 || Rng.nextDouble() >= Plan.BitFlipRate)
+  void maybeCorrupt(Ct &C, const char *Op) {
+    if (Plan.BitFlipRate <= 0 || Stats.BitFlips >= Plan.MaxBitFlips ||
+        Rng.nextDouble() >= Plan.BitFlipRate)
       return;
-    if (corrupt(C))
+    if (corrupt(C)) {
       ++Stats.BitFlips;
+      recordSite(FaultKind::BitFlip, Op);
+    }
   }
 
   /// Representation-aware corruption, resolved at compile time from the
-  /// wrapped backend's ciphertext layout.
+  /// wrapped backend's ciphertext layout. A checksum-carrying wrapper
+  /// (IntegrityBackend's Ct) is corrupted through to its payload, leaving
+  /// the checksum stale -- exactly what a memory fault does.
   bool corrupt(Ct &C) {
-    if constexpr (requires(Ct &X) { X.C0[0] ^= uint64_t(1); }) {
+    if constexpr (requires(Ct &X) { X.Inner; X.Sum; }) {
+      return corruptRaw(C.Inner);
+    } else {
+      return corruptRaw(C);
+    }
+  }
+
+  template <typename RawCt> bool corruptRaw(RawCt &C) {
+    if constexpr (requires(RawCt &X) { X.C0[0] ^= uint64_t(1); }) {
       // RNS-CKKS: word-packed polynomials; flip one random bit.
       auto &Poly = Rng.next() & 1 ? C.C0 : C.C1;
       if (Poly.empty())
@@ -226,14 +328,14 @@ private:
       Poly[Rng.nextBounded(Poly.size())] ^= uint64_t(1)
                                             << Rng.nextBounded(64);
       return true;
-    } else if constexpr (requires(Ct &X) { X.C0[0].negate(); }) {
+    } else if constexpr (requires(RawCt &X) { X.C0[0].negate(); }) {
       // Big-integer CKKS: negate one random coefficient.
       auto &Poly = Rng.next() & 1 ? C.C0 : C.C1;
       if (Poly.empty())
         return false;
       Poly[Rng.nextBounded(Poly.size())].negate();
       return true;
-    } else if constexpr (requires(Ct &X) { X.Values[0] += 1.0; }) {
+    } else if constexpr (requires(RawCt &X) { X.Values[0] += 1.0; }) {
       // Plain reference: slam one slot far outside the data range.
       if (C.Values.empty())
         return false;
@@ -245,10 +347,25 @@ private:
     }
   }
 
+  void recordSite(FaultKind Kind, const char *Op, long Ordinal = -1) {
+    if (Stats.Sites.size() >= FaultStats::MaxSites)
+      return;
+    Stats.Sites.push_back({Kind, Op, Ordinal, CurNode, CurLabel});
+  }
+
+  std::string siteSuffix() const {
+    if (CurNode < 0)
+      return "";
+    return formatError(" (node ", CurNode, " '", CurLabel, "')");
+  }
+
   B &Inner;
   FaultPlan Plan;
   Prng Rng;
   FaultStats Stats;
+  size_t NextCrash = 0;
+  int CurNode = -1;
+  std::string CurLabel;
 };
 
 } // namespace chet

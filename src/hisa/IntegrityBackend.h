@@ -1,0 +1,325 @@
+//===- IntegrityBackend.h - Ciphertext integrity checking ------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A HISA adapter that attaches a cheap limb checksum to every ciphertext
+/// and re-verifies it when the ciphertext is next read, so a bit flip that
+/// strikes a stored value (memory fault, storage fault, injected BitFlip)
+/// is caught at the layer where the value is consumed -- surfaced as a
+/// typed DataCorruptionError (FaultClass::Corruption) naming the op and
+/// the network layer -- instead of silently decrypting to garbage minutes
+/// later.
+///
+/// The wrapped ciphertext type carries its checksum inline:
+///
+///   FaultInjectionBackend<IntegrityBackend<RnsCkksBackend>> Chaos(...);
+///
+/// is the chaos-soak stack: the integrity layer seals each op result as it
+/// is produced, the fault layer above corrupts payload bits afterwards
+/// (modeling faults between producer and consumer), and the next operand
+/// read detects the mismatch. The checksum is one linear scan over the
+/// payload (FNV-1a over limbs / coefficients / slots), far cheaper than
+/// any NTT-based homomorphic op; VerifyEveryOps in IntegrityConfig thins
+/// verification for latency-sensitive runs (sealing always happens, or
+/// later verification would be meaningless).
+///
+/// Like the other diagnostic adapters, this backend keeps sequential
+/// kernel order (BackendSupportsParallelKernels stays false): its op
+/// counter and provenance cursor are not synchronized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_HISA_INTEGRITYBACKEND_H
+#define CHET_HISA_INTEGRITYBACKEND_H
+
+#include "hisa/Hisa.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+namespace detail {
+
+inline void fnvMix(uint64_t &H, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (8 * I)) & 0xff;
+    H *= 1099511628211ull;
+  }
+}
+
+inline uint64_t doubleBits(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+} // namespace detail
+
+/// FNV-1a checksum of a ciphertext's payload and scale metadata, resolved
+/// at compile time from the representation (the same probing
+/// FaultInjectionBackend uses to corrupt): RNS word vectors, big-integer
+/// coefficient limbs, or plain double slots. Metadata-only ciphertexts
+/// (analysis backends) checksum their scalar fields, which is all the
+/// payload they have.
+template <typename Ct> uint64_t limbChecksum(const Ct &C) {
+  uint64_t H = 1469598103934665603ull;
+  if constexpr (requires(const Ct &X) { X.C0[0] & uint64_t(1); }) {
+    // RNS-CKKS: word-packed polynomials plus level and scale.
+    detail::fnvMix(H, static_cast<uint64_t>(C.Level));
+    detail::fnvMix(H, detail::doubleBits(C.Scale));
+    detail::fnvMix(H, C.C0.size());
+    for (uint64_t W : C.C0)
+      detail::fnvMix(H, W);
+    for (uint64_t W : C.C1)
+      detail::fnvMix(H, W);
+  } else if constexpr (requires(const Ct &X) { X.C0[0].limbCount(); }) {
+    // Big-integer CKKS: sign and limbs of every coefficient.
+    detail::fnvMix(H, static_cast<uint64_t>(C.LogQ));
+    detail::fnvMix(H, detail::doubleBits(C.Scale));
+    auto MixPoly = [&H](const auto &Poly) {
+      detail::fnvMix(H, Poly.size());
+      for (const auto &Coeff : Poly) {
+        detail::fnvMix(H, Coeff.isNegative() ? 1 : 0);
+        int N = Coeff.limbCount();
+        detail::fnvMix(H, static_cast<uint64_t>(N));
+        for (int I = 0; I < N; ++I)
+          detail::fnvMix(H, Coeff.limb(I));
+      }
+    };
+    MixPoly(C.C0);
+    MixPoly(C.C1);
+  } else if constexpr (requires(const Ct &X) { X.Values[0] + 1.0; }) {
+    // Plain reference: slot values by bit pattern.
+    detail::fnvMix(H, detail::doubleBits(C.Scale));
+    detail::fnvMix(H, C.Values.size());
+    for (double V : C.Values)
+      detail::fnvMix(H, detail::doubleBits(V));
+  } else {
+    detail::fnvMix(H, detail::doubleBits(C.Scale));
+  }
+  return H;
+}
+
+/// Ciphertext wrapper carrying its integrity checksum. A standalone
+/// template (rather than a nested class) so serialization and checksum
+/// helpers deduce the inner type: checkpointing an IntegrityCt stores the
+/// inner bytes and re-seals on restore.
+template <typename InnerCt> struct IntegrityCt {
+  InnerCt Inner;
+  uint64_t Sum = 0;
+};
+
+/// Knobs of the integrity layer.
+struct IntegrityConfig {
+  /// Verify one in every N operand reads (1 = every read). Sealing after
+  /// writes is unconditional.
+  int VerifyEveryOps = 1;
+};
+
+/// Counters of the verification work performed.
+struct IntegrityStats {
+  long Seals = 0;
+  long Verifications = 0;
+  long Failures = 0;
+};
+
+/// HISA adapter checksumming every ciphertext. See file comment.
+template <HisaBackend B> class IntegrityBackend {
+public:
+  using Ct = IntegrityCt<typename B::Ct>;
+  using Pt = typename B::Pt;
+
+  explicit IntegrityBackend(B &InnerIn, const IntegrityConfig &CfgIn = {})
+      : Inner(InnerIn), Cfg(CfgIn) {
+    CHET_CHECK(Cfg.VerifyEveryOps >= 1, InvalidArgument,
+               "IntegrityConfig::VerifyEveryOps must be >= 1, got ",
+               Cfg.VerifyEveryOps);
+  }
+
+  const IntegrityStats &stats() const { return Stats; }
+  B &inner() { return Inner; }
+
+  /// Provenance hook (HisaProvenanceSink): failures name the layer.
+  void beginNode(int NodeId, const std::string &Label) {
+    CurNode = NodeId;
+    CurLabel = Label;
+    if constexpr (HisaProvenanceSink<B>)
+      Inner.beginNode(NodeId, Label);
+  }
+
+  /// Unconditionally verifies \p C's checksum; throws DataCorruptionError
+  /// on mismatch. The session layer calls this before checkpointing a
+  /// value and at its integrity-check intervals.
+  void verifyCt(const Ct &C) const { verify(C, "verifyCt"); }
+
+  size_t slotCount() const { return Inner.slotCount(); }
+
+  Pt encode(const std::vector<double> &Values, double Scale) {
+    return Inner.encode(Values, Scale);
+  }
+  std::vector<double> decode(const Pt &P) const { return Inner.decode(P); }
+
+  Ct encrypt(const Pt &P) { return seal(Inner.encrypt(P)); }
+
+  /// Decrypt always verifies: the last line of defense before results
+  /// leave the backend.
+  Pt decrypt(const Ct &C) const {
+    verify(C, "decrypt");
+    return Inner.decrypt(C.Inner);
+  }
+
+  Ct copy(const Ct &C) const {
+    maybeVerify(C, "copy");
+    return Ct{Inner.copy(C.Inner), C.Sum};
+  }
+
+  void freeCt(Ct &C) {
+    Inner.freeCt(C.Inner);
+    C.Sum = 0;
+  }
+
+  void rotLeftAssign(Ct &C, int Steps) {
+    maybeVerify(C, "rotLeft");
+    Inner.rotLeftAssign(C.Inner, Steps);
+    reseal(C);
+  }
+  void rotRightAssign(Ct &C, int Steps) {
+    maybeVerify(C, "rotRight");
+    Inner.rotRightAssign(C.Inner, Steps);
+    reseal(C);
+  }
+
+  std::vector<Ct> rotLeftMany(const Ct &C, const std::vector<int> &Steps)
+    requires BackendHasRotLeftMany<B>
+  {
+    maybeVerify(C, "rotLeftMany");
+    std::vector<typename B::Ct> Raw = Inner.rotLeftMany(C.Inner, Steps);
+    std::vector<Ct> Out;
+    Out.reserve(Raw.size());
+    for (auto &R : Raw)
+      Out.push_back(seal(std::move(R)));
+    return Out;
+  }
+
+  void addAssign(Ct &C, const Ct &Other) {
+    maybeVerify(C, "add");
+    maybeVerify(Other, "add");
+    Inner.addAssign(C.Inner, Other.Inner);
+    reseal(C);
+  }
+  void subAssign(Ct &C, const Ct &Other) {
+    maybeVerify(C, "sub");
+    maybeVerify(Other, "sub");
+    Inner.subAssign(C.Inner, Other.Inner);
+    reseal(C);
+  }
+  void addPlainAssign(Ct &C, const Pt &P) {
+    maybeVerify(C, "addPlain");
+    Inner.addPlainAssign(C.Inner, P);
+    reseal(C);
+  }
+  void subPlainAssign(Ct &C, const Pt &P) {
+    maybeVerify(C, "subPlain");
+    Inner.subPlainAssign(C.Inner, P);
+    reseal(C);
+  }
+  void addScalarAssign(Ct &C, double X) {
+    maybeVerify(C, "addScalar");
+    Inner.addScalarAssign(C.Inner, X);
+    reseal(C);
+  }
+  void subScalarAssign(Ct &C, double X) {
+    maybeVerify(C, "subScalar");
+    Inner.subScalarAssign(C.Inner, X);
+    reseal(C);
+  }
+  void mulAssign(Ct &C, const Ct &Other) {
+    maybeVerify(C, "mul");
+    maybeVerify(Other, "mul");
+    Inner.mulAssign(C.Inner, Other.Inner);
+    reseal(C);
+  }
+  void mulPlainAssign(Ct &C, const Pt &P) {
+    maybeVerify(C, "mulPlain");
+    Inner.mulPlainAssign(C.Inner, P);
+    reseal(C);
+  }
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) {
+    maybeVerify(C, "mulScalar");
+    Inner.mulScalarAssign(C.Inner, X, Scale);
+    reseal(C);
+  }
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
+    return Inner.maxRescale(C.Inner, UpperBound);
+  }
+  void rescaleAssign(Ct &C, uint64_t Divisor) {
+    maybeVerify(C, "rescale");
+    Inner.rescaleAssign(C.Inner, Divisor);
+    reseal(C);
+  }
+
+  double scaleOf(const Ct &C) const { return Inner.scaleOf(C.Inner); }
+
+private:
+  Ct seal(typename B::Ct &&Raw) {
+    ++Stats.Seals;
+    Ct C{std::move(Raw), 0};
+    C.Sum = limbChecksum(C.Inner);
+    return C;
+  }
+
+  void reseal(Ct &C) {
+    ++Stats.Seals;
+    C.Sum = limbChecksum(C.Inner);
+  }
+
+  void maybeVerify(const Ct &C, const char *Op) const {
+    if (++OpCounter % Cfg.VerifyEveryOps != 0)
+      return;
+    verify(C, Op);
+  }
+
+  void verify(const Ct &C, const char *Op) const {
+    ++Stats.Verifications;
+    if (limbChecksum(C.Inner) == C.Sum)
+      return;
+    ++Stats.Failures;
+    throw DataCorruptionError(formatError(
+        "ciphertext checksum mismatch read by ", Op, " (node ", CurNode,
+        " '", CurLabel, "'): payload corrupted after production"));
+  }
+
+  B &Inner;
+  IntegrityConfig Cfg;
+  mutable IntegrityStats Stats;
+  mutable long OpCounter = 0;
+  int CurNode = -1;
+  std::string CurLabel;
+};
+
+/// Serialized form of an IntegrityCt is the inner ciphertext's bytes: the
+/// checksum is recomputable, and re-sealing on restore means a blob
+/// corrupted in storage is caught by the store's own checksum (or by
+/// structural validation), not laundered into a "valid" live value.
+template <typename InnerCt>
+auto serialize(const IntegrityCt<InnerCt> &C) {
+  return serialize(C.Inner);
+}
+
+template <typename Bytes, typename InnerCt>
+void deserializeOrThrow(const Bytes &Buffer, IntegrityCt<InnerCt> &C) {
+  deserializeOrThrow(Buffer, C.Inner);
+  C.Sum = limbChecksum(C.Inner);
+}
+
+} // namespace chet
+
+#endif // CHET_HISA_INTEGRITYBACKEND_H

@@ -89,6 +89,23 @@ public:
   // HISA instructions: time and forward.
   //===--------------------------------------------------------------===//
 
+  /// Provenance pass-through: profiling in a diagnostic stack (e.g.
+  /// around a fault injector or integrity checker) must not hide the
+  /// evaluator's node attribution from the inner adapter.
+  void beginNode(int NodeId, const std::string &Label)
+    requires HisaProvenanceSink<B>
+  {
+    Inner.beginNode(NodeId, Label);
+  }
+
+  /// Integrity-probe pass-through (see IntegrityBackend), untimed: the
+  /// session layer's own phase timers account for verification.
+  void verifyCt(const Ct &C) const
+    requires requires(const B &Ib, const Ct &X) { Ib.verifyCt(X); }
+  {
+    Inner.verifyCt(C);
+  }
+
   size_t slotCount() const { return Inner.slotCount(); }
 
   Pt encode(const std::vector<double> &Values, double Scale) const {

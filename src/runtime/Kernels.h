@@ -44,6 +44,7 @@
 #include "runtime/CipherTensor.h"
 #include "runtime/PlaintextCache.h"
 #include "runtime/ScaleConfig.h"
+#include "support/Deadline.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -91,11 +92,20 @@ inline size_t reduceWindow() {
 /// produced in windows of reduceWindow() to bound peak memory. Backends
 /// without kernel-level parallelism run the literal sequential loop
 /// (preserving their op issue order).
+///
+/// Both paths probe the thread-local cooperative deadline (Deadline.h)
+/// between fold steps, so an over-budget inference aborts inside a large
+/// accumulation instead of waiting for the next node boundary. The probe
+/// runs on the calling thread only -- pool workers never check -- and
+/// either completes a fold window or throws before starting one, so the
+/// fixed fold order (and hence bit-identical results) is preserved. With
+/// no deadline installed the probe is a null-pointer load.
 template <HisaBackend B, typename MapFn>
 void parallelReduce(B &Backend, std::optional<typename B::Ct> &Acc,
                     size_t Count, MapFn &&Map) {
   if constexpr (!BackendSupportsParallelKernels<B>) {
     for (size_t I = 0; I < Count; ++I) {
+      checkActiveDeadline("parallelReduce");
       std::optional<typename B::Ct> T = Map(I);
       if (T)
         accumulate(Backend, Acc, std::move(*T));
@@ -104,6 +114,7 @@ void parallelReduce(B &Backend, std::optional<typename B::Ct> &Acc,
     size_t Window = reduceWindow();
     std::vector<std::optional<typename B::Ct>> Terms;
     for (size_t Base = 0; Base < Count; Base += Window) {
+      checkActiveDeadline("parallelReduce");
       size_t Hi = std::min(Count, Base + Window);
       Terms.assign(Hi - Base, std::nullopt);
       parallelFor(Base, Hi, 1, [&](size_t I) { Terms[I - Base] = Map(I); });

@@ -1,0 +1,35 @@
+//===- Deadline.cpp - Cooperative wall-clock deadlines --------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+#include "support/Error.h"
+
+namespace chet {
+
+namespace {
+thread_local const Deadline *ActiveDeadline = nullptr;
+} // namespace
+
+const Deadline *activeDeadline() { return ActiveDeadline; }
+
+void checkActiveDeadline(const char *Where) {
+  const Deadline *D = ActiveDeadline;
+  if (!D || !D->expired())
+    return;
+  throw DeadlineExceededError(
+      formatError("deadline expired at ", Where, " (",
+                  -D->remainingSeconds(), "s over budget)"));
+}
+
+DeadlineScope::DeadlineScope(const Deadline &D)
+    : Installed(D), Previous(ActiveDeadline) {
+  ActiveDeadline = &Installed;
+}
+
+DeadlineScope::~DeadlineScope() { ActiveDeadline = Previous; }
+
+} // namespace chet

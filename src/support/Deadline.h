@@ -1,0 +1,87 @@
+//===- Deadline.h - Cooperative wall-clock deadlines -----------*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative wall-clock deadlines for long encrypted inferences. A
+/// Deadline is a steady-clock expiry instant; installing one with a
+/// DeadlineScope makes it visible to the code running on the *installing*
+/// thread via checkActiveDeadline(), which the circuit evaluator calls at
+/// node boundaries and parallelReduce calls between fold windows. Checks
+/// are cooperative: an over-budget inference aborts at the next check
+/// point with a typed DeadlineExceededError, never by interrupting a
+/// kernel mid-instruction -- so the abort cannot perturb the deterministic
+/// fold order, and a run that finishes under budget is bit-identical to a
+/// run with no deadline at all.
+///
+/// The active deadline is thread-local. The parallelReduce fold loop and
+/// the evaluator's node loop both run on the thread that installed the
+/// scope (pool workers only execute the map phase), so a single
+/// thread-local slot covers every check site without threading a deadline
+/// parameter through the kernel signatures. When no scope is installed the
+/// check is a single null-pointer load: no deadline configured means zero
+/// behavior change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_SUPPORT_DEADLINE_H
+#define CHET_SUPPORT_DEADLINE_H
+
+#include <chrono>
+
+namespace chet {
+
+/// A wall-clock expiry instant on the steady clock.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that expires \p Seconds from now. Non-positive budgets
+  /// produce an already-expired deadline (aborts at the first check).
+  static Deadline afterSeconds(double Seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(Seconds)));
+  }
+
+  explicit Deadline(Clock::time_point At) : At(At) {}
+
+  bool expired() const { return Clock::now() >= At; }
+
+  /// Seconds until expiry; negative once expired.
+  double remainingSeconds() const {
+    return std::chrono::duration<double>(At - Clock::now()).count();
+  }
+
+private:
+  Clock::time_point At;
+};
+
+/// The deadline currently installed on this thread, or nullptr.
+const Deadline *activeDeadline();
+
+/// Throws DeadlineExceededError("deadline expired at <Where> ...") if a
+/// deadline is installed on this thread and has expired. \p Where names
+/// the check site for the diagnostic ("node boundary", "parallelReduce").
+void checkActiveDeadline(const char *Where);
+
+/// RAII installer: makes \p D the active deadline for the current thread,
+/// restoring the previous one (scopes nest) on destruction.
+class DeadlineScope {
+public:
+  explicit DeadlineScope(const Deadline &D);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope &) = delete;
+  DeadlineScope &operator=(const DeadlineScope &) = delete;
+
+private:
+  Deadline Installed;
+  const Deadline *Previous;
+};
+
+} // namespace chet
+
+#endif // CHET_SUPPORT_DEADLINE_H

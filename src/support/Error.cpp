@@ -30,6 +30,14 @@ const char *errorCodeName(ErrorCode Code) {
     return "InfeasibleCircuit";
   case ErrorCode::TransientBackendFault:
     return "TransientBackendFault";
+  case ErrorCode::DataCorruption:
+    return "DataCorruption";
+  case ErrorCode::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case ErrorCode::SimulatedCrash:
+    return "SimulatedCrash";
+  case ErrorCode::IoFailure:
+    return "IoFailure";
   case ErrorCode::DeadCiphertext:
     return "DeadCiphertext";
   case ErrorCode::RedundantRotation:
@@ -38,6 +46,35 @@ const char *errorCodeName(ErrorCode Code) {
     return "DepthHotspot";
   }
   return "Unknown";
+}
+
+const char *faultClassName(FaultClass Class) {
+  switch (Class) {
+  case FaultClass::Transient:
+    return "Transient";
+  case FaultClass::Corruption:
+    return "Corruption";
+  case FaultClass::Permanent:
+    return "Permanent";
+  case FaultClass::Deadline:
+    return "Deadline";
+  }
+  return "?";
+}
+
+FaultClass classifyFault(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::TransientBackendFault:
+  case ErrorCode::SimulatedCrash:
+    return FaultClass::Transient;
+  case ErrorCode::DataCorruption:
+  case ErrorCode::MalformedCiphertext:
+    return FaultClass::Corruption;
+  case ErrorCode::DeadlineExceeded:
+    return FaultClass::Deadline;
+  default:
+    return FaultClass::Permanent;
+  }
 }
 
 ChetError::ChetError(ErrorCode Code, const std::string &Message)
@@ -84,6 +121,14 @@ void throwChetError(ErrorCode Code, const std::string &Message) {
     throw InfeasibleCircuitError(Message);
   case ErrorCode::TransientBackendFault:
     throw TransientBackendFaultError(Message);
+  case ErrorCode::DataCorruption:
+    throw DataCorruptionError(Message);
+  case ErrorCode::DeadlineExceeded:
+    throw DeadlineExceededError(Message);
+  case ErrorCode::SimulatedCrash:
+    throw SimulatedCrashError(Message);
+  case ErrorCode::IoFailure:
+    throw IoFailureError(Message);
   case ErrorCode::DeadCiphertext:
   case ErrorCode::RedundantRotation:
   case ErrorCode::DepthHotspot:

@@ -68,6 +68,21 @@ enum class ErrorCode {
   /// A backend operation failed transiently (fault injection or a real
   /// backend hiccup); retrying the computation may succeed.
   TransientBackendFault,
+  /// A ciphertext's integrity checksum no longer matches its payload: the
+  /// bits were corrupted in memory or in a checkpoint store after the
+  /// value was produced (distinct from MalformedCiphertext, which is a
+  /// structurally invalid serialized stream).
+  DataCorruption,
+  /// A cooperative deadline expired: the inference exceeded its wall-clock
+  /// budget and was aborted at a node boundary or inside a kernel fold.
+  DeadlineExceeded,
+  /// Fault injection simulated a process death (CrashAtOp): all in-memory
+  /// evaluator state must be considered lost; only a CheckpointStore
+  /// survives. Raised solely by FaultInjectionBackend.
+  SimulatedCrash,
+  /// A filesystem operation of the checkpoint store failed (directory not
+  /// creatable, short write, rename refused).
+  IoFailure,
 
   // Lint findings of the static verifier (Verifier.h). These classify
   // diagnostics rather than thrown errors: no kernel raises them, but
@@ -87,6 +102,31 @@ enum class ErrorCode {
 
 /// Stable identifier string for an ErrorCode ("ScaleMismatch", ...).
 const char *errorCodeName(ErrorCode Code);
+
+/// Recovery-oriented classification of a fault, driving the per-class
+/// policies of the InferenceSession layer (runtime/Session.h):
+///   - Transient  -- retrying the same work can succeed (flaky backend RPC,
+///                   injected TransientOpFailure, simulated crash); the
+///                   session retries with exponential backoff, or restores
+///                   from a checkpoint when state was lost.
+///   - Corruption -- a value's bits are wrong but the computation is
+///                   retryable from an earlier good state; the session
+///                   rolls back to the last verified checkpoint.
+///   - Permanent  -- deterministic misuse or infeasibility; retrying
+///                   cannot help, fail fast.
+///   - Deadline   -- the wall-clock budget expired; fail fast with partial
+///                   diagnostics.
+enum class FaultClass { Transient, Corruption, Permanent, Deadline };
+
+/// Stable identifier string for a FaultClass ("Transient", ...).
+const char *faultClassName(FaultClass Class);
+
+/// Maps an error code to the fault class a recovery layer should treat it
+/// as. TransientBackendFault and SimulatedCrash are Transient (the latter
+/// additionally loses in-memory state), DataCorruption and
+/// MalformedCiphertext are Corruption, DeadlineExceeded is Deadline, and
+/// every deterministic-misuse code is Permanent.
+FaultClass classifyFault(ErrorCode Code);
 
 /// Severity of a verifier diagnostic: errors abort compilation through
 /// the InfeasibleCircuit path, warnings and notes ride along on the
@@ -113,8 +153,15 @@ public:
   ErrorCode code() const { return Code; }
 
   /// True for faults where retrying the computation (with fresh
-  /// ciphertexts) can succeed; false for deterministic misuse.
+  /// ciphertexts) can succeed; false for deterministic misuse. Note that
+  /// SimulatedCrash is *not* transient in this narrow sense: retrying the
+  /// failed op is useless because in-memory state is gone; recovery goes
+  /// through a checkpoint (classifyFault still calls it Transient because
+  /// the work itself is retryable).
   bool isTransient() const { return Code == ErrorCode::TransientBackendFault; }
+
+  /// The recovery class of this error (classifyFault of its code).
+  FaultClass faultClass() const { return classifyFault(Code); }
 
 private:
   ErrorCode Code;
@@ -159,6 +206,10 @@ CHET_DEFINE_ERROR_CLASS(EncodingOverflowError, EncodingOverflow);
 CHET_DEFINE_ERROR_CLASS(LayoutMismatchError, LayoutMismatch);
 CHET_DEFINE_ERROR_CLASS(InfeasibleCircuitError, InfeasibleCircuit);
 CHET_DEFINE_ERROR_CLASS(TransientBackendFaultError, TransientBackendFault);
+CHET_DEFINE_ERROR_CLASS(DataCorruptionError, DataCorruption);
+CHET_DEFINE_ERROR_CLASS(DeadlineExceededError, DeadlineExceeded);
+CHET_DEFINE_ERROR_CLASS(SimulatedCrashError, SimulatedCrash);
+CHET_DEFINE_ERROR_CLASS(IoFailureError, IoFailure);
 
 #undef CHET_DEFINE_ERROR_CLASS
 

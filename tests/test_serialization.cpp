@@ -222,6 +222,113 @@ TEST(Serialization, ForgedSizeFieldRejectedBeforeAllocating) {
   EXPECT_FALSE(deserialize(Wire, Out));
 }
 
+TEST(Serialization, BigEveryTruncationFailsCleanly) {
+  BigCkksParams P;
+  P.LogN = 10;
+  P.LogQ = 120;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  BigCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 9), 1 << 25));
+  ByteBuffer Wire = serialize(Ct);
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    ByteBuffer Truncated(Wire.begin(), Wire.begin() + Cut);
+    BigCkksBackend::Ct Out;
+    ASSERT_FALSE(deserialize(Truncated, Out)) << "cut at " << Cut;
+  }
+}
+
+TEST(Serialization, BigBitFlippedHeadersNeverCrash) {
+  BigCkksParams P;
+  P.LogN = 10;
+  P.LogQ = 120;
+  P.Security = SecurityLevel::None;
+  P.StockPow2Keys = false;
+  BigCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 10), 1 << 25));
+  ByteBuffer Wire = serialize(Ct);
+  const size_t HeaderBytes = std::min<size_t>(32, Wire.size());
+  for (size_t Bit = 0; Bit < HeaderBytes * 8; ++Bit) {
+    ByteBuffer Mutated = Wire;
+    Mutated[Bit / 8] ^= uint8_t(1) << (Bit % 8);
+    BigCkksBackend::Ct Out;
+    if (!deserialize(Mutated, Out))
+      continue; // rejected: fine
+    try {
+      (void)Backend.decrypt(Out);
+    } catch (const ChetError &) {
+      // A typed error from the decrypt guard is an acceptable outcome;
+      // anything else (crash, non-ChetError) fails the test harness.
+    }
+  }
+}
+
+TEST(Serialization, CorruptionAnywhereIsTypedNeverFatal) {
+  // Sweep bit flips across the whole RNS ciphertext stream (dense over
+  // the structured prefix, sampled through the payload): the throwing
+  // form must either succeed or raise a ChetError -- no other exception
+  // type, no crash. A flip that still deserializes must at least not be
+  // silently identical to the original stream.
+  RnsCkksParams P = testRnsParams();
+  RnsCkksBackend Backend(P);
+  auto Ct = Backend.encrypt(
+      Backend.encode(someValues(Backend.slotCount(), 11), 1LL << 40));
+  ByteBuffer Wire = serialize(Ct);
+  auto ProbeBit = [&](size_t Bit) {
+    ByteBuffer Mutated = Wire;
+    Mutated[Bit / 8] ^= uint8_t(1) << (Bit % 8);
+    RnsCkksBackend::Ct Out;
+    try {
+      deserializeOrThrow(Mutated, Out);
+      EXPECT_NE(serialize(Out), Wire)
+          << "bit " << Bit << " flipped yet the stream round-trips as if "
+          << "nothing happened";
+    } catch (const ChetError &E) {
+      EXPECT_EQ(E.code(), ErrorCode::MalformedCiphertext) << E.what();
+    }
+  };
+  for (size_t Bit = 0; Bit < 64 * 8 && Bit < Wire.size() * 8; ++Bit)
+    ProbeBit(Bit);
+  for (size_t Bit = 64 * 8; Bit < Wire.size() * 8; Bit += 8191)
+    ProbeBit(Bit);
+}
+
+TEST(Serialization, ParamsStreamsSurviveExhaustiveBitFlips) {
+  // Params buffers are small: flip every single bit and check the bool
+  // and throwing forms agree (reject together or accept together).
+  RnsCkksParams PR = testRnsParams();
+  PR.Seed = 5;
+  ByteBuffer RnsWire = serialize(PR);
+  for (size_t Bit = 0; Bit < RnsWire.size() * 8; ++Bit) {
+    ByteBuffer Mutated = RnsWire;
+    Mutated[Bit / 8] ^= uint8_t(1) << (Bit % 8);
+    RnsCkksParams A, B;
+    bool Ok = deserialize(Mutated, A);
+    try {
+      deserializeOrThrow(Mutated, B);
+      EXPECT_TRUE(Ok) << "throwing form accepted what bool form rejected "
+                      << "(bit " << Bit << ")";
+    } catch (const ChetError &) {
+      EXPECT_FALSE(Ok) << "throwing form rejected what bool form accepted "
+                       << "(bit " << Bit << ")";
+    }
+  }
+
+  BigCkksParams PB;
+  PB.LogN = 11;
+  PB.LogQ = 150;
+  PB.Security = SecurityLevel::None;
+  ByteBuffer BigWire = serialize(PB);
+  for (size_t Bit = 0; Bit < BigWire.size() * 8; ++Bit) {
+    ByteBuffer Mutated = BigWire;
+    Mutated[Bit / 8] ^= uint8_t(1) << (Bit % 8);
+    BigCkksParams Out;
+    EXPECT_NO_FATAL_FAILURE((void)deserialize(Mutated, Out));
+  }
+}
+
 TEST(Serialization, ThrowingFormRaisesMalformedCiphertext) {
   ByteBuffer Junk = {1, 2, 3};
   RnsCkksBackend::Ct Rns;
