@@ -1,0 +1,209 @@
+//===- multi_tenant_server.cpp - Shared encrypted-inference service -------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One InferenceServer (server/Server.h) serving three tenants that
+/// registered their evaluation keys and compiled circuit once and now
+/// submit encrypted requests concurrently:
+///
+///   - "prod"    runs clean and must not be disturbed;
+///   - "staging" suffers seeded transient faults and silent ciphertext
+///     bit flips, which the per-request session retries and rolls back
+///     to checkpoints -- its responses still come back byte-correct;
+///   - "broken"  lost its rotation keys: every request fails with a
+///     typed MissingRotationKeyError until its circuit breaker trips,
+///     after which further requests are rejected up front without
+///     touching a worker lane.
+///
+/// The run then demonstrates admission control (a bounded queue sheds
+/// the newest submissions with typed ServerOverloaded rejections), key
+/// rotation (a request encrypted under the old epoch is rejected as
+/// StaleKey, never evaluated under mismatched keys), and a graceful
+/// drain, before printing the server's structured per-tenant report.
+///
+/// Usage: ./build/examples/multi_tenant_server
+///
+//===----------------------------------------------------------------------===//
+
+#include "ckks/Serialization.h"
+#include "core/Compiler.h"
+#include "hisa/FaultInjectionBackend.h"
+#include "hisa/IntegrityBackend.h"
+#include "nn/Networks.h"
+#include "server/Server.h"
+#include "support/Prng.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace chet;
+
+using Integ = IntegrityBackend<RnsCkksBackend>;
+using Chaos = FaultInjectionBackend<Integ>;
+
+/// The input arrives encrypted through the integrity layer; the chaos
+/// wrapper (which models server-side compute faults) shares its
+/// ciphertext type, so re-tagging is free.
+static CipherTensor<Chaos> retagForChaos(CipherTensor<Integ> T) {
+  CipherTensor<Chaos> Out;
+  Out.L = T.L;
+  Out.Cts = std::move(T.Cts);
+  return Out;
+}
+
+int main() {
+  // A small conv -> act -> pool -> FC network, compiled once; in a real
+  // deployment each tenant would bring its own circuit.
+  Prng Rng(50);
+  TensorCircuit Circ("tenant-model");
+  ConvWeights Conv(2, 1, 3, 3);
+  for (double &V : Conv.W)
+    V = Rng.nextDouble(-0.5, 0.5);
+  FcWeights Fc(4, 2 * 4 * 4);
+  for (double &V : Fc.W)
+    V = Rng.nextDouble(-0.3, 0.3);
+  int X = Circ.input(1, 8, 8);
+  X = Circ.conv2d(X, Conv, 1, 1);
+  X = Circ.polyActivation(X, 0.25, 0.5);
+  X = Circ.averagePool(X, 2, 2);
+  X = Circ.fullyConnected(X, Fc);
+  Circ.output(X);
+
+  CompilerOptions Options;
+  Options.Scheme = SchemeKind::RnsCkks;
+  Options.Security = SecurityLevel::Classical128;
+  Options.Scales = ScaleConfig::fromExponents(25, 25, 25, 12);
+  CompiledCircuit Compiled = compileCircuit(Circ, Options);
+  std::printf("compiled '%s': N=2^%d, %zu rotation keys\n",
+              Circ.name().c_str(), Compiled.LogN,
+              Compiled.RotationKeys.size());
+
+  // Three tenant key sets. "broken" drops its rotation keys after
+  // compilation -- the classic operational mistake this server turns
+  // into a tripped breaker instead of a poisoned worker pool.
+  struct Tenant {
+    const char *Id;
+    FaultPlan Plan;
+    bool DropRotationKeys = false;
+    std::unique_ptr<RnsCkksBackend> Raw;
+    std::unique_ptr<Integ> Protected;
+    std::unique_ptr<Chaos> Backend;
+    MemoryCheckpointStore Store;
+  };
+  std::vector<Tenant> Tenants(3);
+  Tenants[0].Id = "prod";
+  Tenants[1].Id = "staging";
+  Tenants[1].Plan.Seed = 0xbad5eed;
+  Tenants[1].Plan.TransientRate = 0.01;
+  Tenants[1].Plan.MaxTransientFaults = 3;
+  Tenants[1].Plan.BitFlipRate = 0.003;
+  Tenants[1].Plan.MaxBitFlips = 1;
+  Tenants[2].Id = "broken";
+  Tenants[2].DropRotationKeys = true;
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 2;
+  Cfg.QueueHighWater = 8;
+  Cfg.Retry.MaxAttempts = 4;
+  Cfg.Retry.BackoffBaseSeconds = 1e-3;
+  Cfg.Checkpoint = CheckpointPolicy::everyN(2);
+  Cfg.IntegrityCheckEveryNodes = 1;
+  Cfg.Breaker.WindowSize = 4;
+  Cfg.Breaker.MinSamples = 2;
+  Cfg.Breaker.FailureThreshold = 0.5;
+  Cfg.Breaker.CooldownRejections = 4;
+  InferenceServer<Chaos> Server(Cfg);
+
+  TensorLayout Layout;
+  for (Tenant &T : Tenants) {
+    CompiledCircuit Keys = Compiled;
+    if (T.DropRotationKeys)
+      Keys.RotationKeys.clear();
+    T.Raw = std::make_unique<RnsCkksBackend>(makeRnsBackend(Keys));
+    T.Protected = std::make_unique<Integ>(*T.Raw);
+    T.Backend = std::make_unique<Chaos>(*T.Protected, T.Plan);
+    T.Backend->setFaultScope(std::string("tenant:") + T.Id);
+    TenantOptions TO;
+    TO.Scales = Compiled.Scales;
+    TO.Policy = Compiled.Policy;
+    TO.Store = &T.Store;
+    uint64_t Epoch = Server.registerTenant(T.Id, *T.Backend, Circ, TO);
+    Layout = circuitInputLayout(Circ, Compiled.Policy,
+                                T.Backend->slotCount());
+    std::printf("registered tenant '%s' (key epoch %llu%s)\n", T.Id,
+                static_cast<unsigned long long>(Epoch),
+                T.DropRotationKeys ? ", rotation keys missing" : "");
+  }
+
+  // --- Concurrent load: 4 requests per tenant, interleaved. ---
+  std::printf("\nsubmitting 4 requests per tenant...\n");
+  std::vector<std::pair<const char *, RequestTicket>> Tickets;
+  for (int R = 0; R < 4; ++R)
+    for (Tenant &T : Tenants) {
+      Tensor3 Image = randomImageFor(Circ, uint64_t(1000 + R));
+      auto Enc = retagForChaos(
+          encryptTensor(*T.Protected, Image, Layout, Compiled.Scales));
+      Tickets.emplace_back(T.Id, Server.submit(T.Id, std::move(Enc)));
+    }
+  for (auto &[Id, Ticket] : Tickets) {
+    const ServerResponse &R = Ticket.wait();
+    std::printf("  %-8s request %llu: %-9s", Id,
+                static_cast<unsigned long long>(R.Id),
+                requestStatusName(R.Status));
+    if (R.Status == RequestStatus::Completed)
+      std::printf(" (%zu output cts, %.0f ms, %d retries)\n",
+                  R.Output.size(), R.LatencySeconds * 1e3,
+                  R.Session.NodeRetries);
+    else
+      std::printf(" [%s] %s\n", errorCodeName(R.Code), R.Message.c_str());
+  }
+
+  // --- Admission control: overflow a paused queue. ---
+  std::printf("\noverloading the queue (high water = %zu)...\n",
+              Cfg.QueueHighWater);
+  Server.pause();
+  std::vector<RequestTicket> Burst;
+  size_t Shed = 0;
+  for (int R = 0; R < 12; ++R) {
+    Tensor3 Image = randomImageFor(Circ, uint64_t(2000 + R));
+    auto Enc = retagForChaos(encryptTensor(*Tenants[0].Protected, Image,
+                                           Layout, Compiled.Scales));
+    Burst.push_back(Server.submit("prod", std::move(Enc)));
+    if (Burst.back().done())
+      ++Shed; // rejected synchronously: queue full
+  }
+  Server.resume();
+  std::printf("  12 submitted, %zu shed with ServerOverloaded\n", Shed);
+  for (RequestTicket &T : Burst)
+    T.wait();
+
+  // --- Key rotation: the old epoch's ciphertexts are refused. ---
+  std::printf("\nrotating 'prod' keys...\n");
+  Tensor3 Image = randomImageFor(Circ, 3000);
+  auto StaleEnc = retagForChaos(
+      encryptTensor(*Tenants[0].Protected, Image, Layout, Compiled.Scales));
+  RnsCkksBackend NewRaw = makeRnsBackend(Compiled, /*Seed=*/7);
+  Integ NewProtected(NewRaw);
+  Chaos NewBackend(NewProtected, FaultPlan{});
+  uint64_t Epoch = Server.rotateTenantKeys("prod", NewBackend);
+  RequestOptions OldEpoch;
+  OldEpoch.KeyEpoch = Epoch - 1;
+  RequestTicket Stale = Server.submit("prod", std::move(StaleEnc), OldEpoch);
+  std::printf("  epoch %llu active; old-epoch request -> [%s]\n",
+              static_cast<unsigned long long>(Epoch),
+              errorCodeName(Stale.wait().Code));
+  auto FreshEnc = retagForChaos(
+      encryptTensor(NewProtected, Image, Layout, Compiled.Scales));
+  RequestTicket Fresh = Server.submit("prod", std::move(FreshEnc));
+  std::printf("  new-epoch request  -> %s\n",
+              requestStatusName(Fresh.wait().Status));
+
+  // --- Graceful drain and the structured report. ---
+  ServerReport Report = Server.shutdown();
+  std::printf("\n%s", Report.str().c_str());
+  return 0;
+}

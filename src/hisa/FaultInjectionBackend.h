@@ -98,6 +98,7 @@ struct FaultSite {
   long OpOrdinal = -1;
   int NodeId = -1;
   std::string Label; ///< Layer label from OpNode::Label ("conv1", ...).
+  std::string Scope; ///< Owning scope ("tenant:alice"); empty if unset.
 };
 
 /// Counters of the faults actually delivered, plus the first sites.
@@ -129,6 +130,12 @@ public:
 
   const FaultStats &stats() const { return Stats; }
   B &inner() { return Inner; }
+
+  /// Labels every subsequently delivered fault site with an owning scope
+  /// (the serving layer uses "tenant:<id>"), so a multi-tenant chaos run
+  /// can attribute each fault to the tenant whose request it hit.
+  void setFaultScope(std::string ScopeIn) { CurScope = std::move(ScopeIn); }
+  const std::string &faultScope() const { return CurScope; }
 
   /// Provenance hook (HisaProvenanceSink): the evaluator tells us which
   /// tensor-circuit node the following instructions implement, so
@@ -350,13 +357,16 @@ private:
   void recordSite(FaultKind Kind, const char *Op, long Ordinal = -1) {
     if (Stats.Sites.size() >= FaultStats::MaxSites)
       return;
-    Stats.Sites.push_back({Kind, Op, Ordinal, CurNode, CurLabel});
+    Stats.Sites.push_back({Kind, Op, Ordinal, CurNode, CurLabel, CurScope});
   }
 
   std::string siteSuffix() const {
-    if (CurNode < 0)
-      return "";
-    return formatError(" (node ", CurNode, " '", CurLabel, "')");
+    std::string S;
+    if (CurNode >= 0)
+      S += formatError(" (node ", CurNode, " '", CurLabel, "')");
+    if (!CurScope.empty())
+      S += formatError(" [", CurScope, "]");
+    return S;
   }
 
   B &Inner;
@@ -366,6 +376,7 @@ private:
   size_t NextCrash = 0;
   int CurNode = -1;
   std::string CurLabel;
+  std::string CurScope;
 };
 
 } // namespace chet

@@ -14,12 +14,17 @@
 
 #include "runtime/Session.h"
 
+#include <cerrno>
 #include <climits>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace chet {
 
@@ -327,19 +332,78 @@ std::string FileCheckpointStore::pathFor(uint64_t Key, int NodeId) const {
 void FileCheckpointStore::put(uint64_t Key, int NodeId, ByteBuffer Blob) {
   std::string Path = pathFor(Key, NodeId);
   std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    CHET_CHECK(Out.good(), IoFailure, "cannot open '", Tmp,
-               "' for writing");
-    Out.write(reinterpret_cast<const char *>(Blob.data()),
-              static_cast<std::streamsize>(Blob.size()));
-    Out.flush();
-    CHET_CHECK(Out.good(), IoFailure, "short write to '", Tmp, "'");
+
+  // Crash-safe publish: write + fsync the temp file, fsync the directory
+  // so the temp entry is durable, rename over the final name, fsync the
+  // directory again so the rename is durable. A torn write must never be
+  // observable under the final name, and a write-path failure (ENOSPC,
+  // short write, failed fsync) surfaces as a Corruption-class error so
+  // the session discards this checkpoint attempt instead of later
+  // restoring a silently-truncated blob.
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  CHET_CHECK(Fd >= 0, IoFailure, "cannot open '", Tmp,
+             "' for writing: ", std::strerror(errno));
+  size_t Off = 0;
+  while (Off < Blob.size()) {
+    ssize_t N = ::write(Fd, Blob.data() + Off, Blob.size() - Off);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      int Err = errno;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      throw DataCorruptionError(formatError(
+          "partial checkpoint write to '", Tmp, "' (", Off, " of ",
+          Blob.size(), " bytes): ", std::strerror(Err)));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0) {
+    int Err = errno;
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    throw DataCorruptionError(formatError("fsync of checkpoint '", Tmp,
+                                          "' failed: ",
+                                          std::strerror(Err)));
+  }
+  if (::close(Fd) != 0) {
+    int Err = errno;
+    ::unlink(Tmp.c_str());
+    throw DataCorruptionError(formatError("close of checkpoint '", Tmp,
+                                          "' failed: ",
+                                          std::strerror(Err)));
+  }
+
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  CHET_CHECK(DirFd >= 0, IoFailure, "cannot open checkpoint directory '",
+             Dir, "': ", std::strerror(errno));
+  if (::fsync(DirFd) != 0) { // temp entry durable before the rename
+    int Err = errno;
+    ::close(DirFd);
+    ::unlink(Tmp.c_str());
+    throw DataCorruptionError(formatError(
+        "fsync of checkpoint directory '", Dir,
+        "' failed: ", std::strerror(Err)));
   }
   std::error_code Ec;
   std::filesystem::rename(Tmp, Path, Ec);
-  CHET_CHECK(!Ec, IoFailure, "cannot publish checkpoint '", Path,
-             "': ", Ec.message());
+  if (Ec) {
+    ::close(DirFd);
+    ::unlink(Tmp.c_str());
+    throwChetError(ErrorCode::IoFailure,
+                   formatError("cannot publish checkpoint '", Path,
+                               "': ", Ec.message()));
+  }
+  if (::fsync(DirFd) != 0) { // the rename itself durable
+    int Err = errno;
+    ::close(DirFd);
+    throw DataCorruptionError(formatError(
+        "fsync of checkpoint directory '", Dir,
+        "' failed after publishing '", Path,
+        "': ", std::strerror(Err)));
+  }
+  ::close(DirFd);
 }
 
 std::optional<ByteBuffer> FileCheckpointStore::fetch(uint64_t Key,

@@ -1,0 +1,178 @@
+//===- Server.cpp - Multi-tenant encrypted-inference server ---------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace chet {
+
+//===----------------------------------------------------------------------===//
+// TokenBucket
+//===----------------------------------------------------------------------===//
+
+TokenBucket::TokenBucket(const TokenBucketPolicy &P, uint64_t Seed)
+    : Policy(P) {
+  // Seeded stagger: start up to half a token short of full so tenants
+  // registered together do not hit their refill boundaries in lockstep,
+  // but never below one token -- a tenant's first request is always
+  // admitted. Deterministic for a fixed (server seed, tenant id) pair.
+  Prng Rng(Seed);
+  Tokens = std::max(std::min(1.0, Policy.Burst),
+                    Policy.Burst - Rng.nextDouble() * 0.5);
+}
+
+bool TokenBucket::tryAcquire(uint64_t Tick) {
+  if (!enabled())
+    return true;
+  if (Tick > LastTick) {
+    Tokens = std::min(Policy.Burst,
+                      Tokens + double(Tick - LastTick) * Policy.RatePerTick);
+    LastTick = Tick;
+  }
+  if (Tokens < 1.0)
+    return false;
+  Tokens -= 1.0;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CircuitBreaker
+//===----------------------------------------------------------------------===//
+
+const char *breakerStateName(BreakerState S) {
+  switch (S) {
+  case BreakerState::Closed:
+    return "Closed";
+  case BreakerState::Open:
+    return "Open";
+  case BreakerState::HalfOpen:
+    return "HalfOpen";
+  }
+  return "?";
+}
+
+CircuitBreaker::Decision CircuitBreaker::onDispatch() {
+  if (!Policy.Enabled)
+    return Decision::Admit;
+  switch (State) {
+  case BreakerState::Closed:
+    return Decision::Admit;
+  case BreakerState::Open:
+    if (CooldownLeft > 0) {
+      --CooldownLeft;
+      return Decision::Reject;
+    }
+    State = BreakerState::HalfOpen;
+    ++Probes;
+    return Decision::Probe;
+  case BreakerState::HalfOpen:
+    // Unreachable under per-tenant serial dispatch (the probe occupies
+    // the tenant until its outcome arrives); reject defensively.
+    return Decision::Reject;
+  }
+  return Decision::Admit;
+}
+
+void CircuitBreaker::onOutcome(bool Ok) {
+  if (!Policy.Enabled)
+    return;
+  if (State == BreakerState::HalfOpen) {
+    if (Ok) {
+      State = BreakerState::Closed;
+      Window.clear();
+      ++Recoveries;
+    } else {
+      State = BreakerState::Open;
+      CooldownLeft = Policy.CooldownRejections;
+      ++Trips;
+    }
+    return;
+  }
+  if (State != BreakerState::Closed)
+    return; // No admitted requests while open.
+  Window.push_back(Ok);
+  while (Window.size() > size_t(std::max(1, Policy.WindowSize)))
+    Window.pop_front();
+  if (Ok)
+    return;
+  int Failures = 0;
+  for (bool W : Window)
+    Failures += W ? 0 : 1;
+  int Samples = int(Window.size());
+  if (Samples >= std::max(1, Policy.MinSamples) &&
+      double(Failures) / double(Samples) >= Policy.FailureThreshold) {
+    State = BreakerState::Open;
+    CooldownLeft = Policy.CooldownRejections;
+    ++Trips;
+    Window.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+const char *requestStatusName(RequestStatus S) {
+  switch (S) {
+  case RequestStatus::Pending:
+    return "Pending";
+  case RequestStatus::Completed:
+    return "Completed";
+  case RequestStatus::Rejected:
+    return "Rejected";
+  case RequestStatus::Failed:
+    return "Failed";
+  }
+  return "?";
+}
+
+double latencyPercentile(std::vector<double> Samples, double Pct) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  double Rank = Pct / 100.0 * double(Samples.size());
+  size_t I = Rank <= 1.0 ? 0 : size_t(std::ceil(Rank)) - 1;
+  return Samples[std::min(I, Samples.size() - 1)];
+}
+
+std::string ServerReport::str() const {
+  std::ostringstream OS;
+  OS << "server: lanes=" << Lanes << " submitted=" << Submitted
+     << " accepted=" << Accepted << " completed=" << Completed
+     << " failed=" << Failed << " rejected=" << Rejected
+     << " (unknown-tenant=" << RejectedUnknownTenant
+     << ", drain=" << DrainRejected << ")"
+     << " queue-high-water=" << QueueHighWater
+     << (ShutDown ? " [shut down]" : "") << "\n";
+  for (const TenantReport &T : Tenants) {
+    OS << "  tenant '" << T.Tenant << "' (epoch " << T.KeyEpoch
+       << ", breaker " << breakerStateName(T.Breaker)
+       << "): submitted=" << T.Submitted << " accepted=" << T.Accepted
+       << " completed=" << T.Completed << " failed=" << T.Failed << "\n"
+       << "    rejected: overload=" << T.RejectedOverload
+       << " throttled=" << T.RejectedThrottled
+       << " breaker=" << T.RejectedBreaker
+       << " stale-key=" << T.RejectedStaleKey
+       << " shutdown=" << T.RejectedShutdown
+       << " deadline=" << T.RejectedDeadline << "\n"
+       << "    recovery: retries=" << T.Retries
+       << " restarts=" << T.Restarts
+       << " checkpoints=" << T.CheckpointsTaken << "/"
+       << T.CheckpointsRestored << " trips=" << T.BreakerTrips
+       << " probes=" << T.BreakerProbes
+       << " recoveries=" << T.BreakerRecoveries << "\n";
+    OS << std::fixed << std::setprecision(3) << "    latency: p50="
+       << T.P50LatencySeconds * 1e3 << "ms p99="
+       << T.P99LatencySeconds * 1e3 << "ms\n";
+    OS.unsetf(std::ios_base::floatfield);
+  }
+  return OS.str();
+}
+
+} // namespace chet

@@ -26,7 +26,10 @@ void checkActiveDeadline(const char *Where) {
 }
 
 DeadlineScope::DeadlineScope(const Deadline &D)
-    : Installed(D), Previous(ActiveDeadline) {
+    : Installed(ActiveDeadline && ActiveDeadline->expiresAt() < D.expiresAt()
+                    ? *ActiveDeadline
+                    : D),
+      Previous(ActiveDeadline) {
   ActiveDeadline = &Installed;
 }
 

@@ -55,6 +55,10 @@ public:
     return std::chrono::duration<double>(At - Clock::now()).count();
   }
 
+  /// The expiry instant (used by DeadlineScope to min-combine with an
+  /// enclosing deadline).
+  Clock::time_point expiresAt() const { return At; }
+
 private:
   Clock::time_point At;
 };
@@ -69,6 +73,12 @@ void checkActiveDeadline(const char *Where);
 
 /// RAII installer: makes \p D the active deadline for the current thread,
 /// restoring the previous one (scopes nest) on destruction.
+///
+/// Nesting min-combines: the installed deadline is the *earlier* of \p D
+/// and the enclosing scope's deadline, so a nested scope can only tighten
+/// the budget, never extend it. A server-level cap installed around a
+/// request therefore bounds any per-session budget the request sets up
+/// for itself.
 class DeadlineScope {
 public:
   explicit DeadlineScope(const Deadline &D);

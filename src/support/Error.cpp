@@ -38,6 +38,18 @@ const char *errorCodeName(ErrorCode Code) {
     return "SimulatedCrash";
   case ErrorCode::IoFailure:
     return "IoFailure";
+  case ErrorCode::ServerOverloaded:
+    return "ServerOverloaded";
+  case ErrorCode::TenantThrottled:
+    return "TenantThrottled";
+  case ErrorCode::CircuitBreakerOpen:
+    return "CircuitBreakerOpen";
+  case ErrorCode::UnknownTenant:
+    return "UnknownTenant";
+  case ErrorCode::StaleKey:
+    return "StaleKey";
+  case ErrorCode::ServerShutdown:
+    return "ServerShutdown";
   case ErrorCode::DeadCiphertext:
     return "DeadCiphertext";
   case ErrorCode::RedundantRotation:
@@ -66,6 +78,10 @@ FaultClass classifyFault(ErrorCode Code) {
   switch (Code) {
   case ErrorCode::TransientBackendFault:
   case ErrorCode::SimulatedCrash:
+  case ErrorCode::ServerOverloaded:
+  case ErrorCode::TenantThrottled:
+  case ErrorCode::CircuitBreakerOpen:
+  case ErrorCode::ServerShutdown:
     return FaultClass::Transient;
   case ErrorCode::DataCorruption:
   case ErrorCode::MalformedCiphertext:
@@ -129,6 +145,18 @@ void throwChetError(ErrorCode Code, const std::string &Message) {
     throw SimulatedCrashError(Message);
   case ErrorCode::IoFailure:
     throw IoFailureError(Message);
+  case ErrorCode::ServerOverloaded:
+    throw ServerOverloadedError(Message);
+  case ErrorCode::TenantThrottled:
+    throw TenantThrottledError(Message);
+  case ErrorCode::CircuitBreakerOpen:
+    throw CircuitBreakerOpenError(Message);
+  case ErrorCode::UnknownTenant:
+    throw UnknownTenantError(Message);
+  case ErrorCode::StaleKey:
+    throw StaleKeyError(Message);
+  case ErrorCode::ServerShutdown:
+    throw ServerShutdownError(Message);
   case ErrorCode::DeadCiphertext:
   case ErrorCode::RedundantRotation:
   case ErrorCode::DepthHotspot:

@@ -84,6 +84,32 @@ enum class ErrorCode {
   /// creatable, short write, rename refused).
   IoFailure,
 
+  // Serving-layer codes (server/Server.h). Admission-control rejections
+  // are Transient by classifyFault: the request itself is fine and a
+  // resubmission later can succeed. Tenant-identity failures are
+  // Permanent: resubmitting the same request cannot help.
+
+  /// The server's bounded request queue crossed its high-water mark; the
+  /// request was shed at admission (newest-first). Resubmit after
+  /// backing off.
+  ServerOverloaded,
+  /// The tenant exhausted its token-bucket rate allowance; the request
+  /// was rejected at admission without touching a worker lane.
+  TenantThrottled,
+  /// The tenant's circuit breaker is open after crossing its failure-rate
+  /// threshold; requests are rejected until a half-open probe succeeds.
+  CircuitBreakerOpen,
+  /// A request named a tenant id that was never registered with the
+  /// server.
+  UnknownTenant,
+  /// A request was pinned to a key epoch older than the tenant's current
+  /// one (keys were rotated after the ciphertext was produced); the input
+  /// cannot be evaluated under the new keys.
+  StaleKey,
+  /// The server is draining or has shut down; no new work is admitted.
+  /// Checkpointed progress of in-flight requests is retained.
+  ServerShutdown,
+
   // Lint findings of the static verifier (Verifier.h). These classify
   // diagnostics rather than thrown errors: no kernel raises them, but
   // they share the ErrorCode namespace so reports, tests, and tooling
@@ -210,6 +236,12 @@ CHET_DEFINE_ERROR_CLASS(DataCorruptionError, DataCorruption);
 CHET_DEFINE_ERROR_CLASS(DeadlineExceededError, DeadlineExceeded);
 CHET_DEFINE_ERROR_CLASS(SimulatedCrashError, SimulatedCrash);
 CHET_DEFINE_ERROR_CLASS(IoFailureError, IoFailure);
+CHET_DEFINE_ERROR_CLASS(ServerOverloadedError, ServerOverloaded);
+CHET_DEFINE_ERROR_CLASS(TenantThrottledError, TenantThrottled);
+CHET_DEFINE_ERROR_CLASS(CircuitBreakerOpenError, CircuitBreakerOpen);
+CHET_DEFINE_ERROR_CLASS(UnknownTenantError, UnknownTenant);
+CHET_DEFINE_ERROR_CLASS(StaleKeyError, StaleKey);
+CHET_DEFINE_ERROR_CLASS(ServerShutdownError, ServerShutdown);
 
 #undef CHET_DEFINE_ERROR_CLASS
 

@@ -109,6 +109,14 @@ void ThreadPool::parallelForBlocks(
   size_t Blocks = MaxBlocks;
   size_t Size = (Range + Blocks - 1) / Blocks;
 
+  // One external dispatcher at a time. Server worker lanes (and any other
+  // non-pool threads) may issue parallel regions concurrently; serializing
+  // the dispatch+wait window keeps the pool's current-task state owned by
+  // exactly one caller. Nested calls never reach this lock: the
+  // onWorkerThread()/InCallerBlock short-circuits above run them inline,
+  // so the (non-recursive) mutex is never re-acquired on one thread.
+  std::lock_guard<std::mutex> Submit(SubmitMu);
+
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Fn = &FnArg;

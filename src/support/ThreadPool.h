@@ -81,6 +81,13 @@ private:
   std::vector<std::thread> Workers;
 
   std::mutex Mu;
+  /// Serializes external dispatchers: held for the whole dispatch+wait
+  /// window of one parallelForBlocks call, so concurrent submissions from
+  /// different non-pool threads (e.g. server worker lanes each running a
+  /// session) queue up instead of racing on the current-task state below.
+  /// Deterministic partitioning is unaffected: block boundaries still
+  /// depend only on (Range, Grain, Lanes), never on arrival order.
+  std::mutex SubmitMu;
   std::condition_variable WorkReady;
   std::condition_variable WorkDone;
 

@@ -1,0 +1,872 @@
+//===- test_server.cpp - Multi-tenant server chaos soak --------------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos-soak and state-machine tests for the multi-tenant inference
+/// server (server/Server.h). Central properties:
+///   - byte-identity: every *completed* response under a seeded chaos
+///     schedule (transient faults + bit flips) matches the fault-free
+///     run, at 1/2/8 worker lanes, on both CKKS schemes;
+///   - deterministic isolation: per-tenant counters -- including circuit-
+///     breaker trips, half-open probes, and recoveries -- are identical
+///     at every lane count for a fixed submission schedule;
+///   - typed degradation: overload, throttling, stale keys, expired
+///     budgets, and drain all surface as structured rejections, never a
+///     crash or a wrong answer.
+/// Plus the DeadlineScope min-combining regression test and the
+/// concurrent-sessions / shared-PlaintextCache race test (runs under the
+/// TSan CI job).
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "ckks/BigCkks.h"
+#include "ckks/RnsCkks.h"
+#include "ckks/Serialization.h"
+#include "core/Compiler.h"
+#include "hisa/FaultInjectionBackend.h"
+#include "hisa/IntegrityBackend.h"
+#include "hisa/PlainBackend.h"
+#include "nn/Networks.h"
+#include "support/Prng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <type_traits>
+
+using namespace chet;
+
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { setGlobalThreadCount(0); }
+};
+
+/// Same tiny conv -> act -> pool -> FC circuit test_session.cpp uses:
+/// fast under real encryption, still exercises every kernel family.
+TensorCircuit smallCircuit(uint64_t Seed = 50) {
+  Prng Rng(Seed);
+  TensorCircuit Circ("server-tiny");
+  ConvWeights Conv(2, 1, 3, 3);
+  for (double &V : Conv.W)
+    V = Rng.nextDouble(-0.5, 0.5);
+  FcWeights Fc(4, 2 * 4 * 4);
+  for (double &V : Fc.W)
+    V = Rng.nextDouble(-0.3, 0.3);
+  int X = Circ.input(1, 8, 8);
+  Circ.setLabel(X, "in");
+  X = Circ.conv2d(X, Conv, 1, 1);
+  Circ.setLabel(X, "conv1");
+  X = Circ.polyActivation(X, 0.25, 0.5);
+  Circ.setLabel(X, "act1");
+  X = Circ.averagePool(X, 2, 2);
+  Circ.setLabel(X, "pool1");
+  X = Circ.fullyConnected(X, Fc);
+  Circ.setLabel(X, "fc1");
+  Circ.output(X);
+  return Circ;
+}
+
+CompiledCircuit compileSmall(const TensorCircuit &Circ, SchemeKind Scheme) {
+  CompilerOptions O;
+  O.Scheme = Scheme;
+  O.Security = SecurityLevel::Classical128;
+  O.Scales = ScaleConfig::fromExponents(25, 25, 25, 12);
+  return compileCircuit(Circ, O);
+}
+
+template <typename To, typename From>
+CipherTensor<To> retag(CipherTensor<From> T) {
+  static_assert(std::is_same_v<typename To::Ct, typename From::Ct>);
+  CipherTensor<To> Out;
+  Out.L = T.L;
+  Out.Cts = std::move(T.Cts);
+  return Out;
+}
+
+template <typename CtVec>
+std::vector<ByteBuffer> serializeAll(const CtVec &Cts) {
+  std::vector<ByteBuffer> Bytes;
+  for (const auto &Ct : Cts)
+    Bytes.push_back(serialize(Ct));
+  return Bytes;
+}
+
+void expectSameBytes(const std::vector<ByteBuffer> &Want,
+                     const std::vector<ByteBuffer> &Got, const char *What) {
+  ASSERT_EQ(Want.size(), Got.size()) << What;
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(Want[I], Got[I]) << What << ": ciphertext " << I << " differs";
+}
+
+using RnsInteg = IntegrityBackend<RnsCkksBackend>;
+using RnsChaos = FaultInjectionBackend<RnsInteg>;
+using BigInteg = IntegrityBackend<BigCkksBackend>;
+using BigChaos = FaultInjectionBackend<BigInteg>;
+using PlainChaos = FaultInjectionBackend<PlainBackend>;
+
+constexpr uint64_t BackendSeed = 991;
+
+/// ScaleConfig for the PlainBackend tenants (no compiler involved).
+ScaleConfig plainScales() { return ScaleConfig::fromExponents(25, 25, 25, 12); }
+
+/// Fast retry policy so failure-heavy soaks do not sleep.
+SessionRetryPolicy fastRetry(int MaxAttempts) {
+  SessionRetryPolicy R;
+  R.MaxAttempts = MaxAttempts;
+  R.BackoffBaseSeconds = 1e-6;
+  R.BackoffMaxSeconds = 1e-5;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// DeadlineScope min-combining (regression for the nesting fix)
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineScope, NestedScopeNeverExtendsEnclosingTighterDeadline) {
+  // Outer scope already expired; a generous inner scope must NOT undo it.
+  DeadlineScope Outer(Deadline::afterSeconds(-1.0));
+  EXPECT_THROW(checkActiveDeadline("outer"), DeadlineExceededError);
+  {
+    DeadlineScope Inner(Deadline::afterSeconds(1000.0));
+    EXPECT_THROW(checkActiveDeadline("inner"), DeadlineExceededError);
+  }
+  // Popping the inner scope restores the (still expired) outer one.
+  EXPECT_THROW(checkActiveDeadline("outer again"), DeadlineExceededError);
+}
+
+TEST(DeadlineScope, NestedTighterScopeAppliesAndPops) {
+  DeadlineScope Outer(Deadline::afterSeconds(1000.0));
+  EXPECT_NO_THROW(checkActiveDeadline("loose outer"));
+  {
+    DeadlineScope Inner(Deadline::afterSeconds(-1.0));
+    EXPECT_THROW(checkActiveDeadline("tight inner"), DeadlineExceededError);
+  }
+  EXPECT_NO_THROW(checkActiveDeadline("outer restored"));
+}
+
+//===----------------------------------------------------------------------===//
+// Token bucket and circuit breaker state machines (unit level)
+//===----------------------------------------------------------------------===//
+
+TEST(TokenBucket, LogicalTickRefillIsDeterministic) {
+  TokenBucketPolicy P;
+  P.RatePerTick = 0.5;
+  P.Burst = 2.0;
+  TokenBucket A(P, 7), B(P, 7);
+  std::vector<bool> PatA, PatB;
+  for (uint64_t Tick = 0; Tick < 32; ++Tick) {
+    PatA.push_back(A.tryAcquire(Tick));
+    PatB.push_back(B.tryAcquire(Tick));
+  }
+  EXPECT_EQ(PatA, PatB); // same seed -> same admission pattern
+  // Rate 0.5/tick must admit roughly half the stream once the burst is
+  // spent: strictly between "none throttled" and "all throttled".
+  int Admitted = 0;
+  for (bool Ok : PatA)
+    Admitted += Ok ? 1 : 0;
+  EXPECT_GT(Admitted, 8);
+  EXPECT_LT(Admitted, 32);
+  // First request is always admitted regardless of the seeded stagger.
+  for (uint64_t Seed : {1ull, 99ull, 0xdeadull}) {
+    TokenBucket Fresh(P, Seed);
+    EXPECT_TRUE(Fresh.tryAcquire(0));
+  }
+}
+
+TEST(CircuitBreaker, TripCooldownProbeRecoverCycle) {
+  CircuitBreakerPolicy P;
+  P.WindowSize = 4;
+  P.MinSamples = 2;
+  P.FailureThreshold = 0.5;
+  P.CooldownRejections = 2;
+  CircuitBreaker Br(P);
+
+  using D = CircuitBreaker::Decision;
+  // Two failures trip the breaker.
+  EXPECT_EQ(Br.onDispatch(), D::Admit);
+  Br.onOutcome(false);
+  EXPECT_EQ(Br.onDispatch(), D::Admit);
+  Br.onOutcome(false);
+  EXPECT_EQ(Br.state(), BreakerState::Open);
+  EXPECT_EQ(Br.trips(), 1u);
+  // Cooldown: two rejections, then a half-open probe.
+  EXPECT_EQ(Br.onDispatch(), D::Reject);
+  EXPECT_EQ(Br.onDispatch(), D::Reject);
+  EXPECT_EQ(Br.onDispatch(), D::Probe);
+  EXPECT_EQ(Br.state(), BreakerState::HalfOpen);
+  // Probe fails: re-open (counted as a trip), cooldown restarts.
+  Br.onOutcome(false);
+  EXPECT_EQ(Br.state(), BreakerState::Open);
+  EXPECT_EQ(Br.trips(), 2u);
+  EXPECT_EQ(Br.onDispatch(), D::Reject);
+  EXPECT_EQ(Br.onDispatch(), D::Reject);
+  EXPECT_EQ(Br.onDispatch(), D::Probe);
+  // Probe succeeds: closed again, window cleared.
+  Br.onOutcome(true);
+  EXPECT_EQ(Br.state(), BreakerState::Closed);
+  EXPECT_EQ(Br.probes(), 2u);
+  EXPECT_EQ(Br.recoveries(), 1u);
+  // One failure after recovery must not re-trip (window was cleared).
+  EXPECT_EQ(Br.onDispatch(), D::Admit);
+  Br.onOutcome(false);
+  EXPECT_EQ(Br.state(), BreakerState::Closed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration and admission control (PlainBackend: fast)
+//===----------------------------------------------------------------------===//
+
+TEST(Server, RegistrationValidatesTenantsAndKeys) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+
+  InferenceServer<PlainBackend> Server;
+  EXPECT_EQ(Server.registerTenant("alice", Plain, Circ, TO), 1u);
+  // Duplicate id is a typed misuse.
+  EXPECT_THROW(Server.registerTenant("alice", Plain, Circ, TO),
+               InvalidArgumentError);
+  // Key/circuit mismatch: 8 slots cannot hold an 8x8 image's layout.
+  PlainBackend Tiny(4);
+  try {
+    Server.registerTenant("bob", Tiny, Circ, TO);
+    FAIL() << "expected a typed key/circuit mismatch";
+  } catch (const ChetError &E) {
+    EXPECT_TRUE(E.code() == ErrorCode::LayoutMismatch ||
+                E.code() == ErrorCode::InfeasibleCircuit ||
+                E.code() == ErrorCode::InvalidArgument)
+        << errorCodeName(E.code());
+  }
+  // Unknown tenants are rejected per request, not thrown.
+  Tensor3 Image = randomImageFor(Circ, 1);
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  auto Enc = encryptTensor(Plain, Image, L, TO.Scales);
+  RequestTicket T = Server.submit("mallory", std::move(Enc));
+  const ServerResponse &R = T.wait();
+  EXPECT_EQ(R.Status, RequestStatus::Rejected);
+  EXPECT_EQ(R.Code, ErrorCode::UnknownTenant);
+  EXPECT_EQ(R.Class, FaultClass::Permanent);
+  EXPECT_EQ(Server.report().RejectedUnknownTenant, 1u);
+}
+
+TEST(Server, StaleKeysRejectedAtSubmitAndAcrossRotation) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend KeysV1(10), KeysV2(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, KeysV1.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 2);
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 1;
+  InferenceServer<PlainBackend> Server(Cfg);
+  Server.registerTenant("alice", KeysV1, Circ, TO);
+
+  // Pinning a wrong epoch rejects immediately.
+  RequestOptions Pinned;
+  Pinned.KeyEpoch = 7;
+  RequestTicket Bad =
+      Server.submit("alice", encryptTensor(KeysV1, Image, L, TO.Scales),
+                    Pinned);
+  EXPECT_EQ(Bad.wait().Code, ErrorCode::StaleKey);
+
+  // A request queued before a key rotation is rejected at dispatch: its
+  // ciphertexts were produced under the old keys.
+  Server.pause();
+  RequestTicket Queued =
+      Server.submit("alice", encryptTensor(KeysV1, Image, L, TO.Scales));
+  EXPECT_EQ(Server.rotateTenantKeys("alice", KeysV2), 2u);
+  EXPECT_EQ(Server.keyEpoch("alice"), 2u);
+  Server.resume();
+  const ServerResponse &R = Queued.wait();
+  EXPECT_EQ(R.Status, RequestStatus::Rejected);
+  EXPECT_EQ(R.Code, ErrorCode::StaleKey);
+
+  // A fresh request under the new epoch completes.
+  RequestTicket Fresh =
+      Server.submit("alice", encryptTensor(KeysV2, Image, L, TO.Scales));
+  EXPECT_EQ(Fresh.wait().Status, RequestStatus::Completed);
+
+  ServerReport Rep = Server.shutdown();
+  ASSERT_EQ(Rep.Tenants.size(), 1u);
+  EXPECT_EQ(Rep.Tenants[0].RejectedStaleKey, 2u);
+  EXPECT_EQ(Rep.Tenants[0].Completed, 1u);
+}
+
+TEST(Server, OverloadShedsNewestFirstWithTypedRejections) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 3);
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 1;
+  Cfg.QueueHighWater = 3;
+  InferenceServer<PlainBackend> Server(Cfg);
+  Server.registerTenant("alice", Plain, Circ, TO);
+
+  Server.pause(); // build a deterministic backlog
+  std::vector<RequestTicket> Tickets;
+  for (int I = 0; I < 5; ++I)
+    Tickets.push_back(
+        Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales)));
+  // The two newest submissions were shed, already resolved.
+  for (int I = 3; I < 5; ++I) {
+    EXPECT_TRUE(Tickets[size_t(I)].done());
+    const ServerResponse &R = Tickets[size_t(I)].wait();
+    EXPECT_EQ(R.Status, RequestStatus::Rejected);
+    EXPECT_EQ(R.Code, ErrorCode::ServerOverloaded);
+    EXPECT_EQ(R.Class, FaultClass::Transient) << "overload is retryable";
+    EXPECT_FALSE(R.Message.empty());
+  }
+  Server.resume();
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Tickets[size_t(I)].wait().Status, RequestStatus::Completed);
+
+  ServerReport Rep = Server.shutdown();
+  EXPECT_EQ(Rep.QueueHighWater, 3u);
+  ASSERT_EQ(Rep.Tenants.size(), 1u);
+  EXPECT_EQ(Rep.Tenants[0].RejectedOverload, 2u);
+  EXPECT_EQ(Rep.Tenants[0].Completed, 3u);
+}
+
+TEST(Server, TokenBucketThrottlingIsSeededDeterministic) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TokenBucketPolicy Bucket;
+  Bucket.RatePerTick = 0.34;
+  Bucket.Burst = 1.0;
+  TO.Bucket = Bucket;
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 4);
+
+  auto RunSchedule = [&](uint64_t Seed) {
+    ServerConfig Cfg;
+    Cfg.Lanes = 1;
+    Cfg.Seed = Seed;
+    InferenceServer<PlainBackend> Server(Cfg);
+    Server.registerTenant("alice", Plain, Circ, TO);
+    Server.pause();
+    std::vector<RequestTicket> Tickets;
+    for (int I = 0; I < 9; ++I)
+      Tickets.push_back(
+          Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales)));
+    Server.resume();
+    std::vector<RequestStatus> Statuses;
+    for (RequestTicket &T : Tickets)
+      Statuses.push_back(T.wait().Status);
+    ServerReport Rep = Server.shutdown();
+    return std::make_pair(Statuses, Rep.Tenants.at(0).RejectedThrottled);
+  };
+
+  auto [StatusesA, ThrottledA] = RunSchedule(0x7e57);
+  auto [StatusesB, ThrottledB] = RunSchedule(0x7e57);
+  EXPECT_EQ(StatusesA, StatusesB); // same seed -> same admission pattern
+  EXPECT_EQ(ThrottledA, ThrottledB);
+  EXPECT_GT(ThrottledA, 0u); // rate 0.34 must throttle a 9-burst
+  EXPECT_EQ(StatusesA[0], RequestStatus::Completed) << "first always admitted";
+}
+
+//===----------------------------------------------------------------------===//
+// Per-tenant fault isolation: breaker determinism at every lane count
+//===----------------------------------------------------------------------===//
+
+TEST(Server, BreakerTripsAndHalfOpenRecoversDeterministically) {
+  TensorCircuit Circ = smallCircuit();
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  Tensor3 Image = randomImageFor(Circ, 5);
+
+  for (unsigned Lanes : {1u, 2u, 8u}) {
+    PlainBackend Plain(10);
+    FaultPlan Plan;
+    Plan.Seed = 0xb4ea3;
+    Plan.TransientRate = 1.0; // every request's first op faults ...
+    Plan.MaxTransientFaults = 3; // ... until the third fault, then heals
+    PlainChaos Chaos(Plain, Plan);
+    Chaos.setFaultScope("tenant:alice");
+    TensorLayout L = circuitInputLayout(Circ, TO.Policy, Chaos.slotCount());
+
+    ServerConfig Cfg;
+    Cfg.Lanes = Lanes;
+    Cfg.Retry = fastRetry(/*MaxAttempts=*/1); // a fault fails the request
+    Cfg.Breaker.WindowSize = 4;
+    Cfg.Breaker.MinSamples = 2;
+    Cfg.Breaker.FailureThreshold = 0.5;
+    Cfg.Breaker.CooldownRejections = 2;
+    InferenceServer<PlainChaos> Server(Cfg);
+    Server.registerTenant("alice", Chaos, Circ, TO);
+
+    Server.pause();
+    std::vector<RequestTicket> Tickets;
+    for (int I = 0; I < 10; ++I)
+      Tickets.push_back(Server.submit(
+          "alice", retag<PlainChaos>(
+                       encryptTensor(Plain, Image, L, TO.Scales))));
+    Server.resume();
+    for (RequestTicket &T : Tickets)
+      T.wait();
+
+    // Expected serial schedule: fail, fail (trip), reject, reject,
+    // probe-fail (re-trip), reject, reject, probe-ok (recover), ok, ok.
+    ServerReport Rep = Server.shutdown();
+    ASSERT_EQ(Rep.Tenants.size(), 1u);
+    const TenantReport &T = Rep.Tenants[0];
+    EXPECT_EQ(T.Failed, 3u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.Completed, 3u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.RejectedBreaker, 4u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.BreakerTrips, 2u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.BreakerProbes, 2u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.BreakerRecoveries, 1u) << "lanes=" << Lanes;
+    EXPECT_EQ(T.Breaker, BreakerState::Closed) << "lanes=" << Lanes;
+    ASSERT_EQ(Chaos.stats().Sites.size(), 3u);
+    for (const FaultSite &S : Chaos.stats().Sites)
+      EXPECT_EQ(S.Scope, "tenant:alice");
+  }
+}
+
+TEST(Server, OpenBreakerDoesNotStarveHealthyTenants) {
+  TensorCircuit Circ = smallCircuit();
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  Tensor3 Image = randomImageFor(Circ, 6);
+
+  PlainBackend Healthy(10);
+  PlainBackend BrokenInner(10);
+  FaultPlan Always;
+  Always.TransientRate = 1.0; // never heals
+  PlainChaos Broken(BrokenInner, Always);
+  Broken.setFaultScope("tenant:broken");
+
+  // Both tenants live in one server; the healthy tenant uses the chaos
+  // type too (with a no-fault plan) so both share a backend type.
+  FaultPlan None;
+  PlainChaos HealthyChaos(Healthy, None);
+  HealthyChaos.setFaultScope("tenant:healthy");
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 2;
+  Cfg.Retry = fastRetry(1);
+  Cfg.Breaker.WindowSize = 4;
+  Cfg.Breaker.MinSamples = 2;
+  Cfg.Breaker.FailureThreshold = 0.5;
+  Cfg.Breaker.CooldownRejections = 100; // stays open for the whole test
+  InferenceServer<PlainChaos> Server(Cfg);
+  TensorLayout L =
+      circuitInputLayout(Circ, TO.Policy, HealthyChaos.slotCount());
+  Server.registerTenant("healthy", HealthyChaos, Circ, TO);
+  Server.registerTenant("broken", Broken, Circ, TO);
+
+  Server.pause();
+  std::vector<RequestTicket> HealthyTickets, BrokenTickets;
+  for (int I = 0; I < 8; ++I) {
+    BrokenTickets.push_back(Server.submit(
+        "broken",
+        retag<PlainChaos>(encryptTensor(BrokenInner, Image, L, TO.Scales))));
+    HealthyTickets.push_back(Server.submit(
+        "healthy",
+        retag<PlainChaos>(encryptTensor(Healthy, Image, L, TO.Scales))));
+  }
+  Server.resume();
+  for (RequestTicket &T : HealthyTickets)
+    EXPECT_EQ(T.wait().Status, RequestStatus::Completed);
+  size_t BrokenFailed = 0, BrokenRejected = 0;
+  for (RequestTicket &T : BrokenTickets) {
+    const ServerResponse &R = T.wait();
+    ASSERT_NE(R.Status, RequestStatus::Completed);
+    if (R.Status == RequestStatus::Failed)
+      ++BrokenFailed;
+    else
+      ++BrokenRejected;
+  }
+  EXPECT_EQ(BrokenFailed, 2u) << "exactly the two pre-trip requests run";
+  EXPECT_EQ(BrokenRejected, 6u);
+
+  ServerReport Rep = Server.shutdown();
+  for (const TenantReport &T : Rep.Tenants) {
+    if (T.Tenant == "healthy") {
+      EXPECT_EQ(T.Completed, 8u);
+      EXPECT_EQ(T.BreakerTrips, 0u);
+    } else {
+      EXPECT_EQ(T.BreakerTrips, 1u);
+      EXPECT_EQ(T.Breaker, BreakerState::Open);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines: server cap bounds the session; queued budgets expire
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ServerDeadlineCapsEveryRequest) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 7);
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 1;
+  Cfg.MaxRequestSeconds = 1e-9; // expires at the first node boundary
+  InferenceServer<PlainBackend> Server(Cfg);
+  Server.registerTenant("alice", Plain, Circ, TO);
+  RequestTicket T =
+      Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales));
+  const ServerResponse &R = T.wait();
+  EXPECT_EQ(R.Status, RequestStatus::Failed);
+  EXPECT_EQ(R.Code, ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(R.Class, FaultClass::Deadline);
+  EXPECT_TRUE(R.Session.DeadlineExpired);
+}
+
+TEST(Server, QueuedRequestBudgetExpiresWithoutOccupyingALane) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 8);
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 1;
+  InferenceServer<PlainBackend> Server(Cfg);
+  Server.registerTenant("alice", Plain, Circ, TO);
+
+  Server.pause();
+  RequestOptions Tight;
+  Tight.TimeBudgetSeconds = 1e-6;
+  RequestTicket Doomed = Server.submit(
+      "alice", encryptTensor(Plain, Image, L, TO.Scales), Tight);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Server.resume();
+  const ServerResponse &R = Doomed.wait();
+  EXPECT_EQ(R.Status, RequestStatus::Rejected);
+  EXPECT_EQ(R.Code, ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(R.Session.NodesExecuted, 0) << "never dispatched to a lane";
+  ServerReport Rep = Server.shutdown();
+  EXPECT_EQ(Rep.Tenants.at(0).RejectedDeadline, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(Server, GracefulDrainCompletesOrShedsWithStructuredReports) {
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  MemoryCheckpointStore Store;
+  TO.Store = &Store;
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 9);
+
+  ServerConfig Cfg;
+  Cfg.Lanes = 1;
+  Cfg.QueueHighWater = 64;
+  Cfg.Checkpoint = CheckpointPolicy::everyNode();
+  InferenceServer<PlainBackend> Server(Cfg);
+  Server.registerTenant("alice", Plain, Circ, TO);
+
+  Server.pause();
+  std::vector<RequestTicket> Tickets;
+  for (int I = 0; I < 6; ++I)
+    Tickets.push_back(
+        Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales)));
+  // A tiny drain budget: whatever has not started when it expires is
+  // shed with a typed, structured rejection.
+  ServerReport Rep = Server.shutdown(/*DrainBudgetSeconds=*/1e-6);
+  EXPECT_TRUE(Rep.ShutDown);
+
+  size_t Completed = 0, Shed = 0;
+  for (RequestTicket &T : Tickets) {
+    const ServerResponse &R = T.wait();
+    if (R.Status == RequestStatus::Completed) {
+      ++Completed;
+    } else {
+      ASSERT_EQ(R.Status, RequestStatus::Rejected);
+      EXPECT_EQ(R.Code, ErrorCode::ServerShutdown);
+      EXPECT_EQ(R.Class, FaultClass::Transient) << "resubmission can succeed";
+      EXPECT_NE(R.Message.find("resubmit"), std::string::npos);
+      ++Shed;
+    }
+  }
+  EXPECT_EQ(Completed + Shed, 6u) << "no work silently lost";
+  EXPECT_EQ(Rep.DrainRejected, Shed);
+
+  // Post-shutdown submissions are typed rejections, and shutdown() is
+  // idempotent.
+  RequestTicket Late =
+      Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales));
+  EXPECT_EQ(Late.wait().Code, ErrorCode::ServerShutdown);
+  EXPECT_TRUE(Server.shutdown().ShutDown);
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos soak: byte-identity of completed responses at 1/2/8 lanes
+//===----------------------------------------------------------------------===//
+
+struct SoakTenant {
+  std::string Id;
+  FaultPlan Plan;
+  std::vector<Tensor3> Images;
+};
+
+/// Reference bytes per request: a fault-free single-session run through
+/// the same integrity stack.
+template <typename Raw, typename Integ>
+std::vector<std::vector<ByteBuffer>>
+referenceBytes(Raw &RawBackend, const TensorCircuit &Circ,
+               const CompiledCircuit &C, const std::vector<Tensor3> &Images) {
+  Integ IntegB(RawBackend);
+  TensorLayout L = circuitInputLayout(Circ, C.Policy, IntegB.slotCount());
+  std::vector<std::vector<ByteBuffer>> Out;
+  for (const Tensor3 &Image : Images) {
+    auto Enc = encryptTensor(IntegB, Image, L, C.Scales);
+    auto Res = evaluateCircuit(IntegB, Circ, Enc, C.Scales, C.Policy);
+    Out.push_back(serializeAll(Res.Cts));
+  }
+  return Out;
+}
+
+TEST(Server, ChaosSoakByteIdenticalAcrossLanesRns) {
+  PoolGuard Guard;
+  TensorCircuit Circ = smallCircuit();
+  CompiledCircuit C = compileSmall(Circ, SchemeKind::RnsCkks);
+
+  std::vector<SoakTenant> Tenants(2);
+  Tenants[0].Id = "transient";
+  Tenants[0].Plan.Seed = 0x7a1;
+  Tenants[0].Plan.TransientRate = 0.01;
+  Tenants[0].Plan.MaxTransientFaults = 4;
+  Tenants[1].Id = "bitflip";
+  Tenants[1].Plan.Seed = 0x7a2;
+  Tenants[1].Plan.BitFlipRate = 0.004;
+  Tenants[1].Plan.MaxBitFlips = 2;
+  for (size_t I = 0; I < Tenants.size(); ++I)
+    for (uint64_t S = 0; S < 3; ++S)
+      Tenants[I].Images.push_back(randomImageFor(Circ, 100 + 10 * I + S));
+
+  // Fault-free references (one fresh seeded backend per tenant).
+  std::vector<std::vector<std::vector<ByteBuffer>>> Refs;
+  for (SoakTenant &T : Tenants) {
+    RnsCkksBackend Raw = makeRnsBackend(C, BackendSeed);
+    Refs.push_back(referenceBytes<RnsCkksBackend, RnsInteg>(Raw, Circ, C,
+                                                            T.Images));
+  }
+
+  std::vector<TenantReport> PrevReports;
+  for (unsigned Lanes : {1u, 2u, 8u}) {
+    // Fresh backends per lane count so each run sees the same seeded
+    // fault schedule from the start.
+    std::vector<std::unique_ptr<RnsCkksBackend>> Raws;
+    std::vector<std::unique_ptr<RnsInteg>> Integs;
+    std::vector<std::unique_ptr<RnsChaos>> Chaoses;
+    ServerConfig Cfg;
+    Cfg.Lanes = Lanes;
+    Cfg.Retry = fastRetry(4);
+    Cfg.Checkpoint = CheckpointPolicy::everyN(2);
+    Cfg.IntegrityCheckEveryNodes = 1;
+    InferenceServer<RnsChaos> Server(Cfg);
+    std::vector<std::unique_ptr<MemoryCheckpointStore>> Stores;
+
+    TensorLayout L;
+    for (SoakTenant &T : Tenants) {
+      Raws.push_back(std::make_unique<RnsCkksBackend>(
+          makeRnsBackend(C, BackendSeed)));
+      Integs.push_back(std::make_unique<RnsInteg>(*Raws.back()));
+      Chaoses.push_back(std::make_unique<RnsChaos>(*Integs.back(), T.Plan));
+      Chaoses.back()->setFaultScope("tenant:" + T.Id);
+      Stores.push_back(std::make_unique<MemoryCheckpointStore>());
+      TenantOptions TO;
+      TO.Scales = C.Scales;
+      TO.Policy = C.Policy;
+      TO.Store = Stores.back().get();
+      Server.registerTenant(T.Id, *Chaoses.back(), Circ, TO);
+      L = circuitInputLayout(Circ, C.Policy, Chaoses.back()->slotCount());
+    }
+
+    // Interleaved submission schedule (round-robin across tenants).
+    std::vector<std::pair<size_t, RequestTicket>> Tickets;
+    for (size_t R = 0; R < 3; ++R)
+      for (size_t TI = 0; TI < Tenants.size(); ++TI) {
+        auto Enc = retag<RnsChaos>(encryptTensor(
+            *Integs[TI], Tenants[TI].Images[R], L, C.Scales));
+        Tickets.emplace_back(
+            TI, Server.submit(Tenants[TI].Id, std::move(Enc)));
+      }
+
+    // Every response completes and matches the fault-free bytes.
+    std::vector<size_t> Seen(Tenants.size(), 0);
+    for (auto &[TI, Ticket] : Tickets) {
+      const ServerResponse &R = Ticket.wait();
+      ASSERT_EQ(R.Status, RequestStatus::Completed)
+          << "lanes=" << Lanes << " tenant=" << Tenants[TI].Id << ": "
+          << R.Message;
+      expectSameBytes(Refs[TI][Seen[TI]], R.Output, "chaos soak response");
+      ++Seen[TI];
+    }
+
+    ServerReport Rep = Server.shutdown();
+    EXPECT_EQ(Rep.Completed, 6u) << "lanes=" << Lanes;
+    EXPECT_EQ(Rep.Failed, 0u) << "lanes=" << Lanes;
+    // Counters are lane-count-invariant (per-tenant serial execution).
+    if (!PrevReports.empty()) {
+      for (size_t I = 0; I < Rep.Tenants.size(); ++I) {
+        EXPECT_EQ(Rep.Tenants[I].Retries, PrevReports[I].Retries)
+            << "lanes=" << Lanes;
+        EXPECT_EQ(Rep.Tenants[I].Restarts, PrevReports[I].Restarts)
+            << "lanes=" << Lanes;
+        EXPECT_EQ(Rep.Tenants[I].Completed, PrevReports[I].Completed);
+      }
+    }
+    PrevReports = Rep.Tenants;
+    // The chaos plans actually fired (faults were injected and healed).
+    EXPECT_GT(Chaoses[0]->stats().TransientFaults, 0);
+    EXPECT_GT(Chaoses[1]->stats().BitFlips, 0);
+  }
+}
+
+TEST(Server, ChaosSoakByteIdenticalAcrossLanesBig) {
+  PoolGuard Guard;
+  TensorCircuit Circ = smallCircuit();
+  CompiledCircuit C = compileSmall(Circ, SchemeKind::BigCkks);
+
+  SoakTenant T;
+  T.Id = "mixed";
+  T.Plan.Seed = 0x9b1;
+  T.Plan.TransientRate = 0.01;
+  T.Plan.MaxTransientFaults = 3;
+  T.Plan.BitFlipRate = 0.002;
+  T.Plan.MaxBitFlips = 1;
+  T.Images = {randomImageFor(Circ, 200), randomImageFor(Circ, 201)};
+
+  BigCkksBackend RefRaw = makeBigBackend(C, BackendSeed);
+  auto Refs =
+      referenceBytes<BigCkksBackend, BigInteg>(RefRaw, Circ, C, T.Images);
+
+  for (unsigned Lanes : {1u, 8u}) {
+    BigCkksBackend Raw = makeBigBackend(C, BackendSeed);
+    BigInteg Integ(Raw);
+    BigChaos Chaos(Integ, T.Plan);
+    Chaos.setFaultScope("tenant:" + T.Id);
+    MemoryCheckpointStore Store;
+
+    ServerConfig Cfg;
+    Cfg.Lanes = Lanes;
+    Cfg.Retry = fastRetry(4);
+    Cfg.Checkpoint = CheckpointPolicy::everyN(2);
+    Cfg.IntegrityCheckEveryNodes = 1;
+    InferenceServer<BigChaos> Server(Cfg);
+    TenantOptions TO;
+    TO.Scales = C.Scales;
+    TO.Policy = C.Policy;
+    TO.Store = &Store;
+    Server.registerTenant(T.Id, Chaos, Circ, TO);
+    TensorLayout L = circuitInputLayout(Circ, C.Policy, Chaos.slotCount());
+
+    std::vector<RequestTicket> Tickets;
+    for (const Tensor3 &Image : T.Images)
+      Tickets.push_back(Server.submit(
+          T.Id, retag<BigChaos>(encryptTensor(Integ, Image, L, C.Scales))));
+    for (size_t I = 0; I < Tickets.size(); ++I) {
+      const ServerResponse &R = Tickets[I].wait();
+      ASSERT_EQ(R.Status, RequestStatus::Completed)
+          << "lanes=" << Lanes << ": " << R.Message;
+      expectSameBytes(Refs[I], R.Output, "big-ckks soak response");
+    }
+    Server.shutdown();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent sessions sharing the global pool and a PlaintextCache
+// (satellite: must be data-race-free under the TSan CI job)
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ConcurrentSessionsSharePoolAndCacheBitIdentical) {
+  PoolGuard Guard;
+  TensorCircuit Circ = smallCircuit();
+  CompiledCircuit C = compileSmall(Circ, SchemeKind::RnsCkks);
+  RnsCkksBackend Backend = makeRnsBackend(C, BackendSeed);
+  TensorLayout L = circuitInputLayout(Circ, C.Policy, Backend.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 77);
+  // Encrypt once on the main thread (encryption draws from the backend's
+  // Prng; evaluation does not).
+  auto Enc = encryptTensor(Backend, Image, L, C.Scales);
+  auto Ref = evaluateCircuit(Backend, Circ, Enc, C.Scales, C.Policy);
+  std::vector<ByteBuffer> RefBytes = serializeAll(Ref.Cts);
+
+  for (unsigned PoolLanes : {1u, 2u, 8u}) {
+    setGlobalThreadCount(PoolLanes);
+    EncodedPlaintextCache<RnsCkksBackend> SharedCache;
+    constexpr int Sessions = 4;
+    std::vector<std::vector<ByteBuffer>> Results(Sessions);
+    std::vector<std::string> Errors(Sessions);
+    std::vector<std::thread> Threads;
+    for (int S = 0; S < Sessions; ++S)
+      Threads.emplace_back([&, S] {
+        try {
+          InferenceSession<RnsCkksBackend> Sess(Backend, Circ, {});
+          auto Out =
+              Sess.run(Enc, C.Scales, C.Policy, FcAlgorithm::Auto,
+                       &SharedCache);
+          Results[size_t(S)] = serializeAll(Out.Cts);
+        } catch (const std::exception &E) {
+          Errors[size_t(S)] = E.what();
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    for (int S = 0; S < Sessions; ++S) {
+      EXPECT_EQ(Errors[size_t(S)], "") << "pool=" << PoolLanes;
+      expectSameBytes(RefBytes, Results[size_t(S)],
+                      "concurrent session output");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Report rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ReportRendersEveryTenantAndPercentiles) {
+  EXPECT_EQ(latencyPercentile({}, 50.0), 0.0);
+  EXPECT_EQ(latencyPercentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+  EXPECT_EQ(latencyPercentile({3.0, 1.0, 2.0}, 99.0), 3.0);
+
+  TensorCircuit Circ = smallCircuit();
+  PlainBackend Plain(10);
+  TenantOptions TO;
+  TO.Scales = plainScales();
+  TensorLayout L = circuitInputLayout(Circ, TO.Policy, Plain.slotCount());
+  Tensor3 Image = randomImageFor(Circ, 11);
+
+  InferenceServer<PlainBackend> Server;
+  Server.registerTenant("alice", Plain, Circ, TO);
+  Server.submit("alice", encryptTensor(Plain, Image, L, TO.Scales)).wait();
+  ServerReport Rep = Server.shutdown();
+  std::string S = Rep.str();
+  EXPECT_NE(S.find("tenant 'alice'"), std::string::npos);
+  EXPECT_NE(S.find("completed=1"), std::string::npos);
+  EXPECT_NE(S.find("p50="), std::string::npos);
+  ASSERT_EQ(Rep.Tenants.size(), 1u);
+  EXPECT_GT(Rep.Tenants[0].P50LatencySeconds, 0.0);
+  EXPECT_GE(Rep.Tenants[0].P99LatencySeconds,
+            Rep.Tenants[0].P50LatencySeconds);
+}
+
+} // namespace
