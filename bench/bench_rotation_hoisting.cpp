@@ -13,7 +13,7 @@
 /// products dominate.
 ///
 /// Before any timing runs, a correctness gate (in the spirit of
-/// bench_ntt_fused) asserts on both schemes that the hoisted outputs are
+/// bench_kernels) asserts on both schemes that the hoisted outputs are
 /// byte-identical -- over serialized ciphertexts -- to per-rotation
 /// rotLeftAssign, across keyed, unkeyed (power-of-two fallback),
 /// duplicate, wrap-around, and zero amounts. Any mismatch aborts with a

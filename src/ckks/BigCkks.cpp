@@ -8,6 +8,7 @@
 
 #include "math/PrimeGen.h"
 #include "support/Error.h"
+#include "support/LimbPool.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -68,13 +69,25 @@ void BigPolyRing::decomposeNtt(const BigInt *Poly, int Count,
   });
 }
 
+void BigPolyRing::decomposeNttFlat(const BigInt *Poly, int Count,
+                                   uint64_t *Out) {
+  ensurePrimes(Count);
+  parallelFor(0, size_t(Count), 1, [&](size_t I) {
+    uint64_t *Dst = Out + I * N;
+    const Modulus &Q = Mods[I];
+    for (size_t K = 0; K < N; ++K)
+      Dst[K] = Poly[K].modPrime(Q);
+    Tables[I]->forward(Dst);
+  });
+}
+
 void BigPolyRing::reconstruct(std::vector<std::vector<uint64_t>> &Rns,
                               int Count, BigInt *Out) {
   const CrtBasis &Basis = basisFor(Count);
   parallelFor(0, size_t(Count), 1,
               [&](size_t I) { Tables[I]->inverse(Rns[I].data()); });
   globalThreadPool().parallelForBlocks(0, N, 128, [&](size_t Lo, size_t Hi) {
-    std::vector<uint64_t> PerCoeff(Count);
+    LimbBuffer PerCoeff{size_t(Count)};
     for (size_t K = Lo; K < Hi; ++K) {
       for (int I = 0; I < Count; ++I)
         PerCoeff[I] = Rns[I][K];
@@ -83,18 +96,34 @@ void BigPolyRing::reconstruct(std::vector<std::vector<uint64_t>> &Rns,
   });
 }
 
+void BigPolyRing::reconstructFlat(uint64_t *Rns, int Count, BigInt *Out) {
+  const CrtBasis &Basis = basisFor(Count);
+  parallelFor(0, size_t(Count), 1,
+              [&](size_t I) { Tables[I]->inverse(Rns + I * N); });
+  globalThreadPool().parallelForBlocks(0, N, 128, [&](size_t Lo, size_t Hi) {
+    LimbBuffer PerCoeff{size_t(Count)};
+    for (size_t K = Lo; K < Hi; ++K) {
+      for (int I = 0; I < Count; ++I)
+        PerCoeff[I] = Rns[I * N + K];
+      Out[K] = Basis.reconstructCentered(PerCoeff.data());
+    }
+  });
+}
+
 void BigPolyRing::multiply(const BigInt *A, const BigInt *B, BigInt *Out,
                            int ProductBits) {
   int Count = primesForBits(ProductBits);
-  std::vector<std::vector<uint64_t>> ARns, BRns;
-  decomposeNtt(A, Count, ARns);
-  decomposeNtt(B, Count, BRns);
+  LimbBuffer ARns(size_t(Count) * N), BRns(size_t(Count) * N);
+  decomposeNttFlat(A, Count, ARns.data());
+  decomposeNttFlat(B, Count, BRns.data());
   parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Mods[I];
+    uint64_t *AR = ARns.data() + I * N;
+    const uint64_t *BR = BRns.data() + I * N;
     for (size_t K = 0; K < N; ++K)
-      ARns[I][K] = Q.mulMod(ARns[I][K], BRns[I][K]);
+      AR[K] = Q.mulMod(AR[K], BR[K]);
   });
-  reconstruct(ARns, Count, Out);
+  reconstructFlat(ARns.data(), Count, Out);
 }
 
 void BigPolyRing::mulAcc(const std::vector<std::vector<uint64_t>> &X,
@@ -468,25 +497,26 @@ void BigCkksBackend::keySwitch(const std::vector<BigInt> &D, int CtLogQ,
   int Count = Ring.primesForBits(Bits);
   assert(Count <= Key.PrimeCount && "evaluation key has too few primes");
 
-  std::vector<std::vector<uint64_t>> DRns;
-  Ring.decomposeNtt(D.data(), Count, DRns);
+  LimbBuffer DRns(size_t(Count) * Degree);
+  Ring.decomposeNttFlat(D.data(), Count, DRns.data());
   KsStats->ForwardNtts.fetch_add(Count, std::memory_order_relaxed);
   KsStats->InverseNtts.fetch_add(2 * size_t(Count),
                                  std::memory_order_relaxed);
-  std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
+  LimbBuffer AccB(size_t(Count) * Degree), AccA(size_t(Count) * Degree);
   parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Ring.prime(I);
-    AccB[I].resize(Degree);
-    AccA[I].resize(Degree);
+    const uint64_t *DR = DRns.data() + I * Degree;
+    uint64_t *AB = AccB.data() + I * Degree;
+    uint64_t *AA = AccA.data() + I * Degree;
     for (size_t K = 0; K < Degree; ++K) {
-      AccB[I][K] = Q.mulMod(DRns[I][K], Key.B[I][K]);
-      AccA[I][K] = Q.mulMod(DRns[I][K], Key.A[I][K]);
+      AB[K] = Q.mulMod(DR[K], Key.B[I][K]);
+      AA[K] = Q.mulMod(DR[K], Key.A[I][K]);
     }
   });
   OutB.resize(Degree);
   OutA.resize(Degree);
-  Ring.reconstruct(AccB, Count, OutB.data());
-  Ring.reconstruct(AccA, Count, OutA.data());
+  Ring.reconstructFlat(AccB.data(), Count, OutB.data());
+  Ring.reconstructFlat(AccA.data(), Count, OutA.data());
   parallelFor(0, Degree, 256, [&](size_t K) {
     OutB[K].shiftRightRound(LogP);
     OutB[K].centerMod2k(CtLogQ);
@@ -501,44 +531,53 @@ void BigCkksBackend::mulAssign(Ct &C, const Ct &Other) {
 
   int Bits = 2 * LogQ + LogN + 2;
   int Count = Ring.primesForBits(Bits);
-  std::vector<std::vector<uint64_t>> A0, A1, B0, B1;
-  Ring.decomposeNtt(C.C0.data(), Count, A0);
-  Ring.decomposeNtt(C.C1.data(), Count, A1);
-  if (&C == &Other) {
-    B0 = A0;
-    B1 = A1;
-  } else {
+  size_t Words = size_t(Count) * Degree;
+  LimbBuffer A0(Words), A1(Words), B0Buf, B1Buf;
+  Ring.decomposeNttFlat(C.C0.data(), Count, A0.data());
+  Ring.decomposeNttFlat(C.C1.data(), Count, A1.data());
+  // Squaring reads the same decomposition twice instead of copying it
+  // (the old vector code duplicated Count * N words here).
+  const uint64_t *B0 = A0.data();
+  const uint64_t *B1 = A1.data();
+  if (&C != &Other) {
+    B0Buf.resizeUninit(Words);
+    B1Buf.resizeUninit(Words);
     // Other may sit at a higher modulus; its residues are still correct
     // modulo the product basis only if we reduce first, so copy-reduce.
     if (Other.LogQ != LogQ) {
       Ct Tmp = Other;
       reduceTo(Tmp, LogQ);
-      Ring.decomposeNtt(Tmp.C0.data(), Count, B0);
-      Ring.decomposeNtt(Tmp.C1.data(), Count, B1);
+      Ring.decomposeNttFlat(Tmp.C0.data(), Count, B0Buf.data());
+      Ring.decomposeNttFlat(Tmp.C1.data(), Count, B1Buf.data());
     } else {
-      Ring.decomposeNtt(Other.C0.data(), Count, B0);
-      Ring.decomposeNtt(Other.C1.data(), Count, B1);
+      Ring.decomposeNttFlat(Other.C0.data(), Count, B0Buf.data());
+      Ring.decomposeNttFlat(Other.C1.data(), Count, B1Buf.data());
     }
+    B0 = B0Buf.data();
+    B1 = B1Buf.data();
   }
 
-  std::vector<std::vector<uint64_t>> D0Rns(Count), D1Rns(Count),
-      D2Rns(Count);
+  LimbBuffer D0Rns(Words), D1Rns(Words), D2Rns(Words);
   parallelFor(0, size_t(Count), 1, [&](size_t I) {
     const Modulus &Q = Ring.prime(I);
-    D0Rns[I].resize(Degree);
-    D1Rns[I].resize(Degree);
-    D2Rns[I].resize(Degree);
+    const uint64_t *A0R = A0.data() + I * Degree;
+    const uint64_t *A1R = A1.data() + I * Degree;
+    const uint64_t *B0R = B0 + I * Degree;
+    const uint64_t *B1R = B1 + I * Degree;
+    uint64_t *D0R = D0Rns.data() + I * Degree;
+    uint64_t *D1R = D1Rns.data() + I * Degree;
+    uint64_t *D2R = D2Rns.data() + I * Degree;
     for (size_t K = 0; K < Degree; ++K) {
-      D0Rns[I][K] = Q.mulMod(A0[I][K], B0[I][K]);
-      D1Rns[I][K] = Q.addMod(Q.mulMod(A0[I][K], B1[I][K]),
-                             Q.mulMod(A1[I][K], B0[I][K]));
-      D2Rns[I][K] = Q.mulMod(A1[I][K], B1[I][K]);
+      D0R[K] = Q.mulMod(A0R[K], B0R[K]);
+      D1R[K] = Q.addMod(Q.mulMod(A0R[K], B1R[K]),
+                        Q.mulMod(A1R[K], B0R[K]));
+      D2R[K] = Q.mulMod(A1R[K], B1R[K]);
     }
   });
   std::vector<BigInt> D0(Degree), D1(Degree), D2(Degree);
-  Ring.reconstruct(D0Rns, Count, D0.data());
-  Ring.reconstruct(D1Rns, Count, D1.data());
-  Ring.reconstruct(D2Rns, Count, D2.data());
+  Ring.reconstructFlat(D0Rns.data(), Count, D0.data());
+  Ring.reconstructFlat(D1Rns.data(), Count, D1.data());
+  Ring.reconstructFlat(D2Rns.data(), Count, D2.data());
   parallelFor(0, Degree, 256, [&](size_t K) {
     D0[K].centerMod2k(LogQ);
     D1[K].centerMod2k(LogQ);
@@ -565,15 +604,16 @@ void BigCkksBackend::mulPlainAssign(Ct &C, const Pt &P) {
   int Count = Ring.primesForBits(Bits);
   const std::vector<std::vector<uint64_t>> &MRns = plainRns(P, Count);
 
+  LimbBuffer CRns(size_t(Count) * Degree);
   for (std::vector<BigInt> *Poly : {&C.C0, &C.C1}) {
-    std::vector<std::vector<uint64_t>> CRns;
-    Ring.decomposeNtt(Poly->data(), Count, CRns);
+    Ring.decomposeNttFlat(Poly->data(), Count, CRns.data());
     parallelFor(0, size_t(Count), 1, [&](size_t I) {
       const Modulus &Q = Ring.prime(I);
+      uint64_t *CR = CRns.data() + I * Degree;
       for (size_t K = 0; K < Degree; ++K)
-        CRns[I][K] = Q.mulMod(CRns[I][K], MRns[I][K]);
+        CR[K] = Q.mulMod(CR[K], MRns[I][K]);
     });
-    Ring.reconstruct(CRns, Count, Poly->data());
+    Ring.reconstructFlat(CRns.data(), Count, Poly->data());
     parallelFor(0, Degree, 256,
                 [&](size_t K) { (*Poly)[K].centerMod2k(C.LogQ); });
   }
@@ -671,31 +711,31 @@ BigCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
   int LogP = Params.effectiveLogSpecial();
   int Bits = C.LogQ + Params.logQP() + LogN + 2;
   int Count = Ring.primesForBits(Bits);
-  std::vector<std::vector<uint64_t>> DRns;
-  Ring.decomposeNtt(C.C1.data(), Count, DRns);
+  LimbBuffer DRns(size_t(Count) * Degree);
+  Ring.decomposeNttFlat(C.C1.data(), Count, DRns.data());
   KsStats->ForwardNtts.fetch_add(Count, std::memory_order_relaxed);
 
+  LimbBuffer AccB(size_t(Count) * Degree), AccA(size_t(Count) * Degree);
   for (const HoistAmount &H : Hoist) {
     const EvalKey &Key = *H.Key;
     assert(Count <= Key.PrimeCount && "evaluation key has too few primes");
     const std::vector<uint32_t> &Perm = *H.Perm;
     // Permute the shared decomposition in the NTT domain, fused with the
     // per-key pointwise product.
-    std::vector<std::vector<uint64_t>> AccB(Count), AccA(Count);
     parallelFor(0, size_t(Count), 1, [&](size_t I) {
       const Modulus &Q = Ring.prime(I);
-      const std::vector<uint64_t> &Src = DRns[I];
-      AccB[I].resize(Degree);
-      AccA[I].resize(Degree);
+      const uint64_t *Src = DRns.data() + I * Degree;
+      uint64_t *AB = AccB.data() + I * Degree;
+      uint64_t *AA = AccA.data() + I * Degree;
       for (size_t K = 0; K < Degree; ++K) {
         uint64_t V = Src[Perm[K]];
-        AccB[I][K] = Q.mulMod(V, Key.B[I][K]);
-        AccA[I][K] = Q.mulMod(V, Key.A[I][K]);
+        AB[K] = Q.mulMod(V, Key.B[I][K]);
+        AA[K] = Q.mulMod(V, Key.A[I][K]);
       }
     });
     std::vector<BigInt> KB(Degree), KA(Degree);
-    Ring.reconstruct(AccB, Count, KB.data());
-    Ring.reconstruct(AccA, Count, KA.data());
+    Ring.reconstructFlat(AccB.data(), Count, KB.data());
+    Ring.reconstructFlat(AccA.data(), Count, KA.data());
     KsStats->InverseNtts.fetch_add(2 * size_t(Count),
                                    std::memory_order_relaxed);
 

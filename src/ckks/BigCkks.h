@@ -79,9 +79,16 @@ public:
   void decomposeNtt(const BigInt *Poly, int Count,
                     std::vector<std::vector<uint64_t>> &Out);
 
+  /// Flat-arena variant of decomposeNtt for pooled hot-path temporaries:
+  /// residues for prime i land at Out + i * N (Count * N words total).
+  void decomposeNttFlat(const BigInt *Poly, int Count, uint64_t *Out);
+
   /// Inverse of decomposeNtt followed by centered CRT reconstruction.
   void reconstruct(std::vector<std::vector<uint64_t>> &Rns, int Count,
                    BigInt *Out);
+
+  /// Flat-arena variant of reconstruct (destroys Rns contents in place).
+  void reconstructFlat(uint64_t *Rns, int Count, BigInt *Out);
 
   /// Out = A * B exactly, where the product coefficients fit in
   /// \p ProductBits bits. A and B are length-N BigInt polynomials.

@@ -7,6 +7,7 @@
 #include "ckks/Encoder.h"
 
 #include "support/Error.h"
+#include "support/LimbPool.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -42,7 +43,7 @@ CkksEncoder::encodeCoeffs(const std::vector<double> &Values,
              "too many values for slot count: ", Values.size(), " > ", N / 2);
   CHET_CHECK(Scale > 0, InvalidArgument, "scale must be positive, got ",
              Scale);
-  std::vector<std::complex<double>> Spectrum(N, 0.0);
+  auto Spectrum = PooledScratch<std::complex<double>>::zeroed(N);
   for (size_t J = 0; J < Values.size(); ++J) {
     uint32_t T = SlotToFreq[J];
     Spectrum[T] = Values[J];
@@ -71,7 +72,7 @@ CkksEncoder::decodeValues(const std::vector<double> &Coeffs,
   CHET_CHECK(Coeffs.size() == N, InvalidArgument,
              "coefficient count must equal ring degree: ", Coeffs.size(),
              " != ", N);
-  std::vector<std::complex<double>> A(N);
+  PooledScratch<std::complex<double>> A(N);
   double Inv = 1.0 / Scale;
   parallelFor(0, N, 512,
               [&](size_t J) { A[J] = Coeffs[J] * Inv * Zeta[J]; });

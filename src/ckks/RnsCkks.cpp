@@ -8,6 +8,7 @@
 
 #include "math/PrimeGen.h"
 #include "support/Error.h"
+#include "support/LimbPool.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -164,17 +165,22 @@ std::vector<int64_t> RnsCkksBackend::sampleErrorCoeffs() {
   return Coeffs;
 }
 
-std::vector<uint64_t>
-RnsCkksBackend::smallToNtt(const std::vector<int64_t> &Coeffs,
-                           size_t J) const {
+void RnsCkksBackend::smallToNttInto(const int64_t *Coeffs, size_t J,
+                                    uint64_t *Out) const {
   const Modulus &Q = modAt(J);
-  std::vector<uint64_t> Out(Degree);
   for (size_t K = 0; K < Degree; ++K) {
     int64_t V = Coeffs[K];
     Out[K] = V >= 0 ? Q.reduce(static_cast<uint64_t>(V))
                     : Q.negMod(Q.reduce(static_cast<uint64_t>(-V)));
   }
-  nttAt(J).forward(Out.data());
+  nttAt(J).forward(Out);
+}
+
+std::vector<uint64_t>
+RnsCkksBackend::smallToNtt(const std::vector<int64_t> &Coeffs,
+                           size_t J) const {
+  std::vector<uint64_t> Out(Degree);
+  smallToNttInto(Coeffs.data(), J, Out.data());
   return Out;
 }
 
@@ -335,9 +341,10 @@ RnsCkksBackend::Ct RnsCkksBackend::encrypt(const Pt &P) {
   // compute and fans out over the chain.
   parallelFor(0, ChainLen, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
-    std::vector<uint64_t> UNtt = smallToNtt(U, J);
-    std::vector<uint64_t> E0Ntt = smallToNtt(E0, J);
-    std::vector<uint64_t> E1Ntt = smallToNtt(E1, J);
+    LimbBuffer UNtt(Degree), E0Ntt(Degree), E1Ntt(Degree);
+    smallToNttInto(U.data(), J, UNtt.data());
+    smallToNttInto(E0.data(), J, E0Ntt.data());
+    smallToNttInto(E1.data(), J, E1Ntt.data());
     const std::vector<uint64_t> &M = plainNtt(P, J);
     uint64_t *C0 = C.C0.data() + J * Degree;
     uint64_t *C1 = C.C1.data() + J * Degree;
@@ -369,16 +376,15 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
              MalformedCiphertext,
              "ciphertext structure does not match the parameters: level ", L,
              ", ", C.C0.size(), "/", C.C1.size(), " words, scale ", C.Scale);
-  std::vector<std::vector<uint64_t>> Residues(L + 1);
+  LimbBuffer Residues((size_t(L) + 1) * Degree);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
-    Residues[J].resize(Degree);
+    uint64_t *R = Residues.data() + J * Degree;
     const uint64_t *C0 = C.C0.data() + J * Degree;
     const uint64_t *C1 = C.C1.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K)
-      Residues[J][K] =
-          Q.addMod(C0[K], Q.mulMod(C1[K], SecretNtt[J][K]));
-    ChainNtt[J]->inverse(Residues[J].data());
+      R[K] = Q.addMod(C0[K], Q.mulMod(C1[K], SecretNtt[J][K]));
+    ChainNtt[J]->inverse(R);
   });
 
   Pt P;
@@ -387,7 +393,7 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
   if (L == 0) {
     uint64_t Q = ChainMods[0].value();
     for (size_t K = 0; K < Degree; ++K) {
-      uint64_t V = Residues[0][K];
+      uint64_t V = Residues[K];
       P.Coeffs[K] = V > Q / 2 ? -static_cast<double>(Q - V)
                               : static_cast<double>(V);
     }
@@ -395,10 +401,10 @@ RnsCkksBackend::Pt RnsCkksBackend::decrypt(const Ct &C) const {
     const CrtBasis &Basis = crtForLevel(L);
     globalThreadPool().parallelForBlocks(
         0, Degree, 256, [&](size_t Lo, size_t Hi) {
-          std::vector<uint64_t> PerCoeff(L + 1);
+          LimbBuffer PerCoeff(size_t(L) + 1);
           for (size_t K = Lo; K < Hi; ++K) {
             for (int J = 0; J <= L; ++J)
-              PerCoeff[J] = Residues[J][K];
+              PerCoeff[J] = Residues[J * Degree + K];
             P.Coeffs[K] =
                 Basis.reconstructCentered(PerCoeff.data()).toDouble();
           }
@@ -553,14 +559,35 @@ void RnsCkksBackend::mulPlainAssign(Ct &C, const Pt &P) const {
 // Multiplication, relinearization, rotation
 //===----------------------------------------------------------------------===//
 
-void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
-                               int Level, const KSwitchKey &Key,
-                               std::vector<uint64_t> &OutB,
-                               std::vector<uint64_t> &OutA) const {
+/// Whether the key-switch inner products may sum raw 128-bit products and
+/// Barrett-reduce once per element instead of reducing every term. Primes
+/// are <= 61 bits, so a term is < 2^122 and 32 terms leave 2x headroom in
+/// the accumulator. Both folds produce the canonical representative of
+/// the same residue, so the result is bit-identical either way; the lazy
+/// path rides the limb pool's escape hatch so CHET_LIMB_POOL=off selects
+/// the simple reference kernels end to end.
+static bool lazyInnerProduct(size_t Terms) {
+  return Terms <= 32 && LimbPool::instance().enabled();
+}
+
+void RnsCkksBackend::keySwitch(const uint64_t *Digits, int Level,
+                               const KSwitchKey &Key, LimbBuffer &OutB,
+                               LimbBuffer &OutA) const {
   size_t Components = Level + 1;
-  OutB.assign(Components * Degree, 0);
-  OutA.assign(Components * Degree, 0);
-  std::vector<uint64_t> AccBSp(Degree, 0), AccASp(Degree, 0);
+  const bool Lazy = lazyInnerProduct(Components);
+  if (Lazy) {
+    // Every output element is overwritten by the final reduction.
+    OutB.resizeUninit(Components * Degree);
+    OutA.resizeUninit(Components * Degree);
+  } else {
+    OutB.assignZero(Components * Degree);
+    OutA.assignZero(Components * Degree);
+  }
+  LimbBuffer AccBSp(Degree), AccASp(Degree);
+  if (!Lazy) {
+    AccBSp.assignZero(Degree);
+    AccASp.assignZero(Degree);
+  }
 
   // Loop interchange vs. the textbook order: the outer (parallel) loop
   // walks the output moduli, each of which owns a disjoint accumulator;
@@ -570,15 +597,20 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
   parallelFor(0, Components + 1, 1, [&](size_t J) {
     size_t ModIndex = J < Components ? J : ChainLen; // special last
     const Modulus &Q = modAt(ModIndex);
-    std::vector<uint64_t> Tmp(Degree);
+    LimbBuffer Tmp(Degree);
+    PooledScratch<unsigned __int128> LzB, LzA;
+    if (Lazy) {
+      LzB = PooledScratch<unsigned __int128>::zeroed(Degree);
+      LzA = PooledScratch<unsigned __int128>::zeroed(Degree);
+    }
     uint64_t *DstB =
         ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
     uint64_t *DstA =
         ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
     for (size_t I = 0; I < Components; ++I) {
-      const std::vector<uint64_t> &Digit = Digits[I];
+      const uint64_t *Digit = Digits + I * Degree;
       if (ModIndex == I) {
-        std::memcpy(Tmp.data(), Digit.data(), Degree * sizeof(uint64_t));
+        std::memcpy(Tmp.data(), Digit, Degree * sizeof(uint64_t));
       } else {
         for (size_t K = 0; K < Degree; ++K)
           Tmp[K] = Q.reduce(Digit[K]);
@@ -586,26 +618,48 @@ void RnsCkksBackend::keySwitch(const std::vector<std::vector<uint64_t>> &Digits,
       nttAt(ModIndex).forward(Tmp.data());
       const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
       const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
-      for (size_t K = 0; K < Degree; ++K) {
-        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Tmp[K], KeyB[K]));
-        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Tmp[K], KeyA[K]));
+      if (Lazy) {
+        for (size_t K = 0; K < Degree; ++K) {
+          LzB[K] += static_cast<unsigned __int128>(Tmp[K]) * KeyB[K];
+          LzA[K] += static_cast<unsigned __int128>(Tmp[K]) * KeyA[K];
+        }
+      } else {
+        for (size_t K = 0; K < Degree; ++K) {
+          DstB[K] = Q.addMod(DstB[K], Q.mulMod(Tmp[K], KeyB[K]));
+          DstA[K] = Q.addMod(DstA[K], Q.mulMod(Tmp[K], KeyA[K]));
+        }
       }
     }
+    if (Lazy)
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.reduce128(LzB[K]);
+        DstA[K] = Q.reduce128(LzA[K]);
+      }
   });
   KsStats->ForwardNtts.fetch_add(Components * (Components + 1),
                                  std::memory_order_relaxed);
-  divideBySpecial(OutB, AccBSp, Level);
-  divideBySpecial(OutA, AccASp, Level);
+  divideBySpecialPair(OutB.data(), AccBSp.data(), OutA.data(),
+                      AccASp.data(), Level);
 }
 
-void RnsCkksBackend::keySwitchGalois(
-    const std::vector<std::vector<uint64_t>> &Digits, int Level,
-    uint64_t Elt, const KSwitchKey &Key, std::vector<uint64_t> &OutB,
-    std::vector<uint64_t> &OutA) const {
+void RnsCkksBackend::keySwitchGalois(const uint64_t *Digits, int Level,
+                                     uint64_t Elt, const KSwitchKey &Key,
+                                     LimbBuffer &OutB,
+                                     LimbBuffer &OutA) const {
   size_t Components = Level + 1;
-  OutB.assign(Components * Degree, 0);
-  OutA.assign(Components * Degree, 0);
-  std::vector<uint64_t> AccBSp(Degree, 0), AccASp(Degree, 0);
+  const bool Lazy = lazyInnerProduct(Components);
+  if (Lazy) {
+    OutB.resizeUninit(Components * Degree);
+    OutA.resizeUninit(Components * Degree);
+  } else {
+    OutB.assignZero(Components * Degree);
+    OutA.assignZero(Components * Degree);
+  }
+  LimbBuffer AccBSp(Degree), AccASp(Degree);
+  if (!Lazy) {
+    AccBSp.assignZero(Degree);
+    AccASp.assignZero(Degree);
+  }
 
   // Same loop interchange as keySwitch: the parallel loop owns disjoint
   // per-modulus accumulators, the sequential digit loop fixes the fold
@@ -613,15 +667,20 @@ void RnsCkksBackend::keySwitchGalois(
   parallelFor(0, Components + 1, 1, [&](size_t J) {
     size_t ModIndex = J < Components ? J : ChainLen; // special last
     const Modulus &Q = modAt(ModIndex);
-    std::vector<uint64_t> Tmp(Degree), Sigma(Degree);
+    LimbBuffer Tmp(Degree), Sigma(Degree);
+    PooledScratch<unsigned __int128> LzB, LzA;
+    if (Lazy) {
+      LzB = PooledScratch<unsigned __int128>::zeroed(Degree);
+      LzA = PooledScratch<unsigned __int128>::zeroed(Degree);
+    }
     uint64_t *DstB =
         ModIndex == ChainLen ? AccBSp.data() : OutB.data() + J * Degree;
     uint64_t *DstA =
         ModIndex == ChainLen ? AccASp.data() : OutA.data() + J * Degree;
     for (size_t I = 0; I < Components; ++I) {
-      const std::vector<uint64_t> &Digit = Digits[I];
+      const uint64_t *Digit = Digits + I * Degree;
       if (ModIndex == I) {
-        std::memcpy(Tmp.data(), Digit.data(), Degree * sizeof(uint64_t));
+        std::memcpy(Tmp.data(), Digit, Degree * sizeof(uint64_t));
       } else {
         for (size_t K = 0; K < Degree; ++K)
           Tmp[K] = Q.reduce(Digit[K]);
@@ -631,42 +690,66 @@ void RnsCkksBackend::keySwitchGalois(
       nttAt(ModIndex).forward(Sigma.data());
       const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
       const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
-      for (size_t K = 0; K < Degree; ++K) {
-        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
-        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+      if (Lazy) {
+        for (size_t K = 0; K < Degree; ++K) {
+          LzB[K] += static_cast<unsigned __int128>(Sigma[K]) * KeyB[K];
+          LzA[K] += static_cast<unsigned __int128>(Sigma[K]) * KeyA[K];
+        }
+      } else {
+        for (size_t K = 0; K < Degree; ++K) {
+          DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
+          DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+        }
       }
     }
+    if (Lazy)
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.reduce128(LzB[K]);
+        DstA[K] = Q.reduce128(LzA[K]);
+      }
   });
   KsStats->ForwardNtts.fetch_add(Components * (Components + 1),
                                  std::memory_order_relaxed);
-  divideBySpecial(OutB, AccBSp, Level);
-  divideBySpecial(OutA, AccASp, Level);
+  divideBySpecialPair(OutB.data(), AccBSp.data(), OutA.data(),
+                      AccASp.data(), Level);
 }
 
-void RnsCkksBackend::divideBySpecial(std::vector<uint64_t> &AccChain,
-                                     std::vector<uint64_t> &AccSpecial,
-                                     int Level) const {
-  KsStats->ForwardNtts.fetch_add(size_t(Level) + 1,
+void RnsCkksBackend::divideBySpecialPair(uint64_t *BChain,
+                                         uint64_t *BSpecial,
+                                         uint64_t *AChain,
+                                         uint64_t *ASpecial,
+                                         int Level) const {
+  // Counter totals match the two single-polynomial divisions this pass
+  // replaces (profiling asserts the hoisting amortization ratios).
+  KsStats->ForwardNtts.fetch_add(2 * (size_t(Level) + 1),
                                  std::memory_order_relaxed);
-  KsStats->InverseNtts.fetch_add(1, std::memory_order_relaxed);
-  SpecialNtt->inverse(AccSpecial.data());
+  KsStats->InverseNtts.fetch_add(2, std::memory_order_relaxed);
+  SpecialNtt->inverse(BSpecial);
+  SpecialNtt->inverse(ASpecial);
   uint64_t P = SpecialMod.value();
   uint64_t HalfP = P >> 1;
   parallelFor(0, size_t(Level) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
-    std::vector<uint64_t> Corr(Degree);
+    LimbBuffer CorrB(Degree), CorrA(Degree);
     for (size_t K = 0; K < Degree; ++K) {
-      uint64_t T = AccSpecial[K];
+      uint64_t TB = BSpecial[K];
+      uint64_t TA = ASpecial[K];
       // Centered representative of T mod p, reduced into Z_q.
-      Corr[K] = T > HalfP ? Q.negMod(Q.reduce(P - T)) : Q.reduce(T);
+      CorrB[K] = TB > HalfP ? Q.negMod(Q.reduce(P - TB)) : Q.reduce(TB);
+      CorrA[K] = TA > HalfP ? Q.negMod(Q.reduce(P - TA)) : Q.reduce(TA);
     }
-    ChainNtt[J]->forward(Corr.data());
+    ChainNtt[J]->forward(CorrB.data());
+    ChainNtt[J]->forward(CorrA.data());
     uint64_t Inv = SpecialInvModChain[J];
     uint64_t InvShoup = shoupPrecompute(Inv, Q.value());
-    uint64_t *Dst = AccChain.data() + J * Degree;
-    for (size_t K = 0; K < Degree; ++K)
-      Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
-                           Q.value());
+    uint64_t *DstB = BChain + J * Degree;
+    uint64_t *DstA = AChain + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      DstB[K] = shoupMulMod(Q.subMod(DstB[K], CorrB[K]), Inv, InvShoup,
+                            Q.value());
+      DstA[K] = shoupMulMod(Q.subMod(DstA[K], CorrA[K]), Inv, InvShoup,
+                            Q.value());
+    }
   });
 }
 
@@ -674,8 +757,8 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
   int L = C.Level < Other.Level ? C.Level : Other.Level;
   modSwitchTo(C, L);
 
-  std::vector<uint64_t> D0((L + 1) * Degree), D1((L + 1) * Degree);
-  std::vector<std::vector<uint64_t>> D2(L + 1);
+  LimbBuffer D0((size_t(L) + 1) * Degree), D1((size_t(L) + 1) * Degree);
+  LimbBuffer D2((size_t(L) + 1) * Degree);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     const uint64_t *A0 = C.C0.data() + J * Degree;
@@ -684,18 +767,18 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
     const uint64_t *B1 = Other.C1.data() + J * Degree;
     uint64_t *O0 = D0.data() + J * Degree;
     uint64_t *O1 = D1.data() + J * Degree;
-    D2[J].resize(Degree);
+    uint64_t *O2 = D2.data() + J * Degree;
     for (size_t K = 0; K < Degree; ++K) {
       O0[K] = Q.mulMod(A0[K], B0[K]);
       O1[K] = Q.addMod(Q.mulMod(A0[K], B1[K]), Q.mulMod(A1[K], B0[K]));
-      D2[J][K] = Q.mulMod(A1[K], B1[K]);
+      O2[K] = Q.mulMod(A1[K], B1[K]);
     }
-    ChainNtt[J]->inverse(D2[J].data()); // digits must be coefficient form
+    ChainNtt[J]->inverse(O2); // digits must be coefficient form
   });
 
   KsStats->InverseNtts.fetch_add(size_t(L) + 1, std::memory_order_relaxed);
-  std::vector<uint64_t> KB, KA;
-  keySwitch(D2, L, RelinKey, KB, KA);
+  LimbBuffer KB, KA;
+  keySwitch(D2.data(), L, RelinKey, KB, KA);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
@@ -719,14 +802,14 @@ void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
   // form; keySwitchGalois applies sigma_Elt after reducing each digit
   // into its output modulus. This reduce-then-rotate order matches the
   // lift the hoisted rotLeftMany path uses, keeping both bit-identical.
-  std::vector<std::vector<uint64_t>> Digits(L + 1);
+  LimbBuffer Digits((size_t(L) + 1) * Degree);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
-    std::vector<uint64_t> Coeff(Degree), SigmaCoeff(Degree);
-    Digits[J].resize(Degree);
-    std::memcpy(Digits[J].data(), C.C1.data() + J * Degree,
+    LimbBuffer Coeff(Degree), SigmaCoeff(Degree);
+    uint64_t *Digit = Digits.data() + J * Degree;
+    std::memcpy(Digit, C.C1.data() + J * Degree,
                 Degree * sizeof(uint64_t));
-    ChainNtt[J]->inverse(Digits[J].data());
+    ChainNtt[J]->inverse(Digit);
     // sigma(c0) goes straight back to NTT form.
     std::memcpy(Coeff.data(), C.C0.data() + J * Degree,
                 Degree * sizeof(uint64_t));
@@ -742,8 +825,8 @@ void RnsCkksBackend::rotateByElement(Ct &C, uint64_t Elt,
   KsStats->ForwardNtts.fetch_add(size_t(L) + 1, std::memory_order_relaxed);
   KsStats->Rotations.fetch_add(1, std::memory_order_relaxed);
 
-  std::vector<uint64_t> KB, KA;
-  keySwitchGalois(Digits, L, Elt, Key, KB, KA);
+  LimbBuffer KB, KA;
+  keySwitchGalois(Digits.data(), L, Elt, Key, KB, KA);
   parallelFor(0, size_t(L) + 1, 1, [&](size_t J) {
     const Modulus &Q = ChainMods[J];
     uint64_t *Dst0 = C.C0.data() + J * Degree;
@@ -833,22 +916,23 @@ RnsCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
   const int L = C.Level;
   const size_t Components = size_t(L) + 1;
 
-  // Shared digit decomposition: DC[I] = invNTT_I(c1 limb I).
-  std::vector<std::vector<uint64_t>> DC(Components);
+  // Shared digit decomposition: digit I = invNTT_I(c1 limb I), packed
+  // flat at stride Degree.
+  LimbBuffer DC(Components * Degree);
   parallelFor(0, Components, 1, [&](size_t I) {
-    DC[I].resize(Degree);
-    std::memcpy(DC[I].data(), C.C1.data() + I * Degree,
+    uint64_t *Digit = DC.data() + I * Degree;
+    std::memcpy(Digit, C.C1.data() + I * Degree,
                 Degree * sizeof(uint64_t));
-    ChainNtt[I]->inverse(DC[I].data());
+    ChainNtt[I]->inverse(Digit);
   });
 
-  // Shared base: Base[J] packs NTT_J(reduce_J(DC[I])) for every digit I,
+  // Shared base: Base[J] packs NTT_J(reduce_J(digit I)) for every digit,
   // for each output modulus J (chain primes then the special prime).
   // The diagonal J == I is the stored NTT-form limb itself: forward()
   // and inverse() are exact mutual inverses on fully reduced vectors.
-  std::vector<std::vector<uint64_t>> Base(Components + 1);
+  std::vector<LimbBuffer> Base(Components + 1);
   for (auto &B : Base)
-    B.resize(Components * Degree);
+    B.resizeUninit(Components * Degree);
   parallelFor(0, (Components + 1) * Components, 1, [&](size_t Flat) {
     size_t J = Flat / Components;
     size_t I = Flat % Components;
@@ -858,7 +942,7 @@ RnsCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
     if (ModIndex == I) {
       std::memcpy(Dst, C.C1.data() + I * Degree, Degree * sizeof(uint64_t));
     } else {
-      const std::vector<uint64_t> &Digit = DC[I];
+      const uint64_t *Digit = DC.data() + I * Degree;
       for (size_t K = 0; K < Degree; ++K)
         Dst[K] = Q.reduce(Digit[K]);
       nttAt(ModIndex).forward(Dst);
@@ -873,12 +957,23 @@ RnsCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
   // accumulators; the digit loop stays sequential in the original order,
   // so results are bit-identical at any thread count.
   const size_t Fan = Hoist.size();
-  std::vector<std::vector<uint64_t>> KB(Fan), KA(Fan), SpB(Fan), SpA(Fan);
+  const bool Lazy = lazyInnerProduct(Components);
+  // KA becomes each output's C1 via move, so it stays a std::vector; the
+  // B-side accumulators and special-prime tails draw from the pool.
+  std::vector<LimbBuffer> KB(Fan), SpB(Fan), SpA(Fan);
+  std::vector<std::vector<uint64_t>> KA(Fan);
   for (size_t A = 0; A < Fan; ++A) {
-    KB[A].assign(Components * Degree, 0);
+    if (Lazy) {
+      // Every element is overwritten by the final lazy reduction.
+      KB[A].resizeUninit(Components * Degree);
+      SpB[A].resizeUninit(Degree);
+      SpA[A].resizeUninit(Degree);
+    } else {
+      KB[A].assignZero(Components * Degree);
+      SpB[A].assignZero(Degree);
+      SpA[A].assignZero(Degree);
+    }
     KA[A].assign(Components * Degree, 0);
-    SpB[A].assign(Degree, 0);
-    SpA[A].assign(Degree, 0);
   }
   parallelFor(0, Fan * (Components + 1), 1, [&](size_t Flat) {
     size_t A = Flat / (Components + 1);
@@ -891,23 +986,40 @@ RnsCkksBackend::rotLeftMany(const Ct &C, const std::vector<int> &Steps) {
         ModIndex == ChainLen ? SpB[A].data() : KB[A].data() + J * Degree;
     uint64_t *DstA =
         ModIndex == ChainLen ? SpA[A].data() : KA[A].data() + J * Degree;
-    std::vector<uint64_t> Sigma(Degree);
+    LimbBuffer Sigma(Degree);
+    PooledScratch<unsigned __int128> LzB, LzA;
+    if (Lazy) {
+      LzB = PooledScratch<unsigned __int128>::zeroed(Degree);
+      LzA = PooledScratch<unsigned __int128>::zeroed(Degree);
+    }
     for (size_t I = 0; I < Components; ++I) {
       const uint64_t *Src = Base[J].data() + I * Degree;
       for (size_t K = 0; K < Degree; ++K)
         Sigma[K] = Src[Perm[K]];
       const uint64_t *KeyB = Key.B[I].data() + ModIndex * Degree;
       const uint64_t *KeyA = Key.A[I].data() + ModIndex * Degree;
-      for (size_t K = 0; K < Degree; ++K) {
-        DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
-        DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+      if (Lazy) {
+        for (size_t K = 0; K < Degree; ++K) {
+          LzB[K] += static_cast<unsigned __int128>(Sigma[K]) * KeyB[K];
+          LzA[K] += static_cast<unsigned __int128>(Sigma[K]) * KeyA[K];
+        }
+      } else {
+        for (size_t K = 0; K < Degree; ++K) {
+          DstB[K] = Q.addMod(DstB[K], Q.mulMod(Sigma[K], KeyB[K]));
+          DstA[K] = Q.addMod(DstA[K], Q.mulMod(Sigma[K], KeyA[K]));
+        }
       }
     }
+    if (Lazy)
+      for (size_t K = 0; K < Degree; ++K) {
+        DstB[K] = Q.reduce128(LzB[K]);
+        DstA[K] = Q.reduce128(LzA[K]);
+      }
   });
 
   for (size_t A = 0; A < Fan; ++A) {
-    divideBySpecial(KB[A], SpB[A], L);
-    divideBySpecial(KA[A], SpA[A], L);
+    divideBySpecialPair(KB[A].data(), SpB[A].data(), KA[A].data(),
+                        SpA[A].data(), L);
     Ct &O = Out[Hoist[A].Idx];
     O.Level = L;
     O.Scale = C.Scale;
@@ -975,27 +1087,40 @@ void RnsCkksBackend::dropLastPrime(Ct &C) const {
   assert(L >= 1 && "cannot rescale past the base prime");
   uint64_t QLast = Params.ChainPrimes[L];
   uint64_t Half = QLast >> 1;
-  std::vector<uint64_t> Last(Degree);
-  for (std::vector<uint64_t> *Poly : {&C.C0, &C.C1}) {
-    std::memcpy(Last.data(), Poly->data() + L * Degree,
-                Degree * sizeof(uint64_t));
-    ChainNtt[L]->inverse(Last.data());
-    parallelFor(0, size_t(L), 1, [&](size_t J) {
-      const Modulus &Q = ChainMods[J];
-      std::vector<uint64_t> Corr(Degree);
-      for (size_t K = 0; K < Degree; ++K) {
-        uint64_t T = Last[K];
-        Corr[K] = T > Half ? Q.negMod(Q.reduce(QLast - T)) : Q.reduce(T);
-      }
-      ChainNtt[J]->forward(Corr.data());
-      uint64_t Inv = invMod(Q.reduce(QLast), Q);
-      uint64_t InvShoup = shoupPrecompute(Inv, Q.value());
-      uint64_t *Dst = Poly->data() + J * Degree;
-      for (size_t K = 0; K < Degree; ++K)
-        Dst[K] = shoupMulMod(Q.subMod(Dst[K], Corr[K]), Inv, InvShoup,
-                             Q.value());
-    });
-  }
+  // Both polynomials' dropped limbs go back to coefficient form up front,
+  // then one fused pass per chain prime corrects C0 and C1 together: the
+  // modular inverse is computed once per prime (it used to be recomputed
+  // per polynomial) and each prime's data makes a single trip through
+  // cache.
+  LimbBuffer Last0(Degree), Last1(Degree);
+  std::memcpy(Last0.data(), C.C0.data() + L * Degree,
+              Degree * sizeof(uint64_t));
+  std::memcpy(Last1.data(), C.C1.data() + L * Degree,
+              Degree * sizeof(uint64_t));
+  ChainNtt[L]->inverse(Last0.data());
+  ChainNtt[L]->inverse(Last1.data());
+  parallelFor(0, size_t(L), 1, [&](size_t J) {
+    const Modulus &Q = ChainMods[J];
+    LimbBuffer Corr0(Degree), Corr1(Degree);
+    for (size_t K = 0; K < Degree; ++K) {
+      uint64_t T0 = Last0[K];
+      uint64_t T1 = Last1[K];
+      Corr0[K] = T0 > Half ? Q.negMod(Q.reduce(QLast - T0)) : Q.reduce(T0);
+      Corr1[K] = T1 > Half ? Q.negMod(Q.reduce(QLast - T1)) : Q.reduce(T1);
+    }
+    ChainNtt[J]->forward(Corr0.data());
+    ChainNtt[J]->forward(Corr1.data());
+    uint64_t Inv = invMod(Q.reduce(QLast), Q);
+    uint64_t InvShoup = shoupPrecompute(Inv, Q.value());
+    uint64_t *Dst0 = C.C0.data() + J * Degree;
+    uint64_t *Dst1 = C.C1.data() + J * Degree;
+    for (size_t K = 0; K < Degree; ++K) {
+      Dst0[K] = shoupMulMod(Q.subMod(Dst0[K], Corr0[K]), Inv, InvShoup,
+                            Q.value());
+      Dst1[K] = shoupMulMod(Q.subMod(Dst1[K], Corr1[K]), Inv, InvShoup,
+                            Q.value());
+    }
+  });
   C.C0.resize(L * Degree);
   C.C1.resize(L * Degree);
   C.Level = L - 1;

@@ -37,6 +37,7 @@
 #include "hisa/Hisa.h"
 #include "math/Crt.h"
 #include "math/Ntt.h"
+#include "support/LimbPool.h"
 #include "support/Prng.h"
 
 #include <atomic>
@@ -227,7 +228,9 @@ private:
   std::vector<int8_t> sampleTernaryCoeffs();
   std::vector<int64_t> sampleErrorCoeffs();
   /// Reduces small signed coefficients modulo modulus \p J and transforms
-  /// to NTT form.
+  /// to NTT form, writing the Degree-word result into \p Out.
+  void smallToNttInto(const int64_t *Coeffs, size_t J, uint64_t *Out) const;
+  /// Vector-returning convenience over smallToNttInto (keygen paths).
   std::vector<uint64_t> smallToNtt(const std::vector<int64_t> &Coeffs,
                                    size_t J) const;
   std::vector<uint64_t> uniformNtt(size_t J);
@@ -237,26 +240,28 @@ private:
   KSwitchKey makeKSwitchKey(const std::vector<std::vector<uint64_t>> &Target);
 
   /// Key-switches the coefficient-form polynomial whose per-prime digits
-  /// are Digits[0..Level]; writes NTT-form results into OutB/OutA
-  /// ((Level+1) * N words each).
-  void keySwitch(const std::vector<std::vector<uint64_t>> &Digits, int Level,
-                 const KSwitchKey &Key, std::vector<uint64_t> &OutB,
-                 std::vector<uint64_t> &OutA) const;
+  /// are the flat array Digits (Level+1 digits of Degree words each);
+  /// writes NTT-form results into OutB/OutA ((Level+1) * N words each).
+  void keySwitch(const uint64_t *Digits, int Level, const KSwitchKey &Key,
+                 LimbBuffer &OutB, LimbBuffer &OutA) const;
 
   /// Galois-twisted key switch: like keySwitch, but applies sigma_Elt to
   /// each digit after reduction into the output modulus and before the
   /// forward NTT. Taking the *unrotated* digits keeps the per-modulus
   /// lift identical to what rotLeftMany's hoisted base uses, so the two
   /// rotation paths produce bit-identical ciphertexts.
-  void keySwitchGalois(const std::vector<std::vector<uint64_t>> &Digits,
-                       int Level, uint64_t Elt, const KSwitchKey &Key,
-                       std::vector<uint64_t> &OutB,
-                       std::vector<uint64_t> &OutA) const;
+  void keySwitchGalois(const uint64_t *Digits, int Level, uint64_t Elt,
+                       const KSwitchKey &Key, LimbBuffer &OutB,
+                       LimbBuffer &OutA) const;
 
-  /// Divides an accumulated (chain + special) value by the special prime
-  /// with rounding; AccChain is NTT form, AccSpecial NTT form.
-  void divideBySpecial(std::vector<uint64_t> &AccChain,
-                       std::vector<uint64_t> &AccSpecial, int Level) const;
+  /// Divides two accumulated (chain + special) values by the special
+  /// prime with rounding, in one fused pass over the chain moduli: both
+  /// correction polynomials share each prime's reduction/NTT loop so the
+  /// arena stays in cache and the parallelFor overhead is paid once.
+  /// All four arrays are NTT form; B/A chains hold (Level+1) * N words.
+  void divideBySpecialPair(uint64_t *BChain, uint64_t *BSpecial,
+                           uint64_t *AChain, uint64_t *ASpecial,
+                           int Level) const;
 
   /// Drops the last active prime of \p C, dividing by it (one rescale
   /// step).

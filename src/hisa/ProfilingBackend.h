@@ -26,6 +26,7 @@
 #define CHET_HISA_PROFILINGBACKEND_H
 
 #include "hisa/Hisa.h"
+#include "support/LimbPool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -187,6 +188,12 @@ public:
     std::string Name;
     uint64_t Count = 0;
     double Seconds = 0;
+    /// Pool-miss allocations that occurred while this op was on some
+    /// lane's stack (LimbPool misses, i.e. fresh heap allocations the
+    /// free lists could not serve). With overlapping lanes attribution
+    /// is approximate; the totals are exact.
+    uint64_t PoolMisses = 0;
+    uint64_t AllocBytes = 0; ///< Limb bytes requested during this op.
   };
 
   /// Snapshot of every op with at least one invocation, ordered by total
@@ -199,7 +206,9 @@ public:
         continue;
       Out.push_back({detail::profiledOpName(Op), N,
                      double(Nanos[Op].load(std::memory_order_relaxed)) *
-                         1e-9});
+                         1e-9,
+                     OpPoolMisses[Op].load(std::memory_order_relaxed),
+                     OpAllocBytes[Op].load(std::memory_order_relaxed)});
     }
     std::sort(Out.begin(), Out.end(), [](const OpStats &A, const OpStats &X) {
       return A.Seconds > X.Seconds;
@@ -218,8 +227,20 @@ public:
     for (int Op = 0; Op < detail::PoNumOps; ++Op) {
       Counts[Op].store(0, std::memory_order_relaxed);
       Nanos[Op].store(0, std::memory_order_relaxed);
+      OpPoolMisses[Op].store(0, std::memory_order_relaxed);
+      OpAllocBytes[Op].store(0, std::memory_order_relaxed);
     }
     RotManyAmounts.store(0, std::memory_order_relaxed);
+  }
+
+  /// Pool-miss allocations across every profiled op since reset(). The
+  /// steady-state regression tests assert this stays zero once the pool
+  /// is warm.
+  uint64_t poolMisses() const {
+    uint64_t N = 0;
+    for (int Op = 0; Op < detail::PoNumOps; ++Op)
+      N += OpPoolMisses[Op].load(std::memory_order_relaxed);
+    return N;
   }
 
   /// Renders the op-count / total-time table.
@@ -227,21 +248,37 @@ public:
     std::ostringstream OS;
     OS << std::left << std::setw(12) << "op" << std::right << std::setw(10)
        << "count" << std::setw(14) << "total(ms)" << std::setw(12)
-       << "avg(us)" << "\n";
+       << "avg(us)" << std::setw(10) << "misses" << std::setw(12)
+       << "alloc(MB)" << "\n";
     double Total = 0;
-    uint64_t Ops = 0;
+    uint64_t Ops = 0, TotalMisses = 0, TotalBytes = 0;
     for (const OpStats &S : stats()) {
       OS << std::left << std::setw(12) << S.Name << std::right
          << std::setw(10) << S.Count << std::setw(14) << std::fixed
          << std::setprecision(3) << S.Seconds * 1e3 << std::setw(12)
          << std::setprecision(3) << S.Seconds * 1e6 / double(S.Count)
+         << std::setw(10) << S.PoolMisses << std::setw(12)
+         << std::setprecision(1) << double(S.AllocBytes) / (1 << 20)
          << "\n";
       Total += S.Seconds;
       Ops += S.Count;
+      TotalMisses += S.PoolMisses;
+      TotalBytes += S.AllocBytes;
     }
     OS << std::left << std::setw(12) << "total" << std::right
        << std::setw(10) << Ops << std::setw(14) << std::fixed
-       << std::setprecision(3) << Total * 1e3 << "\n";
+       << std::setprecision(3) << Total * 1e3 << std::setw(12) << ""
+       << std::setw(10) << TotalMisses << std::setw(12)
+       << std::setprecision(1) << double(TotalBytes) / (1 << 20) << "\n";
+    {
+      auto P = LimbPool::instance().stats();
+      if (P.Acquires != 0)
+        OS << "limb pool: " << std::setprecision(1)
+           << 100.0 * double(P.Hits) / double(P.Acquires) << "% hit rate ("
+           << P.Hits << "/" << P.Acquires << "), high-water "
+           << double(P.HighWaterBytes) / (1 << 20) << " MB, zero-fill avoided "
+           << double(P.BytesZeroFillAvoided) / (1 << 20) << " MB\n";
+    }
     uint64_t ManyCalls =
         Counts[detail::PoRotLeftMany].load(std::memory_order_relaxed);
     if (ManyCalls != 0) {
@@ -277,29 +314,40 @@ public:
 
 private:
   template <typename F> auto timed(int Op, F &&Fn) const {
+    auto P0 = LimbPool::instance().stats();
     auto T0 = std::chrono::steady_clock::now();
     if constexpr (std::is_void_v<decltype(Fn())>) {
       Fn();
-      record(Op, T0);
+      record(Op, T0, P0);
     } else {
       auto R = Fn();
-      record(Op, T0);
+      record(Op, T0, P0);
       return R;
     }
   }
 
-  void record(int Op, std::chrono::steady_clock::time_point T0) const {
+  void record(int Op, std::chrono::steady_clock::time_point T0,
+              const LimbPool::Stats &P0) const {
     auto Dt = std::chrono::steady_clock::now() - T0;
+    auto P1 = LimbPool::instance().stats();
     Counts[Op].fetch_add(1, std::memory_order_relaxed);
     Nanos[Op].fetch_add(
         uint64_t(
             std::chrono::duration_cast<std::chrono::nanoseconds>(Dt).count()),
         std::memory_order_relaxed);
+    // Global-counter deltas, so overlapping lanes double-attribute; the
+    // zero-miss steady-state assertion is unaffected (zero is exact).
+    OpPoolMisses[Op].fetch_add(P1.Misses - P0.Misses,
+                               std::memory_order_relaxed);
+    OpAllocBytes[Op].fetch_add(P1.BytesRequested - P0.BytesRequested,
+                               std::memory_order_relaxed);
   }
 
   B &Inner;
   mutable std::atomic<uint64_t> Counts[detail::PoNumOps] = {};
   mutable std::atomic<uint64_t> Nanos[detail::PoNumOps] = {};
+  mutable std::atomic<uint64_t> OpPoolMisses[detail::PoNumOps] = {};
+  mutable std::atomic<uint64_t> OpAllocBytes[detail::PoNumOps] = {};
   /// Total amounts requested across rotLeftMany calls (the fan-out).
   mutable std::atomic<uint64_t> RotManyAmounts{0};
 };

@@ -132,7 +132,7 @@ void applyValidMask(B &Backend, CipherTensor<B> &T, const ScaleConfig &S,
   forEachIndex<B>(size_t(T.L.ctCount()), [&](size_t I) {
     auto Mask = cachedEncode(Backend, KC, kSubMask | I, T.L, S.Mask,
                              [&] { return buildValidMask(T.L, int(I)); });
-    Backend.mulPlainAssign(T.Cts[I], Mask);
+    Backend.mulPlainAssign(T.Cts[I], *Mask);
   });
 }
 
@@ -157,7 +157,7 @@ void addBias(B &Backend, CipherTensor<B> &T, const std::vector<double> &Bias,
     auto P =
         cachedEncode(Backend, KC, kSubBias | I, T.L, Backend.scaleOf(T.Cts[I]),
                      [&] { return buildBiasVector(T.L, int(I), Bias); });
-    Backend.addPlainAssign(T.Cts[I], P);
+    Backend.addPlainAssign(T.Cts[I], *P);
   });
 }
 
@@ -449,7 +449,7 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
                                     SubOf(int(Ob), Ib, D, Dy, Dx), In.L,
                                     S.Weight, [&] { return std::move(Plain); });
               detail::accumulate(Backend, Acc[Ob],
-                                 mulPlain(Backend, *Diag[D], P));
+                                 mulPlain(Backend, *Diag[D], *P));
             }
           });
         }
@@ -506,7 +506,7 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
                                     In.L, S.Weight,
                                     [&] { return std::move(Plain); });
               detail::accumulate(Backend, Acc[Ob],
-                                 mulPlain(Backend, *Diag[D], P));
+                                 mulPlain(Backend, *Diag[D], *P));
             }
           }
         }
@@ -517,7 +517,7 @@ CipherTensor<B> conv2dCHW(B &Backend, const CipherTensor<B> &In,
     if (!Acc[Ob])
       Acc[Ob] = mulPlain(
           Backend, In.Cts[0],
-          cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+          *cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
             return std::vector<double>(In.L.Slots, 0.0);
           }));
     Out.Cts.push_back(std::move(*Acc[Ob]));
@@ -682,11 +682,13 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
           Backend, KC,
           kSubWeight | (uint64_t(Row) * In.L.ctCount() + uint64_t(CtIdx)),
           In.L, S.Weight, [&] { return buildFcRow(In.L, Wt, Row, CtIdx); });
-      detail::accumulate(Backend, Dot, mulPlain(Backend, In.Cts[CtIdx], P));
+      detail::accumulate(Backend, Dot,
+                         mulPlain(Backend, In.Cts[CtIdx], *P));
     }
     if (!Dot)
       Dot = mulPlain(Backend, In.Cts[0],
-                     cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+                     *cachedEncode(Backend, KC, kSubZero, In.L, S.Weight,
+                                   [&] {
                        return std::vector<double>(Slots, 0.0);
                      }));
     // Replicate the total into every slot: log2(slots) rotations, all by
@@ -697,8 +699,9 @@ CipherTensor<B> fullyConnectedReplicate(B &Backend, const CipherTensor<B> &In,
     size_t TargetSlot = OutKind == LayoutKind::CHW ? size_t(Row) : 0;
     Backend.mulPlainAssign(
         *Dot,
-        cachedEncode(Backend, KC, kSubSlotMask | uint64_t(Row), In.L, S.Mask,
-                     [&] { return buildSlotMask(Slots, TargetSlot); }));
+        *cachedEncode(Backend, KC, kSubSlotMask | uint64_t(Row), In.L,
+                      S.Mask,
+                      [&] { return buildSlotMask(Slots, TargetSlot); }));
     rescaleToFloor(Backend, *Dot, S.Image);
     return std::move(*Dot);
   };
@@ -798,7 +801,7 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
             auto P = cachedEncode(Backend, KC,
                                   DiagSub(K, GIt->first.second), In.L,
                                   S.Weight, [&] { return GIt->second; });
-            return mulPlain(Backend, *Baby[GIt->first.second], P);
+            return mulPlain(Backend, *Baby[GIt->first.second], *P);
           });
       if (K != 0)
         Backend.rotLeftAssign(*Giant, K * G);
@@ -833,7 +836,7 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
         auto P = cachedEncode(Backend, KC, DiagSub(K, It->first.second),
                               In.L, S.Weight, [&] { return It->second; });
         detail::accumulate(Backend, Giant,
-                           mulPlain(Backend, *Baby[It->first.second], P));
+                           mulPlain(Backend, *Baby[It->first.second], *P));
       }
       if (K != 0)
         Backend.rotLeftAssign(*Giant, K * G);
@@ -842,7 +845,7 @@ CipherTensor<B> fullyConnectedBsgs(B &Backend, const CipherTensor<B> &In,
   }
   if (!Acc)
     Acc = mulPlain(Backend, In.Cts[0],
-                   cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
+                   *cachedEncode(Backend, KC, kSubZero, In.L, S.Weight, [&] {
                      return std::vector<double>(Slots, 0.0);
                    }));
   CipherTensor<B> Out;
@@ -942,7 +945,7 @@ CipherTensor<B> concatChannels(B &Backend, const CipherTensor<B> &A,
                                    M[Out.L.slotOf(C, Y, X)] = 1.0;
                                return M;
                              });
-    Backend.mulPlainAssign(T, Mask);
+    Backend.mulPlainAssign(T, *Mask);
     return T;
   };
   std::vector<std::optional<typename B::Ct>> Acc(Out.L.ctCount());
@@ -1038,8 +1041,8 @@ CipherTensor<B> convertLayout(B &Backend, const CipherTensor<B> &In,
                    : rotLeft(Backend, In.Cts[In.L.ctOf(C)],
                              Block * ChStride);
     Backend.mulPlainAssign(
-        T, cachedEncode(Backend, KC, kSubMask | uint64_t(C), L, S.Mask,
-                        [&] { return buildValidMask(L, C); }));
+        T, *cachedEncode(Backend, KC, kSubMask | uint64_t(C), L, S.Mask,
+                         [&] { return buildValidMask(L, C); }));
     rescaleToFloor(Backend, T, S.Image);
     Out.Cts[CIdx] = std::move(T);
   });

@@ -45,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -85,11 +86,12 @@ inline constexpr uint64_t kSubSlotMask = uint64_t(4) << 56;
 inline constexpr uint64_t kSubConcatMask = uint64_t(5) << 56;
 inline constexpr uint64_t kSubZero = uint64_t(6) << 56;
 
-/// Cache of encoded plaintexts for one backend instance. Pt values are
-/// returned by value: both CKKS backends attach their lazily filled
-/// NTT/RNS caches through a shared_ptr, so copies share the expensive
-/// transform state (a cache hit skips the encode *and* reuses any NTT
-/// forms an earlier inference already computed).
+/// Cache of encoded plaintexts for one backend instance. Entries are
+/// handed out as shared_ptr<const Pt>: a hit shares the one canonical
+/// encoding (and any lazily filled NTT/RNS transform state attached to
+/// it) instead of copying the Degree-sized coefficient vector per
+/// lookup, which used to be a malloc + memcpy on every cache hit in the
+/// conv/FC inner loops.
 template <HisaBackend B> class EncodedPlaintextCache {
 public:
   struct Key {
@@ -111,7 +113,7 @@ public:
   /// the first insert wins and the loser's build is discarded, so every
   /// caller observes one canonical entry.
   template <typename BuildFn>
-  typename B::Pt get(const Key &K, BuildFn &&Build) {
+  std::shared_ptr<const typename B::Pt> get(const Key &K, BuildFn &&Build) {
     {
       std::shared_lock Lock(Mu);
       auto It = Table.find(K);
@@ -121,7 +123,7 @@ public:
       }
     }
     Misses.fetch_add(1, std::memory_order_relaxed);
-    typename B::Pt Built = Build();
+    auto Built = std::make_shared<const typename B::Pt>(Build());
     std::unique_lock Lock(Mu);
     auto [It, Inserted] = Table.emplace(K, std::move(Built));
     return It->second;
@@ -167,7 +169,7 @@ private:
   }
 
   mutable std::shared_mutex Mu;
-  std::map<Key, typename B::Pt> Table;
+  std::map<Key, std::shared_ptr<const typename B::Pt>> Table;
   std::optional<ScaleConfig> LastScales;
   std::atomic<uint64_t> Hits{0}, Misses{0}, Invalidations{0};
 };
@@ -184,15 +186,18 @@ template <HisaBackend B> struct KernelCache {
 /// Encodes \p Build() at \p Scale, consulting the cache when one is
 /// attached. \p Sub identifies the encode site inside the op (compose the
 /// kSub* role tags with site indices); \p L is the layout the slot vector
-/// was built against.
+/// was built against. Returns a shared handle: cache hits alias the one
+/// canonical entry, uncached paths wrap a fresh encoding.
 template <HisaBackend B, typename BuildFn>
-typename B::Pt cachedEncode(B &Backend, const KernelCache<B> &KC,
-                            uint64_t Sub, const TensorLayout &L, double Scale,
-                            BuildFn &&Build) {
+std::shared_ptr<const typename B::Pt>
+cachedEncode(B &Backend, const KernelCache<B> &KC, uint64_t Sub,
+             const TensorLayout &L, double Scale, BuildFn &&Build) {
   if constexpr (BackendEncodeIsValueAgnostic<B>)
-    return Backend.encode({}, Scale); // slot contents are never inspected
+    // Slot contents are never inspected.
+    return std::make_shared<const typename B::Pt>(Backend.encode({}, Scale));
   if (!KC.Cache)
-    return Backend.encode(Build(), Scale);
+    return std::make_shared<const typename B::Pt>(
+        Backend.encode(Build(), Scale));
   return KC.Cache->get(
       {KC.TensorId, Sub, layoutFingerprint(L), Scale, /*Level=*/0},
       [&] { return Backend.encode(Build(), Scale); });

@@ -150,6 +150,15 @@ std::string ServerReport::str() const {
      << ", drain=" << DrainRejected << ")"
      << " queue-high-water=" << QueueHighWater
      << (ShutDown ? " [shut down]" : "") << "\n";
+  if (Pool.Acquires != 0) {
+    OS << std::fixed << std::setprecision(1) << "  limb pool: "
+       << 100.0 * double(Pool.Hits) / double(Pool.Acquires)
+       << "% hit rate (" << Pool.Hits << "/" << Pool.Acquires
+       << "), misses=" << Pool.Misses << " high-water="
+       << double(Pool.HighWaterBytes) / (1 << 20) << "MB zero-fill-avoided="
+       << double(Pool.BytesZeroFillAvoided) / (1 << 20) << "MB\n";
+    OS.unsetf(std::ios_base::floatfield);
+  }
   for (const TenantReport &T : Tenants) {
     OS << "  tenant '" << T.Tenant << "' (epoch " << T.KeyEpoch
        << ", breaker " << breakerStateName(T.Breaker)

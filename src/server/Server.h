@@ -61,6 +61,7 @@
 
 #include "runtime/PlaintextCache.h"
 #include "runtime/Session.h"
+#include "support/LimbPool.h"
 #include "support/Prng.h"
 
 #include <algorithm>
@@ -298,6 +299,9 @@ struct ServerReport {
   size_t QueueHighWater = 0;
   unsigned Lanes = 0;
   bool ShutDown = false;
+  /// Process-wide limb-pool snapshot at report time: how much allocator
+  /// churn the inference lanes produced (see support/LimbPool.h).
+  LimbPool::Stats Pool;
 
   /// Human-readable multi-line rendering.
   std::string str() const;
@@ -823,6 +827,7 @@ private:
     Rep.DrainRejected = DrainRejected;
     Rep.QueueHighWater = QueueHighWaterSeen;
     Rep.ShutDown = Joined;
+    Rep.Pool = LimbPool::instance().stats();
     for (const auto &[Id, T] : Tenants) {
       TenantReport TR;
       TR.Tenant = Id;

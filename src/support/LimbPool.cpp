@@ -1,0 +1,282 @@
+//===- LimbPool.cpp - Pooled allocator for RNS limb arenas ----------------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LimbPool.h"
+
+#include <cstdlib>
+#include <new>
+
+using namespace chet;
+
+//===----------------------------------------------------------------------===//
+// Pool singleton
+//===----------------------------------------------------------------------===//
+
+LimbPool &LimbPool::instance() {
+  // Intentionally leaked: thread caches flush into the global lists from
+  // thread_local destructors, which may run after static destruction of a
+  // function-local singleton would have.
+  static LimbPool *P = new LimbPool();
+  return *P;
+}
+
+LimbPool::LimbPool() {
+  const char *Env = std::getenv("CHET_LIMB_POOL");
+  bool On = true;
+  if (Env && (Env[0] == '0' || Env[0] == 'o' || Env[0] == 'O' ||
+              Env[0] == 'f' || Env[0] == 'F')) {
+    // "0", "off", "false" (any case) disable; "on"/"1"/"true" keep it on.
+    if (Env[0] == '0' || Env[0] == 'f' || Env[0] == 'F')
+      On = false;
+    else if ((Env[1] == 'f' || Env[1] == 'F'))
+      On = false; // "of[f]"
+  }
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+void LimbPool::lock() {
+  // Tiny test-and-test-and-set spinlock: the critical sections below are
+  // a handful of instructions and the hot path (thread-cache hit) never
+  // gets here, so a full std::mutex is not worth its size or syscalls.
+  for (;;) {
+    uint64_t Expected = 0;
+    if (Mu.compare_exchange_weak(Expected, 1, std::memory_order_acquire,
+                                 std::memory_order_relaxed))
+      return;
+    while (Mu.load(std::memory_order_relaxed) != 0) {
+    }
+  }
+}
+
+void LimbPool::unlock() { Mu.store(0, std::memory_order_release); }
+
+int LimbPool::bucketFor(size_t Words) {
+  size_t Cap = MinBucketWords;
+  int B = 0;
+  while (Cap < Words && B < NumBuckets - 1) {
+    Cap <<= 1;
+    ++B;
+  }
+  return B;
+}
+
+uint64_t *LimbPool::allocArena(size_t Words) {
+  return static_cast<uint64_t *>(::operator new(
+      Words * sizeof(uint64_t), std::align_val_t(Alignment)));
+}
+
+void LimbPool::freeArena(uint64_t *Ptr) noexcept {
+  ::operator delete(Ptr, std::align_val_t(Alignment));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread cache
+//===----------------------------------------------------------------------===//
+
+struct LimbPool::ThreadCache {
+  struct List {
+    uint64_t *Ptrs[ThreadCacheSlots];
+    size_t Count = 0;
+  };
+  List Lists[NumBuckets];
+
+  ~ThreadCache() {
+    // Flush every parked arena to the shared lists so short-lived threads
+    // do not strand warm memory. instance() is leaked, so this is safe
+    // even during late thread teardown.
+    LimbPool &Pool = LimbPool::instance();
+    Pool.lock();
+    for (int B = 0; B < NumBuckets; ++B) {
+      List &L = Lists[B];
+      GlobalList &G = Pool.Global[B];
+      size_t CapBytes = (MinBucketWords << B) * sizeof(uint64_t);
+      while (L.Count > 0) {
+        uint64_t *P = L.Ptrs[--L.Count];
+        if (G.Count < GlobalCacheSlots) {
+          G.Ptrs[G.Count++] = P;
+        } else {
+          Pool.CachedBytes.fetch_sub(CapBytes, std::memory_order_relaxed);
+          freeArena(P);
+        }
+      }
+    }
+    Pool.unlock();
+  }
+};
+
+LimbPool::ThreadCache &LimbPool::threadCache() {
+  static thread_local ThreadCache Cache;
+  return Cache;
+}
+
+//===----------------------------------------------------------------------===//
+// Acquire / release
+//===----------------------------------------------------------------------===//
+
+uint64_t *LimbPool::acquire(size_t Words, size_t &CapWords, bool WillZero) {
+  if (Words == 0) {
+    CapWords = 0;
+    return nullptr;
+  }
+  if (!enabled()) {
+    // Escape hatch: byte-for-byte the std::vector<uint64_t>(Words)
+    // behaviour this pool replaced -- fresh allocation, zero-filled.
+    CapWords = 0;
+    uint64_t *P = allocArena(Words);
+    std::memset(P, 0, Words * sizeof(uint64_t));
+    return P;
+  }
+
+  int B = bucketFor(Words);
+  CapWords = MinBucketWords << B;
+  size_t CapBytes = CapWords * sizeof(uint64_t);
+  size_t ReqBytes = Words * sizeof(uint64_t);
+
+  Acquires.fetch_add(1, std::memory_order_relaxed);
+  BytesRequested.fetch_add(ReqBytes, std::memory_order_relaxed);
+
+  uint64_t *P = nullptr;
+  ThreadCache::List &L = threadCache().Lists[B];
+  if (L.Count > 0) {
+    P = L.Ptrs[--L.Count];
+  } else {
+    lock();
+    GlobalList &G = Global[B];
+    size_t Grab = G.Count < ThreadCacheSlots / 2 ? G.Count
+                                                 : ThreadCacheSlots / 2;
+    if (Grab > 0) {
+      // Refill half the thread cache in one lock acquisition so a cold
+      // lane does not bounce on the shared list once per temporary.
+      P = G.Ptrs[--G.Count];
+      for (size_t I = 1; I < Grab; ++I)
+        L.Ptrs[L.Count++] = G.Ptrs[--G.Count];
+    }
+    unlock();
+  }
+
+  if (P) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    CachedBytes.fetch_sub(CapBytes, std::memory_order_relaxed);
+    if (!WillZero)
+      BytesZeroFillAvoided.fetch_add(ReqBytes, std::memory_order_relaxed);
+  } else {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    P = allocArena(CapWords);
+  }
+
+  uint64_t Now =
+      OutstandingBytes.fetch_add(CapBytes, std::memory_order_relaxed) +
+      CapBytes;
+  uint64_t Hw = HighWaterBytes.load(std::memory_order_relaxed);
+  while (Hw < Now &&
+         !HighWaterBytes.compare_exchange_weak(Hw, Now,
+                                               std::memory_order_relaxed)) {
+  }
+  return P;
+}
+
+void LimbPool::release(uint64_t *Ptr, size_t CapWords) noexcept {
+  if (!Ptr)
+    return;
+  size_t CapBytes = CapWords * sizeof(uint64_t);
+  Releases.fetch_add(1, std::memory_order_relaxed);
+  OutstandingBytes.fetch_sub(CapBytes, std::memory_order_relaxed);
+
+  int B = bucketFor(CapWords);
+  ThreadCache::List &L = threadCache().Lists[B];
+  if (L.Count < ThreadCacheSlots) {
+    L.Ptrs[L.Count++] = Ptr;
+    CachedBytes.fetch_add(CapBytes, std::memory_order_relaxed);
+    return;
+  }
+  lock();
+  GlobalList &G = Global[B];
+  bool Parked = G.Count < GlobalCacheSlots;
+  if (Parked)
+    G.Ptrs[G.Count++] = Ptr;
+  unlock();
+  if (Parked)
+    CachedBytes.fetch_add(CapBytes, std::memory_order_relaxed);
+  else
+    freeArena(Ptr);
+}
+
+void LimbPool::releaseUnpooled(uint64_t *Ptr) noexcept {
+  if (Ptr)
+    freeArena(Ptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats / maintenance
+//===----------------------------------------------------------------------===//
+
+LimbPool::Stats LimbPool::stats() const {
+  Stats S;
+  S.Acquires = Acquires.load(std::memory_order_relaxed);
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Releases = Releases.load(std::memory_order_relaxed);
+  S.BytesRequested = BytesRequested.load(std::memory_order_relaxed);
+  S.BytesZeroFillAvoided =
+      BytesZeroFillAvoided.load(std::memory_order_relaxed);
+  S.OutstandingBytes = OutstandingBytes.load(std::memory_order_relaxed);
+  S.HighWaterBytes = HighWaterBytes.load(std::memory_order_relaxed);
+  S.CachedBytes = CachedBytes.load(std::memory_order_relaxed);
+  return S;
+}
+
+void LimbPool::resetStats() {
+  Acquires.store(0, std::memory_order_relaxed);
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+  Releases.store(0, std::memory_order_relaxed);
+  BytesRequested.store(0, std::memory_order_relaxed);
+  BytesZeroFillAvoided.store(0, std::memory_order_relaxed);
+  HighWaterBytes.store(OutstandingBytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void LimbPool::trim() {
+  ThreadCache &TC = threadCache();
+  lock();
+  for (int B = 0; B < NumBuckets; ++B) {
+    size_t CapBytes = (MinBucketWords << B) * sizeof(uint64_t);
+    ThreadCache::List &L = TC.Lists[B];
+    while (L.Count > 0) {
+      CachedBytes.fetch_sub(CapBytes, std::memory_order_relaxed);
+      freeArena(L.Ptrs[--L.Count]);
+    }
+    GlobalList &G = Global[B];
+    while (G.Count > 0) {
+      CachedBytes.fetch_sub(CapBytes, std::memory_order_relaxed);
+      freeArena(G.Ptrs[--G.Count]);
+    }
+  }
+  unlock();
+}
+
+//===----------------------------------------------------------------------===//
+// LimbBuffer
+//===----------------------------------------------------------------------===//
+
+bool LimbBuffer::ensure(size_t Words, bool WillZero) {
+  if (Pooled && Cap >= Words) {
+    // Capacity reuse of storage this handle already owns: contents are
+    // whatever the previous use left (the uninitialized contract).
+    Size = Words;
+    return false;
+  }
+  // Unpooled storage is never capacity-reused: the escape hatch promises
+  // fresh zero-filled memory per logical temporary, exactly like the
+  // std::vector construction it stands in for.
+  reset();
+  size_t CapWords = 0;
+  Ptr = LimbPool::instance().acquire(Words, CapWords, WillZero);
+  Pooled = CapWords != 0;
+  Cap = Pooled ? CapWords : Words;
+  Size = Words;
+  return !Pooled; // disabled-mode allocations come back zero-filled
+}

@@ -183,7 +183,9 @@ TEST(PlaintextCache, HitAndMissCounting) {
   EXPECT_EQ(Cache.misses(), 1u);
   EXPECT_EQ(Cache.hits(), 1u);
   EXPECT_EQ(Cache.size(), 1u);
-  EXPECT_EQ(P1.Values, P2.Values);
+  // A hit aliases the canonical entry instead of copying it.
+  EXPECT_EQ(P1.get(), P2.get());
+  EXPECT_EQ(P1->Values, P2->Values);
 
   // Different sub-key, scale, or layout each miss separately.
   cachedEncode(Backend, KC, kSubMask | 5, L, 1024.0, Build);
