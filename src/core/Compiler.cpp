@@ -6,6 +6,7 @@
 
 #include "core/Compiler.h"
 
+#include "core/NoiseAnalysis.h"
 #include "core/Validate.h"
 #include "core/Verifier.h"
 #include "runtime/ReferenceOps.h"
@@ -234,6 +235,19 @@ CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
     for (VerifierDiagnostic &D : VR.Diagnostics)
       Result.Warnings.push_back(std::move(D));
   }
+
+  if (Options.StaticNoiseAnalysis) {
+    NoiseAnalysisOptions NOpts;
+    NOpts.InputAbs = Options.NoiseInputAbs;
+    NoiseReport NR = analyzeNoise(Circ, Result, NOpts);
+    Result.Noise = NR.summary();
+    if (Options.MaxOutputError > 0 &&
+        NR.ErrorBound > Options.MaxOutputError)
+      throw PrecisionBoundError(formatError(
+          "the static worst-case output error ", NR.ErrorBound,
+          " exceeds the requested precision ", Options.MaxOutputError,
+          "; ", NR.str()));
+  }
   return Result;
 }
 
@@ -277,9 +291,9 @@ struct ScaleSearchCaches {
 /// over the test inputs, for one candidate scale configuration.
 double maxOutputError(const TensorCircuit &Circ,
                       const CompilerOptions &Options,
+                      const CompiledCircuit &Compiled,
                       const std::vector<Tensor3> &Inputs,
                       ScaleSearchCaches *Caches = nullptr) {
-  CompiledCircuit Compiled = compileCircuit(Circ, Options);
   double MaxErr = 0;
   auto RunAll = [&](auto &Backend, auto *PtCache) {
     for (const Tensor3 &Image : Inputs) {
@@ -314,7 +328,21 @@ ScaleSearchResult chet::selectScales(const TensorCircuit &Circ,
 
   auto Acceptable = [&](const CompilerOptions &Cand) {
     ++Result.Trials;
-    return maxOutputError(Circ, Cand, TestInputs, &Caches) <=
+    // Precision enforcement belongs to the caller's final compile; the
+    // search probes candidates report-only so its accept/reject
+    // decisions are identical with or without the static bound.
+    CompilerOptions Probe = Cand;
+    Probe.MaxOutputError = 0;
+    CompiledCircuit Compiled = compileCircuit(Circ, Probe);
+    if (Search.UseStaticBound && Compiled.Noise.Analyzed &&
+        Compiled.Noise.ErrorBound <= Search.Tolerance) {
+      // The static bound already proves every input's encrypted output
+      // lands within tolerance; the trial run could only have agreed.
+      ++Result.StaticAccepts;
+      return true;
+    }
+    ++Result.EncryptedRuns;
+    return maxOutputError(Circ, Probe, Compiled, TestInputs, &Caches) <=
            Search.Tolerance;
   };
 

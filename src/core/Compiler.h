@@ -69,6 +69,17 @@ struct CompilerOptions {
   /// errors abort through the InfeasibleCircuit path, warnings and notes
   /// land on CompiledCircuit::Warnings.
   bool PostCompileVerify = true;
+  /// Run the static range/noise analysis (NoiseAnalysis.h) over the
+  /// compiled artifact and record its bound on CompiledCircuit::Noise.
+  bool StaticNoiseAnalysis = true;
+  /// Bound on |input slot value| the noise analysis assumes (the zoo's
+  /// test images are drawn from [-0.5, 0.5]).
+  double NoiseInputAbs = 0.5;
+  /// Requested output precision as an absolute error target: when
+  /// positive and the static worst-case output error exceeds it,
+  /// compilation fails with a typed PrecisionBound error naming the
+  /// hottest layers. Zero keeps the analysis report-only.
+  double MaxOutputError = 0;
 };
 
 /// Per-policy analysis record, kept for reporting (Tables 5/6, Figure 6).
@@ -94,6 +105,19 @@ struct VerifierDiagnostic {
   std::string Message;
 };
 
+/// Headline numbers of the static range/noise analysis, recorded on the
+/// compiled artifact (the full per-layer report is analyzeNoise in
+/// NoiseAnalysis.h). All values are message-space bounds at the circuit
+/// output: the decrypted result differs from the exact real computation
+/// by at most ErrorBound = QuantBound + NoiseBound.
+struct NoiseSummary {
+  bool Analyzed = false;
+  double MessageBound = 0; ///< Bound on |output value|.
+  double ErrorBound = 0;   ///< Total worst-case output error.
+  double QuantBound = 0;   ///< Fixed-point rounding share.
+  double NoiseBound = 0;   ///< RLWE noise share.
+};
+
 /// The compiler's output artifact.
 struct CompiledCircuit {
   SchemeKind Scheme = SchemeKind::RnsCkks;
@@ -112,6 +136,8 @@ struct CompiledCircuit {
   /// Non-fatal findings of the post-compile verification pass (empty
   /// when CompilerOptions::PostCompileVerify is off).
   std::vector<VerifierDiagnostic> Warnings;
+  /// Static precision bound (CompilerOptions::StaticNoiseAnalysis).
+  NoiseSummary Noise;
 };
 
 /// Runs passes 1-3. Throws ChetError(InfeasibleCircuit) -- whose message
@@ -137,12 +163,22 @@ struct ScaleSearchOptions {
   int StepBits = 2;
   /// Search floor for every exponent.
   int MinExponent = 8;
+  /// Consult the static noise bound before running an encrypted trial:
+  /// a candidate whose worst-case static error already fits inside
+  /// Tolerance is accepted without touching ciphertexts. Sound and
+  /// decision-identical (the encrypted trial could only have agreed),
+  /// so the final scales never change -- only EncryptedRuns shrinks.
+  bool UseStaticBound = true;
 };
 
 struct ScaleSearchResult {
   ScaleConfig Scales;
   int Trials = 0;
   int AcceptedSteps = 0;
+  /// Candidates evaluated with a full encrypted inference.
+  int EncryptedRuns = 0;
+  /// Candidates accepted purely from the static noise bound.
+  int StaticAccepts = 0;
 };
 
 /// Round-robin descent over the four scale exponents, accepting a

@@ -132,3 +132,27 @@ double CostModel::rescale(double ModulusState) const {
 double CostModel::encode() const {
   return (Scheme == SchemeKind::RnsCkks ? RnsEncode : BigEncode) * N;
 }
+
+NoiseModel NoiseModel::create(SchemeKind Scheme, int LogN,
+                              const std::vector<uint64_t> &ChainPrimes,
+                              uint64_t SpecialPrime, double LogQ) {
+  NoiseModel M;
+  M.N = std::ldexp(1.0, LogN);
+  if (Scheme == SchemeKind::RnsCkks) {
+    // Hybrid key switching decomposes over the chain primes; each digit
+    // contributes q_i * e_i / P to the output noise.
+    double Sum = 0;
+    for (uint64_t Q : ChainPrimes)
+      Sum += static_cast<double>(Q);
+    double P = SpecialPrime ? static_cast<double>(SpecialPrime)
+                            : std::ldexp(1.0, 60);
+    M.KsDigitRatio = Sum / P;
+  } else {
+    // Big-CKKS key-switches against a key modulus as wide as Q itself;
+    // with 60-bit digits the ratio sum_i 2^60 / 2^logQ is negligible for
+    // any realistic chain, leaving the division rounding term dominant.
+    double Digits = std::ceil(std::max(LogQ, 60.0) / 60.0);
+    M.KsDigitRatio = Digits * std::exp2(60.0 - std::min(LogQ, 300.0));
+  }
+  return M;
+}

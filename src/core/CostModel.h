@@ -18,6 +18,10 @@
 #ifndef CHET_CORE_COSTMODEL_H
 #define CHET_CORE_COSTMODEL_H
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 namespace chet {
 
 /// Which FHE scheme a compilation targets.
@@ -63,6 +67,59 @@ private:
   double N = 0;
   double LogN = 0;
   double LogQP = 0;
+};
+
+/// Worst-case CKKS noise constants for the static range/noise analysis
+/// (hisa/RangeNoiseBackend.h, core/NoiseAnalysis.h).
+///
+/// All quantities are high-probability canonical-embedding bounds on the
+/// *slot magnitude* of the freshly introduced noise polynomial; dividing
+/// by the ciphertext scale yields the message-space error. The model
+/// matches what the two backends actually sample: ternary secrets and
+/// encryption randomness, centered-binomial errors of standard deviation
+/// \c Sigma (support/Prng.h), and special-prime hybrid key switching.
+/// A polynomial with iid coefficients of standard deviation s has slot
+/// values of standard deviation s*sqrt(N); products of two independent
+/// such polynomials multiply in the embedding. \c Safety is the
+/// high-probability tail multiplier applied once per bound (lambda in the
+/// EVA noise analysis); the accumulated circuit bound additionally adds
+/// terms linearly where real noise cancels in quadrature, so end-to-end
+/// bounds are intentionally loose but sound.
+struct NoiseModel {
+  double N = 8192;           ///< ring dimension 2^LogN
+  double Sigma = 3.2;        ///< error stddev (Prng::nextCenteredGaussian)
+  double Safety = 10.0;      ///< high-probability tail multiplier
+  double KsDigitRatio = 0.0; ///< sum_i q_i / P over key-switch digits
+
+  /// Builds the model for \p Scheme at ring dimension 2^\p LogN.
+  /// \p ChainPrimes and \p SpecialPrime describe the RNS-CKKS modulus
+  /// chain; big-CKKS passes its modulus width \p LogQ instead.
+  static NoiseModel create(SchemeKind Scheme, int LogN,
+                           const std::vector<uint64_t> &ChainPrimes,
+                           uint64_t SpecialPrime, double LogQ);
+
+  /// Slot bound on the encode rounding polynomial (coefficients rounded
+  /// to the nearest integer, uniform in [-1/2, 1/2]).
+  double encodeQuant() const { return Safety * std::sqrt(N / 12.0); }
+
+  /// Slot bound on fresh encryption noise e0 + u*e_pk + e1*s with
+  /// ternary u, s and centered-binomial e terms.
+  double freshNoise() const {
+    return Safety * Sigma * (std::sqrt(N) + std::sqrt(2.0) * N);
+  }
+
+  /// Slot bound on the rescale rounding polynomial eps0 + eps1*s.
+  double rescaleNoise() const {
+    return Safety * std::sqrt(N / 12.0) * (1.0 + std::sqrt(N / 2.0));
+  }
+
+  /// Slot bound on key-switch noise: the digit inner product
+  /// sum_i d_i*e_i / P plus the special-prime division rounding. Also
+  /// the relinearization bound (same key-switch structure over s^2).
+  double keySwitchNoise() const {
+    return Safety * Sigma * N / std::sqrt(12.0) * KsDigitRatio +
+           rescaleNoise();
+  }
 };
 
 } // namespace chet

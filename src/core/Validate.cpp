@@ -10,6 +10,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 using namespace chet;
@@ -41,12 +42,16 @@ std::string ValidationReport::str() const {
      << (PoliciesChecked == 1 ? " policy" : " policies") << " ("
      << FeasiblePolicies << " feasible):";
   // Policies often fail identically (the same modulus overrun under every
-  // layout); render each distinct (code, message) once, tagged with every
-  // policy that produced it, in first-appearance order.
+  // layout); render each distinct (code, provenance, message) once,
+  // tagged with every policy that produced it, in first-appearance
+  // order. Provenance is part of the key: two layers tripping the same
+  // message are two findings, not one.
   std::vector<size_t> Order;
-  std::map<std::pair<int, std::string>, std::vector<LayoutPolicy>> Groups;
+  std::map<std::tuple<int, std::string, std::string>,
+           std::vector<LayoutPolicy>>
+      Groups;
   for (const CircuitDiagnostic &D : Diagnostics) {
-    auto Key = std::make_pair(static_cast<int>(D.Code), D.Message);
+    auto Key = std::make_tuple(static_cast<int>(D.Code), D.Where, D.Message);
     auto It = Groups.find(Key);
     if (It == Groups.end()) {
       Order.push_back(static_cast<size_t>(&D - Diagnostics.data()));
@@ -59,11 +64,14 @@ std::string ValidationReport::str() const {
   for (size_t Index : Order) {
     const CircuitDiagnostic &D = Diagnostics[Index];
     const auto &Policies =
-        Groups[{static_cast<int>(D.Code), D.Message}];
+        Groups[{static_cast<int>(D.Code), D.Where, D.Message}];
     OS << "\n  " << ++N << ". [";
     for (size_t I = 0; I < Policies.size(); ++I)
       OS << (I ? ", " : "") << layoutPolicyName(Policies[I]);
-    OS << "] " << errorCodeName(D.Code) << ": " << D.Message;
+    OS << "] " << errorCodeName(D.Code);
+    if (!D.Where.empty())
+      OS << " (at " << D.Where << ")";
+    OS << ": " << D.Message;
     if (Policies.size() > 1)
       OS << " (" << Policies.size() << " policies)";
   }
@@ -116,7 +124,7 @@ void validatePolicy(const TensorCircuit &Circ, const CompilerOptions &Options,
                     const std::vector<uint64_t> &ScaleCandidates,
                     std::vector<CircuitDiagnostic> &Out) {
   auto Diag = [&](ErrorCode Code, const std::string &Message) {
-    Out.push_back({Code, Policy, Message});
+    Out.push_back({Code, Policy, "", Message});
   };
 
   // Hard ring-dimension ceiling: the encoder tops out at LogN = 17 and
@@ -216,7 +224,7 @@ ValidationReport chet::validateCircuit(const TensorCircuit &Circ,
   if (Circ.ops().empty()) {
     Report.PoliciesChecked = 1;
     Report.Diagnostics.push_back({ErrorCode::InvalidArgument,
-                                  Options.FixedPolicy,
+                                  Options.FixedPolicy, "",
                                   "circuit has no operations"});
     return Report;
   }

@@ -42,6 +42,11 @@ namespace chet {
 struct CircuitDiagnostic {
   ErrorCode Code = ErrorCode::InfeasibleCircuit;
   LayoutPolicy Policy = LayoutPolicy::AllHW;
+  /// Provenance of the finding (a layer label or analysis stage); part
+  /// of ValidationReport::str()'s dedup key, so two layers tripping the
+  /// same message render as two findings. Empty for circuit-wide
+  /// violations.
+  std::string Where;
   std::string Message;
 };
 

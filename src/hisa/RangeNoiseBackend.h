@@ -1,0 +1,409 @@
+//===- RangeNoiseBackend.h - Static range/noise abstract backend -*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The precision analysis' interpretation of the HISA: a value-agnostic
+/// backend (sibling of VerifierBackend) whose "ciphertext" is an
+/// interval-arithmetic state -- a bound on the message slot magnitude,
+/// the accumulated fixed-point quantization error, and a worst-case CKKS
+/// noise term grown per instruction from the scheme's actual ring
+/// degree, prime chain, and scales (core/CostModel's NoiseModel). One
+/// pass over a compiled circuit yields a sound static bound on the
+/// decrypted output error, with per-node provenance for hotspot reports
+/// (core/NoiseAnalysis.h).
+///
+/// Abstract domain. Each ciphertext carries three non-negative reals in
+/// message space (already divided by the ciphertext scale):
+///   Abs      -- sound bound on |true slot value| over all slots,
+///   QuantErr -- error from encode/constant rounding, amplified through
+///               multiplications exactly like a fixed-point analysis,
+///   NoiseErr -- RLWE noise (fresh encryption, key switches, rescale
+///               rounding), likewise amplified.
+/// The decrypted result of a ciphertext C differs from the exact real
+/// computation by at most QuantErr + NoiseErr, and its magnitude is at
+/// most Abs + QuantErr + NoiseErr.
+///
+/// Taming interval blow-up. Naive interval propagation diverges on real
+/// kernels: a replicate-sum doubles the bound log2(slots) times, and a
+/// convolution adds one term per tap, so by the output every bound is
+/// off by the full slot count per layer -- double-exponentially wrong
+/// once activations square the range. The backend therefore accepts a
+/// per-node *intermediate cap* from the pass (RangeNoiseNodeEnv.CapAbs,
+/// computed from the network's actual weights as an L1-norm transfer
+/// function, which is the exact supremum of a linear layer over a box):
+/// every instruction clamps its naive result bound to the cap of the
+/// node it executes in. The cap is a sound bound on every intermediate
+/// slot value the kernel materializes, so clamping preserves soundness
+/// while keeping error amplification tight. Error terms are never
+/// clamped -- worst-case error growth through a linear layer genuinely
+/// is the layer's L1 gain.
+///
+/// Value-agnosticism. Like the other analysis backends, encode() ignores
+/// slot contents (BackendEncodeIsValueAgnostic), so plaintext magnitudes
+/// must come from the side: the pass supplies per-node weight/bias
+/// magnitudes, and encodes are classified by their scale (mask scale vs
+/// weight scale -- ScaleConfig roles). When roles collide on one scale
+/// the maximum of the candidate magnitudes is used, which stays sound.
+///
+/// The scale/modulus arithmetic replicates AnalysisBackend bit for bit
+/// (same candidate-list consumption), so the analysis sees exactly the
+/// chain the compiler built.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_HISA_RANGENOISEBACKEND_H
+#define CHET_HISA_RANGENOISEBACKEND_H
+
+#include "core/CostModel.h"
+#include "hisa/Hisa.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chet {
+
+/// Per-node semantic envelope, computed by NoiseAnalysis from the
+/// tensor circuit's actual weights (see rangeEnvelopes in
+/// NoiseAnalysis.cpp). All magnitudes are message-space bounds.
+struct RangeNoiseNodeEnv {
+  /// Sound bound on the node's output slot values.
+  double OutAbs = std::numeric_limits<double>::infinity();
+  /// Sound bound on *every* intermediate slot value the node's kernel
+  /// materializes (partial sums, rotated copies, masked extracts).
+  double CapAbs = std::numeric_limits<double>::infinity();
+  /// Largest |entry| over weight plaintexts the node encodes.
+  double WeightAbs = 0;
+  /// Largest |bias| the node encodes.
+  double BiasAbs = 0;
+};
+
+/// Abstract machine the noise analysis interprets against, extracted
+/// from a CompiledCircuit (NoiseAnalysis.cpp) or hand-built by tests.
+struct RangeNoiseBackendConfig {
+  /// RNS-CKKS (true) or big-modulus CKKS (false) rescale semantics.
+  bool Rns = true;
+  int LogN = 13;
+  /// RNS: scaling moduli in consumption order (compiled chain's tail
+  /// reversed), exactly as AnalysisBackend/VerifierBackend consume them.
+  std::vector<uint64_t> ScalePrimeCandidates;
+  /// Noise constants for this scheme instance.
+  NoiseModel Noise;
+  /// ScaleConfig roles used to classify value-agnostic encodes. A zero
+  /// scale disables that role's classification.
+  double WeightScale = 0;
+  double MaskScale = 0;
+  /// Bound on |input slot value| for encodes outside any node (input
+  /// packing; encryptTensor runs before the first beginNode).
+  double InputAbs = 0.5;
+  /// Per-node envelopes by tensor-circuit node id. A node without an
+  /// entry gets an unbounded envelope (pure interval propagation) --
+  /// the mode unit tests drive the backend in.
+  std::map<int, RangeNoiseNodeEnv> NodeEnv;
+  /// Relative tolerance for matching an encode scale to a role scale.
+  double ScaleTolerance = 1e-6;
+};
+
+/// Per-node activity in evaluation order, for hotspot reports. Row 0 is
+/// the synthetic "input packing" node.
+struct RangeNoiseNodeStats {
+  int NodeId = -1;
+  std::string Label;
+  /// Largest message-magnitude bound of any value produced in the node.
+  double PeakAbs = 0;
+  /// Largest total error bound (QuantErr + NoiseErr) of any value
+  /// produced in the node -- the hotspot metric.
+  double PeakErr = 0;
+  /// Sum of fresh noise terms introduced by this node's instructions
+  /// (key switches, rescale rounding, fresh encryptions), before any
+  /// downstream amplification.
+  double NoiseIntroduced = 0;
+};
+
+/// HISA implementation over range/noise metadata; see the file comment.
+class RangeNoiseBackend {
+public:
+  struct Ct {
+    double Scale = 1.0;
+    int ConsumedPrimes = 0;   ///< RNS: index into the candidate list.
+    double LogConsumed = 0.0; ///< CKKS: log2 of the divisor product.
+    double Abs = 0;           ///< Bound on |true slot value|.
+    double QuantErr = 0;      ///< Fixed-point rounding error bound.
+    double NoiseErr = 0;      ///< RLWE noise error bound.
+    int OriginNode = -1;      ///< Node whose kernel produced this value.
+  };
+  struct Pt {
+    double Scale = 1.0;
+    double Abs = 0;   ///< Bound on |plaintext slot value|.
+    double Quant = 0; ///< Encode rounding error bound.
+  };
+
+  explicit RangeNoiseBackend(const RangeNoiseBackendConfig &ConfigIn)
+      : Config(ConfigIn), Slots(size_t(1) << (ConfigIn.LogN - 1)) {
+    Stats.push_back({-1, "input packing", 0, 0, 0});
+  }
+
+  //===--------------------------------------------------------------===//
+  // Provenance sink.
+  //===--------------------------------------------------------------===//
+
+  void beginNode(int NodeId, const std::string &Label) {
+    CurrentNode = NodeId;
+    Stats.push_back({NodeId, Label, 0, 0, 0});
+  }
+
+  //===--------------------------------------------------------------===//
+  // HISA instructions.
+  //===--------------------------------------------------------------===//
+
+  size_t slotCount() const { return Slots; }
+
+  Pt encode(const std::vector<double> &Values, double Scale) {
+    (void)Values; // value-agnostic: magnitude comes from the node env
+    Pt P;
+    P.Scale = Scale;
+    P.Abs = plainAbsFor(Scale);
+    P.Quant = Config.Noise.encodeQuant() / Scale;
+    return P;
+  }
+  std::vector<double> decode(const Pt &P) const {
+    (void)P;
+    return {};
+  }
+  Ct encrypt(const Pt &P) {
+    Ct C;
+    C.Scale = P.Scale;
+    C.Abs = P.Abs;
+    C.QuantErr = P.Quant;
+    C.NoiseErr = introduce(Config.Noise.freshNoise() / P.Scale);
+    C.OriginNode = CurrentNode;
+    note(C);
+    return C;
+  }
+  Pt decrypt(const Ct &C) const {
+    return Pt{C.Scale, C.Abs, C.QuantErr + C.NoiseErr};
+  }
+  Ct copy(const Ct &C) const { return C; }
+  void freeCt(Ct &C) const { (void)C; }
+
+  void rotLeftAssign(Ct &C, int Steps) {
+    int64_t S = Steps % static_cast<int64_t>(Slots);
+    if (S < 0)
+      S += static_cast<int64_t>(Slots);
+    if (S == 0)
+      return; // complete no-op, exactly as the real backends treat it
+    C.NoiseErr += introduce(Config.Noise.keySwitchNoise() / C.Scale);
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void rotRightAssign(Ct &C, int Steps) { rotLeftAssign(C, -Steps); }
+
+  void addAssign(Ct &C, const Ct &Other) {
+    alignBinary(C, Other);
+    C.Abs = clamp(C.Abs + Other.Abs);
+    C.QuantErr += Other.QuantErr;
+    C.NoiseErr += Other.NoiseErr;
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void subAssign(Ct &C, const Ct &Other) { addAssign(C, Other); }
+  void addPlainAssign(Ct &C, const Pt &P) {
+    C.Abs = clamp(C.Abs + P.Abs);
+    C.QuantErr += P.Quant;
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void subPlainAssign(Ct &C, const Pt &P) { addPlainAssign(C, P); }
+  void addScalarAssign(Ct &C, double X) {
+    // The constant polynomial has one rounded coefficient; its slot
+    // error is exactly |round(X*Scale) - X*Scale| / Scale <= 0.5/Scale.
+    C.Abs = clamp(C.Abs + std::fabs(X));
+    C.QuantErr += 0.5 / C.Scale;
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void subScalarAssign(Ct &C, double X) { addScalarAssign(C, X); }
+
+  void mulAssign(Ct &C, const Ct &Other) {
+    // err(a*b) = |a|*e_b + |b|*e_a + e_a*e_b; the cross and quadratic
+    // terms land in NoiseErr (attribution is cosmetic, the sum is what
+    // is sound).
+    double Ea = C.QuantErr + C.NoiseErr;
+    double Eb = Other.QuantErr + Other.NoiseErr;
+    double Quant = C.Abs * Other.QuantErr + Other.Abs * C.QuantErr;
+    double Noise =
+        C.Abs * Other.NoiseErr + Other.Abs * C.NoiseErr + Ea * Eb;
+    alignBinary(C, Other);
+    C.Abs = clamp(C.Abs * Other.Abs);
+    C.Scale *= Other.Scale;
+    C.QuantErr = Quant;
+    // Relinearization is a key switch over s^2 at the product scale.
+    C.NoiseErr =
+        Noise + introduce(Config.Noise.keySwitchNoise() / C.Scale);
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void mulPlainAssign(Ct &C, const Pt &P) {
+    double Gain = P.Abs + P.Quant;
+    C.QuantErr = C.QuantErr * Gain + C.Abs * P.Quant;
+    C.NoiseErr = C.NoiseErr * Gain;
+    C.Abs = clamp(C.Abs * P.Abs);
+    C.Scale *= P.Scale;
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+  void mulScalarAssign(Ct &C, double X, uint64_t Scale) {
+    double Ax = std::fabs(X);
+    double Quant = 0.5 / static_cast<double>(Scale); // one rounded coeff
+    double Gain = Ax + Quant;
+    C.QuantErr = C.QuantErr * Gain + C.Abs * Quant;
+    C.NoiseErr = C.NoiseErr * Gain;
+    C.Abs = clamp(C.Abs * Ax);
+    C.Scale *= static_cast<double>(Scale);
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+
+  uint64_t maxRescale(const Ct &C, uint64_t UpperBound) const {
+    if (!Config.Rns) {
+      if (UpperBound < 2)
+        return 1;
+      int Bits = 63 - __builtin_clzll(UpperBound);
+      return uint64_t(1) << Bits;
+    }
+    uint64_t Divisor = 1;
+    size_t Index = static_cast<size_t>(C.ConsumedPrimes);
+    while (Index < Config.ScalePrimeCandidates.size()) {
+      uint64_t Q = Config.ScalePrimeCandidates[Index];
+      if (Divisor > UpperBound / Q)
+        break;
+      Divisor *= Q;
+      ++Index;
+    }
+    return Divisor;
+  }
+
+  void rescaleAssign(Ct &C, uint64_t Divisor) {
+    if (Divisor <= 1)
+      return;
+    if (!Config.Rns) {
+      double Bits = std::log2(static_cast<double>(Divisor));
+      C.LogConsumed += Bits;
+      C.Scale /= static_cast<double>(Divisor);
+      C.NoiseErr += introduce(Config.Noise.rescaleNoise() / C.Scale);
+    } else {
+      while (Divisor > 1) {
+        if (C.ConsumedPrimes >=
+            static_cast<int>(Config.ScalePrimeCandidates.size()))
+          break; // chain exhausted; the verifier reports this, not us
+        uint64_t Q = Config.ScalePrimeCandidates[C.ConsumedPrimes];
+        if (Divisor % Q != 0)
+          break; // divisor not from maxRescale; nothing sane to shed
+        Divisor /= Q;
+        C.Scale /= static_cast<double>(Q);
+        ++C.ConsumedPrimes;
+        // Rounding noise lands at the post-division scale.
+        C.NoiseErr += introduce(Config.Noise.rescaleNoise() / C.Scale);
+      }
+    }
+    C.OriginNode = CurrentNode;
+    note(C);
+  }
+
+  double scaleOf(const Ct &C) const { return C.Scale; }
+
+  //===--------------------------------------------------------------===//
+  // Analysis results.
+  //===--------------------------------------------------------------===//
+
+  const std::vector<RangeNoiseNodeStats> &nodeStats() const { return Stats; }
+
+private:
+  const RangeNoiseNodeEnv &envFor(int Node) const {
+    static const RangeNoiseNodeEnv Unbounded;
+    auto It = Config.NodeEnv.find(Node);
+    return It == Config.NodeEnv.end() ? Unbounded : It->second;
+  }
+
+  /// Clamps a naive interval bound to the current node's intermediate
+  /// cap; see the file comment for why this is sound.
+  double clamp(double Abs) const {
+    double Cap = envFor(CurrentNode).CapAbs;
+    return Abs < Cap ? Abs : Cap;
+  }
+
+  bool matchesScale(double A, double Role) const {
+    if (Role <= 0)
+      return false;
+    double Ratio = A / Role;
+    return Ratio > 1.0 - Config.ScaleTolerance &&
+           Ratio < 1.0 + Config.ScaleTolerance;
+  }
+
+  /// Magnitude of a value-agnostic encode, classified by its scale.
+  /// Roles may collide on one scale (the default ScaleConfig encodes
+  /// weights and biases at the image scale); the max over every
+  /// matching role keeps the bound sound.
+  double plainAbsFor(double Scale) const {
+    const RangeNoiseNodeEnv &E = envFor(CurrentNode);
+    // Bias vectors encode at whatever scale the ciphertext reached, so
+    // the data role matches unconditionally.
+    double Abs = CurrentNode < 0 ? Config.InputAbs : E.BiasAbs;
+    if (matchesScale(Scale, Config.WeightScale))
+      Abs = std::max(Abs, E.WeightAbs);
+    if (matchesScale(Scale, Config.MaskScale))
+      Abs = std::max(Abs, 1.0);
+    return Abs;
+  }
+
+  /// Level alignment of binary ops: the deeper history dominates
+  /// (AnalysisBackend semantics).
+  static void alignBinary(Ct &C, const Ct &Other) {
+    if (Other.ConsumedPrimes > C.ConsumedPrimes)
+      C.ConsumedPrimes = Other.ConsumedPrimes;
+    if (Other.LogConsumed > C.LogConsumed)
+      C.LogConsumed = Other.LogConsumed;
+  }
+
+  /// Records a freshly introduced noise term against the current node
+  /// and returns it, so call sites can add it in one expression.
+  double introduce(double Term) {
+    Stats.back().NoiseIntroduced += Term;
+    return Term;
+  }
+
+  /// Folds a result state into the current node's peaks.
+  void note(const Ct &C) {
+    RangeNoiseNodeStats &S = Stats.back();
+    if (C.Abs > S.PeakAbs)
+      S.PeakAbs = C.Abs;
+    double Err = C.QuantErr + C.NoiseErr;
+    if (Err > S.PeakErr)
+      S.PeakErr = Err;
+  }
+
+  RangeNoiseBackendConfig Config;
+  size_t Slots;
+  int CurrentNode = -1;
+  std::vector<RangeNoiseNodeStats> Stats;
+};
+
+/// The abstract domain ignores slot contents; skipping the weight/mask
+/// vector builds keeps the analysis an O(ops) pass.
+template <>
+inline constexpr bool BackendEncodeIsValueAgnostic<RangeNoiseBackend> = true;
+
+static_assert(HisaBackend<RangeNoiseBackend>,
+              "RangeNoiseBackend must satisfy the HISA concept");
+static_assert(HisaProvenanceSink<RangeNoiseBackend>,
+              "RangeNoiseBackend must receive node provenance");
+
+} // namespace chet
+
+#endif // CHET_HISA_RANGENOISEBACKEND_H

@@ -76,6 +76,15 @@ struct NetworkEntry {
   /// Accuracy of the HE-compatible network as reported in Table 3
   /// (negative when the paper does not disclose it).
   double PaperAccuracy;
+  /// Requested output precision for the static noise analysis: an
+  /// absolute bound the network's worst-case static output error must
+  /// stay under at the default bench scales and reductions
+  /// (CompilerOptions::MaxOutputError). Worst-case bounds accumulate
+  /// linearly where real noise cancels, and amplify by each layer's L1
+  /// gain, so deep networks get far larger targets than their measured
+  /// error -- the target guards the *static* guarantee, and the
+  /// bench_noise soundness gate guards the bound against measurement.
+  double PrecisionTarget;
   std::function<TensorCircuit(int)> Build; ///< Takes the reduction.
 };
 

@@ -363,7 +363,7 @@ template <HisaBackend B> class InferenceServer {
       requires(const B &Bk, const typename B::Ct &C) { Bk.verifyCt(C); };
 
 public:
-  explicit InferenceServer(ServerConfig CfgIn = {}) : Cfg(CfgIn) {
+  explicit InferenceServer(ServerConfig CfgIn = {}) : Cfg(std::move(CfgIn)) {
     CHET_CHECK(Cfg.Lanes >= 1, InvalidArgument,
                "InferenceServer needs at least one lane, got ", Cfg.Lanes);
     CHET_CHECK(Cfg.QueueHighWater >= 1, InvalidArgument,

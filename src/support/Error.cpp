@@ -50,6 +50,8 @@ const char *errorCodeName(ErrorCode Code) {
     return "StaleKey";
   case ErrorCode::ServerShutdown:
     return "ServerShutdown";
+  case ErrorCode::PrecisionBound:
+    return "PrecisionBound";
   case ErrorCode::DeadCiphertext:
     return "DeadCiphertext";
   case ErrorCode::RedundantRotation:
@@ -157,6 +159,8 @@ void throwChetError(ErrorCode Code, const std::string &Message) {
     throw StaleKeyError(Message);
   case ErrorCode::ServerShutdown:
     throw ServerShutdownError(Message);
+  case ErrorCode::PrecisionBound:
+    throw PrecisionBoundError(Message);
   case ErrorCode::DeadCiphertext:
   case ErrorCode::RedundantRotation:
   case ErrorCode::DepthHotspot:

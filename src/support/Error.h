@@ -109,6 +109,11 @@ enum class ErrorCode {
   /// The server is draining or has shut down; no new work is admitted.
   /// Checkpointed progress of in-flight requests is retained.
   ServerShutdown,
+  /// The static range/noise analysis proved that the worst-case output
+  /// error of the compiled circuit exceeds the requested output
+  /// precision. Re-compiling with larger scales, a longer prime chain,
+  /// or a looser precision target is required; retrying cannot help.
+  PrecisionBound,
 
   // Lint findings of the static verifier (Verifier.h). These classify
   // diagnostics rather than thrown errors: no kernel raises them, but
@@ -242,6 +247,7 @@ CHET_DEFINE_ERROR_CLASS(CircuitBreakerOpenError, CircuitBreakerOpen);
 CHET_DEFINE_ERROR_CLASS(UnknownTenantError, UnknownTenant);
 CHET_DEFINE_ERROR_CLASS(StaleKeyError, StaleKey);
 CHET_DEFINE_ERROR_CLASS(ServerShutdownError, ServerShutdown);
+CHET_DEFINE_ERROR_CLASS(PrecisionBoundError, PrecisionBound);
 
 #undef CHET_DEFINE_ERROR_CLASS
 

@@ -24,17 +24,12 @@ LimbPool &LimbPool::instance() {
 }
 
 LimbPool::LimbPool() {
+  // "0", "off", "false" (any case) disable; "on"/"1"/"true" keep it on.
   const char *Env = std::getenv("CHET_LIMB_POOL");
-  bool On = true;
-  if (Env && (Env[0] == '0' || Env[0] == 'o' || Env[0] == 'O' ||
-              Env[0] == 'f' || Env[0] == 'F')) {
-    // "0", "off", "false" (any case) disable; "on"/"1"/"true" keep it on.
-    if (Env[0] == '0' || Env[0] == 'f' || Env[0] == 'F')
-      On = false;
-    else if ((Env[1] == 'f' || Env[1] == 'F'))
-      On = false; // "of[f]"
-  }
-  Enabled.store(On, std::memory_order_relaxed);
+  bool Off = Env && (Env[0] == '0' || Env[0] == 'f' || Env[0] == 'F' ||
+                     ((Env[0] == 'o' || Env[0] == 'O') &&
+                      (Env[1] == 'f' || Env[1] == 'F')));
+  Enabled.store(!Off, std::memory_order_relaxed);
 }
 
 void LimbPool::lock() {
@@ -78,7 +73,7 @@ void LimbPool::freeArena(uint64_t *Ptr) noexcept {
 
 struct LimbPool::ThreadCache {
   struct List {
-    uint64_t *Ptrs[ThreadCacheSlots];
+    uint64_t *Ptrs[ThreadCacheSlots] = {};
     size_t Count = 0;
   };
   List Lists[NumBuckets];

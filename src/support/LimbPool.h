@@ -131,7 +131,7 @@ private:
   std::atomic<bool> Enabled{true};
 
   struct GlobalList {
-    uint64_t *Ptrs[GlobalCacheSlots];
+    uint64_t *Ptrs[GlobalCacheSlots] = {};
     size_t Count = 0;
   };
   std::atomic<uint64_t> Mu{0}; ///< Tiny spinlock; hot path rarely takes it.

@@ -130,9 +130,9 @@ TEST(Validate, ReportDedupesIdenticalDiagnosticsAcrossPolicies) {
   R.FeasiblePolicies = 0;
   for (LayoutPolicy P : kAllLayoutPolicies)
     R.Diagnostics.push_back(
-        {ErrorCode::LevelExhausted, P, "chain holds only 10 primes"});
+        {ErrorCode::LevelExhausted, P, "", "chain holds only 10 primes"});
   R.Diagnostics.push_back(
-      {ErrorCode::SecurityBudgetExceeded, LayoutPolicy::AllHW,
+      {ErrorCode::SecurityBudgetExceeded, LayoutPolicy::AllHW, "",
        "needs 900 bits"});
 
   std::string Text = R.str();
@@ -148,6 +148,28 @@ TEST(Validate, ReportDedupesIdenticalDiagnosticsAcrossPolicies) {
   // Two distinct messages -> exactly lines 1. and 2., no line 3.
   EXPECT_NE(Text.find("\n  2. "), std::string::npos) << Text;
   EXPECT_EQ(Text.find("\n  3. "), std::string::npos) << Text;
+}
+
+TEST(Validate, ReportDedupKeyIncludesProvenance) {
+  // Two layers tripping the byte-identical message are two findings; the
+  // dedup key must include the provenance, not just (code, message).
+  ValidationReport R;
+  R.PoliciesChecked = 2;
+  R.Diagnostics.push_back({ErrorCode::LevelExhausted, LayoutPolicy::AllHW,
+                           "layer 'conv1'", "modulus chain exhausted"});
+  R.Diagnostics.push_back({ErrorCode::LevelExhausted, LayoutPolicy::AllHW,
+                           "layer 'conv2'", "modulus chain exhausted"});
+  R.Diagnostics.push_back({ErrorCode::LevelExhausted, LayoutPolicy::AllCHW,
+                           "layer 'conv2'", "modulus chain exhausted"});
+
+  std::string Text = R.str();
+  // Distinct provenance -> two numbered findings, each naming its layer.
+  EXPECT_NE(Text.find("\n  2. "), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("\n  3. "), std::string::npos) << Text;
+  EXPECT_NE(Text.find("(at layer 'conv1')"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("(at layer 'conv2')"), std::string::npos) << Text;
+  // Same provenance still collapses across policies.
+  EXPECT_NE(Text.find("(2 policies)"), std::string::npos) << Text;
 }
 
 TEST(Validate, MissingRotationStepsHonorsPow2Fallback) {
