@@ -14,13 +14,22 @@
 /// free list, so the speedup column isolates exactly the allocation /
 /// zero-fill churn the pool removes.
 ///
-/// Before any timing, the harness runs two gates and aborts on failure:
+/// Since the vectorized-kernel overhaul the dashboard also sweeps the
+/// raw transform across both kernel generations: scalar reference vs
+/// restructured (DESIGN.md section 5i) at logN 12-15, on a 60-bit prime
+/// and on a narrow (<2^30, packed uint32) prime, reporting per-butterfly
+/// nanoseconds and effective memory bandwidth per row.
+///
+/// Before any timing, the harness runs three gates and aborts on failure:
 ///
 ///   1. the fused-reduction NTT checks inherited from bench_ntt_fused
 ///      (round-trip identity, schoolbook negacyclic reference);
 ///   2. byte-identity: a mul -> rescale -> rotate chain serialized under
 ///      the pool must equal the same chain with the pool disabled, on
-///      both CKKS backends.
+///      both CKKS backends;
+///   3. kernel-generation byte-identity: the vectorized forward/inverse
+///      (and the fused pointwiseMulInverse) must match the scalar
+///      reference kernels bit for bit on both prime widths.
 ///
 /// Usage:
 ///   bench_kernels [--json FILE] [--check-only] [--threads N]
@@ -29,8 +38,10 @@
 /// --check-only runs the gates plus a shortened timing pass and fails
 /// (exit 1) unless at least one mul/rescale-heavy kernel shows pooled
 /// speedup >= 1.0x -- the CI sanity bound that the pool never regresses
-/// the hot path. --json writes the dashboard (the committed
-/// BENCH_kernels.json) with pooled-vs-unpooled columns per kernel.
+/// the hot path. The kernel-generation gate is pass/fail on bytes, never
+/// on timing, so CI machine noise cannot flake it. --json writes the
+/// dashboard (the committed BENCH_kernels.json) with pooled-vs-unpooled
+/// columns per kernel plus the "ntt" generation-sweep array.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -208,6 +219,51 @@ void verifyByteIdentity() {
 }
 
 //===--------------------------------------------------------------------===//
+// Correctness gate 3: vectorized / scalar kernel-generation byte identity
+//===--------------------------------------------------------------------===//
+
+/// The restructured kernels promise bit-for-bit the same outputs as the
+/// scalar reference on every size and both prime widths -- the property
+/// that lets the backend switch generations freely (CHET_SCALAR_NTT).
+void verifyKernelGenerations() {
+  bool Was = nttVectorizedEnabled();
+  setNttVectorized(true);
+  for (int LogN : {2, 4, 8, 12, 13}) {
+    for (int Bits : {60, 30}) {
+      uint64_t Prime = generateNttPrimes(Bits, LogN, 1).front();
+      Modulus Q(Prime);
+      NttTables Tables(LogN, Q);
+      std::vector<uint64_t> A = randomPoly(Tables.size(), Q, 19 + LogN);
+      std::vector<uint64_t> B = randomPoly(Tables.size(), Q, 23 + LogN);
+
+      std::vector<uint64_t> Vec = A, Ref = A;
+      Tables.forward(Vec.data());
+      Tables.forwardScalar(Ref.data());
+      if (Vec != Ref)
+        failCheck("vectorized forward != scalar reference", LogN, Prime);
+      Tables.inverse(Vec.data());
+      Tables.inverseScalar(Ref.data());
+      if (Vec != Ref)
+        failCheck("vectorized inverse != scalar reference", LogN, Prime);
+
+      // Fused product+inverse against the eager two-pass reference.
+      std::vector<uint64_t> Fa = A, Fb = B;
+      Tables.forwardScalar(Fa.data());
+      Tables.forwardScalar(Fb.data());
+      std::vector<uint64_t> Eager(Tables.size()), Fused(Tables.size());
+      for (size_t I = 0; I < Eager.size(); ++I)
+        Eager[I] = Q.mulMod(Fa[I], Fb[I]);
+      Tables.inverseScalar(Eager.data());
+      Tables.pointwiseMulInverse(Fused.data(), Fa.data(), Fb.data());
+      if (Fused != Eager)
+        failCheck("fused pointwiseMulInverse != eager mul+inverse", LogN,
+                  Prime);
+    }
+  }
+  setNttVectorized(Was);
+}
+
+//===--------------------------------------------------------------------===//
 // Timing harness
 //===--------------------------------------------------------------------===//
 
@@ -276,6 +332,75 @@ struct Options {
   int Reps = 5;
   int Iters = 8;
 };
+
+//===--------------------------------------------------------------------===//
+// NTT kernel-generation sweep (scalar vs vectorized, 60-bit vs narrow)
+//===--------------------------------------------------------------------===//
+
+struct NttSweepResult {
+  int LogN = 0;
+  int PrimeBits = 0; ///< 60 (wide) or 30 (narrow / packed uint32).
+  double ScalarUs = 0;
+  double VectorUs = 0;
+
+  double speedup() const { return VectorUs > 0 ? ScalarUs / VectorUs : 0; }
+  /// Vectorized nanoseconds per butterfly: a forward transform executes
+  /// N/2 butterflies per stage over logN stages.
+  double perButterflyNs() const {
+    double Butterflies = double(size_t(1) << (LogN - 1)) * LogN;
+    return VectorUs * 1e3 / Butterflies;
+  }
+  /// Effective traffic of the vectorized transform: each stage reads and
+  /// writes all N coefficients at the uint64 working width (the packed
+  /// path halves in-kernel traffic, but pack/unpack still moves the
+  /// 64-bit limbs, so 16 bytes/coefficient/stage is the honest figure).
+  double gbPerSec() const {
+    double Bytes = 16.0 * double(size_t(1) << LogN) * LogN;
+    return Bytes / (VectorUs * 1e-6) / 1e9;
+  }
+};
+
+/// Times forward() at both kernel generations across logN 12-15, on a
+/// 60-bit prime and a narrow (<2^30) prime. Pure in-place transform: the
+/// limb pool only serves the narrow path's pack/unpack scratch.
+std::vector<NttSweepResult> runNttSweep(const Options &Opt) {
+  bool Was = nttVectorizedEnabled();
+  std::vector<NttSweepResult> Out;
+  std::vector<int> Sizes =
+      Opt.CheckOnly ? std::vector<int>{12, 13} : std::vector<int>{12, 13, 14, 15};
+  for (int LogN : Sizes) {
+    for (int Bits : {60, 30}) {
+      Modulus Q(generateNttPrimes(Bits, LogN, 1).front());
+      NttTables Tables(LogN, Q);
+      std::vector<uint64_t> Data = randomPoly(Tables.size(), Q, 5 + LogN);
+      NttSweepResult R;
+      R.LogN = LogN;
+      R.PrimeBits = Bits;
+      // Larger transforms get fewer iterations so the sweep stays cheap.
+      int Iters = std::max(2, (Opt.Iters * 8) >> (LogN - 12));
+      setNttVectorized(false);
+      Tables.forward(Data.data()); // warm twiddle tables / pages
+      R.ScalarUs =
+          timeBest(Opt.Reps, Iters, [&] { Tables.forward(Data.data()); });
+      setNttVectorized(true);
+      Tables.forward(Data.data()); // warm the packed scratch pool
+      R.VectorUs =
+          timeBest(Opt.Reps, Iters, [&] { Tables.forward(Data.data()); });
+      Out.push_back(R);
+    }
+  }
+  setNttVectorized(Was);
+  return Out;
+}
+
+void printNttTable(const std::vector<NttSweepResult> &Results) {
+  std::printf("\n%-6s %6s %12s %12s %9s %10s %8s\n", "logN", "prime",
+              "scalar(us)", "vector(us)", "speedup", "ns/bfly", "GB/s");
+  for (const NttSweepResult &R : Results)
+    std::printf("%-6d %5db %12.1f %12.1f %8.2fx %10.3f %8.1f\n", R.LogN,
+                R.PrimeBits, R.ScalarUs, R.VectorUs, R.speedup(),
+                R.perButterflyNs(), R.gbPerSec());
+}
 
 std::vector<KernelResult> runDashboard(const Options &Opt) {
   std::vector<KernelResult> Out;
@@ -350,7 +475,8 @@ void printTable(const std::vector<KernelResult> &Results) {
 }
 
 void writeJson(const std::string &Path,
-               const std::vector<KernelResult> &Results, unsigned Threads) {
+               const std::vector<KernelResult> &Results,
+               const std::vector<NttSweepResult> &Ntt, unsigned Threads) {
   std::ofstream OS(Path);
   if (!OS) {
     std::fprintf(stderr, "bench_kernels: cannot write %s\n", Path.c_str());
@@ -371,6 +497,20 @@ void writeJson(const std::string &Path,
                   R.speedup(), R.MulRescaleHeavy ? "true" : "false",
                   static_cast<unsigned long long>(R.SteadyStateMisses),
                   I + 1 < Results.size() ? "," : "");
+    OS << Buf;
+  }
+  OS << "  ],\n  \"ntt\": [\n";
+  for (size_t I = 0; I < Ntt.size(); ++I) {
+    const NttSweepResult &R = Ntt[I];
+    char Buf[384];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"logn\": %d, \"prime_bits\": %d, "
+                  "\"scalar_us\": %.1f, \"vector_us\": %.1f, "
+                  "\"speedup\": %.2f, \"ns_per_butterfly\": %.3f, "
+                  "\"gb_per_sec\": %.1f}%s\n",
+                  R.LogN, R.PrimeBits, R.ScalarUs, R.VectorUs, R.speedup(),
+                  R.perButterflyNs(), R.gbPerSec(),
+                  I + 1 < Ntt.size() ? "," : "");
     OS << Buf;
   }
   char Pool[256];
@@ -426,11 +566,16 @@ int main(int Argc, char **Argv) {
   verifyByteIdentity();
   std::printf("pooled / CHET_LIMB_POOL=off byte identity holds on both "
               "schemes\n");
+  verifyKernelGenerations();
+  std::printf("vectorized / scalar kernel generations byte-identical on "
+              "60-bit and narrow primes (incl. fused mul+inverse)\n");
 
   std::vector<KernelResult> Results = runDashboard(Opt);
   printTable(Results);
+  std::vector<NttSweepResult> Ntt = runNttSweep(Opt);
+  printNttTable(Ntt);
   if (!Opt.JsonPath.empty())
-    writeJson(Opt.JsonPath, Results,
+    writeJson(Opt.JsonPath, Results, Ntt,
               Opt.Threads ? Opt.Threads : globalThreadCount());
 
   // Sanity bounds: steady state must be allocation-free, and the pool

@@ -771,9 +771,11 @@ void RnsCkksBackend::mulAssign(Ct &C, const Ct &Other) {
     for (size_t K = 0; K < Degree; ++K) {
       O0[K] = Q.mulMod(A0[K], B0[K]);
       O1[K] = Q.addMod(Q.mulMod(A0[K], B1[K]), Q.mulMod(A1[K], B0[K]));
-      O2[K] = Q.mulMod(A1[K], B1[K]);
     }
-    ChainNtt[J]->inverse(O2); // digits must be coefficient form
+    // Digits must be coefficient form; the fused kernel folds the c1*c1
+    // product into the inverse transform's first stage, saving one full
+    // pass over the limb.
+    ChainNtt[J]->pointwiseMulInverse(O2, A1, B1);
   });
 
   KsStats->InverseNtts.fetch_add(size_t(L) + 1, std::memory_order_relaxed);

@@ -14,12 +14,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 #include <cmath>
 
 using namespace chet;
 using chet::detail::minLogNForData;
 using chet::detail::scalePrimeBits;
+
+bool chet::narrowChainRequested(PrimeChainWidth Width) {
+  if (Width != PrimeChainWidth::Auto)
+    return Width == PrimeChainWidth::Narrow;
+  static const bool EnvNarrow = [] {
+    const char *Env = std::getenv("CHET_NARROW_PRIMES");
+    return Env && (Env[0] == '1' || Env[0] == 't' || Env[0] == 'T' ||
+                   ((Env[0] == 'o' || Env[0] == 'O') &&
+                    (Env[1] == 'n' || Env[1] == 'N')));
+  }();
+  return EnvNarrow;
+}
 
 namespace {
 
@@ -152,8 +165,14 @@ PolicyRun analyzePolicy(const TensorCircuit &Circ,
 
 CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
                                      const CompilerOptions &Options) {
-  // The global pre-generated candidate modulus list (Section 5.2).
+  // The global pre-generated candidate modulus list (Section 5.2). The
+  // narrow-chain policy caps scale primes at the packed-NTT word bound;
+  // the scalePrimeBits floor of 29 keeps the cap inside the [29, 30]
+  // range where the q = 1 mod 2^17 class still holds enough primes.
   int ScaleBits = scalePrimeBits(Options.Scales);
+  if (Options.Scheme == SchemeKind::RnsCkks &&
+      narrowChainRequested(Options.ChainWidth))
+    ScaleBits = std::min(ScaleBits, kNarrowPrimeBits);
   std::vector<uint64_t> Chain =
       RnsCkksParams::candidateChain(65, Options.FirstPrimeBits, ScaleBits);
   uint64_t FirstPrime = Chain.front();

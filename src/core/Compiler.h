@@ -41,6 +41,21 @@
 
 namespace chet {
 
+/// Scale-prime width policy for the RNS modulus chain. Narrow caps the
+/// scale primes at kNarrowPrimeBits (30) bits, putting every rescale
+/// prime inside the NTT's packed 32-bit fast path -- double the limbs
+/// per cache line and SIMD-friendly 32x32 Shoup butterflies (DESIGN.md
+/// section 5i). Wide keeps the classic chain sized purely by the scale
+/// config; it is the byte-identity reference. Auto defers to the
+/// CHET_NARROW_PRIMES environment variable ("1"/"on" selects Narrow).
+/// The base and special primes stay at FirstPrimeBits under every
+/// policy: the first prime must hold the output's scale plus precision
+/// headroom, which a 30-bit word cannot.
+enum class PrimeChainWidth { Auto, Wide, Narrow };
+
+/// Resolves \p Width against CHET_NARROW_PRIMES (read once per process).
+bool narrowChainRequested(PrimeChainWidth Width);
+
 /// User-facing compilation options (the "schema" side inputs of Fig. 2).
 struct CompilerOptions {
   SchemeKind Scheme = SchemeKind::RnsCkks;
@@ -49,6 +64,9 @@ struct CompilerOptions {
   ScaleConfig Scales;
   /// Bit size of the base prime q_0 and the special prime.
   int FirstPrimeBits = 60;
+  /// Scale-prime width for the RNS chain (RnsCkks only; BigCkks manages
+  /// its own single large modulus).
+  PrimeChainWidth ChainWidth = PrimeChainWidth::Auto;
   /// Headroom reserved above the output's scale so the result decrypts to
   /// the desired precision (Section 5.2's "output precision").
   int OutputPrecisionBits = 20;

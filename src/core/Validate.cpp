@@ -229,7 +229,13 @@ ValidationReport chet::validateCircuit(const TensorCircuit &Circ,
     return Report;
   }
 
+  // Mirrors compileCircuit's candidate list, including the narrow-chain
+  // scale-prime cap, so diagnostics describe the chain that would be
+  // built.
   int ScaleBits = detail::scalePrimeBits(Options.Scales);
+  if (Options.Scheme == SchemeKind::RnsCkks &&
+      narrowChainRequested(Options.ChainWidth))
+    ScaleBits = std::min(ScaleBits, kNarrowPrimeBits);
   std::vector<uint64_t> Chain =
       RnsCkksParams::candidateChain(65, Options.FirstPrimeBits, ScaleBits);
   std::vector<uint64_t> ScaleCandidates(Chain.begin() + 1, Chain.end());

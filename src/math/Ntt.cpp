@@ -6,7 +6,43 @@
 
 #include "math/Ntt.h"
 
+#include "support/LimbPool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <type_traits>
+
 using namespace chet;
+
+//===----------------------------------------------------------------------===//
+// Kernel-mode toggle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool initVectorizedFromEnv() {
+  const char *Env = std::getenv("CHET_SCALAR_NTT");
+  bool Scalar = Env && (Env[0] == '1' || Env[0] == 't' || Env[0] == 'T' ||
+                        ((Env[0] == 'o' || Env[0] == 'O') &&
+                         (Env[1] == 'n' || Env[1] == 'N')));
+  return !Scalar;
+}
+
+std::atomic<bool> VectorizedNtt{initVectorizedFromEnv()};
+
+} // namespace
+
+bool chet::nttVectorizedEnabled() {
+  return VectorizedNtt.load(std::memory_order_relaxed);
+}
+
+void chet::setNttVectorized(bool Enabled) {
+  VectorizedNtt.store(Enabled, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Galois permutation
+//===----------------------------------------------------------------------===//
 
 std::vector<uint32_t> chet::galoisNttPermutation(int LogN, uint64_t Elt) {
   assert(LogN >= 1 && LogN <= 17 && "transform size out of range");
@@ -24,6 +60,153 @@ std::vector<uint32_t> chet::galoisNttPermutation(int LogN, uint64_t Elt) {
   }
   return Perm;
 }
+
+//===----------------------------------------------------------------------===//
+// Restructured butterfly kernels
+//===----------------------------------------------------------------------===//
+//
+// One template instantiated at uint64_t (wide moduli, 128-bit Shoup
+// products) and uint32_t (narrow moduli, 64-bit Shoup products). The
+// loops are flat and branch-free: conditional corrections are min-style
+// selects, every inner loop walks two contiguous restrict-qualified
+// streams with loop-invariant twiddles, and lazy values (< 4q) flow
+// across stages with the single full reduction fused into the final
+// stage. Both instantiations execute the same exact modular operations
+// as the scalar reference kernels below, so outputs are byte-identical.
+
+namespace {
+
+/// X - Bound if X >= Bound else X, as a branch-free min: when X < Bound
+/// the subtraction wraps above X, so min(X, X - Bound) picks X.
+template <typename W> inline W condSub(W X, W Bound) {
+  W T = X - Bound;
+  return T < X ? T : X;
+}
+
+/// Lazy Shoup multiply in the word width W (result < 2q for inputs in
+/// the lazy domain; see shoupMulModLazy / shoupMulModLazy32).
+template <typename W> inline W mulLazy(W X, W Mul, W Shoup, W Q) {
+  using DW = std::conditional_t<sizeof(W) == 8, unsigned __int128, uint64_t>;
+  W Approx = static_cast<W>((static_cast<DW>(X) * Shoup) >> (8 * sizeof(W)));
+  return X * Mul - Approx * Q;
+}
+
+template <typename W>
+void forwardKernel(W *__restrict Data, const W *__restrict Roots,
+                   const W *__restrict Shoup, W QVal, size_t N) {
+  const W TwoQ = 2 * QVal;
+  size_t T = N >> 1;
+  for (size_t M = 1; T > 1; M <<= 1, T >>= 1) {
+    const W *__restrict WRow = Roots + M;
+    const W *__restrict SRow = Shoup + M;
+    for (size_t I = 0; I < M; ++I) {
+      W *__restrict X = Data + 2 * I * T;
+      W *__restrict Y = X + T;
+      const W Wv = WRow[I];
+      const W Sv = SRow[I];
+      // Two independent butterflies per iteration: the wide Shoup
+      // product is latency-bound, so pairing hides it; T is even in
+      // every non-final stage, so there is no remainder.
+      for (size_t J = 0; J < T; J += 2) {
+        W U0 = condSub(X[J], TwoQ);
+        W U1 = condSub(X[J + 1], TwoQ);
+        W V0 = mulLazy(Y[J], Wv, Sv, QVal);
+        W V1 = mulLazy(Y[J + 1], Wv, Sv, QVal);
+        X[J] = U0 + V0;
+        X[J + 1] = U1 + V1;
+        Y[J] = U0 + TwoQ - V0;
+        Y[J + 1] = U1 + TwoQ - V1;
+      }
+    }
+  }
+  // Final stage (T == 1): per-butterfly twiddles, full reduction fused.
+  const size_t HalfN = N >> 1;
+  const W *__restrict WRow = Roots + HalfN;
+  const W *__restrict SRow = Shoup + HalfN;
+  for (size_t I = 0; I < HalfN; ++I) {
+    W U = condSub(Data[2 * I], TwoQ);
+    W V = mulLazy(Data[2 * I + 1], WRow[I], SRow[I], QVal);
+    Data[2 * I] = condSub(condSub(static_cast<W>(U + V), TwoQ), QVal);
+    Data[2 * I + 1] =
+        condSub(condSub(static_cast<W>(U + TwoQ - V), TwoQ), QVal);
+  }
+}
+
+/// Gentleman-Sande stages from (MStart, TStart) down to (but excluding)
+/// the fused last stage at M == 2. Values stay below 2q.
+template <typename W>
+void inverseMiddleStages(W *__restrict Data, const W *__restrict Roots,
+                         const W *__restrict Shoup, W QVal, size_t MStart,
+                         size_t TStart) {
+  const W TwoQ = 2 * QVal;
+  size_t T = TStart;
+  for (size_t M = MStart; M > 2; M >>= 1, T <<= 1) {
+    const size_t H = M >> 1;
+    const W *__restrict WRow = Roots + H;
+    const W *__restrict SRow = Shoup + H;
+    for (size_t I = 0; I < H; ++I) {
+      W *__restrict X = Data + 2 * I * T;
+      W *__restrict Y = X + T;
+      const W Wv = WRow[I];
+      const W Sv = SRow[I];
+      // Paired butterflies as in forwardKernel; the first stage has
+      // T == 1, hence the scalar remainder.
+      size_t J = 0;
+      for (; J + 2 <= T; J += 2) {
+        W U0 = X[J];
+        W U1 = X[J + 1];
+        W V0 = Y[J];
+        W V1 = Y[J + 1];
+        X[J] = condSub(static_cast<W>(U0 + V0), TwoQ);
+        X[J + 1] = condSub(static_cast<W>(U1 + V1), TwoQ);
+        Y[J] = mulLazy(static_cast<W>(U0 + TwoQ - V0), Wv, Sv, QVal);
+        Y[J + 1] = mulLazy(static_cast<W>(U1 + TwoQ - V1), Wv, Sv, QVal);
+      }
+      for (; J < T; ++J) {
+        W U = X[J];
+        W V = Y[J];
+        X[J] = condSub(static_cast<W>(U + V), TwoQ);
+        Y[J] = mulLazy(static_cast<W>(U + TwoQ - V), Wv, Sv, QVal);
+      }
+    }
+  }
+}
+
+/// Last stage (M == 2), fused with the N^{-1} scaling and full reduction
+/// exactly like the scalar reference: both operands are first reduced to
+/// [0, q) (two conditional subtractions cover the < 4q lazy range -- the
+/// same value Barrett reduction yields), then Shoup-multiplied by the
+/// precomposed constants.
+template <typename W>
+void inverseLastStage(W *__restrict Data, W QVal, size_t N, W NInv,
+                      W NInvShoup, W WNInv, W WNInvShoup) {
+  const W TwoQ = 2 * QVal;
+  const size_t HalfN = N >> 1;
+  W *__restrict X = Data;
+  W *__restrict Y = Data + HalfN;
+  for (size_t J = 0; J < HalfN; ++J) {
+    W U = X[J];
+    W V = Y[J];
+    W S0 = condSub(condSub(static_cast<W>(U + V), TwoQ), QVal);
+    W S1 = condSub(condSub(static_cast<W>(U + TwoQ - V), TwoQ), QVal);
+    X[J] = condSub(mulLazy(S0, NInv, NInvShoup, QVal), QVal);
+    Y[J] = condSub(mulLazy(S1, WNInv, WNInvShoup, QVal), QVal);
+  }
+}
+
+template <typename W>
+void inverseKernel(W *__restrict Data, const W *__restrict Roots,
+                   const W *__restrict Shoup, W QVal, size_t N, W NInv,
+                   W NInvShoup, W WNInv, W WNInvShoup) {
+  inverseMiddleStages(Data, Roots, Shoup, QVal, N, size_t(1));
+  inverseLastStage(Data, QVal, N, NInv, NInvShoup, WNInv, WNInvShoup);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Table construction
+//===----------------------------------------------------------------------===//
 
 NttTables::NttTables(int LogNIn, const Modulus &QIn)
     : LogN(LogNIn), N(size_t(1) << LogNIn), Q(QIn) {
@@ -63,9 +246,32 @@ NttTables::NttTables(int LogNIn, const Modulus &QIn)
   // stage produce fully reduced, scaled outputs directly.
   WNInv = Q.mulMod(InvRootPowers[1], NInv);
   WNInvShoup = shoupPrecompute(WNInv, Q.value());
+
+  Narrow = isNarrowModulus(Q.value());
+  if (Narrow) {
+    const uint32_t Q32 = static_cast<uint32_t>(Q.value());
+    RootPowers32.resize(N);
+    RootPowersShoup32.resize(N);
+    InvRootPowers32.resize(N);
+    InvRootPowersShoup32.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      RootPowers32[I] = static_cast<uint32_t>(RootPowers[I]);
+      RootPowersShoup32[I] = shoupPrecompute32(RootPowers32[I], Q32);
+      InvRootPowers32[I] = static_cast<uint32_t>(InvRootPowers[I]);
+      InvRootPowersShoup32[I] = shoupPrecompute32(InvRootPowers32[I], Q32);
+    }
+    NInv32 = static_cast<uint32_t>(NInv);
+    NInvShoup32 = shoupPrecompute32(NInv32, Q32);
+    WNInv32 = static_cast<uint32_t>(WNInv);
+    WNInvShoup32 = shoupPrecompute32(WNInv32, Q32);
+  }
 }
 
-void NttTables::forward(uint64_t *Data) const {
+//===----------------------------------------------------------------------===//
+// Scalar reference kernels (byte-identity oracle)
+//===----------------------------------------------------------------------===//
+
+void NttTables::forwardScalar(uint64_t *Data) const {
   // Longa-Naehrig Algorithm 1 (Cooley-Tukey, decimation in time), with lazy
   // butterflies keeping values below 4q. The final full reduction is fused
   // into the last butterfly stage (M = N/2, T = 1) instead of running as a
@@ -115,7 +321,7 @@ void NttTables::forward(uint64_t *Data) const {
   }
 }
 
-void NttTables::inverse(uint64_t *Data) const {
+void NttTables::inverseScalar(uint64_t *Data) const {
   // Longa-Naehrig Algorithm 2 (Gentleman-Sande, decimation in frequency).
   // The N^{-1} scaling / full-reduction pass is fused into the last stage
   // (M = 2), whose single twiddle InvRootPowers[1] is precomposed with
@@ -151,4 +357,210 @@ void NttTables::inverse(uint64_t *Data) const {
     Data[J + HalfN] =
         shoupMulMod(Q.reduce(U + TwoQ - V), WNInv, WNInvShoup, QVal);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Public transforms
+//===----------------------------------------------------------------------===//
+
+void NttTables::forward32(uint32_t *Data) const {
+  assert(Narrow && "packed transform requires a narrow modulus");
+  forwardKernel(Data, RootPowers32.data(), RootPowersShoup32.data(),
+                static_cast<uint32_t>(Q.value()), N);
+}
+
+void NttTables::inverse32(uint32_t *Data) const {
+  assert(Narrow && "packed transform requires a narrow modulus");
+  inverseKernel(Data, InvRootPowers32.data(), InvRootPowersShoup32.data(),
+                static_cast<uint32_t>(Q.value()), N, NInv32, NInvShoup32,
+                WNInv32, WNInvShoup32);
+}
+
+void NttTables::forward(uint64_t *Data) const {
+  if (!nttVectorizedEnabled()) {
+    forwardScalar(Data);
+    return;
+  }
+  if (Narrow) {
+    // Two streaming pack/unpack passes buy logN butterfly passes at half
+    // the bandwidth and quarter the multiply cost; scratch comes from
+    // the limb pool, so steady state allocates nothing.
+    PooledScratch<uint32_t> Scratch(N);
+    uint32_t *P = Scratch.data();
+    for (size_t I = 0; I < N; ++I)
+      P[I] = static_cast<uint32_t>(Data[I]);
+    forward32(P);
+    for (size_t I = 0; I < N; ++I)
+      Data[I] = P[I];
+    return;
+  }
+  forwardKernel(Data, RootPowers.data(), RootPowersShoup.data(), Q.value(),
+                N);
+}
+
+void NttTables::inverse(uint64_t *Data) const {
+  if (!nttVectorizedEnabled()) {
+    inverseScalar(Data);
+    return;
+  }
+  if (Narrow) {
+    PooledScratch<uint32_t> Scratch(N);
+    uint32_t *P = Scratch.data();
+    for (size_t I = 0; I < N; ++I)
+      P[I] = static_cast<uint32_t>(Data[I]);
+    inverse32(P);
+    for (size_t I = 0; I < N; ++I)
+      Data[I] = P[I];
+    return;
+  }
+  inverseKernel(Data, InvRootPowers.data(), InvRootPowersShoup.data(),
+                Q.value(), N, NInv, NInvShoup, WNInv, WNInvShoup);
+}
+
+void NttTables::pointwiseMulInverse(uint64_t *Out, const uint64_t *A,
+                                    const uint64_t *B) const {
+  // Reference shape: the eager product loop followed by the inverse
+  // transform -- also the fallback when the first Gentleman-Sande stage
+  // is the (specially handled) last one.
+  if (!nttVectorizedEnabled() || N < 4) {
+    for (size_t K = 0; K < N; ++K)
+      Out[K] = Q.mulMod(A[K], B[K]);
+    if (nttVectorizedEnabled())
+      inverse(Out);
+    else
+      inverseScalar(Out);
+    return;
+  }
+  const size_t HalfN = N >> 1;
+  if (Narrow) {
+    // Products of two < 2^30 words fit one 64-bit Barrett reduction.
+    const uint32_t Q32 = static_cast<uint32_t>(Q.value());
+    const uint32_t TwoQ = 2 * Q32;
+    PooledScratch<uint32_t> Scratch(N);
+    uint32_t *__restrict D = Scratch.data();
+    const uint32_t *__restrict WRow = InvRootPowers32.data() + HalfN;
+    const uint32_t *__restrict SRow = InvRootPowersShoup32.data() + HalfN;
+    for (size_t I = 0; I < HalfN; ++I) {
+      uint32_t U = static_cast<uint32_t>(Q.reduce(A[2 * I] * B[2 * I]));
+      uint32_t V =
+          static_cast<uint32_t>(Q.reduce(A[2 * I + 1] * B[2 * I + 1]));
+      D[2 * I] = condSub(static_cast<uint32_t>(U + V), TwoQ);
+      D[2 * I + 1] = mulLazy(static_cast<uint32_t>(U + TwoQ - V), WRow[I],
+                             SRow[I], Q32);
+    }
+    inverseMiddleStages(D, InvRootPowers32.data(),
+                        InvRootPowersShoup32.data(), Q32, HalfN, size_t(2));
+    inverseLastStage(D, Q32, N, NInv32, NInvShoup32, WNInv32, WNInvShoup32);
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = D[I];
+    return;
+  }
+  const uint64_t QVal = Q.value();
+  const uint64_t TwoQ = 2 * QVal;
+  uint64_t *__restrict D = Out;
+  const uint64_t *__restrict WRow = InvRootPowers.data() + HalfN;
+  const uint64_t *__restrict SRow = InvRootPowersShoup.data() + HalfN;
+  for (size_t I = 0; I < HalfN; ++I) {
+    uint64_t U = Q.mulMod(A[2 * I], B[2 * I]);
+    uint64_t V = Q.mulMod(A[2 * I + 1], B[2 * I + 1]);
+    D[2 * I] = condSub(U + V, TwoQ);
+    D[2 * I + 1] = mulLazy(U + TwoQ - V, WRow[I], SRow[I], QVal);
+  }
+  inverseMiddleStages(D, InvRootPowers.data(), InvRootPowersShoup.data(),
+                      QVal, HalfN, size_t(2));
+  inverseLastStage(D, QVal, N, NInv, NInvShoup, WNInv, WNInvShoup);
+}
+
+//===----------------------------------------------------------------------===//
+// Test instrumentation: lazy-domain word bounds
+//===----------------------------------------------------------------------===//
+
+uint64_t NttTables::forwardMaxLazy(uint64_t *Data) const {
+  // The scalar reference loops with every lazily reduced value recorded:
+  // the claim under test is that all of them stay below 4q (so the
+  // narrow instantiation never leaves 32 bits).
+  const uint64_t QVal = Q.value();
+  const uint64_t TwoQ = 2 * QVal;
+  uint64_t Max = 0;
+  auto Track = [&Max](uint64_t V) {
+    if (V > Max)
+      Max = V;
+    return V;
+  };
+  size_t T = N;
+  for (size_t M = 1; M < N; M <<= 1) {
+    T >>= 1;
+    if (T == 1)
+      break;
+    for (size_t I = 0; I < M; ++I) {
+      size_t J1 = 2 * I * T;
+      uint64_t W = RootPowers[M + I];
+      uint64_t WShoup = RootPowersShoup[M + I];
+      for (size_t J = J1; J < J1 + T; ++J) {
+        uint64_t U = Track(Data[J]);
+        if (U >= TwoQ)
+          U -= TwoQ;
+        uint64_t V = shoupMulModLazy(Track(Data[J + T]), W, WShoup, QVal);
+        Data[J] = Track(U + V);
+        Data[J + T] = Track(U + TwoQ - V);
+      }
+    }
+  }
+  const size_t HalfN = N >> 1;
+  for (size_t I = 0; I < HalfN; ++I) {
+    uint64_t W = RootPowers[HalfN + I];
+    uint64_t WShoup = RootPowersShoup[HalfN + I];
+    uint64_t U = Track(Data[2 * I]);
+    if (U >= TwoQ)
+      U -= TwoQ;
+    uint64_t V = shoupMulModLazy(Track(Data[2 * I + 1]), W, WShoup, QVal);
+    uint64_t X0 = Track(U + V);
+    uint64_t X1 = Track(U + TwoQ - V);
+    Data[2 * I] = Q.reduce(X0);
+    Data[2 * I + 1] = Q.reduce(X1);
+  }
+  return Max;
+}
+
+uint64_t NttTables::inverseMaxLazy(uint64_t *Data) const {
+  const uint64_t QVal = Q.value();
+  const uint64_t TwoQ = 2 * QVal;
+  uint64_t Max = 0;
+  auto Track = [&Max](uint64_t V) {
+    if (V > Max)
+      Max = V;
+    return V;
+  };
+  size_t T = 1;
+  for (size_t M = N; M > 2; M >>= 1) {
+    size_t J1 = 0;
+    size_t H = M >> 1;
+    for (size_t I = 0; I < H; ++I) {
+      uint64_t W = InvRootPowers[H + I];
+      uint64_t WShoup = InvRootPowersShoup[H + I];
+      for (size_t J = J1; J < J1 + T; ++J) {
+        uint64_t U = Data[J];
+        uint64_t V = Data[J + T];
+        uint64_t Sum = Track(U + V);
+        if (Sum >= TwoQ)
+          Sum -= TwoQ;
+        Data[J] = Track(Sum);
+        Data[J + T] =
+            Track(shoupMulModLazy(Track(U + TwoQ - V), W, WShoup, QVal));
+      }
+      J1 += 2 * T;
+    }
+    T <<= 1;
+  }
+  const size_t HalfN = N >> 1;
+  for (size_t J = 0; J < HalfN; ++J) {
+    uint64_t U = Data[J];
+    uint64_t V = Data[J + HalfN];
+    Track(U + V);
+    Track(U + TwoQ - V);
+    Data[J] = shoupMulMod(Q.reduce(U + V), NInv, NInvShoup, QVal);
+    Data[J + HalfN] =
+        shoupMulMod(Q.reduce(U + TwoQ - V), WNInv, WNInvShoup, QVal);
+  }
+  return Max;
 }

@@ -12,6 +12,21 @@
 /// 2N-th root of unity, in bit-reversed order; pointwise multiplication in
 /// that domain realizes multiplication modulo X^N + 1.
 ///
+/// Two kernel generations coexist (DESIGN.md section 5i):
+///
+///  - the scalar reference kernels (forwardScalar / inverseScalar), kept
+///    verbatim from the original implementation as the byte-identity
+///    oracle, and
+///  - restructured flat, branch-free butterfly kernels with restrict-
+///    qualified pointers and lazy reduction carried across stages, written
+///    so clang/gcc auto-vectorize the stride-grouped inner loops. For
+///    narrow moduli (q < 2^30) the same kernels run over packed 32-bit
+///    words, doubling the limbs per cache line.
+///
+/// Both generations compute the identical sequence of exact modular
+/// operations and emit fully reduced outputs, so they are byte-identical;
+/// bench_kernels --check-only and tests/test_ntt.cpp gate on that.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHET_MATH_NTT_H
@@ -19,19 +34,35 @@
 
 #include "math/UIntArith.h"
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
 namespace chet {
 
-/// Reverses the low \p Bits bits of \p X.
-inline uint32_t reverseBits(uint32_t X, int Bits) {
-  uint32_t R = 0;
-  for (int I = 0; I < Bits; ++I) {
-    R = (R << 1) | (X & 1);
-    X >>= 1;
+namespace detail {
+/// Bit-reversed bytes, built once at compile time; reverseBits composes
+/// four lookups instead of iterating per bit.
+inline constexpr std::array<uint8_t, 256> kBitRevByte = [] {
+  std::array<uint8_t, 256> Table{};
+  for (int V = 0; V < 256; ++V) {
+    uint8_t R = 0;
+    for (int I = 0; I < 8; ++I)
+      R = static_cast<uint8_t>((R << 1) | ((V >> I) & 1));
+    Table[V] = R;
   }
-  return R;
+  return Table;
+}();
+} // namespace detail
+
+/// Reverses the low \p Bits bits of \p X (upper bits of X are ignored).
+inline uint32_t reverseBits(uint32_t X, int Bits) {
+  const auto &T = detail::kBitRevByte;
+  uint32_t R = (uint32_t(T[X & 0xff]) << 24) |
+               (uint32_t(T[(X >> 8) & 0xff]) << 16) |
+               (uint32_t(T[(X >> 16) & 0xff]) << 8) |
+               uint32_t(T[(X >> 24) & 0xff]);
+  return Bits > 0 ? R >> (32 - Bits) : 0;
 }
 
 /// Builds the index permutation realizing the Galois automorphism
@@ -44,6 +75,14 @@ inline uint32_t reverseBits(uint32_t X, int Bits) {
 /// is bit-exact against transforming sigma_Elt of the coefficient vector.
 /// \p Elt must be odd (a unit modulo 2N).
 std::vector<uint32_t> galoisNttPermutation(int LogN, uint64_t Elt);
+
+/// True when forward()/inverse() dispatch to the restructured
+/// (auto-vectorizable) kernels; false forces the scalar reference
+/// kernels everywhere. Initialized from the CHET_SCALAR_NTT environment
+/// variable ("1"/"on" selects the scalar reference) and process-global,
+/// mirroring the CHET_LIMB_POOL toggle.
+bool nttVectorizedEnabled();
+void setNttVectorized(bool Enabled);
 
 /// Precomputed twiddle tables for one (N, q) pair. Instances are immutable
 /// after construction and safe to share.
@@ -60,18 +99,52 @@ public:
   /// Returns the primitive 2N-th root of unity psi used by this table.
   uint64_t psi() const { return Psi; }
 
-  /// In-place forward negacyclic NTT. Input in natural coefficient order;
-  /// output in bit-reversed evaluation order. Values fully reduced.
+  /// True when q < 2^30 and the packed 32-bit kernels are in play.
+  bool narrow() const { return Narrow; }
+
+  /// In-place forward negacyclic NTT. Input in natural coefficient order
+  /// with values in the lazy domain [0, 4q) -- all in-repo callers pass
+  /// fully reduced words; output in bit-reversed evaluation order, fully
+  /// reduced.
   void forward(uint64_t *Data) const;
 
-  /// In-place inverse of forward(). Output fully reduced.
+  /// In-place inverse of forward(). Input fully reduced; output fully
+  /// reduced.
   void inverse(uint64_t *Data) const;
+
+  /// Scalar reference kernels: the original butterfly loops, preserved
+  /// verbatim as the byte-identity oracle for the restructured paths.
+  void forwardScalar(uint64_t *Data) const;
+  void inverseScalar(uint64_t *Data) const;
+
+  /// Packed narrow-word transforms over 32-bit limbs (requires narrow()).
+  /// Same contracts as forward()/inverse(); bench_kernels uses these to
+  /// measure the cache-density half of the narrow-prime win.
+  void forward32(uint32_t *Data) const;
+  void inverse32(uint32_t *Data) const;
+
+  /// Fused pointwise-multiply + inverse transform: Out = INTT(A .* B)
+  /// with the elementwise product folded into the first Gentleman-Sande
+  /// stage, saving one full read-modify-write pass over Out. A and B are
+  /// fully reduced forward-NTT outputs; Out must not alias either input.
+  /// Byte-identical to mulMod-then-inverse (all operations are exact).
+  void pointwiseMulInverse(uint64_t *Out, const uint64_t *A,
+                           const uint64_t *B) const;
+
+  /// Test instrumentation: run the transform while recording the largest
+  /// lazily reduced intermediate, returning that maximum. The transform
+  /// result matches forward()/inverse(). tests/test_ntt.cpp checks the
+  /// documented word bounds (< 4q forward, < 2q inverse stores) under
+  /// UBSan; not a hot path.
+  uint64_t forwardMaxLazy(uint64_t *Data) const;
+  uint64_t inverseMaxLazy(uint64_t *Data) const;
 
 private:
   int LogN;
   size_t N;
   Modulus Q;
   uint64_t Psi;
+  bool Narrow = false;
   uint64_t NInv;       ///< N^{-1} mod q.
   uint64_t NInvShoup;
   uint64_t WNInv;      ///< InvRootPowers[1] * N^{-1} mod q (fused last stage).
@@ -80,6 +153,16 @@ private:
   std::vector<uint64_t> RootPowersShoup;
   std::vector<uint64_t> InvRootPowers;   ///< psi^{-bitrev(i)}.
   std::vector<uint64_t> InvRootPowersShoup;
+  /// Narrow-word mirrors (only populated when Narrow): same twiddles with
+  /// 32-bit Shoup constants floor(W * 2^32 / q).
+  std::vector<uint32_t> RootPowers32;
+  std::vector<uint32_t> RootPowersShoup32;
+  std::vector<uint32_t> InvRootPowers32;
+  std::vector<uint32_t> InvRootPowersShoup32;
+  uint32_t NInv32 = 0;
+  uint32_t NInvShoup32 = 0;
+  uint32_t WNInv32 = 0;
+  uint32_t WNInvShoup32 = 0;
 };
 
 } // namespace chet

@@ -105,6 +105,47 @@ inline uint64_t shoupMulModLazy(uint64_t X, uint64_t W, uint64_t WShoup,
   return X * W - Approx * Q;
 }
 
+//===--------------------------------------------------------------------===//
+// Narrow-word (<= 32-bit) primitives
+//===--------------------------------------------------------------------===//
+//
+// The vectorized NTT path keeps lazily reduced values below 4q across
+// butterfly stages, so a modulus below 2^30 bounds every intermediate by
+// 2^32: one RNS limb fits a 32-bit word, doubling the limbs per cache
+// line, and the Shoup butterfly needs only 32x32->64 products -- the
+// shape auto-vectorizers turn into vpmuludq -- instead of the 64x64->128
+// ladder the wide path pays.
+
+/// Largest modulus width eligible for the narrow-word kernels.
+inline constexpr int kNarrowPrimeBits = 30;
+inline constexpr uint64_t kNarrowPrimeBound = uint64_t(1) << kNarrowPrimeBits;
+
+/// True when \p Q fits the narrow-word lazy domain (4q < 2^32).
+inline bool isNarrowModulus(uint64_t Q) { return Q < kNarrowPrimeBound; }
+
+/// Narrow Shoup constant floor(W * 2^32 / Q); fits 32 bits for W < Q.
+inline uint32_t shoupPrecompute32(uint32_t W, uint32_t Q) {
+  return static_cast<uint32_t>((static_cast<uint64_t>(W) << 32) / Q);
+}
+
+/// Narrow lazy Shoup multiplication: congruent to X*W mod Q, in [0, 2Q),
+/// for ANY 32-bit X: with WShoup = floor(W*2^32/Q) the quotient estimate
+/// floor(X*WShoup/2^32) undershoots the true quotient by less than
+/// 1 + X/2^32 < 2 steps, so the remainder stays below 2Q.
+inline uint32_t shoupMulModLazy32(uint32_t X, uint32_t W, uint32_t WShoup,
+                                  uint32_t Q) {
+  uint32_t Approx =
+      static_cast<uint32_t>((static_cast<uint64_t>(X) * WShoup) >> 32);
+  return X * W - Approx * Q;
+}
+
+/// Fully reduced narrow Shoup multiplication; X may be any 32-bit value.
+inline uint32_t shoupMulMod32(uint32_t X, uint32_t W, uint32_t WShoup,
+                              uint32_t Q) {
+  uint32_t R = shoupMulModLazy32(X, W, WShoup, Q);
+  return R >= Q ? R - Q : R;
+}
+
 /// Returns Base^Exp mod Q by square-and-multiply.
 uint64_t powMod(uint64_t Base, uint64_t Exp, const Modulus &Q);
 

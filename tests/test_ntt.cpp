@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 using namespace chet;
@@ -123,6 +124,165 @@ TEST(Ntt, MultiplicationByXShiftsNegacyclically) {
   for (size_t I = 1; I < N; ++I)
     EXPECT_EQ(AHat[I], A[I - 1]);
 }
+
+TEST(Ntt, ReverseBitsMatchesBitLoop) {
+  auto Reference = [](uint32_t X, int Bits) {
+    uint32_t R = 0;
+    for (int I = 0; I < Bits; ++I) {
+      R = (R << 1) | (X & 1);
+      X >>= 1;
+    }
+    return R;
+  };
+  Prng Rng(31);
+  for (int Bits = 0; Bits <= 17; ++Bits)
+    for (int Trial = 0; Trial < 64; ++Trial) {
+      uint32_t X = static_cast<uint32_t>(Rng.nextBounded(uint64_t(1) << 20));
+      EXPECT_EQ(reverseBits(X, Bits), Reference(X, Bits))
+          << "x=" << X << " bits=" << Bits;
+    }
+  EXPECT_EQ(reverseBits(1u, 32), 0x80000000u);
+}
+
+/// Restores the process-global kernel mode on scope exit so a failing
+/// assertion cannot leak scalar mode into later tests.
+struct VectorizedGuard {
+  bool Was = nttVectorizedEnabled();
+  ~VectorizedGuard() { setNttVectorized(Was); }
+};
+
+/// (LogN, prime bits): every table size the repo uses, at the wide
+/// reference width and inside the narrow packed-kernel domain.
+class NttWidthTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NttWidthTest, VectorizedMatchesScalarReferenceByteForByte) {
+  auto [LogN, Bits] = GetParam();
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(Bits, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  EXPECT_EQ(Tables.narrow(), Bits <= kNarrowPrimeBits);
+  VectorizedGuard Guard;
+  Prng Rng(300 + LogN + Bits);
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    std::vector<uint64_t> A(N);
+    for (size_t I = 0; I < N; ++I)
+      A[I] = Rng.nextBounded(Prime);
+    std::vector<uint64_t> Vec = A, Ref = A;
+
+    setNttVectorized(true);
+    Tables.forward(Vec.data());
+    setNttVectorized(false);
+    Tables.forwardScalar(Ref.data());
+    ASSERT_EQ(Vec, Ref) << "forward diverged (logN=" << LogN
+                        << " bits=" << Bits << ")";
+
+    setNttVectorized(true);
+    Tables.inverse(Vec.data());
+    Tables.inverseScalar(Ref.data());
+    ASSERT_EQ(Vec, Ref) << "inverse diverged (logN=" << LogN
+                        << " bits=" << Bits << ")";
+    ASSERT_EQ(Vec, A) << "round trip broke";
+  }
+}
+
+TEST_P(NttWidthTest, FusedPointwiseMulInverseMatchesEagerReference) {
+  auto [LogN, Bits] = GetParam();
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(Bits, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  VectorizedGuard Guard;
+  Prng Rng(400 + LogN + Bits);
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    std::vector<uint64_t> A(N), B(N);
+    for (size_t I = 0; I < N; ++I) {
+      A[I] = Rng.nextBounded(Prime);
+      B[I] = Rng.nextBounded(Prime);
+    }
+    // Fully reduced forward-domain operands, as mulAssign presents them.
+    setNttVectorized(true);
+    Tables.forward(A.data());
+    Tables.forward(B.data());
+
+    std::vector<uint64_t> Ref(N);
+    for (size_t I = 0; I < N; ++I)
+      Ref[I] = Q.mulMod(A[I], B[I]);
+    setNttVectorized(false);
+    Tables.inverseScalar(Ref.data());
+
+    for (bool Vectorized : {true, false}) {
+      setNttVectorized(Vectorized);
+      std::vector<uint64_t> Out(N, ~uint64_t(0));
+      Tables.pointwiseMulInverse(Out.data(), A.data(), B.data());
+      ASSERT_EQ(Out, Ref) << "fused kernel diverged (logN=" << LogN
+                          << " bits=" << Bits << " vectorized="
+                          << Vectorized << ")";
+    }
+  }
+}
+
+TEST_P(NttWidthTest, PackedTransformsMatchWordTransforms) {
+  auto [LogN, Bits] = GetParam();
+  if (Bits > kNarrowPrimeBits)
+    GTEST_SKIP() << "packed kernels exist only for narrow moduli";
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(Bits, LogN, 1)[0];
+  NttTables Tables(LogN, Modulus(Prime));
+  VectorizedGuard Guard;
+  setNttVectorized(true);
+  Prng Rng(500 + LogN);
+  std::vector<uint64_t> Wide(N);
+  std::vector<uint32_t> Packed(N);
+  for (size_t I = 0; I < N; ++I) {
+    Wide[I] = Rng.nextBounded(Prime);
+    Packed[I] = static_cast<uint32_t>(Wide[I]);
+  }
+  Tables.forward(Wide.data());
+  Tables.forward32(Packed.data());
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Wide[I], Packed[I]) << "packed forward diverged at " << I;
+  Tables.inverse(Wide.data());
+  Tables.inverse32(Packed.data());
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Wide[I], Packed[I]) << "packed inverse diverged at " << I;
+}
+
+TEST_P(NttWidthTest, LazyIntermediatesStayBelowFourQ) {
+  auto [LogN, Bits] = GetParam();
+  size_t N = size_t(1) << LogN;
+  uint64_t Prime = generateNttPrimes(Bits, LogN, 1)[0];
+  Modulus Q(Prime);
+  NttTables Tables(LogN, Q);
+  const uint64_t FourQ = 4 * Prime;
+  Prng Rng(600 + LogN + Bits);
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    std::vector<uint64_t> A(N);
+    for (size_t I = 0; I < N; ++I)
+      A[I] = Rng.nextBounded(Prime);
+    std::vector<uint64_t> Tracked = A, Plain = A;
+
+    uint64_t FwdMax = Tables.forwardMaxLazy(Tracked.data());
+    Tables.forward(Plain.data());
+    ASSERT_EQ(Tracked, Plain) << "instrumented forward diverged";
+    EXPECT_LT(FwdMax, FourQ)
+        << "forward lazy value escaped 4q (logN=" << LogN << " bits="
+        << Bits << ")";
+
+    uint64_t InvMax = Tables.inverseMaxLazy(Tracked.data());
+    Tables.inverse(Plain.data());
+    ASSERT_EQ(Tracked, Plain) << "instrumented inverse diverged";
+    EXPECT_LT(InvMax, FourQ)
+        << "inverse lazy value escaped 4q (logN=" << LogN << " bits="
+        << Bits << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWidths, NttWidthTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8, 10, 12, 13),
+                       ::testing::Values(60, 30)));
 
 TEST(Ntt, DifferentPrimesIndependent) {
   int LogN = 6;
