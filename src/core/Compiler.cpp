@@ -6,6 +6,7 @@
 
 #include "core/Compiler.h"
 
+#include "core/FootprintAnalysis.h"
 #include "core/NoiseAnalysis.h"
 #include "core/Validate.h"
 #include "core/Verifier.h"
@@ -266,6 +267,12 @@ CompiledCircuit chet::compileCircuit(const TensorCircuit &Circ,
           "the static worst-case output error ", NR.ErrorBound,
           " exceeds the requested precision ", Options.MaxOutputError,
           "; ", NR.str()));
+  }
+
+  if (Options.StaticFootprintAnalysis) {
+    FootprintAnalysisOptions FOpts;
+    FOpts.Threads = Options.FootprintThreads;
+    Result.Footprint = analyzeFootprint(Circ, Result, FOpts).summary();
   }
   return Result;
 }

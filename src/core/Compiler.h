@@ -98,6 +98,14 @@ struct CompilerOptions {
   /// compilation fails with a typed PrecisionBound error naming the
   /// hottest layers. Zero keeps the analysis report-only.
   double MaxOutputError = 0;
+  /// Run the static peak-footprint analysis (FootprintAnalysis.h) over
+  /// the compiled artifact and record its bound on
+  /// CompiledCircuit::Footprint. Servers use the bound to reserve
+  /// memory before dispatch (support/MemoryGovernor.h).
+  bool StaticFootprintAnalysis = true;
+  /// Worst-case concurrent kernel lanes the footprint analysis models
+  /// (each lane holds its own pooled scratch).
+  unsigned FootprintThreads = 8;
 };
 
 /// Per-policy analysis record, kept for reporting (Tables 5/6, Figure 6).
@@ -136,6 +144,21 @@ struct NoiseSummary {
   double NoiseBound = 0;   ///< RLWE noise share.
 };
 
+/// Headline numbers of the static peak-footprint analysis, recorded on
+/// the compiled artifact (the full per-layer report is analyzeFootprint
+/// in FootprintAnalysis.h). PeakBytes is a worst-case bound on the
+/// bytes one inference of this circuit holds live at once -- value-table
+/// ciphertexts plus kernel scratch and transient copies -- sized from
+/// the scheme's actual ring degree and per-level limb counts.
+struct FootprintSummary {
+  bool Analyzed = false;
+  uint64_t PeakBytes = 0;       ///< InputBytes + live + scratch + transient.
+  uint64_t PeakLiveCtBytes = 0; ///< Value-table share of the peak.
+  uint64_t PeakScratchBytes = 0; ///< Pooled-scratch share of the peak.
+  uint64_t InputBytes = 0;      ///< Encrypted input (live throughout).
+  uint64_t OutputBytes = 0;     ///< Encrypted output.
+};
+
 /// The compiler's output artifact.
 struct CompiledCircuit {
   SchemeKind Scheme = SchemeKind::RnsCkks;
@@ -156,6 +179,8 @@ struct CompiledCircuit {
   std::vector<VerifierDiagnostic> Warnings;
   /// Static precision bound (CompilerOptions::StaticNoiseAnalysis).
   NoiseSummary Noise;
+  /// Static memory bound (CompilerOptions::StaticFootprintAnalysis).
+  FootprintSummary Footprint;
 };
 
 /// Runs passes 1-3. Throws ChetError(InfeasibleCircuit) -- whose message

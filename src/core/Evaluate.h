@@ -201,6 +201,16 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
   if (PtCache)
     PtCache->noteScales(S);
 
+  // Last consumer of each value, so dead entries are released as soon as
+  // evaluation passes them: the live frontier -- not the whole table --
+  // bounds peak memory, matching the static footprint analysis' model
+  // (core/FootprintAnalysis.h). Values are plain data, so early release
+  // cannot change any computed byte.
+  std::vector<int> LastUse(Ops.size(), -1);
+  for (const OpNode &Node : Ops)
+    for (int In : Node.Inputs)
+      LastUse[In] = std::max(LastUse[In], Node.Id);
+
   for (const OpNode &Node : Ops) {
     checkActiveDeadline("node boundary");
     if (Node.Kind == OpKind::Output) {
@@ -210,6 +220,9 @@ CipherTensor<B> evaluateCircuit(B &Backend, const TensorCircuit &Circ,
     }
     detail::evaluateNode(Backend, Node, Vals, NeedsMask, Input, S, Policy,
                          FcAlg, PtCache);
+    for (int J = 0; J <= Node.Id; ++J)
+      if (Vals[J] && LastUse[J] <= Node.Id)
+        Vals[J].reset();
   }
   // A well-formed circuit ends in an Output node.
   throw InvalidArgumentError("circuit has no output node");

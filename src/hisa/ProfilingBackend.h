@@ -27,6 +27,7 @@
 
 #include "hisa/Hisa.h"
 #include "support/LimbPool.h"
+#include "support/MemoryGovernor.h"
 
 #include <algorithm>
 #include <atomic>
@@ -278,6 +279,22 @@ public:
            << P.Hits << "/" << P.Acquires << "), high-water "
            << double(P.HighWaterBytes) / (1 << 20) << " MB, zero-fill avoided "
            << double(P.BytesZeroFillAvoided) / (1 << 20) << " MB\n";
+    }
+    {
+      auto G = MemoryGovernor::instance().stats();
+      if (G.Reservations != 0 || G.BudgetBytes != 0) {
+        OS << "memory governor: ";
+        if (G.BudgetBytes == 0)
+          OS << "unlimited budget";
+        else
+          OS << std::setprecision(1) << double(G.BudgetBytes) / (1 << 20)
+             << " MB budget";
+        OS << ", high-water " << std::setprecision(1)
+           << double(G.HighWaterBytes) / (1 << 20) << " MB over "
+           << G.Reservations << " reservations, " << G.Reclaims
+           << " reclaims (" << double(G.ReclaimedBytes) / (1 << 20)
+           << " MB freed)\n";
+      }
     }
     uint64_t ManyCalls =
         Counts[detail::PoRotLeftMany].load(std::memory_order_relaxed);

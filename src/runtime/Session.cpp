@@ -487,8 +487,10 @@ std::string SessionReport::str() const {
   OS << " retries=" << NodeRetries << " restarts=" << Restarts << "\n";
   OS << "  checkpoints: taken=" << CheckpointsTaken
      << " restored=" << CheckpointsRestored
-     << " discarded=" << CorruptCheckpointsDiscarded
-     << " bytes=" << CheckpointBytes << "\n";
+     << " discarded=" << CorruptCheckpointsDiscarded;
+  if (CheckpointsPruned > 0)
+    OS << " pruned=" << CheckpointsPruned;
+  OS << " bytes=" << CheckpointBytes << "\n";
   OS << std::fixed << std::setprecision(3);
   OS << "  time(s): eval=" << EvalSeconds
      << " checkpoint=" << CheckpointSeconds << " restore=" << RestoreSeconds

@@ -67,6 +67,7 @@
 #include "runtime/Layout.h"
 #include "support/Deadline.h"
 #include "support/Error.h"
+#include "support/MemoryGovernor.h"
 #include "support/Prng.h"
 #include "support/Timer.h"
 
@@ -280,6 +281,8 @@ struct SessionReport {
   int CheckpointsTaken = 0;
   int CheckpointsRestored = 0;
   int CorruptCheckpointsDiscarded = 0;
+  int CheckpointsPruned = 0; ///< Older checkpoints dropped under memory
+                             ///< pressure (degradation stage 2).
   uint64_t CheckpointBytes = 0; ///< Total bytes written to the store.
   double EvalSeconds = 0;
   double CheckpointSeconds = 0;
@@ -476,6 +479,13 @@ private:
         CtsSinceCkpt += Vals[Node.Id]->Cts.size();
       maybeIntegrityCheck(Node.Id, Vals);
       maybeCheckpoint(Node.Id, Vals);
+      // Release values past their last use: the live frontier -- exactly
+      // the set forEachLive checkpoints -- bounds peak memory, matching
+      // both the static footprint analysis and restore(), which rebuilds
+      // precisely this frontier.
+      for (int J = 0; J <= Node.Id; ++J)
+        if (Vals[J] && LastUse[J] <= Node.Id)
+          Vals[J].reset();
     }
     throw InvalidArgumentError("circuit has no output node");
   }
@@ -500,6 +510,20 @@ private:
         noteFault(E, Node.Id, Node.Label, Attempt);
         if (!E.isTransient() || Attempt >= Cfg.Retry.MaxAttempts)
           throw;
+        ++Report.NodeRetries;
+        backoff(Attempt, Jitter);
+      } catch (const std::bad_alloc &) {
+        // Allocation failure at the HISA boundary: contain it as a typed
+        // transient, shed every droppable byte (caches, pool free
+        // lists), and retry. Operands in Vals are intact (kernels copy
+        // before assigning), so the retry recomputes identical bytes.
+        ResourceExhaustedError E(
+            formatError("allocation failure in node ", Node.Id, " ('",
+                        Node.Label, "'); reclaiming caches and pools"));
+        noteFault(E, Node.Id, Node.Label, Attempt);
+        MemoryGovernor::instance().reclaim();
+        if (Attempt >= Cfg.Retry.MaxAttempts)
+          throw E;
         ++Report.NodeRetries;
         backoff(Attempt, Jitter);
       }
@@ -602,6 +626,16 @@ private:
           Ck.Values.push_back(std::move(CV));
         });
         Cfg.Store->put(Key, K, encodeCheckpoint(Ck));
+        // Degradation stage 2: under memory pressure keep only the
+        // newest checkpoint. Sound -- restore() prefers the newest
+        // intact blob anyway; older ones only add resilience depth
+        // against corruption of the newest.
+        if (MemoryGovernor::instance().underPressure())
+          for (int Old : Cfg.Store->nodeIds(Key))
+            if (Old != K) {
+              Cfg.Store->erase(Key, Old);
+              ++Report.CheckpointsPruned;
+            }
         ++Report.CheckpointsTaken;
         Report.CheckpointBytes += Bytes;
         if (Cts > 0)

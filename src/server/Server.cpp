@@ -159,6 +159,19 @@ std::string ServerReport::str() const {
        << double(Pool.BytesZeroFillAvoided) / (1 << 20) << "MB\n";
     OS.unsetf(std::ios_base::floatfield);
   }
+  if (Governor.BudgetBytes != 0 || Governor.Reservations != 0) {
+    OS << std::fixed << std::setprecision(1) << "  memory governor: budget=";
+    if (Governor.BudgetBytes == 0)
+      OS << "unlimited";
+    else
+      OS << double(Governor.BudgetBytes) / (1 << 20) << "MB";
+    OS << " high-water=" << double(Governor.HighWaterBytes) / (1 << 20)
+       << "MB reservations=" << Governor.Reservations
+       << " failures=" << Governor.Failures
+       << " reclaims=" << Governor.Reclaims << " ("
+       << double(Governor.ReclaimedBytes) / (1 << 20) << "MB freed)\n";
+    OS.unsetf(std::ios_base::floatfield);
+  }
   for (const TenantReport &T : Tenants) {
     OS << "  tenant '" << T.Tenant << "' (epoch " << T.KeyEpoch
        << ", breaker " << breakerStateName(T.Breaker)
@@ -169,13 +182,20 @@ std::string ServerReport::str() const {
        << " breaker=" << T.RejectedBreaker
        << " stale-key=" << T.RejectedStaleKey
        << " shutdown=" << T.RejectedShutdown
-       << " deadline=" << T.RejectedDeadline << "\n"
+       << " deadline=" << T.RejectedDeadline
+       << " memory=" << T.RejectedMemory << "\n"
        << "    recovery: retries=" << T.Retries
        << " restarts=" << T.Restarts
        << " checkpoints=" << T.CheckpointsTaken << "/"
        << T.CheckpointsRestored << " trips=" << T.BreakerTrips
        << " probes=" << T.BreakerProbes
-       << " recoveries=" << T.BreakerRecoveries << "\n";
+       << " recoveries=" << T.BreakerRecoveries;
+    if (T.PeakReservedBytes != 0) {
+      OS << std::fixed << std::setprecision(1) << " peak-reserved="
+         << double(T.PeakReservedBytes) / (1 << 20) << "MB";
+      OS.unsetf(std::ios_base::floatfield);
+    }
+    OS << "\n";
     OS << std::fixed << std::setprecision(3) << "    latency: p50="
        << T.P50LatencySeconds * 1e3 << "ms p99="
        << T.P99LatencySeconds * 1e3 << "ms\n";

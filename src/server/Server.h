@@ -21,6 +21,22 @@
 ///                           is shed newest-first (the arriving request is
 ///                           the one rejected).
 ///   - TenantThrottled    -- the tenant's seeded token bucket is empty.
+///   - ResourceExhausted  -- with a memory budget configured, the
+///                           tenant's predicted peak footprint can never
+///                           fit the budget, or the governor is under
+///                           pressure with a deep queue (shed
+///                           newest-first, like overload).
+///
+/// Memory governance: when ServerConfig::MemoryBudgetBytes is set the
+/// process-wide MemoryGovernor is given that budget, and tenants that
+/// registered a PredictedPeakBytes (from the compiler's static footprint
+/// analysis) reserve it for the duration of each dispatched request.
+/// Dispatch skips queued requests that do not currently fit -- other
+/// tenants' fitting requests pass them -- and under pressure the
+/// degradation order is: evict plaintext caches, trim limb pools, shrink
+/// checkpoint retention, then shed newest submissions. Every admitted
+/// request still completes byte-identically; the budget changes *when*
+/// work runs, never *what* it computes.
 ///
 /// Fault isolation: each tenant runs at most one request at a time (serial
 /// FIFO per tenant), so a misbehaving tenant can hold at most one worker
@@ -62,6 +78,7 @@
 #include "runtime/PlaintextCache.h"
 #include "runtime/Session.h"
 #include "support/LimbPool.h"
+#include "support/MemoryGovernor.h"
 #include "support/Prng.h"
 
 #include <algorithm>
@@ -264,6 +281,11 @@ struct TenantReport {
   uint64_t RejectedStaleKey = 0;
   uint64_t RejectedShutdown = 0;
   uint64_t RejectedDeadline = 0;
+  /// Memory-budget rejections (predicted footprint can never fit, or
+  /// shed while the governor was under pressure).
+  uint64_t RejectedMemory = 0;
+  /// Largest footprint reservation this tenant held at once.
+  uint64_t PeakReservedBytes = 0;
   uint64_t Retries = 0;  ///< Session in-place transient retries.
   uint64_t Restarts = 0; ///< Session rollbacks (restore / restart).
   uint64_t CheckpointsTaken = 0;
@@ -277,7 +299,8 @@ struct TenantReport {
 
   uint64_t rejected() const {
     return RejectedOverload + RejectedThrottled + RejectedBreaker +
-           RejectedStaleKey + RejectedShutdown + RejectedDeadline;
+           RejectedStaleKey + RejectedShutdown + RejectedDeadline +
+           RejectedMemory;
   }
 };
 
@@ -302,6 +325,10 @@ struct ServerReport {
   /// Process-wide limb-pool snapshot at report time: how much allocator
   /// churn the inference lanes produced (see support/LimbPool.h).
   LimbPool::Stats Pool;
+  /// Process-wide memory-governor snapshot at report time: budget,
+  /// reservation high-water, and reclaim activity
+  /// (see support/MemoryGovernor.h).
+  MemoryGovernorStats Governor;
 
   /// Human-readable multi-line rendering.
   std::string str() const;
@@ -341,6 +368,12 @@ struct ServerConfig {
   int IntegrityCheckEveryNodes = 0;
   /// Share one EncodedPlaintextCache per tenant across its requests.
   bool UsePlaintextCache = true;
+  /// > 0: installs this budget on the process-wide MemoryGovernor at
+  /// construction. Tenants with a PredictedPeakBytes reserve their
+  /// footprint at dispatch; requests that cannot currently fit wait in
+  /// the queue, and under pressure the server sheds newest submissions
+  /// with ResourceExhausted. 0 leaves the governor's budget untouched.
+  uint64_t MemoryBudgetBytes = 0;
 };
 
 struct TenantOptions {
@@ -352,6 +385,10 @@ struct TenantOptions {
   CheckpointStore *Store = nullptr;
   /// Overrides ServerConfig::Bucket when set.
   std::optional<TokenBucketPolicy> Bucket;
+  /// Worst-case bytes one request of this tenant holds live at once --
+  /// pass CompiledCircuit::Footprint.PeakBytes from the static analysis.
+  /// 0 exempts the tenant from memory admission (legacy behavior).
+  uint64_t PredictedPeakBytes = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -370,6 +407,8 @@ public:
                "QueueHighWater must be >= 1, got ", Cfg.QueueHighWater);
     if constexpr (!CanVerify)
       Cfg.IntegrityCheckEveryNodes = 0;
+    if (Cfg.MemoryBudgetBytes > 0)
+      MemoryGovernor::instance().setBudgetBytes(Cfg.MemoryBudgetBytes);
     Workers.reserve(Cfg.Lanes);
     for (unsigned I = 0; I < Cfg.Lanes; ++I)
       Workers.emplace_back([this] { workerLoop(); });
@@ -502,6 +541,29 @@ public:
                             Tick));
       return Ticket;
     }
+    MemoryGovernor &Gov = MemoryGovernor::instance();
+    uint64_t Pred = T->Options.PredictedPeakBytes;
+    if (Gov.budgetBytes() > 0 && Pred > Gov.budgetBytes()) {
+      ++T->Stats.RejectedMemory;
+      rejectNow(*State, ErrorCode::ResourceExhausted,
+                formatError("tenant '", TenantId, "' predicts a peak of ",
+                            Pred, " bytes, beyond the ",
+                            Gov.budgetBytes(),
+                            "-byte memory budget; it can never be "
+                            "dispatched"));
+      return Ticket;
+    }
+    if (Gov.budgetBytes() > 0 && Gov.underPressure() &&
+        Queue.size() >= std::max<size_t>(1, Cfg.QueueHighWater / 2)) {
+      ++T->Stats.RejectedMemory;
+      Gov.reclaim();
+      rejectNow(*State, ErrorCode::ResourceExhausted,
+                formatError("memory governor under pressure with ",
+                            Queue.size(),
+                            " requests queued; shedding newest-first -- "
+                            "retry after the backlog drains"));
+      return Ticket;
+    }
 
     PendingRequest Req;
     Req.Id = Id;
@@ -605,6 +667,8 @@ private:
     uint64_t RejectedStaleKey = 0;
     uint64_t RejectedShutdown = 0;
     uint64_t RejectedDeadline = 0;
+    uint64_t RejectedMemory = 0;
+    uint64_t PeakReservedBytes = 0;
     uint64_t Retries = 0;
     uint64_t Restarts = 0;
     uint64_t CheckpointsTaken = 0;
@@ -661,11 +725,28 @@ private:
     resolveReject(S, Code, std::move(Message));
   }
 
-  /// Index of the first queue entry whose tenant is free, or npos.
+  /// True when the tenant's predicted footprint currently fits the
+  /// governor's budget (exempt tenants always fit).
+  static bool memoryFits(const TenantContext &T) {
+    uint64_t Pred = T.Options.PredictedPeakBytes;
+    return Pred == 0 || MemoryGovernor::instance().wouldFit(Pred);
+  }
+
+  /// Index of the first queue entry whose tenant is free and whose
+  /// predicted footprint currently fits, or npos. Later entries of a
+  /// blocked tenant are skipped too (per-tenant FIFO), but *other*
+  /// tenants' fitting requests pass a memory-blocked head -- memory
+  /// waits must not head-of-line-block the whole queue.
   size_t firstDispatchable() const {
-    for (size_t I = 0; I < Queue.size(); ++I)
-      if (!Queue[I].Tenant->Busy)
+    std::vector<const TenantContext *> Blocked;
+    for (size_t I = 0; I < Queue.size(); ++I) {
+      const TenantContext *T = Queue[I].Tenant;
+      if (std::find(Blocked.begin(), Blocked.end(), T) != Blocked.end())
+        continue;
+      if (!T->Busy && memoryFits(*T))
         return I;
+      Blocked.push_back(T);
+    }
     return size_t(-1);
   }
 
@@ -719,6 +800,20 @@ private:
         continue;
       }
 
+      uint64_t Reserved = 0;
+      if (uint64_t Pred = T.Options.PredictedPeakBytes) {
+        if (!MemoryGovernor::instance().tryReserve(Pred)) {
+          // Lost a race with a reservation made outside the server
+          // lock; requeue at the head and re-evaluate (wouldFit now
+          // fails too, so the wait predicate does not spin).
+          Queue.push_front(std::move(Req));
+          continue;
+        }
+        Reserved = Pred;
+        T.Stats.PeakReservedBytes =
+            std::max(T.Stats.PeakReservedBytes, Pred);
+      }
+
       T.Busy = true;
       ++BusyLanes;
       double QueueSeconds = Req.Queued.seconds();
@@ -729,6 +824,8 @@ private:
       R.LatencySeconds = Req.Queued.seconds();
 
       Lock.lock();
+      if (Reserved)
+        MemoryGovernor::instance().release(Reserved);
       T.Busy = false;
       --BusyLanes;
       bool Ok = R.Status == RequestStatus::Completed;
@@ -801,6 +898,16 @@ private:
       R.Code = E.code();
       R.Class = E.faultClass();
       R.Message = E.what();
+    } catch (const std::bad_alloc &) {
+      // Contain allocation failure to this lane: free what the process
+      // can spare, then fail the request as transient so the client
+      // knows a straight resubmit is expected to succeed.
+      MemoryGovernor::instance().reclaim();
+      R.Status = RequestStatus::Failed;
+      R.Code = ErrorCode::ResourceExhausted;
+      R.Class = FaultClass::Transient;
+      R.Message = "allocation failure escaped the session's retry "
+                  "budget; caches and pools were reclaimed -- resubmit";
     } catch (const std::exception &E) {
       R.Status = RequestStatus::Failed;
       R.Code = ErrorCode::InvalidArgument;
@@ -828,6 +935,7 @@ private:
     Rep.QueueHighWater = QueueHighWaterSeen;
     Rep.ShutDown = Joined;
     Rep.Pool = LimbPool::instance().stats();
+    Rep.Governor = MemoryGovernor::instance().stats();
     for (const auto &[Id, T] : Tenants) {
       TenantReport TR;
       TR.Tenant = Id;
@@ -842,6 +950,8 @@ private:
       TR.RejectedStaleKey = T->Stats.RejectedStaleKey;
       TR.RejectedShutdown = T->Stats.RejectedShutdown;
       TR.RejectedDeadline = T->Stats.RejectedDeadline;
+      TR.RejectedMemory = T->Stats.RejectedMemory;
+      TR.PeakReservedBytes = T->Stats.PeakReservedBytes;
       TR.Retries = T->Stats.Retries;
       TR.Restarts = T->Stats.Restarts;
       TR.CheckpointsTaken = T->Stats.CheckpointsTaken;

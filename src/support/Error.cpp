@@ -50,6 +50,8 @@ const char *errorCodeName(ErrorCode Code) {
     return "StaleKey";
   case ErrorCode::ServerShutdown:
     return "ServerShutdown";
+  case ErrorCode::ResourceExhausted:
+    return "ResourceExhausted";
   case ErrorCode::PrecisionBound:
     return "PrecisionBound";
   case ErrorCode::DeadCiphertext:
@@ -84,6 +86,7 @@ FaultClass classifyFault(ErrorCode Code) {
   case ErrorCode::TenantThrottled:
   case ErrorCode::CircuitBreakerOpen:
   case ErrorCode::ServerShutdown:
+  case ErrorCode::ResourceExhausted:
     return FaultClass::Transient;
   case ErrorCode::DataCorruption:
   case ErrorCode::MalformedCiphertext:
@@ -159,6 +162,8 @@ void throwChetError(ErrorCode Code, const std::string &Message) {
     throw StaleKeyError(Message);
   case ErrorCode::ServerShutdown:
     throw ServerShutdownError(Message);
+  case ErrorCode::ResourceExhausted:
+    throw ResourceExhaustedError(Message);
   case ErrorCode::PrecisionBound:
     throw PrecisionBoundError(Message);
   case ErrorCode::DeadCiphertext:

@@ -109,6 +109,13 @@ enum class ErrorCode {
   /// The server is draining or has shut down; no new work is admitted.
   /// Checkpointed progress of in-flight requests is retained.
   ServerShutdown,
+  /// The process memory budget (support/MemoryGovernor.h) cannot cover
+  /// the request's predicted peak footprint, or an allocation failed at a
+  /// HISA boundary. Transient: the governor trims caches and pools, and a
+  /// retry / later resubmission can succeed once reservations drain --
+  /// unless the predicted footprint exceeds the whole budget, in which
+  /// case only raising the budget helps (the message says which).
+  ResourceExhausted,
   /// The static range/noise analysis proved that the worst-case output
   /// error of the compiled circuit exceeds the requested output
   /// precision. Re-compiling with larger scales, a longer prime chain,
@@ -189,7 +196,10 @@ public:
   /// failed op is useless because in-memory state is gone; recovery goes
   /// through a checkpoint (classifyFault still calls it Transient because
   /// the work itself is retryable).
-  bool isTransient() const { return Code == ErrorCode::TransientBackendFault; }
+  bool isTransient() const {
+    return Code == ErrorCode::TransientBackendFault ||
+           Code == ErrorCode::ResourceExhausted;
+  }
 
   /// The recovery class of this error (classifyFault of its code).
   FaultClass faultClass() const { return classifyFault(Code); }
@@ -247,6 +257,7 @@ CHET_DEFINE_ERROR_CLASS(CircuitBreakerOpenError, CircuitBreakerOpen);
 CHET_DEFINE_ERROR_CLASS(UnknownTenantError, UnknownTenant);
 CHET_DEFINE_ERROR_CLASS(StaleKeyError, StaleKey);
 CHET_DEFINE_ERROR_CLASS(ServerShutdownError, ServerShutdown);
+CHET_DEFINE_ERROR_CLASS(ResourceExhaustedError, ResourceExhausted);
 CHET_DEFINE_ERROR_CLASS(PrecisionBoundError, PrecisionBound);
 
 #undef CHET_DEFINE_ERROR_CLASS

@@ -1,0 +1,144 @@
+//===- MemoryGovernor.cpp - Process-wide byte budget and reclaim ----------===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryGovernor.h"
+
+#include "support/LimbPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace chet {
+
+MemoryGovernor &MemoryGovernor::instance() {
+  // Leaked singleton, same lifetime discipline as LimbPool: reclaimable
+  // components unregister themselves, so the governor must outlive every
+  // static-duration cache regardless of destruction order.
+  static MemoryGovernor *G = new MemoryGovernor();
+  return *G;
+}
+
+MemoryGovernor::MemoryGovernor() {
+  if (const char *Env = std::getenv("CHET_MEMORY_BUDGET_MB")) {
+    long Mb = std::atol(Env);
+    if (Mb > 0)
+      Budget = static_cast<uint64_t>(Mb) << 20;
+  }
+}
+
+void MemoryGovernor::setBudgetBytes(uint64_t Bytes) {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  Budget = Bytes;
+}
+
+uint64_t MemoryGovernor::budgetBytes() const {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  return Budget;
+}
+
+void MemoryGovernor::setSoftWatermark(double Fraction) {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  Watermark = std::clamp(Fraction, 0.0, 1.0);
+}
+
+bool MemoryGovernor::tryReserve(uint64_t Bytes) {
+  if (Bytes == 0)
+    return true;
+  bool CrossedWatermark = false;
+  {
+    std::lock_guard<std::mutex> Lock(LedgerMu);
+    if (Budget != 0 && (Bytes > Budget || Reserved > Budget - Bytes)) {
+      ++Counters.Failures;
+      return false;
+    }
+    Reserved += Bytes;
+    ++Counters.Reservations;
+    Counters.HighWaterBytes = std::max(Counters.HighWaterBytes, Reserved);
+    CrossedWatermark =
+        Budget != 0 &&
+        static_cast<double>(Reserved) > Watermark * static_cast<double>(Budget);
+  }
+  // Reclaim outside the ledger lock: callbacks may themselves release
+  // bytes (e.g. a cache that tracks its footprint in the ledger).
+  if (CrossedWatermark)
+    reclaim(StagePoolTrim);
+  return true;
+}
+
+void MemoryGovernor::release(uint64_t Bytes) noexcept {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  Reserved -= std::min(Reserved, Bytes);
+}
+
+bool MemoryGovernor::wouldFit(uint64_t Bytes) const {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  return Budget == 0 || (Bytes <= Budget && Reserved <= Budget - Bytes);
+}
+
+bool MemoryGovernor::underPressure() const {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  return Budget != 0 &&
+         static_cast<double>(Reserved) >
+             Watermark * static_cast<double>(Budget);
+}
+
+uint64_t MemoryGovernor::addReclaimer(int Stage, std::function<uint64_t()> Fn) {
+  std::lock_guard<std::mutex> Lock(RegMu);
+  uint64_t Handle = NextHandle++;
+  Reclaimers.push_back({Handle, Stage, std::move(Fn)});
+  std::stable_sort(Reclaimers.begin(), Reclaimers.end(),
+                   [](const Reclaimer &A, const Reclaimer &B) {
+                     return A.Stage < B.Stage;
+                   });
+  return Handle;
+}
+
+void MemoryGovernor::removeReclaimer(uint64_t Handle) {
+  std::lock_guard<std::mutex> Lock(RegMu);
+  Reclaimers.erase(std::remove_if(Reclaimers.begin(), Reclaimers.end(),
+                                  [Handle](const Reclaimer &R) {
+                                    return R.Handle == Handle;
+                                  }),
+                   Reclaimers.end());
+}
+
+uint64_t MemoryGovernor::reclaim(int MaxStage) {
+  uint64_t Freed = 0;
+  {
+    std::lock_guard<std::mutex> Lock(RegMu);
+    for (const Reclaimer &R : Reclaimers)
+      if (R.Stage <= MaxStage)
+        Freed += R.Fn();
+    if (MaxStage >= StagePoolTrim) {
+      LimbPool::Stats Before = LimbPool::instance().stats();
+      LimbPool::instance().trim();
+      LimbPool::Stats After = LimbPool::instance().stats();
+      if (Before.CachedBytes > After.CachedBytes)
+        Freed += Before.CachedBytes - After.CachedBytes;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  ++Counters.Reclaims;
+  Counters.ReclaimedBytes += Freed;
+  return Freed;
+}
+
+MemoryGovernorStats MemoryGovernor::stats() const {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  MemoryGovernorStats S = Counters;
+  S.BudgetBytes = Budget;
+  S.ReservedBytes = Reserved;
+  S.HighWaterBytes = std::max(S.HighWaterBytes, Reserved);
+  return S;
+}
+
+void MemoryGovernor::resetStats() {
+  std::lock_guard<std::mutex> Lock(LedgerMu);
+  Counters = MemoryGovernorStats();
+  Counters.HighWaterBytes = Reserved;
+}
+
+} // namespace chet

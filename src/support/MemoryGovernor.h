@@ -1,0 +1,155 @@
+//===- MemoryGovernor.h - Process-wide byte budget and reclaim --*- C++ -*-===//
+//
+// Part of the CHET reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide memory budget with reserve/release accounting and a
+/// staged reclaim ladder, the enforcement half of the static footprint
+/// analysis (core/FootprintAnalysis.h). The server reserves a request's
+/// predicted peak footprint before dispatch and releases it when the
+/// lane finishes, so the ledger's high-water is a provable bound on the
+/// bytes the admitted mix can touch at once.
+///
+/// Two mechanisms, deliberately orthogonal:
+///
+///   - The **ledger** (tryReserve / release) gates logical admission:
+///     reservations never exceed the budget, so a mix of requests whose
+///     predictions are sound cannot overcommit the process.
+///   - The **reclaim ladder** keeps the resident set inside the budget by
+///     shedding droppable bytes in degradation order: stage 0 evicts
+///     encoded-plaintext caches (they re-encode on demand), stage 1 trims
+///     the limb pool's thread caches and global free list, stage 2 is the
+///     signal consumed by sessions to shrink checkpoint retention. None
+///     of the stages can change a computed result -- everything dropped
+///     is rebuilt deterministically on next use.
+///
+/// Reclaimable components self-register a callback (addReclaimer) that
+/// returns the bytes it freed; the limb-pool trim is built in. Crossing
+/// the soft watermark (default 85% of budget) on a successful reserve
+/// runs stages 0-1 automatically; allocation-failure recovery paths call
+/// reclaim() directly.
+///
+/// Thread safety: every entry point is safe to call concurrently. The
+/// registry mutex is held while callbacks run, so removeReclaimer blocks
+/// until an in-flight reclaim finishes -- a component may destroy itself
+/// immediately after removeReclaimer returns. Callbacks may reserve or
+/// release bytes (separate lock) but must not touch the registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHET_SUPPORT_MEMORYGOVERNOR_H
+#define CHET_SUPPORT_MEMORYGOVERNOR_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace chet {
+
+/// Counters of the governor's ledger and reclaim ladder. High-water is
+/// the maximum reserved bytes seen since the last resetStats().
+struct MemoryGovernorStats {
+  uint64_t BudgetBytes = 0;     ///< 0 = unlimited (ledger still tracked).
+  uint64_t ReservedBytes = 0;   ///< Currently reserved.
+  uint64_t HighWaterBytes = 0;  ///< Peak reserved since resetStats().
+  uint64_t Reservations = 0;    ///< Successful tryReserve calls.
+  uint64_t Failures = 0;        ///< tryReserve calls that did not fit.
+  uint64_t Reclaims = 0;        ///< reclaim() ladder runs.
+  uint64_t ReclaimedBytes = 0;  ///< Total bytes callbacks reported freed.
+};
+
+class MemoryGovernor {
+public:
+  /// Degradation order: lower stages are cheaper to re-derive.
+  enum Stage : int {
+    StageCacheEvict = 0,      ///< Encoded-plaintext caches (re-encode).
+    StagePoolTrim = 1,        ///< Limb-pool thread caches + free list.
+    StageCheckpointShrink = 2 ///< Sessions keep only the newest checkpoint.
+  };
+
+  /// The process-wide instance. Initial budget comes from the
+  /// CHET_MEMORY_BUDGET_MB environment variable when set (0 or unset =
+  /// unlimited); servers typically override it via ServerConfig.
+  static MemoryGovernor &instance();
+
+  /// Sets the byte budget. 0 disables enforcement: tryReserve always
+  /// succeeds and underPressure() is always false, but the ledger still
+  /// tracks reservations (so an unconstrained run measures the peak a
+  /// later constrained run should be budgeted against).
+  void setBudgetBytes(uint64_t Bytes);
+  uint64_t budgetBytes() const;
+
+  /// Fraction of the budget at which a successful reserve triggers the
+  /// automatic stage 0-1 reclaim and underPressure() turns on. Clamped
+  /// to [0, 1]; default 0.85.
+  void setSoftWatermark(double Fraction);
+
+  /// Reserves \p Bytes if the ledger stays within the budget; returns
+  /// false (and counts a failure) otherwise. A successful reserve that
+  /// crosses the soft watermark runs the stage 0-1 reclaim ladder before
+  /// returning. Reserving 0 bytes always succeeds and counts nothing.
+  bool tryReserve(uint64_t Bytes);
+
+  /// Returns the bytes previously taken with tryReserve. Clamps at zero
+  /// rather than underflowing on a mismatched release.
+  void release(uint64_t Bytes) noexcept;
+
+  /// Non-mutating admission probe: would tryReserve(Bytes) succeed now?
+  /// Used by dispatch predicates so lanes sleep instead of spinning on
+  /// reservations that cannot fit yet.
+  bool wouldFit(uint64_t Bytes) const;
+
+  /// True while reserved bytes sit above the soft watermark of a nonzero
+  /// budget. Components consult this to degrade proactively (checkpoint
+  /// retention, queue shedding).
+  bool underPressure() const;
+
+  /// Registers a reclaim callback for \p Stage returning the bytes it
+  /// freed; returns a handle for removeReclaimer. The callback runs with
+  /// the registry lock held (see file comment).
+  uint64_t addReclaimer(int Stage, std::function<uint64_t()> Fn);
+
+  /// Unregisters a callback. Blocks until any in-flight reclaim run has
+  /// finished, so the owner may be destroyed right after this returns.
+  void removeReclaimer(uint64_t Handle);
+
+  /// Runs every registered callback with stage <= \p MaxStage in stage
+  /// order (plus the built-in limb-pool trim when MaxStage >= 1) and
+  /// returns the total bytes freed.
+  uint64_t reclaim(int MaxStage = StageCheckpointShrink);
+
+  MemoryGovernorStats stats() const;
+
+  /// Resets the counters; high-water restarts from the current reserved
+  /// bytes (mirrors LimbPool::resetStats).
+  void resetStats();
+
+  MemoryGovernor(const MemoryGovernor &) = delete;
+  MemoryGovernor &operator=(const MemoryGovernor &) = delete;
+
+private:
+  MemoryGovernor();
+
+  struct Reclaimer {
+    uint64_t Handle = 0;
+    int Stage = 0;
+    std::function<uint64_t()> Fn;
+  };
+
+  mutable std::mutex LedgerMu; ///< Ledger fields below.
+  uint64_t Budget = 0;
+  uint64_t Reserved = 0;
+  double Watermark = 0.85;
+  MemoryGovernorStats Counters;
+
+  mutable std::mutex RegMu; ///< Registry; held across callback runs.
+  std::vector<Reclaimer> Reclaimers;
+  uint64_t NextHandle = 1;
+};
+
+} // namespace chet
+
+#endif // CHET_SUPPORT_MEMORYGOVERNOR_H
